@@ -1,0 +1,205 @@
+// Ablation bench for the design choices DESIGN.md calls out:
+//  1. loop treatment: acyclic cut (paper) vs iterative fixpoint (extension)
+//  2. clustering: off vs paper K=N/3, with and without PCA, K=N/2
+//  3. static initialization vs random initialization
+//  4. context granularity: none vs caller (paper) vs call site — testing
+//     the paper's claim that finer-than-caller context adds no detection
+//     capability for code reuse
+//  5. HMM vs the STIDE-style n-gram baseline
+#include <iostream>
+
+#include "src/attack/abnormal_s.hpp"
+#include "src/eval/comparison.hpp"
+#include "src/eval/ngram_baseline.hpp"
+#include "src/trace/segmenter.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/table_printer.hpp"
+#include "src/workload/testcase_generator.hpp"
+
+using namespace cmarkov;
+
+namespace {
+
+struct Variant {
+  std::string label;
+  eval::ComparisonOptions options;
+  eval::ModelKind kind = eval::ModelKind::kCMarkov;
+};
+
+void run_block(const std::string& title,
+               const std::vector<std::string>& programs,
+               analysis::CallFilter filter,
+               const std::vector<Variant>& variants) {
+  std::cout << "--- " << title << " ---\n";
+  TablePrinter table(
+      {"Program", "Variant", "N states", "FN@FP=0.01", "FN@FP=0.05", "AUC"});
+  for (const auto& program : programs) {
+    const workload::ProgramSuite suite = workload::make_suite(program);
+    for (const auto& variant : variants) {
+      auto options = variant.options;
+      options.kinds = {variant.kind};
+      const auto comparison =
+          eval::compare_models(suite, filter, options);
+      const auto& model = comparison.model(variant.kind);
+      table.add_row({program, variant.label,
+                     std::to_string(model.num_states),
+                     format_double(eval::fn_at_fp(model.scores, 0.01), 4),
+                     format_double(eval::fn_at_fp(model.scores, 0.05), 4),
+                     format_double(eval::detection_auc(model.scores), 4)});
+    }
+  }
+  table.print();
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = eval::full_mode_enabled(argc, argv);
+  const eval::ComparisonOptions base =
+      eval::default_comparison_options(full);
+  std::cout << "=== Ablation: CMarkov design choices ("
+            << (full ? "full" : "quick") << " mode) ===\n\n";
+
+  // 1. Loop treatment.
+  {
+    Variant cut{"acyclic cut (paper)", base};
+    Variant fixpoint{"iterative fixpoint", base};
+    fixpoint.options.build.matrix.mode =
+        analysis::PropagationMode::kIterativeFixpoint;
+    run_block("Loop treatment (libcall models)", {"gzip", "vim"},
+              analysis::CallFilter::kLibcalls, {cut, fixpoint});
+  }
+
+  // 2. Branch heuristic (Definition 2): the paper's uniform split vs a
+  // Ball-Larus-style loop bias.
+  {
+    Variant uniform{"uniform branches (paper)", base};
+    Variant biased{"loop-biased branches (p=0.8)", base};
+    biased.options.build.matrix.heuristic =
+        analysis::BranchHeuristicKind::kLoopBiased;
+    run_block("Branch heuristic (syscall models)", {"sed", "proftpd"},
+              analysis::CallFilter::kSyscalls, {uniform, biased});
+  }
+
+  // 3. Clustering settings.
+  {
+    Variant off{"clustering off", base};
+    off.options.build.clustering.min_calls_for_reduction =
+        static_cast<std::size_t>(-1);
+    Variant paper{"K = N/3 + PCA (paper)", base};
+    paper.options.build.clustering.min_calls_for_reduction = 0;
+    Variant no_pca{"K = N/3, no PCA", base};
+    no_pca.options.build.clustering.min_calls_for_reduction = 0;
+    no_pca.options.build.clustering.use_pca = false;
+    Variant half{"K = N/2 + PCA", base};
+    half.options.build.clustering.min_calls_for_reduction = 0;
+    half.options.build.clustering.target_fraction = 0.5;
+    run_block("State reduction (libcall models)", {"bash", "proftpd"},
+              analysis::CallFilter::kLibcalls, {off, paper, no_pca, half});
+  }
+
+  // 4. Static vs random initialization at the same context sensitivity.
+  {
+    Variant static_init{"static init (CMarkov)", base,
+                        eval::ModelKind::kCMarkov};
+    Variant random_init{"random init (Regular-context)", base,
+                        eval::ModelKind::kRegularContext};
+    run_block("Initialization (syscall models)", {"grep", "nginx"},
+              analysis::CallFilter::kSyscalls, {static_init, random_init});
+  }
+
+  // 5. Context granularity: none / caller / call site (all random init so
+  // only the observation encoding varies).
+  {
+    Variant none{"no context (Regular-basic)", base,
+                 eval::ModelKind::kRegularBasic};
+    Variant caller{"caller context (Regular-context)", base,
+                   eval::ModelKind::kRegularContext};
+    Variant site{"site context (Regular-site)", base,
+                 eval::ModelKind::kRegularSite};
+    Variant deep{"2-level context (Regular-deep)", base,
+                 eval::ModelKind::kRegularDeep};
+    run_block("Context granularity (libcall models)", {"vim", "proftpd"},
+              analysis::CallFilter::kLibcalls, {none, caller, site, deep});
+    std::cout << "Paper claim: context finer than the immediate caller\n"
+                 "(call sites, 2-level stacks) does not beat caller-level\n"
+                 "context for code-reuse detection, while inflating the\n"
+                 "model (the state-explosion concern of Section II-D).\n\n";
+  }
+
+  // 6. n-gram baseline vs the probabilistic models (context-free
+  // observations for both, so only the modeling differs).
+  {
+    std::cout << "--- n-gram baseline vs HMM (syscall models) ---\n";
+    TablePrinter table({"Program", "Detector", "FN@FP=0.01", "FN@FP=0.05",
+                        "AUC"});
+    for (const std::string program : {"gzip", "proftpd"}) {
+      const workload::ProgramSuite suite = workload::make_suite(program);
+      auto options = base;
+      options.kinds = {eval::ModelKind::kRegularBasic};
+      const auto comparison = eval::compare_models(
+          suite, analysis::CallFilter::kSyscalls, options);
+      const auto& hmm_model =
+          comparison.model(eval::ModelKind::kRegularBasic);
+      table.add_row({program, "Regular-basic HMM",
+                     format_double(eval::fn_at_fp(hmm_model.scores, 0.01), 4),
+                     format_double(eval::fn_at_fp(hmm_model.scores, 0.05), 4),
+                     format_double(eval::detection_auc(hmm_model.scores), 4)});
+
+      // n-gram detector over the same data (context-free encoding).
+      const auto collection = workload::collect_traces(
+          suite, options.test_cases, options.seed);
+      hmm::Alphabet alphabet;
+      std::vector<hmm::ObservationSeq> encoded;
+      for (const auto& trace : collection.traces) {
+        encoded.push_back(trace::encode_trace(
+            trace, analysis::CallFilter::kSyscalls,
+            hmm::ObservationEncoding::kContextFree, alphabet));
+      }
+      // 80/20 trace-level split: train grams on the first part, score the
+      // rest (n-grams have no probabilistic holdout notion).
+      const std::size_t train_count = encoded.size() * 4 / 5;
+      eval::NgramDetector ngram(6);
+      ngram.train({encoded.begin(),
+                   encoded.begin() + static_cast<std::ptrdiff_t>(train_count)});
+
+      eval::ScoreSet scores;
+      trace::SegmentOptions seg;
+      seg.keep_short_tail = false;
+      for (std::size_t i = train_count; i < encoded.size(); ++i) {
+        for (const auto& segment : trace::segment_sequence(encoded[i], seg)) {
+          scores.normal.push_back(ngram.score(segment));
+        }
+      }
+      Rng rng(options.seed ^ 0x5eed);
+      const auto legit = attack::legitimate_call_set(
+          collection.traces, analysis::CallFilter::kSyscalls);
+      const auto normal_segments = attack::event_segments(
+          collection.traces, analysis::CallFilter::kSyscalls, 15);
+      for (const auto& segment : attack::generate_abnormal_s(
+               normal_segments, legit, options.abnormal_count, rng)) {
+        trace::Trace wrapper;
+        wrapper.events = segment;
+        scores.abnormal.push_back(ngram.score(trace::encode_trace_frozen(
+            wrapper, analysis::CallFilter::kSyscalls,
+            hmm::ObservationEncoding::kContextFree, alphabet,
+            alphabet.size())));
+      }
+      table.add_row({program, "n-gram (n=6)",
+                     format_double(eval::fn_at_fp(scores, 0.01), 4),
+                     format_double(eval::fn_at_fp(scores, 0.05), 4),
+                     format_double(eval::detection_auc(scores), 4)});
+    }
+    table.print();
+    std::cout << "\n";
+  }
+
+  std::cout << "Shape check: the paper's choices (acyclic cut, K=N/3 with\n"
+               "PCA, static init, caller-level context) should match or\n"
+               "beat the alternatives; clustering trades a little accuracy\n"
+               "for training speed, static init provides the largest single\n"
+               "gain, and site-level context adds nothing over caller-level."
+               "\n";
+  return 0;
+}

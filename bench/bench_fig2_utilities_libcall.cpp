@@ -1,0 +1,13 @@
+// Figure 2: classification accuracy (FP vs FN) of the four models on the
+// six utility programs, library-call traces. Expected shape: CMarkov
+// lowest FN, then STILO/Regular-context, Regular-basic worst; context
+// sensitivity matters most on libcalls.
+#include "bench/figure_common.hpp"
+
+int main(int argc, char** argv) {
+  cmarkov::benchfig::run_figure(
+      "Figure 2: utility programs, libcall accuracy",
+      cmarkov::workload::utility_suite_names(),
+      cmarkov::analysis::CallFilter::kLibcalls, argc, argv);
+  return 0;
+}

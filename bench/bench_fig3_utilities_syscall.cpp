@@ -1,0 +1,13 @@
+// Figure 3: classification accuracy of the four models on the six utility
+// programs, system-call traces. Expected shape: statically initialized
+// models (CMarkov, STILO) dominate; context adds less than on libcalls
+// because syscalls sit in wrapper functions with few distinct callers.
+#include "bench/figure_common.hpp"
+
+int main(int argc, char** argv) {
+  cmarkov::benchfig::run_figure(
+      "Figure 3: utility programs, syscall accuracy",
+      cmarkov::workload::utility_suite_names(),
+      cmarkov::analysis::CallFilter::kSyscalls, argc, argv);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 4: proftpd and nginx, library-call models. Expected shape:
+// context-sensitive models (CMarkov, Regular-context) outperform the
+// context-free ones by a significant margin on libcalls.
+#include "bench/figure_common.hpp"
+
+int main(int argc, char** argv) {
+  cmarkov::benchfig::run_figure(
+      "Figure 4: server programs, libcall accuracy",
+      cmarkov::workload::server_suite_names(),
+      cmarkov::analysis::CallFilter::kLibcalls, argc, argv);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 5: proftpd and nginx, system-call models. Expected shape: static
+// initialization drives the gap (CMarkov/STILO lower FN than both Regular
+// models); context-sensitive and -free state counts are close.
+#include "bench/figure_common.hpp"
+
+int main(int argc, char** argv) {
+  cmarkov::benchfig::run_figure(
+      "Figure 5: server programs, syscall accuracy",
+      cmarkov::workload::server_suite_names(),
+      cmarkov::analysis::CallFilter::kSyscalls, argc, argv);
+  return 0;
+}

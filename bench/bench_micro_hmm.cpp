@@ -1,0 +1,93 @@
+// Microbenchmarks (google-benchmark): HMM kernel costs underlying the
+// paper's performance notes — 15-call segment scoring (paper: 0.038 ms for
+// the glibc CMarkov model) and the O(T S^2) Baum-Welch iteration that
+// motivates state reduction.
+#include <benchmark/benchmark.h>
+
+#include "src/core/pipeline.hpp"
+#include "src/hmm/baum_welch.hpp"
+#include "src/hmm/forward_backward.hpp"
+#include "src/hmm/random_init.hpp"
+#include "src/hmm/viterbi.hpp"
+#include "src/trace/segmenter.hpp"
+#include "src/workload/testcase_generator.hpp"
+
+namespace {
+
+using namespace cmarkov;
+
+hmm::Hmm model_with_states(std::size_t states) {
+  Rng rng(states * 17 + 1);
+  return hmm::randomly_initialized_hmm(states, states, rng);
+}
+
+hmm::ObservationSeq segment_for(const hmm::Hmm& model, std::size_t length) {
+  Rng rng(99);
+  hmm::ObservationSeq seq(length);
+  for (auto& s : seq) s = rng.index(model.num_symbols());
+  return seq;
+}
+
+void BM_SegmentScoring(benchmark::State& state) {
+  const auto model = model_with_states(static_cast<std::size_t>(state.range(0)));
+  const auto segment = segment_for(model, 15);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hmm::sequence_log_likelihood(model, segment));
+  }
+  state.SetLabel("15-call segment");
+}
+BENCHMARK(BM_SegmentScoring)->Arg(32)->Arg(128)->Arg(372)->Arg(455);
+
+void BM_ViterbiDecode(benchmark::State& state) {
+  const auto model = model_with_states(static_cast<std::size_t>(state.range(0)));
+  const auto segment = segment_for(model, 15);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hmm::viterbi_decode(model, segment));
+  }
+}
+BENCHMARK(BM_ViterbiDecode)->Arg(32)->Arg(128);
+
+void BM_BaumWelchIteration(benchmark::State& state) {
+  const auto model = model_with_states(static_cast<std::size_t>(state.range(0)));
+  std::vector<hmm::ObservationSeq> data;
+  for (int i = 0; i < 50; ++i) data.push_back(segment_for(model, 15));
+  hmm::TrainingOptions options;
+  options.max_iterations = 1;
+  options.min_improvement = -1.0;
+  for (auto _ : state) {
+    hmm::Hmm copy = model;
+    hmm::baum_welch_train(copy, data, {}, options);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetLabel("50 segments x 1 iteration");
+}
+// The O(T S^2) scaling the Table II reduction exploits: 3x fewer states ->
+// ~9x faster iterations.
+BENCHMARK(BM_BaumWelchIteration)->Arg(40)->Arg(120)->Arg(360);
+
+void BM_StaticPipeline(benchmark::State& state) {
+  const workload::ProgramSuite suite = workload::make_bash_suite();
+  core::PipelineConfig config;
+  config.filter = analysis::CallFilter::kLibcalls;
+  config.clustering.min_calls_for_reduction = 0;
+  for (auto _ : state) {
+    Rng rng(1);
+    benchmark::DoNotOptimize(
+        core::run_static_pipeline(suite.module(), config, rng));
+  }
+  state.SetLabel("bash libcall, clustered");
+}
+BENCHMARK(BM_StaticPipeline);
+
+void BM_TraceCollection(benchmark::State& state) {
+  const workload::ProgramSuite suite = workload::make_nginx_suite();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload::collect_traces(suite, 5, 3));
+  }
+  state.SetLabel("nginx, 5 test cases");
+}
+BENCHMARK(BM_TraceCollection);
+
+}  // namespace
+
+BENCHMARK_MAIN();

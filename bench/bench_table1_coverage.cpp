@@ -1,0 +1,65 @@
+// Table I: programs, test-case counts and branch/line coverage of the
+// normal-trace workloads (paper: SIR test suites; here: the seeded
+// test-case generators — see DESIGN.md substitutions).
+#include <cstdio>
+#include <iostream>
+
+#include "src/eval/comparison.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/table_printer.hpp"
+#include "src/workload/testcase_generator.hpp"
+
+using namespace cmarkov;
+
+int main(int argc, char** argv) {
+  const bool full = eval::full_mode_enabled(argc, argv);
+  std::cout << "=== Table I: test cases and coverage per program ("
+            << (full ? "full" : "quick") << " mode) ===\n";
+  std::cout << "Paper reference (SIR suites): flex 325 / grep 809 / gzip 214"
+               " / sed 370 / bash 1061 / vim 936 test cases,\n"
+               "branch coverage 31.3-98.7% (avg 67.0%), line coverage"
+               " 41.3-76.0% (avg 63.9%).\n\n";
+
+  TablePrinter table({"Program", "# of test cases", "Branch coverage",
+                      "Line coverage", "Functions", "Source lines",
+                      "Trace events"});
+
+  double branch_sum = 0.0;
+  double line_sum = 0.0;
+  std::size_t case_sum = 0;
+  std::size_t rows = 0;
+
+  for (const auto& name : workload::utility_suite_names()) {
+    const workload::ProgramSuite suite = workload::make_suite(name);
+    const std::size_t cases =
+        full ? suite.info().paper_test_cases
+             : std::max<std::size_t>(20, suite.info().paper_test_cases / 20);
+    const workload::TraceCollection collection =
+        workload::collect_traces(suite, cases, 42);
+
+    branch_sum += collection.coverage.branch_coverage();
+    line_sum += collection.coverage.line_coverage();
+    case_sum += cases;
+    ++rows;
+
+    table.add_row(
+        {name, std::to_string(cases),
+         format_double(collection.coverage.branch_coverage() * 100.0, 1) + "%",
+         format_double(collection.coverage.line_coverage() * 100.0, 1) + "%",
+         std::to_string(suite.module().stats().functions),
+         std::to_string(suite.module().stats().source_lines),
+         std::to_string(collection.total_events)});
+  }
+  table.add_row(
+      {"Average", std::to_string(case_sum / rows),
+       format_double(branch_sum / static_cast<double>(rows) * 100.0, 1) + "%",
+       format_double(line_sum / static_cast<double>(rows) * 100.0, 1) + "%",
+       "", "", ""});
+  table.print();
+
+  std::cout << "\nNote: the synthetic programs are smaller than the real\n"
+               "binaries, so generated workloads saturate coverage faster\n"
+               "than SIR suites do; the role of the column (how completely\n"
+               "training data exercises the program) is preserved.\n";
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Table II: clustering-based state reduction for the libcall models of
+// bash, vim and proftpd — distinct calls, states after clustering, and the
+// estimated training-time reduction 1 - (k/N)^2 implied by the O(T S^2)
+// per-iteration cost. Also measures the actual per-iteration Baum-Welch
+// speedup, which the paper's estimate approximates.
+#include <iostream>
+
+#include "src/core/pipeline.hpp"
+#include "src/eval/comparison.hpp"
+#include "src/workload/suite_synthetic.hpp"
+#include "src/hmm/baum_welch.hpp"
+#include "src/trace/segmenter.hpp"
+#include "src/util/stopwatch.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/table_printer.hpp"
+#include "src/workload/testcase_generator.hpp"
+
+using namespace cmarkov;
+
+namespace {
+
+/// Wall time of one Baum-Welch iteration over the segments.
+double one_iteration_seconds(const hmm::Hmm& model,
+                             const std::vector<hmm::ObservationSeq>& data) {
+  hmm::Hmm copy = model;
+  hmm::TrainingOptions options;
+  options.max_iterations = 1;
+  options.min_improvement = -1.0;
+  Stopwatch watch;
+  hmm::baum_welch_train(copy, data, {}, options);
+  return watch.seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = eval::full_mode_enabled(argc, argv);
+  std::cout << "=== Table II: clustering for state reduction, libcall "
+               "models (" << (full ? "full" : "quick") << " mode) ===\n";
+  std::cout << "Paper reference: bash 1366->455 (88.91%), vim 829->415 "
+               "(74.94%), proftpd 1115->372 (88.87%).\n\n";
+
+  TablePrinter table({"Program", "Model", "# distinct calls",
+                      "# states after clustering",
+                      "Estimated training time reduction",
+                      "Measured per-iteration speedup"});
+
+  // The hand-written analogues are far smaller than the real binaries, so
+  // their reductions are forced (min_calls_for_reduction = 0); the
+  // generated "synthetic-large" program exceeds the paper's N > 800 gate
+  // naturally, exercising the default clustering trigger at true scale.
+  std::vector<std::pair<std::string, workload::ProgramSuite>> programs;
+  for (const auto& name : {"bash", "vim", "proftpd"}) {
+    programs.emplace_back(name, workload::make_suite(name));
+  }
+  programs.emplace_back("synthetic-large",
+                        workload::make_synthetic_suite());
+
+  for (auto& [name, suite] : programs) {
+    Rng rng(7);
+
+    // Paper ratios: bash/proftpd 1/3, vim 1/2.
+    const double fraction = name == "vim" ? 0.5 : 1.0 / 3.0;
+
+    core::PipelineConfig unclustered;
+    unclustered.filter = analysis::CallFilter::kLibcalls;
+    unclustered.clustering.min_calls_for_reduction =
+        static_cast<std::size_t>(-1);
+    const auto base = core::run_static_pipeline(suite.module(), unclustered,
+                                                rng);
+
+    core::PipelineConfig clustered = unclustered;
+    clustered.clustering.min_calls_for_reduction = 0;
+    clustered.clustering.target_fraction = fraction;
+    const auto reduced = core::run_static_pipeline(suite.module(), clustered,
+                                                   rng);
+
+    const double n = static_cast<double>(base.init.model.num_states());
+    const double k = static_cast<double>(reduced.init.model.num_states());
+    const double estimated = 1.0 - (k / n) * (k / n);
+
+    // Measured: one Baum-Welch iteration over shared libcall segments,
+    // encoded per model alphabet.
+    const auto collection =
+        workload::collect_traces(suite, full ? 60 : 15, 11);
+    const std::size_t cap = full ? 400 : 120;
+    auto encode_for = [&](const core::StaticPipelineResult& pipeline) {
+      hmm::Alphabet alphabet = pipeline.alphabet;
+      trace::SegmentSet set;
+      for (const auto& t : collection.traces) {
+        set.add_trace(trace::encode_trace(
+            t, analysis::CallFilter::kLibcalls,
+            hmm::ObservationEncoding::kContextSensitive, alphabet));
+      }
+      auto segments = set.to_vector();
+      if (segments.size() > cap) segments.resize(cap);
+      return segments;
+    };
+    const double base_time =
+        one_iteration_seconds(base.init.model, encode_for(base));
+    const double reduced_time =
+        one_iteration_seconds(reduced.init.model, encode_for(reduced));
+    const double speedup = base_time / std::max(reduced_time, 1e-9);
+
+    table.add_row({suite.info().name, "CMarkov-libcall",
+                   std::to_string(base.init.model.num_states()),
+                   std::to_string(reduced.init.model.num_states()),
+                   format_double(estimated * 100.0, 2) + "%",
+                   format_double(speedup, 1) + "x"});
+  }
+  table.print();
+  std::cout << "\nShape check: with k in [N/3, N/2] the estimated reduction\n"
+               "lands in the paper's 75-89% band by construction; the\n"
+               "measured per-iteration speedup should track 1/(1-reduction)\n"
+               "(the O(T S^2) term dominating Baum-Welch).\n";
+  return 0;
+}

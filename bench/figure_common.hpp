@@ -1,0 +1,61 @@
+// Shared driver for the Figure 2-5 benches: runs the four-model comparison
+// on a list of programs for one call stream and prints, per program, the
+// FN-at-matched-FP series each figure plots.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/eval/comparison.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/table_printer.hpp"
+
+namespace cmarkov::benchfig {
+
+inline void run_figure(const std::string& figure_label,
+                       const std::vector<std::string>& programs,
+                       analysis::CallFilter filter, int argc, char** argv) {
+  const bool full = eval::full_mode_enabled(argc, argv);
+  eval::ComparisonOptions options = eval::default_comparison_options(full);
+
+  std::cout << "=== " << figure_label << " ("
+            << analysis::call_filter_name(filter) << " models, "
+            << (full ? "full" : "quick") << " mode) ===\n";
+  std::cout << "Series: false negative rate at matched false positive "
+               "rate; lower is better.\n\n";
+
+  const std::vector<double> fp_grid = {0.001, 0.005, 0.01, 0.02, 0.05, 0.1};
+
+  for (const auto& program : programs) {
+    const workload::ProgramSuite suite = workload::make_suite(program);
+    const eval::SuiteComparison comparison =
+        eval::compare_models(suite, filter, options);
+
+    std::cout << "--- " << program << " (traces=" << comparison.traces
+              << ", unique normal segments="
+              << comparison.unique_normal_segments
+              << ", abnormal segments=" << comparison.abnormal_segments
+              << ") ---\n";
+    std::vector<std::string> headers = {"Model", "N states", "M symbols"};
+    for (double fp : fp_grid) {
+      headers.push_back("FN@FP=" + format_double(fp, 3));
+    }
+    headers.push_back("AUC");
+    TablePrinter table(std::move(headers));
+    for (const auto& model : comparison.models) {
+      std::vector<std::string> row = {eval::model_kind_name(model.kind),
+                                      std::to_string(model.num_states),
+                                      std::to_string(model.alphabet_size)};
+      for (double fp : fp_grid) {
+        row.push_back(format_double(eval::fn_at_fp(model.scores, fp), 4));
+      }
+      row.push_back(format_double(eval::detection_auc(model.scores), 4));
+      table.add_row(std::move(row));
+    }
+    table.print();
+    std::cout << "\n";
+  }
+}
+
+}  // namespace cmarkov::benchfig

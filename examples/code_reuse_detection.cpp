@@ -1,0 +1,145 @@
+// The paper's Section II-C example, executable: two call sequences with
+// identical call names — S1 with correct caller contexts, S2 a code-reuse
+// attack issuing the same calls from the wrong functions. A flow-sensitive
+// (context-free) model accepts both; the context-sensitive model separates
+// them.
+//
+//   S1: ... read@g  read@f  write@f   execve@g   ...   (normal)
+//   S2: ... read@g  read@f  write@foo execve@bar ...   (attack)
+#include <iomanip>
+#include <iostream>
+
+#include "src/cfg/cfg_builder.hpp"
+#include "src/core/detector.hpp"
+#include "src/trace/interpreter.hpp"
+#include "src/trace/symbolizer.hpp"
+#include "src/util/strings.hpp"
+
+using namespace cmarkov;
+
+namespace {
+
+// A program shaped like the paper's Figure 1 example: g() reads a command,
+// f() processes data with read/write, g() may execve a helper. foo() and
+// bar() exist but never make these calls — they are the wrong contexts the
+// attack will claim.
+const char* kSource = R"(
+fn f() {
+  sys("read");
+  lib("memcpy");
+  sys("write");
+}
+fn g() {
+  sys("read");
+  f();
+  if (input() % 4 == 0) {
+    sys("execve");
+  }
+}
+fn foo() {
+  lib("strlen");
+  lib("strcmp");
+}
+fn bar() {
+  lib("malloc");
+  lib("free");
+}
+fn main() {
+  var rounds = input() % 8 + 4;
+  while (rounds > 0) {
+    g();
+    if (input() % 3 == 0) { foo(); }
+    if (input() % 5 == 0) { bar(); }
+    rounds = rounds - 1;
+  }
+}
+)";
+
+trace::Trace hand_trace(
+    std::vector<std::pair<std::string, std::string>> calls) {
+  trace::Trace trace;
+  trace.program = "figure1";
+  for (auto& [name, caller] : calls) {
+    trace::CallEvent event;
+    event.kind = ir::CallKind::kSyscall;
+    event.name = std::move(name);
+    event.caller = std::move(caller);
+    trace.events.push_back(std::move(event));
+  }
+  return trace;
+}
+
+}  // namespace
+
+int main() {
+  const ir::ProgramModule program =
+      ir::ProgramModule::from_source("figure1", kSource);
+
+  // Train two detectors on the same normal traces: context-sensitive
+  // (CMarkov) and context-insensitive (STILO-style).
+  auto make_detector = [&](bool context) {
+    core::DetectorConfig config;
+    config.pipeline.filter = analysis::CallFilter::kSyscalls;
+    config.pipeline.context_sensitive = context;
+    config.segments.length = 4;  // short segments match the tiny example
+    config.target_fp = 0.002;
+    return core::Detector::build(program, config);
+  };
+  core::Detector cmarkov = make_detector(true);
+  core::Detector flow_only = make_detector(false);
+
+  const auto module_cfg = cfg::build_module_cfg(program);
+  const trace::Interpreter interpreter(module_cfg);
+  const trace::Symbolizer symbolizer(module_cfg);
+  std::vector<trace::Trace> normal;
+  Rng rng(7);
+  for (int i = 0; i < 60; ++i) {
+    std::vector<std::int64_t> inputs;
+    for (int j = 0; j < 32; ++j) inputs.push_back(rng.uniform_int(0, 99));
+    trace::SeededEnvironment environment(rng.engine()());
+    auto run = interpreter.run(inputs, environment);
+    symbolizer.symbolize(run.trace);
+    normal.push_back(std::move(run.trace));
+  }
+  cmarkov.train(normal);
+  flow_only.train(normal);
+
+  // The paper's S1/S2 sequences.
+  const trace::Trace s1 = hand_trace({{"read", "g"},
+                                      {"read", "f"},
+                                      {"write", "f"},
+                                      {"execve", "g"}});
+  const trace::Trace s2 = hand_trace({{"read", "g"},
+                                      {"read", "f"},
+                                      {"write", "foo"},
+                                      {"execve", "bar"}});
+
+  auto report = [&](const char* label, const trace::Trace& trace) {
+    const auto ctx = cmarkov.classify(trace);
+    const auto flow = flow_only.classify(trace);
+    std::cout << label << "\n";
+    std::cout << "  calls:";
+    for (const auto& e : trace.events) {
+      std::cout << " " << e.name << "@" << e.caller;
+    }
+    std::cout << "\n  context-sensitive model:   "
+              << (ctx.anomalous ? "ANOMALY" : "normal")
+              << "  (min log-likelihood "
+              << format_double(ctx.min_log_likelihood, 2) << ")\n";
+    std::cout << "  context-insensitive model: "
+              << (flow.anomalous ? "ANOMALY" : "normal")
+              << "  (min log-likelihood "
+              << format_double(flow.min_log_likelihood, 2) << ")\n\n";
+  };
+
+  std::cout << "Section II-C: distinguishing code reuse with 1-level "
+               "calling context\n\n";
+  report("S1 (normal sequence):", s1);
+  report("S2 (code-reuse attack, same call names, wrong callers):", s2);
+
+  std::cout << "Both models see the same call-name sequence read read "
+               "write execve;\nonly the context-sensitive model can reject "
+               "S2, because write@foo and\nexecve@bar never occur in the "
+               "program's behaviour model.\n";
+  return 0;
+}

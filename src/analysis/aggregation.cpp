@@ -1,0 +1,213 @@
+#include "src/analysis/aggregation.hpp"
+
+#include <stdexcept>
+
+namespace cmarkov::analysis {
+
+CalleeSummary summarize_callee(const CallTransitionMatrix& resolved) {
+  CalleeSummary summary;
+  std::size_t entry_idx = static_cast<std::size_t>(-1);
+  std::size_t exit_idx = static_cast<std::size_t>(-1);
+  for (std::size_t i = 0; i < resolved.size(); ++i) {
+    const auto kind = resolved.symbol(i).kind;
+    if (kind == CallSymbol::Kind::kEntry) entry_idx = i;
+    if (kind == CallSymbol::Kind::kExit) exit_idx = i;
+    if (kind == CallSymbol::Kind::kInternal) {
+      throw std::invalid_argument(
+          "summarize_callee: matrix still has internal symbol " +
+          resolved.symbol(i).to_string());
+    }
+  }
+  if (entry_idx == static_cast<std::size_t>(-1) ||
+      exit_idx == static_cast<std::size_t>(-1)) {
+    throw std::invalid_argument("summarize_callee: missing ENTRY/EXIT");
+  }
+
+  for (const auto& [to, p] : resolved.row(entry_idx)) {
+    if (to == exit_idx) {
+      summary.pass_through = p;
+    } else {
+      summary.entry_dist.emplace_back(resolved.symbol(to), p);
+    }
+  }
+  for (std::size_t r = 0; r < resolved.size(); ++r) {
+    if (r == entry_idx || r == exit_idx) continue;
+    for (const auto& [to, p] : resolved.row(r)) {
+      if (to == exit_idx) {
+        summary.exit_counts.emplace_back(resolved.symbol(r), p);
+      } else if (to != entry_idx) {
+        summary.inner.emplace_back(resolved.symbol(r), resolved.symbol(to),
+                                   p);
+      }
+    }
+  }
+  return summary;
+}
+
+namespace {
+
+/// Sparse distribution over symbols of the output matrix.
+using SymbolDist = std::vector<std::pair<std::size_t, double>>;
+
+}  // namespace
+
+CallTransitionMatrix resolve_internal_symbol(const CallTransitionMatrix& matrix,
+                                             const CallSymbol& site,
+                                             const CalleeSummary* summary) {
+  const std::size_t s = matrix.index_of(site);
+
+  // Copy all symbols except the site into the output; remember the mapping.
+  CallTransitionMatrix out;
+  constexpr std::size_t kDropped = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> remap(matrix.size(), kDropped);
+  for (std::size_t i = 0; i < matrix.size(); ++i) {
+    if (i != s) remap[i] = out.add_symbol(matrix.symbol(i));
+  }
+
+  // Pure pass-through summary stands in for recursive callees.
+  static const CalleeSummary kPassThrough{{}, 1.0, {}, {}};
+  if (summary == nullptr) summary = &kPassThrough;
+
+  // Register the callee's symbols (entry distribution / inner / exit rows
+  // may introduce calls not yet present in the caller's matrix).
+  auto sym_idx = [&](const CallSymbol& sym) { return out.add_symbol(sym); };
+
+  // Copy every cell not touching the site.
+  for (std::size_t r = 0; r < matrix.size(); ++r) {
+    if (r == s) continue;
+    for (const auto& [c, p] : matrix.row(r)) {
+      if (c == s) continue;
+      out.add_prob(remap[r], remap[c], p);
+    }
+  }
+
+  const double w_in = matrix.col_sum(s);   // total invocations of the site
+  const double w_out = matrix.row_sum(s);  // mass leaving the site
+  const double pass = summary->pass_through;
+
+  // Conditional next-target distribution after the site returns.
+  double q_self = 0.0;
+  SymbolDist q_other;  // targets != s, in output indices
+  if (w_out > 0.0) {
+    for (const auto& [c, p] : matrix.row(s)) {
+      if (c == s) {
+        q_self = p / w_out;
+      } else {
+        q_other.emplace_back(remap[c], p / w_out);
+      }
+    }
+  }
+
+  // Entry distribution in output indices.
+  SymbolDist entry_dist;
+  for (const auto& [sym, p] : summary->entry_dist) {
+    entry_dist.emplace_back(sym_idx(sym), p);
+  }
+
+  // rho: distribution over the next observable event from the site-return
+  // point, with silent re-invocation chains (prob q_self * pass each) closed
+  // geometrically:
+  //   rho = (q_other + q_self * entry_dist) / (1 - q_self * pass)
+  SymbolDist rho;
+  const double silent_loop = q_self * pass;
+  if (silent_loop < 1.0 - 1e-12) {
+    const double scale = 1.0 / (1.0 - silent_loop);
+    for (const auto& [t, p] : q_other) rho.emplace_back(t, p * scale);
+    for (const auto& [t, p] : entry_dist) {
+      rho.emplace_back(t, q_self * p * scale);
+    }
+  }
+  // else: mass is trapped in an endless silent loop; drop it.
+
+  // sigma: distribution over the next observable event from the moment the
+  // site is entered: first call of the invocation, or (silently) whatever
+  // follows the site.
+  SymbolDist sigma = entry_dist;
+  for (const auto& [t, p] : rho) sigma.emplace_back(t, pass * p);
+
+  // 1) Redirect incoming transitions x -> s through sigma.
+  for (std::size_t r = 0; r < matrix.size(); ++r) {
+    if (r == s) continue;
+    const auto& row = matrix.row(r);
+    auto it = row.find(s);
+    if (it == row.end()) continue;
+    const double p_in = it->second;
+    for (const auto& [t, p] : sigma) out.add_prob(remap[r], t, p_in * p);
+  }
+  // Incoming mass from the site itself (s -> s) is part of w_in and is
+  // already accounted for by the geometric closure in rho.
+
+  if (w_in > 0.0) {
+    // 2) Inner transitions of the callee, once per invocation.
+    for (const auto& [a, b, p] : summary->inner) {
+      out.add_prob(sym_idx(a), sym_idx(b), w_in * p);
+    }
+    // 3) Last-call-to-return events chain into whatever follows the site.
+    for (const auto& [a, x] : summary->exit_counts) {
+      const std::size_t from = sym_idx(a);
+      for (const auto& [t, p] : rho) out.add_prob(from, t, w_in * x * p);
+    }
+    // 4) Entries that arrive via sigma above used per-entry mass; entries
+    // caused by silent chains are already inside rho. Nothing further.
+  }
+  return out;
+}
+
+AggregatedProgram aggregate_program(const cfg::ModuleCfg& module,
+                                    const cfg::CallGraph& call_graph,
+                                    const BranchHeuristic& heuristic,
+                                    const FunctionMatrixOptions& options,
+                                    PhaseTimer* timings) {
+  AggregatedProgram result;
+  std::map<std::string, CalleeSummary> summaries;
+
+  // Tarjan order is callees-first (see CallGraph::scc_order).
+  for (const auto& scc : call_graph.scc_order()) {
+    for (const auto& fn_name : scc) {
+      const cfg::FunctionCfg& fn = module.require(fn_name);
+      Stopwatch probability_watch;
+      CallTransitionMatrix matrix =
+          function_call_transitions(fn, heuristic, options);
+      if (timings != nullptr) {
+        timings->add("probability", probability_watch.seconds());
+      }
+
+      Stopwatch aggregation_watch;
+      // Resolve internal symbols until none remain. Same-SCC callees (and
+      // self-recursion) have no summary yet and become pass-through.
+      while (true) {
+        const CallSymbol* pending = nullptr;
+        for (std::size_t i = 0; i < matrix.size(); ++i) {
+          if (matrix.symbol(i).kind == CallSymbol::Kind::kInternal) {
+            pending = &matrix.symbol(i);
+            break;
+          }
+        }
+        if (pending == nullptr) break;
+        const CallSymbol site = *pending;
+        const CalleeSummary* summary = nullptr;
+        if (!call_graph.in_cycle_with(fn_name, site.name)) {
+          auto it = summaries.find(site.name);
+          if (it != summaries.end()) summary = &it->second;
+        }
+        matrix = resolve_internal_symbol(matrix, site, summary);
+      }
+
+      summaries.emplace(fn_name, summarize_callee(matrix));
+      result.per_function.emplace(fn_name, std::move(matrix));
+      if (timings != nullptr) {
+        timings->add("aggregation", aggregation_watch.seconds());
+      }
+    }
+  }
+
+  auto it = result.per_function.find(module.entry_point);
+  if (it == result.per_function.end()) {
+    throw std::invalid_argument("aggregate_program: entry point '" +
+                                module.entry_point + "' not in module");
+  }
+  result.program_matrix = it->second;
+  return result;
+}
+
+}  // namespace cmarkov::analysis

@@ -1,0 +1,68 @@
+// Aggregation of call transitions (Section IV): inlines callee functions'
+// call-transition matrices into their callers, bottom-up over the call
+// graph, producing one program-wide matrix over external calls only.
+//
+// Each internal call-site symbol s (callee g) is eliminated algebraically:
+//  - the callee summary provides E(c) = P[first call in g is c], pass =
+//    P[g makes no visible call], X(c) = expected (c -> return) events and
+//    inner c -> c' transition counts, all per g-invocation;
+//  - chains of silent invocations (pass-through, including s -> s repeats)
+//    are closed in geometric form, so x -> s -> ... -> y mass lands on
+//    x -> y exactly;
+//  - callee matrices keep the original context of every call (write@g stays
+//    write@g after inlining into f — the paper's 1-level context rule).
+// Call-graph cycles (recursion) are collapsed: a call into the current SCC
+// is treated as pass-through (pass = 1), deferring recursive behaviour to
+// dynamic training, as the paper prescribes.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "src/analysis/call_transition.hpp"
+#include "src/cfg/call_graph.hpp"
+#include "src/cfg/cfg.hpp"
+#include "src/util/stopwatch.hpp"
+
+namespace cmarkov::analysis {
+
+/// Per-callee behaviour summary extracted from a fully resolved matrix.
+struct CalleeSummary {
+  /// First-call distribution E(c) (externals only).
+  std::vector<std::pair<CallSymbol, double>> entry_dist;
+  /// P[no visible call during the invocation].
+  double pass_through = 0.0;
+  /// Expected (c -> return) events per invocation.
+  std::vector<std::pair<CallSymbol, double>> exit_counts;
+  /// Inner transition counts c -> c' per invocation.
+  std::vector<std::tuple<CallSymbol, CallSymbol, double>> inner;
+};
+
+/// Builds a summary from a resolved (internal-free) matrix.
+CalleeSummary summarize_callee(const CallTransitionMatrix& resolved);
+
+/// Removes one internal call-site symbol from `matrix`. `summary` may be
+/// null (recursive callee), which inlines pure pass-through behaviour.
+CallTransitionMatrix resolve_internal_symbol(const CallTransitionMatrix& matrix,
+                                             const CallSymbol& site,
+                                             const CalleeSummary* summary);
+
+/// Result of whole-program aggregation.
+struct AggregatedProgram {
+  /// Program-level matrix (ENTRY/EXIT of the entry function + externals).
+  CallTransitionMatrix program_matrix;
+  /// Fully resolved matrix per function (useful for inspection/tests).
+  std::map<std::string, CallTransitionMatrix> per_function;
+};
+
+/// Runs the full bottom-up aggregation for the module. When `timings` is
+/// non-null, wall time is recorded under the "probability" (per-function
+/// matrix computation) and "aggregation" (inlining) phases — the Table V
+/// runtime breakdown.
+AggregatedProgram aggregate_program(const cfg::ModuleCfg& module,
+                                    const cfg::CallGraph& call_graph,
+                                    const BranchHeuristic& heuristic,
+                                    const FunctionMatrixOptions& options = {},
+                                    PhaseTimer* timings = nullptr);
+
+}  // namespace cmarkov::analysis

@@ -1,0 +1,30 @@
+#include "src/analysis/branch_heuristics.hpp"
+
+#include <stdexcept>
+
+namespace cmarkov::analysis {
+
+LoopBiasedBranchHeuristic::LoopBiasedBranchHeuristic(double loop_probability)
+    : loop_probability_(loop_probability) {
+  if (loop_probability <= 0.0 || loop_probability >= 1.0) {
+    throw std::invalid_argument(
+        "LoopBiasedBranchHeuristic: probability must be in (0, 1)");
+  }
+}
+
+double LoopBiasedBranchHeuristic::taken_probability(
+    const cfg::FunctionCfg&, const cfg::BasicBlock&,
+    bool true_edge_enters_loop) const {
+  return true_edge_enters_loop ? loop_probability_ : 0.5;
+}
+
+std::unique_ptr<BranchHeuristic> make_uniform_heuristic() {
+  return std::make_unique<UniformBranchHeuristic>();
+}
+
+std::unique_ptr<BranchHeuristic> make_loop_biased_heuristic(
+    double loop_probability) {
+  return std::make_unique<LoopBiasedBranchHeuristic>(loop_probability);
+}
+
+}  // namespace cmarkov::analysis

@@ -1,0 +1,60 @@
+// Branch-probability heuristics for Definition 2 (conditional probability of
+// adjacent CFG nodes). The paper's prototype uses a uniform distribution at
+// branch points and notes that branch-prediction heuristics can be plugged
+// in; BranchHeuristic is that plug-in point (exercised by the ablation
+// bench).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/cfg/cfg.hpp"
+
+namespace cmarkov::analysis {
+
+/// Strategy for distributing probability across a 2-way branch.
+class BranchHeuristic {
+ public:
+  virtual ~BranchHeuristic() = default;
+
+  /// Probability that the branch in `block` (which must have a BranchTerm)
+  /// takes its true edge; the false edge gets the complement. `is_loop`
+  /// tells whether the true edge enters a loop body (the block's branch is a
+  /// loop header test).
+  virtual double taken_probability(const cfg::FunctionCfg& cfg,
+                                   const cfg::BasicBlock& block,
+                                   bool true_edge_enters_loop) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Paper default: both branch edges get 0.5.
+class UniformBranchHeuristic final : public BranchHeuristic {
+ public:
+  double taken_probability(const cfg::FunctionCfg&, const cfg::BasicBlock&,
+                           bool) const override {
+    return 0.5;
+  }
+  std::string name() const override { return "uniform"; }
+};
+
+/// Loop-aware bias (a Ball-Larus-style heuristic): the edge that enters a
+/// loop body is taken with `loop_probability`, other branches stay uniform.
+class LoopBiasedBranchHeuristic final : public BranchHeuristic {
+ public:
+  explicit LoopBiasedBranchHeuristic(double loop_probability = 0.8);
+
+  double taken_probability(const cfg::FunctionCfg& cfg,
+                           const cfg::BasicBlock& block,
+                           bool true_edge_enters_loop) const override;
+  std::string name() const override { return "loop-biased"; }
+
+ private:
+  double loop_probability_;
+};
+
+std::unique_ptr<BranchHeuristic> make_uniform_heuristic();
+std::unique_ptr<BranchHeuristic> make_loop_biased_heuristic(
+    double loop_probability = 0.8);
+
+}  // namespace cmarkov::analysis

@@ -1,0 +1,191 @@
+#include "src/analysis/call_transition.hpp"
+
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+namespace cmarkov::analysis {
+
+std::unique_ptr<BranchHeuristic> make_branch_heuristic(
+    BranchHeuristicKind kind, double loop_probability) {
+  switch (kind) {
+    case BranchHeuristicKind::kUniform:
+      return make_uniform_heuristic();
+    case BranchHeuristicKind::kLoopBiased:
+      return make_loop_biased_heuristic(loop_probability);
+  }
+  return make_uniform_heuristic();
+}
+
+namespace {
+
+/// Distribution over "first call node reached"; targets are block ids, with
+/// block_count() standing for function exit.
+using TargetDist = std::unordered_map<std::size_t, double>;
+
+/// True when the block is a call node under the filter. Filtered-out
+/// external calls behave like plain computation.
+bool is_call_node(const cfg::BasicBlock& block, CallFilter filter) {
+  if (block.internal_call() != nullptr) return true;
+  const auto* ext = block.external_call();
+  return ext != nullptr && filter_matches(filter, ext->kind);
+}
+
+/// g(n): distribution of the first call node at-or-after n. δ_n for call
+/// nodes; for others, the edge-probability mix of successors' g, with the
+/// exit sentinel for return blocks.
+std::vector<TargetDist> first_call_distributions(
+    const cfg::FunctionCfg& cfg, const EdgeProbabilities& edges,
+    CallFilter filter, const FunctionMatrixOptions& options) {
+  const std::size_t n = cfg.block_count();
+  const std::size_t kExitTarget = n;
+  std::vector<TargetDist> dist(n);
+
+  auto combine_successors = [&](cfg::BlockId node,
+                                const std::vector<TargetDist>& source,
+                                const std::set<std::pair<cfg::BlockId,
+                                                         cfg::BlockId>>*
+                                    cut_edges) {
+    TargetDist out;
+    const auto& succs = edges.outgoing[node];
+    if (succs.empty()) {
+      out[kExitTarget] = 1.0;
+      return out;
+    }
+    for (const auto& [succ, p] : succs) {
+      if (cut_edges != nullptr && cut_edges->contains({node, succ})) continue;
+      if (is_call_node(cfg.block(succ), filter)) {
+        out[succ] += p;
+      } else {
+        for (const auto& [target, q] : source[succ]) out[target] += p * q;
+      }
+    }
+    return out;
+  };
+
+  if (options.mode == PropagationMode::kAcyclicCut) {
+    const auto backs = cfg.back_edges();
+    const std::set<std::pair<cfg::BlockId, cfg::BlockId>> back_set(
+        backs.begin(), backs.end());
+    // Process in reverse RPO (i.e. topological order from the leaves), so
+    // successors are ready when a node combines them.
+    const auto rpo = cfg.reverse_post_order();
+    for (auto it = rpo.rbegin(); it != rpo.rend(); ++it) {
+      const cfg::BlockId node = *it;
+      if (is_call_node(cfg.block(node), filter)) {
+        dist[node][node] = 1.0;
+      } else {
+        dist[node] = combine_successors(node, dist, &back_set);
+      }
+    }
+    return dist;
+  }
+
+  // Fixpoint mode: Jacobi-iterate the same equations over the cyclic graph.
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    double delta = 0.0;
+    std::vector<TargetDist> next(n);
+    for (cfg::BlockId node = 0; node < n; ++node) {
+      if (is_call_node(cfg.block(node), filter)) {
+        next[node][node] = 1.0;
+      } else {
+        next[node] = combine_successors(node, dist, nullptr);
+      }
+      for (const auto& [target, p] : next[node]) {
+        auto it = dist[node].find(target);
+        const double before = it == dist[node].end() ? 0.0 : it->second;
+        delta = std::max(delta, std::abs(p - before));
+      }
+    }
+    dist = std::move(next);
+    if (delta < options.tolerance) break;
+  }
+  return dist;
+}
+
+CallSymbol block_symbol(const cfg::FunctionCfg& cfg,
+                        const cfg::BasicBlock& block) {
+  if (const auto* ext = block.external_call()) {
+    return CallSymbol::external(ext->kind, ext->callee, cfg.name);
+  }
+  const auto* internal = block.internal_call();
+  return CallSymbol::internal(internal->callee);
+}
+
+}  // namespace
+
+CallTransitionMatrix function_call_transitions(
+    const cfg::FunctionCfg& cfg, const BranchHeuristic& heuristic,
+    const FunctionMatrixOptions& options) {
+  const EdgeProbabilities edges = conditional_probabilities(cfg, heuristic);
+
+  ReachabilityOptions reach_options;
+  reach_options.mode = options.mode;
+  reach_options.max_iterations = options.max_iterations;
+  reach_options.tolerance = options.tolerance;
+  const std::vector<double> reach =
+      reachability_probabilities(cfg, edges, reach_options);
+
+  const auto dist =
+      first_call_distributions(cfg, edges, options.filter, options);
+
+  const std::size_t kExitTarget = cfg.block_count();
+
+  CallTransitionMatrix matrix;
+  const std::size_t entry_idx =
+      matrix.add_symbol(CallSymbol::entry(cfg.name));
+  const std::size_t exit_idx = matrix.add_symbol(CallSymbol::exit(cfg.name));
+
+  auto target_index = [&](std::size_t target) {
+    if (target == kExitTarget) return exit_idx;
+    return matrix.add_symbol(block_symbol(cfg, cfg.block(target)));
+  };
+
+  // ENTRY row: first call reached from the function entry with prob 1.
+  if (is_call_node(cfg.block(cfg.entry), options.filter)) {
+    matrix.add_prob(entry_idx, target_index(cfg.entry), 1.0);
+  } else {
+    for (const auto& [target, p] : dist[cfg.entry]) {
+      matrix.add_prob(entry_idx, target_index(target), p);
+    }
+  }
+
+  // One row per call node, weighted by its reachability (Equation 2).
+  std::set<std::pair<cfg::BlockId, cfg::BlockId>> back_set;
+  if (options.mode == PropagationMode::kAcyclicCut) {
+    const auto backs = cfg.back_edges();
+    back_set.insert(backs.begin(), backs.end());
+  }
+  for (const auto& block : cfg.blocks) {
+    if (!is_call_node(block, options.filter)) continue;
+    const double mass = reach[block.id];
+    if (mass <= 0.0) {
+      // Unreachable call node: register the symbol so the alphabet is
+      // complete, but contribute no probability.
+      matrix.add_symbol(block_symbol(cfg, block));
+      continue;
+    }
+    const std::size_t from = matrix.add_symbol(block_symbol(cfg, block));
+    const auto& succs = edges.outgoing[block.id];
+    if (succs.empty()) {
+      matrix.add_prob(from, exit_idx, mass);
+      continue;
+    }
+    for (const auto& [succ, p] : succs) {
+      if (options.mode == PropagationMode::kAcyclicCut &&
+          back_set.contains({block.id, succ})) {
+        continue;  // loop repetitions are learned from traces
+      }
+      if (is_call_node(cfg.block(succ), options.filter)) {
+        matrix.add_prob(from, target_index(succ), mass * p);
+      } else {
+        for (const auto& [target, q] : dist[succ]) {
+          matrix.add_prob(from, target_index(target), mass * p * q);
+        }
+      }
+    }
+  }
+  return matrix;
+}
+
+}  // namespace cmarkov::analysis

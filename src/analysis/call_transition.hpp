@@ -1,0 +1,55 @@
+// Definitions 4 & 5 / Equation 2: the call-transition matrix of a single
+// function.
+//
+// The matrix rows/columns are the function's context-sensitive calls plus
+// virtual ENTRY/EXIT symbols. Cell (a, b) is the expected number of
+// "call a, then the next call is b" events per invocation of the function:
+//     P^cf_ab = P^r_a * P[first call after a is b]
+// The second factor sums conditional edge probabilities over all paths from
+// a to b that pass through no other call node (Equation 2).
+//
+// Internal (MiniC-to-MiniC) calls appear as placeholder symbols that the
+// aggregation step (aggregation.hpp) resolves by inlining callee matrices.
+#pragma once
+
+#include "src/analysis/branch_heuristics.hpp"
+#include "src/analysis/context.hpp"
+#include "src/analysis/reachability.hpp"
+#include "src/cfg/cfg.hpp"
+
+namespace cmarkov::analysis {
+
+/// Which branch-probability heuristic the analysis uses (Definition 2).
+enum class BranchHeuristicKind {
+  kUniform,     ///< the paper's prototype choice: 0.5/0.5
+  kLoopBiased,  ///< Ball-Larus-style: loop-entering edges preferred
+};
+
+/// Instantiates the heuristic for a kind. `loop_probability` only affects
+/// kLoopBiased.
+std::unique_ptr<BranchHeuristic> make_branch_heuristic(
+    BranchHeuristicKind kind, double loop_probability = 0.8);
+
+struct FunctionMatrixOptions {
+  /// Which external calls are observable; filtered-out calls are treated as
+  /// ordinary non-call nodes (a syscall model does not see libcalls).
+  CallFilter filter = CallFilter::kAll;
+  /// Loop treatment for reachability and next-call propagation.
+  PropagationMode mode = PropagationMode::kAcyclicCut;
+  std::size_t max_iterations = 500;
+  double tolerance = 1e-12;
+  /// Branch-probability heuristic used by pipeline-level entry points
+  /// (run_static_pipeline, build_model); the lower-level functions that
+  /// take an explicit BranchHeuristic ignore this field.
+  BranchHeuristicKind heuristic = BranchHeuristicKind::kUniform;
+  double loop_probability = 0.8;
+};
+
+/// Computes the call-transition matrix of one function. The result contains
+/// ENTRY(f) and EXIT(f) symbols, external symbols `name@f`, and internal
+/// placeholder symbols for each distinct callee.
+CallTransitionMatrix function_call_transitions(
+    const cfg::FunctionCfg& cfg, const BranchHeuristic& heuristic,
+    const FunctionMatrixOptions& options = {});
+
+}  // namespace cmarkov::analysis

@@ -1,0 +1,53 @@
+#include "src/analysis/conditional_probability.hpp"
+
+namespace cmarkov::analysis {
+
+double EdgeProbabilities::edge(cfg::BlockId from, cfg::BlockId to) const {
+  if (from >= outgoing.size()) return 0.0;
+  double total = 0.0;
+  for (const auto& [succ, p] : outgoing[from]) {
+    if (succ == to) total += p;  // parallel edges (branch with equal arms) sum
+  }
+  return total;
+}
+
+bool can_reach(const cfg::FunctionCfg& cfg, cfg::BlockId source,
+               cfg::BlockId destination) {
+  std::vector<bool> seen(cfg.block_count(), false);
+  std::vector<cfg::BlockId> frontier{source};
+  while (!frontier.empty()) {
+    const cfg::BlockId node = frontier.back();
+    frontier.pop_back();
+    if (node == destination) return true;
+    if (seen[node]) continue;
+    seen[node] = true;
+    for (cfg::BlockId succ : cfg.block(node).successors()) {
+      if (!seen[succ]) frontier.push_back(succ);
+    }
+  }
+  return false;
+}
+
+EdgeProbabilities conditional_probabilities(const cfg::FunctionCfg& cfg,
+                                            const BranchHeuristic& heuristic) {
+  EdgeProbabilities out;
+  out.outgoing.resize(cfg.block_count());
+  for (const auto& block : cfg.blocks) {
+    if (const auto* branch = std::get_if<cfg::BranchTerm>(&block.terminator)) {
+      // A branch edge "enters a loop" when its target can flow back to the
+      // branch itself.
+      const bool true_loops = can_reach(cfg, branch->if_true, block.id);
+      const double p_true =
+          heuristic.taken_probability(cfg, block, true_loops);
+      out.outgoing[block.id].emplace_back(branch->if_true, p_true);
+      out.outgoing[block.id].emplace_back(branch->if_false, 1.0 - p_true);
+    } else if (const auto* jump =
+                   std::get_if<cfg::JumpTerm>(&block.terminator)) {
+      out.outgoing[block.id].emplace_back(jump->target, 1.0);
+    }
+    // ReturnTerm: no outgoing edges.
+  }
+  return out;
+}
+
+}  // namespace cmarkov::analysis

@@ -1,0 +1,33 @@
+// Definition 2: the conditional probability P[n_j | n_i] of each CFG edge.
+// Jump edges get 1.0; branch edges are split by the BranchHeuristic
+// (uniform 0.5/0.5 in the paper's prototype).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "src/analysis/branch_heuristics.hpp"
+#include "src/cfg/cfg.hpp"
+
+namespace cmarkov::analysis {
+
+/// Edge probabilities of one function: outgoing[i] lists (successor,
+/// probability) pairs of block i, summing to 1 for non-return blocks.
+struct EdgeProbabilities {
+  std::vector<std::vector<std::pair<cfg::BlockId, double>>> outgoing;
+
+  /// Probability of a specific edge (0 when the edge does not exist).
+  double edge(cfg::BlockId from, cfg::BlockId to) const;
+};
+
+/// Computes conditional probabilities for every edge of `cfg`, including
+/// back edges (downstream passes decide how to treat cycles).
+EdgeProbabilities conditional_probabilities(const cfg::FunctionCfg& cfg,
+                                            const BranchHeuristic& heuristic);
+
+/// True if `target` can flow back to `from` (used to detect loop-entering
+/// branch edges for heuristics).
+bool can_reach(const cfg::FunctionCfg& cfg, cfg::BlockId source,
+               cfg::BlockId destination);
+
+}  // namespace cmarkov::analysis

@@ -1,0 +1,70 @@
+#include "src/analysis/reachability.hpp"
+
+#include <cmath>
+#include <set>
+
+namespace cmarkov::analysis {
+
+namespace {
+
+std::vector<double> acyclic_reachability(const cfg::FunctionCfg& cfg,
+                                         const EdgeProbabilities& edges) {
+  const auto backs = cfg.back_edges();
+  const std::set<std::pair<cfg::BlockId, cfg::BlockId>> back_set(
+      backs.begin(), backs.end());
+
+  std::vector<double> reach(cfg.block_count(), 0.0);
+  reach[cfg.entry] = 1.0;
+  // Reverse post order over forward edges is a topological order of the cut
+  // DAG, so each node's parents are finalized before Eq. 1 reads them.
+  for (cfg::BlockId node : cfg.reverse_post_order()) {
+    const double mass = reach[node];
+    if (mass == 0.0) continue;
+    for (const auto& [succ, p] : edges.outgoing[node]) {
+      if (back_set.contains({node, succ})) continue;
+      reach[succ] += mass * p;
+    }
+  }
+  return reach;
+}
+
+std::vector<double> fixpoint_reachability(const cfg::FunctionCfg& cfg,
+                                          const EdgeProbabilities& edges,
+                                          const ReachabilityOptions& options) {
+  // visits = e + P^T visits, where e injects 1.0 at the entry. Jacobi
+  // iteration converges because every cycle has continuation probability
+  // < 1 (branch heuristics never assign 1.0 to a loop edge).
+  std::vector<double> visits(cfg.block_count(), 0.0);
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    std::vector<double> next(cfg.block_count(), 0.0);
+    next[cfg.entry] = 1.0;
+    for (cfg::BlockId node = 0; node < cfg.block_count(); ++node) {
+      const double mass = visits[node];
+      if (mass == 0.0) continue;
+      for (const auto& [succ, p] : edges.outgoing[node]) {
+        next[succ] += mass * p;
+      }
+    }
+    double delta = 0.0;
+    for (std::size_t i = 0; i < visits.size(); ++i) {
+      delta = std::max(delta, std::abs(next[i] - visits[i]));
+    }
+    visits = std::move(next);
+    if (delta < options.tolerance) break;
+  }
+  return visits;
+}
+
+}  // namespace
+
+std::vector<double> reachability_probabilities(
+    const cfg::FunctionCfg& cfg, const EdgeProbabilities& edges,
+    const ReachabilityOptions& options) {
+  if (cfg.block_count() == 0) return {};
+  if (options.mode == PropagationMode::kAcyclicCut) {
+    return acyclic_reachability(cfg, edges);
+  }
+  return fixpoint_reachability(cfg, edges, options);
+}
+
+}  // namespace cmarkov::analysis

@@ -1,0 +1,37 @@
+// Definition 3 / Equation 1: the reachability probability of each CFG node,
+// i.e. the likelihood that a single execution of the function reaches the
+// node.
+//
+// Two semantics are provided:
+//  - kAcyclicCut (paper-literal): back edges are removed and Eq. 1 is
+//    evaluated top-down over the resulting DAG. Loop repetitions are not
+//    modeled ("learned from traces" per the paper).
+//  - kIterativeFixpoint (extension): the full cyclic equation system is
+//    solved by damped Jacobi iteration; the result is the expected number of
+//    visits per invocation, which weights loop bodies by their expected trip
+//    mass. The ablation bench compares both.
+#pragma once
+
+#include <vector>
+
+#include "src/analysis/conditional_probability.hpp"
+#include "src/cfg/cfg.hpp"
+
+namespace cmarkov::analysis {
+
+enum class PropagationMode { kAcyclicCut, kIterativeFixpoint };
+
+struct ReachabilityOptions {
+  PropagationMode mode = PropagationMode::kAcyclicCut;
+  /// Fixpoint-mode controls.
+  std::size_t max_iterations = 500;
+  double tolerance = 1e-12;
+};
+
+/// reachability[i] = P^r of block i (expected visits in fixpoint mode).
+/// The entry block always gets 1.0 injected. Unreachable blocks get 0.
+std::vector<double> reachability_probabilities(
+    const cfg::FunctionCfg& cfg, const EdgeProbabilities& edges,
+    const ReachabilityOptions& options = {});
+
+}  // namespace cmarkov::analysis

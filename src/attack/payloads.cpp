@@ -1,0 +1,83 @@
+#include "src/attack/payloads.hpp"
+
+namespace cmarkov::attack {
+
+namespace {
+
+std::vector<PlannedCall> sys_seq(std::initializer_list<const char*> names) {
+  std::vector<PlannedCall> out;
+  for (const char* name : names) {
+    out.emplace_back(ir::CallKind::kSyscall, name);
+  }
+  return out;
+}
+
+ExploitPayload payload(std::string vulnerability, std::string name,
+                       std::vector<PlannedCall> calls) {
+  return ExploitPayload{std::move(vulnerability), std::move(name),
+                        std::move(calls)};
+}
+
+constexpr const char* kBackdoor = "Backdoor (proftpd, OSVDB-69562)";
+constexpr const char* kOverflowGzip = "Buffer Overflow (gzip)";
+constexpr const char* kOverflowProftpd =
+    "Buffer Overflow (proftpd, CVE-2010-4221)";
+
+}  // namespace
+
+std::vector<ExploitPayload> gzip_payloads() {
+  return {
+      payload(kOverflowGzip, "ROP", gzip_rop_q1()),
+      payload(kOverflowGzip, "syscall_chain", syscall_chain_payload()),
+  };
+}
+
+std::vector<ExploitPayload> proftpd_backdoor_payloads() {
+  return {
+      // Bind a perl shell on a listening port.
+      payload(kBackdoor, "bind_perl",
+              sys_seq({"socket", "bind", "listen", "accept", "dup2", "dup2",
+                       "dup2", "fork", "execve"})),
+      // Same over IPv6 (extra socket option dance).
+      payload(kBackdoor, "bind_perl_ipv6",
+              sys_seq({"socket", "setsockopt", "bind", "listen", "accept",
+                       "dup2", "dup2", "dup2", "fork", "execve"})),
+      // One-shot command execution.
+      payload(kBackdoor, "generic cmd execution",
+              sys_seq({"fork", "execve", "wait4", "write"})),
+      // Two reverse TCP channels back to the attacker.
+      payload(kBackdoor, "double reverse TCP",
+              sys_seq({"socket", "connect", "socket", "connect", "dup2",
+                       "dup2", "dup2", "execve"})),
+      // Reverse perl shell.
+      payload(kBackdoor, "reverse_perl",
+              sys_seq({"socket", "connect", "dup2", "dup2", "dup2",
+                       "execve"})),
+      // Reverse perl shell over SSL (handshake traffic precedes the dup).
+      payload(kBackdoor, "reverse_perl_ssl",
+              sys_seq({"socket", "connect", "write", "read", "write", "read",
+                       "dup2", "dup2", "dup2", "execve"})),
+      // Double telnet over SSL channels.
+      payload(kBackdoor, "reverse_ssl_double_telnet",
+              sys_seq({"socket", "connect", "socket", "connect", "read",
+                       "write", "dup2", "dup2", "execve"})),
+  };
+}
+
+ExploitPayload proftpd_buffer_overflow_payload() {
+  // Stack smash in mod_site_misc: ROP to mprotect + staged shell.
+  return payload(kOverflowProftpd, "staged_shell",
+                 sys_seq({"mprotect", "read", "socket", "connect", "dup2",
+                          "dup2", "dup2", "execve"}));
+}
+
+std::vector<ExploitPayload> all_table4_payloads() {
+  std::vector<ExploitPayload> out = gzip_payloads();
+  auto backdoors = proftpd_backdoor_payloads();
+  out.insert(out.end(), std::make_move_iterator(backdoors.begin()),
+             std::make_move_iterator(backdoors.end()));
+  out.push_back(proftpd_buffer_overflow_payload());
+  return out;
+}
+
+}  // namespace cmarkov::attack

@@ -1,0 +1,39 @@
+// The Table IV exploit payload library: reproductions of the real-world
+// attack payloads the paper evaluates — a gzip buffer-overflow ROP /
+// syscall chain, and the proftpd backdoor (OSVDB-69562) / buffer overflow
+// (CVE-2010-4221) payload family (bind shells, reverse shells, command
+// execution over telnet/IPv6/TCP/SSL channels).
+//
+// Each payload is the characteristic system-call sequence its Metasploit
+// counterpart produces on the victim side.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/attack/rop_chain.hpp"
+
+namespace cmarkov::attack {
+
+struct ExploitPayload {
+  /// Vulnerability it rides on (Table IV column 1).
+  std::string vulnerability;
+  /// Payload name (Table IV column 2).
+  std::string name;
+  /// Victim-side call sequence of the payload body.
+  std::vector<PlannedCall> calls;
+};
+
+/// The two gzip buffer-overflow payloads (ROP, syscall_chain).
+std::vector<ExploitPayload> gzip_payloads();
+
+/// The seven proftpd backdoor payloads of Table IV.
+std::vector<ExploitPayload> proftpd_backdoor_payloads();
+
+/// The proftpd CVE-2010-4221 buffer-overflow payload.
+ExploitPayload proftpd_buffer_overflow_payload();
+
+/// All payloads of Table IV in row order.
+std::vector<ExploitPayload> all_table4_payloads();
+
+}  // namespace cmarkov::attack

@@ -1,0 +1,241 @@
+#include "src/cfg/cfg_builder.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace cmarkov::cfg {
+
+namespace {
+
+/// Lowers one function. Registers: params first, then named variables as
+/// declared, then temporaries.
+class FunctionLowering {
+ public:
+  FunctionLowering(const ir::Function& fn, std::uint64_t base_address,
+                   const LoweringOptions& options, std::uint32_t& site_counter)
+      : fn_(fn),
+        options_(options),
+        site_counter_(site_counter) {
+    cfg_.name = fn.name;
+    cfg_.params = fn.params;
+    cfg_.base_address = base_address;
+    for (const auto& param : fn.params) {
+      vars_.emplace(param, next_reg_++);
+    }
+  }
+
+  FunctionCfg run() {
+    cfg_.entry = new_block();
+    current_ = cfg_.entry;
+    lower_block(fn_.body);
+    // Implicit `return;` if control reaches the end of the body.
+    if (!sealed_) set_terminator(ReturnTerm{});
+    cfg_.num_registers = next_reg_;
+    cfg_.end_address = cfg_.base_address +
+                       instr_counter_ * options_.instruction_size;
+    const std::uint64_t span = cfg_.end_address - cfg_.base_address;
+    if (span >= options_.function_stride) {
+      throw std::invalid_argument("function '" + fn_.name +
+                                  "' exceeds its address stride");
+    }
+    return std::move(cfg_);
+  }
+
+ private:
+  BlockId new_block() {
+    BasicBlock block;
+    block.id = static_cast<BlockId>(cfg_.blocks.size());
+    cfg_.blocks.push_back(std::move(block));
+    return cfg_.blocks.back().id;
+  }
+
+  void set_terminator(Terminator term) {
+    cfg_.blocks[current_].terminator = std::move(term);
+    sealed_ = true;
+  }
+
+  /// Starts emitting into `block`; the previous block must be sealed.
+  void switch_to(BlockId block) {
+    current_ = block;
+    sealed_ = false;
+  }
+
+  std::uint64_t next_address() {
+    return cfg_.base_address + (instr_counter_++) * options_.instruction_size;
+  }
+
+  void emit(Instr instr) {
+    next_address();  // every instruction occupies an address slot
+    cfg_.blocks[current_].instructions.push_back(std::move(instr));
+  }
+
+  /// Emits a call instruction and splits the block after it.
+  void emit_call(Instr instr) {
+    emit(std::move(instr));
+    const BlockId next = new_block();
+    set_terminator(JumpTerm{next});
+    switch_to(next);
+  }
+
+  RegId lookup_var(const std::string& name, int line) const {
+    auto it = vars_.find(name);
+    if (it == vars_.end()) {
+      throw std::invalid_argument("lowering: unknown variable '" + name +
+                                  "' at line " + std::to_string(line) +
+                                  " (run sema first)");
+    }
+    return it->second;
+  }
+
+  RegId new_temp() { return next_reg_++; }
+
+  RegId lower_expr(const ir::Expr& expr) {
+    return std::visit(
+        [&](const auto& node) -> RegId {
+          using T = std::decay_t<decltype(node)>;
+          if constexpr (std::is_same_v<T, ir::IntLiteral>) {
+            const RegId dst = new_temp();
+            emit(ConstInstr{dst, node.value, expr.line});
+            return dst;
+          } else if constexpr (std::is_same_v<T, ir::VarRef>) {
+            return lookup_var(node.name, expr.line);
+          } else if constexpr (std::is_same_v<T, ir::BinaryExpr>) {
+            const RegId lhs = lower_expr(*node.lhs);
+            const RegId rhs = lower_expr(*node.rhs);
+            const RegId dst = new_temp();
+            emit(BinInstr{node.op, dst, lhs, rhs, expr.line});
+            return dst;
+          } else if constexpr (std::is_same_v<T, ir::UnaryExpr>) {
+            const RegId src = lower_expr(*node.operand);
+            const RegId dst = new_temp();
+            emit(UnInstr{node.op, dst, src, expr.line});
+            return dst;
+          } else if constexpr (std::is_same_v<T, ir::ExternalCallExpr>) {
+            std::vector<RegId> args;
+            args.reserve(node.args.size());
+            for (const auto& a : node.args) args.push_back(lower_expr(*a));
+            const RegId dst = new_temp();
+            ExternalCallInstr call{node.kind, node.name,     dst,
+                                   std::move(args), site_counter_++,
+                                   next_address(),  expr.line};
+            emit_call(std::move(call));
+            return dst;
+          } else if constexpr (std::is_same_v<T, ir::InternalCallExpr>) {
+            std::vector<RegId> args;
+            args.reserve(node.args.size());
+            for (const auto& a : node.args) args.push_back(lower_expr(*a));
+            const RegId dst = new_temp();
+            InternalCallInstr call{node.callee,     dst,
+                                   std::move(args), site_counter_++,
+                                   next_address(),  expr.line};
+            emit_call(std::move(call));
+            return dst;
+          } else {
+            const RegId dst = new_temp();
+            emit(InputInstr{dst, expr.line});
+            return dst;
+          }
+        },
+        expr.node);
+  }
+
+  void lower_stmt(const ir::Stmt& stmt) {
+    if (sealed_) {
+      // Code after `return` in the same block list: give it an unreachable
+      // block so lowering stays well-formed (it gets reachability 0).
+      switch_to(new_block());
+    }
+    std::visit(
+        [&](const auto& node) {
+          using T = std::decay_t<decltype(node)>;
+          if constexpr (std::is_same_v<T, ir::VarDeclStmt>) {
+            RegId value;
+            if (node.init) {
+              value = lower_expr(*node.init);
+            } else {
+              value = new_temp();
+              emit(ConstInstr{value, 0, stmt.line});
+            }
+            const RegId dst = next_reg_++;
+            vars_.emplace(node.name, dst);
+            emit(MoveInstr{dst, value, stmt.line});
+          } else if constexpr (std::is_same_v<T, ir::AssignStmt>) {
+            const RegId value = lower_expr(*node.value);
+            emit(MoveInstr{lookup_var(node.name, stmt.line), value,
+                           stmt.line});
+          } else if constexpr (std::is_same_v<T, ir::IfStmt>) {
+            const RegId cond = lower_expr(*node.condition);
+            const BlockId then_block = new_block();
+            const BlockId else_block = new_block();
+            const BlockId merge = new_block();
+            set_terminator(BranchTerm{cond, then_block, else_block,
+                                      stmt.line});
+            switch_to(then_block);
+            lower_block(node.then_block);
+            if (!sealed_) set_terminator(JumpTerm{merge});
+            switch_to(else_block);
+            if (node.else_block) lower_block(*node.else_block);
+            if (!sealed_) set_terminator(JumpTerm{merge});
+            switch_to(merge);
+          } else if constexpr (std::is_same_v<T, ir::WhileStmt>) {
+            const BlockId header = new_block();
+            set_terminator(JumpTerm{header});
+            switch_to(header);
+            const RegId cond = lower_expr(*node.condition);
+            // Condition evaluation may contain calls that split blocks;
+            // the branch lives in whatever block evaluation ended in, and
+            // the back edge targets `header` (re-evaluates the condition).
+            const BlockId body = new_block();
+            const BlockId exit = new_block();
+            set_terminator(BranchTerm{cond, body, exit, stmt.line});
+            switch_to(body);
+            lower_block(node.body);
+            if (!sealed_) set_terminator(JumpTerm{header});
+            switch_to(exit);
+          } else if constexpr (std::is_same_v<T, ir::ReturnStmt>) {
+            if (node.value) {
+              const RegId value = lower_expr(*node.value);
+              set_terminator(ReturnTerm{value});
+            } else {
+              set_terminator(ReturnTerm{});
+            }
+          } else {
+            lower_expr(*node.expr);
+          }
+        },
+        stmt.node);
+  }
+
+  void lower_block(const ir::BlockStmt& block) {
+    for (const auto& stmt : block.statements) lower_stmt(*stmt);
+  }
+
+  const ir::Function& fn_;
+  const LoweringOptions& options_;
+  std::uint32_t& site_counter_;
+  FunctionCfg cfg_;
+  BlockId current_ = kInvalidBlock;
+  bool sealed_ = false;
+  RegId next_reg_ = 0;
+  std::uint64_t instr_counter_ = 0;
+  std::map<std::string, RegId> vars_;
+};
+
+}  // namespace
+
+ModuleCfg build_module_cfg(const ir::ProgramModule& module,
+                           const LoweringOptions& options) {
+  ModuleCfg out;
+  out.program_name = module.name();
+  out.entry_point = module.entry_point();
+  std::uint32_t site_counter = 0;
+  std::uint64_t base = options.image_base;
+  for (const auto& fn : module.program().functions) {
+    FunctionLowering lowering(fn, base, options, site_counter);
+    out.functions.push_back(lowering.run());
+    base += options.function_stride;
+  }
+  return out;
+}
+
+}  // namespace cmarkov::cfg

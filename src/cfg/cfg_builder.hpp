@@ -1,0 +1,35 @@
+// Lowers a checked MiniC program to per-function CFGs in three-address form.
+//
+// Lowering rules that matter downstream:
+//  - a new basic block starts after every call instruction, so each block
+//    makes at most one call (the analysis granularity of Definition 4);
+//  - `&&` / `||` evaluate both operands (no short-circuit control flow); the
+//    interpreter defines x/0 == x%0 == 0, so strict evaluation is total;
+//  - every function gets a synthetic base address; call sites get distinct
+//    addresses used by the tracer/symbolizer pair.
+#pragma once
+
+#include <cstdint>
+
+#include "src/cfg/cfg.hpp"
+#include "src/ir/module.hpp"
+
+namespace cmarkov::cfg {
+
+struct LoweringOptions {
+  /// Base address of the first function; subsequent functions are laid out
+  /// at fixed strides (mimics a fixed load address of a non-PIE binary).
+  std::uint64_t image_base = 0x400000;
+  /// Address stride between consecutive functions.
+  std::uint64_t function_stride = 0x10000;
+  /// Bytes per lowered instruction (address spacing inside a function).
+  std::uint64_t instruction_size = 4;
+};
+
+/// Lowers every function of the module. Throws std::invalid_argument if the
+/// program references an unknown function (run sema first) or a function
+/// overflows its address stride.
+ModuleCfg build_module_cfg(const ir::ProgramModule& module,
+                           const LoweringOptions& options = {});
+
+}  // namespace cmarkov::cfg

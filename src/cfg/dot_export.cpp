@@ -1,0 +1,64 @@
+#include "src/cfg/dot_export.hpp"
+
+#include <sstream>
+
+namespace cmarkov::cfg {
+
+namespace {
+
+std::string block_label(const FunctionCfg& cfg, const BasicBlock& block) {
+  std::ostringstream label;
+  label << "B" << block.id;
+  if (block.id == cfg.entry) label << " (entry)";
+  if (const auto* call = block.external_call()) {
+    label << "\\n" << ir::call_kind_name(call->kind) << ":" << call->callee
+          << "@" << cfg.name;
+  } else if (const auto* call = block.internal_call()) {
+    label << "\\ncall " << call->callee;
+  }
+  if (std::holds_alternative<ReturnTerm>(block.terminator)) {
+    label << "\\nreturn";
+  }
+  return label.str();
+}
+
+}  // namespace
+
+std::string to_dot(const FunctionCfg& cfg) {
+  std::ostringstream os;
+  os << "digraph \"" << cfg.name << "\" {\n";
+  os << "  node [shape=box, fontname=\"monospace\"];\n";
+  for (const auto& block : cfg.blocks) {
+    os << "  b" << block.id << " [label=\"" << block_label(cfg, block)
+       << "\"];\n";
+  }
+  for (const auto& block : cfg.blocks) {
+    if (const auto* branch = std::get_if<BranchTerm>(&block.terminator)) {
+      os << "  b" << block.id << " -> b" << branch->if_true
+         << " [label=\"T\"];\n";
+      os << "  b" << block.id << " -> b" << branch->if_false
+         << " [label=\"F\"];\n";
+    } else if (const auto* jump = std::get_if<JumpTerm>(&block.terminator)) {
+      os << "  b" << block.id << " -> b" << jump->target << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_dot(const CallGraph& graph) {
+  std::ostringstream os;
+  os << "digraph callgraph {\n";
+  os << "  node [shape=ellipse, fontname=\"monospace\"];\n";
+  for (const auto& fn : graph.functions()) {
+    os << "  \"" << fn << "\";\n";
+  }
+  for (const auto& edge : graph.edges()) {
+    os << "  \"" << edge.caller << "\" -> \"" << edge.callee
+       << "\" [label=\"" << edge.site_count << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace cmarkov::cfg

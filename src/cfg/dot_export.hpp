@@ -1,0 +1,19 @@
+// Graphviz DOT rendering of CFGs and call graphs, for debugging and the
+// documentation examples (Figure 1 analogue).
+#pragma once
+
+#include <string>
+
+#include "src/cfg/call_graph.hpp"
+#include "src/cfg/cfg.hpp"
+
+namespace cmarkov::cfg {
+
+/// DOT digraph of one function's CFG. Call blocks are labeled with their
+/// call (context-sensitive form `name@function`), branch edges with T/F.
+std::string to_dot(const FunctionCfg& cfg);
+
+/// DOT digraph of the call graph; edge labels carry site counts.
+std::string to_dot(const CallGraph& graph);
+
+}  // namespace cmarkov::cfg

@@ -1,0 +1,194 @@
+#include "src/core/detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "src/hmm/forward_backward.hpp"
+#include "src/hmm/viterbi.hpp"
+
+namespace cmarkov::core {
+
+namespace {
+
+/// Widens the emission matrix to `new_symbols` columns, giving new symbols
+/// a small floor probability (rows renormalized). Needed when training
+/// traces contain observations the static analysis never produced.
+void extend_emission(hmm::Hmm& model, std::size_t new_symbols,
+                     double floor = 1e-6) {
+  const std::size_t old_symbols = model.num_symbols();
+  if (new_symbols <= old_symbols) return;
+  Matrix extended(model.num_states(), new_symbols, floor);
+  for (std::size_t s = 0; s < model.num_states(); ++s) {
+    for (std::size_t k = 0; k < old_symbols; ++k) {
+      extended(s, k) = model.emission(s, k);
+    }
+  }
+  extended.normalize_rows();
+  model.emission = std::move(extended);
+}
+
+}  // namespace
+
+Detector Detector::build(const ir::ProgramModule& program,
+                         DetectorConfig config) {
+  Detector detector;
+  detector.config_ = config;
+  Rng rng(config.seed);
+  StaticPipelineResult pipeline =
+      run_static_pipeline(program, config.pipeline, rng);
+  detector.hmm_ = std::move(pipeline.init.model);
+  detector.alphabet_ = std::move(pipeline.alphabet);
+  detector.build_timings_ = pipeline.timings;
+  detector.state_labels_ = std::move(pipeline.init.state_labels);
+  detector.threshold_ = -std::numeric_limits<double>::infinity();
+  return detector;
+}
+
+Detector Detector::from_parts(DetectorConfig config, hmm::Hmm model,
+                              hmm::Alphabet alphabet, double threshold,
+                              bool trained) {
+  model.validate();
+  if (model.num_symbols() < alphabet.size()) {
+    throw std::invalid_argument(
+        "Detector::from_parts: emission narrower than alphabet");
+  }
+  Detector detector;
+  detector.config_ = std::move(config);
+  detector.hmm_ = std::move(model);
+  detector.alphabet_ = std::move(alphabet);
+  detector.threshold_ = threshold;
+  detector.trained_ = trained;
+  return detector;
+}
+
+hmm::ObservationSeq Detector::encode(const trace::Trace& trace) const {
+  return trace::encode_trace_frozen(
+      trace, config_.pipeline.filter,
+      config_.pipeline.context_sensitive
+          ? hmm::ObservationEncoding::kContextSensitive
+          : hmm::ObservationEncoding::kContextFree,
+      alphabet_, alphabet_.size());
+}
+
+hmm::TrainingReport Detector::train(
+    const std::vector<trace::Trace>& normal_traces) {
+  // Extend the vocabulary with dynamically observed symbols first.
+  const hmm::ObservationEncoding encoding =
+      config_.pipeline.context_sensitive
+          ? hmm::ObservationEncoding::kContextSensitive
+          : hmm::ObservationEncoding::kContextFree;
+  trace::SegmentSet unique_segments(config_.segments);
+  for (const auto& trace : normal_traces) {
+    unique_segments.add_trace(trace::encode_trace(
+        trace, config_.pipeline.filter, encoding, alphabet_));
+  }
+  extend_emission(hmm_, alphabet_.size());
+
+  std::vector<hmm::ObservationSeq> segments = unique_segments.to_vector();
+  if (segments.empty()) {
+    throw std::invalid_argument("Detector::train: traces yield no segments");
+  }
+  Rng rng(config_.seed ^ 0x7e57);
+  rng.shuffle(segments);
+
+  const auto holdout_count = static_cast<std::size_t>(
+      config_.holdout_fraction * static_cast<double>(segments.size()));
+  std::vector<hmm::ObservationSeq> holdout(
+      segments.begin(),
+      segments.begin() + static_cast<std::ptrdiff_t>(holdout_count));
+  std::vector<hmm::ObservationSeq> train_set(
+      segments.begin() + static_cast<std::ptrdiff_t>(holdout_count),
+      segments.end());
+  if (train_set.empty()) train_set = segments;
+
+  const hmm::TrainingReport report =
+      hmm::baum_welch_train(hmm_, train_set, holdout, config_.training);
+
+  // Threshold calibration on the held-out normal segments (falls back to
+  // the training set when the holdout is empty).
+  const auto& calibration = holdout.empty() ? train_set : holdout;
+  std::vector<double> scores;
+  scores.reserve(calibration.size());
+  for (const auto& segment : calibration) {
+    scores.push_back(hmm::sequence_log_likelihood(hmm_, segment));
+  }
+  std::sort(scores.begin(), scores.end());
+  const auto budget = static_cast<std::size_t>(std::floor(
+      config_.target_fp * static_cast<double>(scores.size())));
+  threshold_ = budget >= scores.size()
+                   ? std::numeric_limits<double>::infinity()
+                   : scores[budget];
+  trained_ = true;
+  return report;
+}
+
+SegmentVerdict Detector::score_segment(
+    const hmm::ObservationSeq& segment) const {
+  SegmentVerdict verdict;
+  for (std::size_t id : segment) {
+    if (id >= hmm_.num_symbols()) {
+      verdict.unknown_symbol = true;
+      verdict.log_likelihood = -std::numeric_limits<double>::infinity();
+      verdict.flagged = true;
+      return verdict;
+    }
+  }
+  verdict.log_likelihood = hmm::sequence_log_likelihood(hmm_, segment);
+  verdict.flagged = verdict.log_likelihood < threshold_;
+  return verdict;
+}
+
+std::vector<std::string> Detector::explain_segment(
+    const hmm::ObservationSeq& segment) const {
+  for (std::size_t id : segment) {
+    if (id >= hmm_.num_symbols()) return {};
+  }
+  const hmm::ViterbiResult decoded = hmm::viterbi_decode(hmm_, segment);
+  std::vector<std::string> out;
+  out.reserve(decoded.path.size());
+  for (std::size_t state : decoded.path) {
+    out.push_back(state < state_labels_.size()
+                      ? state_labels_[state]
+                      : "state" + std::to_string(state));
+  }
+  return out;
+}
+
+TraceVerdict Detector::classify(const trace::Trace& trace) const {
+  if (!trained_) {
+    throw std::logic_error("Detector::classify: train the detector first");
+  }
+  TraceVerdict verdict;
+  verdict.min_log_likelihood = std::numeric_limits<double>::infinity();
+  const auto encoded = encode(trace);
+  for (const auto& segment :
+       trace::segment_sequence(encoded, config_.segments)) {
+    SegmentVerdict sv = score_segment(segment);
+    verdict.total_segments += 1;
+    if (sv.flagged) verdict.flagged_segments += 1;
+    verdict.min_log_likelihood =
+        std::min(verdict.min_log_likelihood, sv.log_likelihood);
+    verdict.segments.push_back(sv);
+  }
+  if (verdict.total_segments == 0) {
+    verdict.min_log_likelihood = 0.0;
+  }
+  verdict.anomalous = verdict.flagged_segments > 0;
+  return verdict;
+}
+
+double Detector::score(const trace::Trace& trace) const {
+  double min_ll = std::numeric_limits<double>::infinity();
+  const auto encoded = encode(trace);
+  bool any = false;
+  for (const auto& segment :
+       trace::segment_sequence(encoded, config_.segments)) {
+    any = true;
+    min_ll = std::min(min_ll, score_segment(segment).log_likelihood);
+  }
+  return any ? min_ll : 0.0;
+}
+
+}  // namespace cmarkov::core

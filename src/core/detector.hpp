@@ -1,0 +1,120 @@
+// cmarkov::core::Detector — the library's public facade.
+//
+// Lifecycle mirrors the paper's two phases:
+//   1. Detector::build(program)     — static analysis, state reduction, HMM
+//                                     initialization;
+//   2. detector.train(traces)       — Baum-Welch on normal traces (20%
+//                                     termination split) and threshold
+//                                     calibration at a target FP;
+// then detector.classify(trace) flags any execution whose 15-call segments
+// fall below the calibrated probability threshold (or contain calls the
+// model has never seen in that calling context).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/pipeline.hpp"
+#include "src/hmm/baum_welch.hpp"
+#include "src/trace/event.hpp"
+#include "src/trace/segmenter.hpp"
+
+namespace cmarkov::core {
+
+struct DetectorConfig {
+  PipelineConfig pipeline;
+  hmm::TrainingOptions training;
+  trace::SegmentOptions segments;
+  /// Calibration: the threshold is set so this fraction of held-out normal
+  /// segments would be (wrongly) flagged.
+  double target_fp = 0.01;
+  /// Fraction of unique training segments held out for both Baum-Welch
+  /// termination and threshold calibration.
+  double holdout_fraction = 0.2;
+  std::uint64_t seed = 1;
+};
+
+struct SegmentVerdict {
+  double log_likelihood = 0.0;
+  bool flagged = false;
+  /// True when the segment contains an observation the model cannot emit
+  /// (unknown call or unknown calling context).
+  bool unknown_symbol = false;
+};
+
+struct TraceVerdict {
+  bool anomalous = false;
+  std::size_t total_segments = 0;
+  std::size_t flagged_segments = 0;
+  /// Lowest segment log-likelihood seen in the trace.
+  double min_log_likelihood = 0.0;
+  std::vector<SegmentVerdict> segments;
+};
+
+class Detector {
+ public:
+  /// Phase 1: builds the statically initialized model from a program.
+  static Detector build(const ir::ProgramModule& program,
+                        DetectorConfig config = {});
+
+  /// Reassembles a detector from persisted parts (see model_io.hpp).
+  static Detector from_parts(DetectorConfig config, hmm::Hmm model,
+                             hmm::Alphabet alphabet, double threshold,
+                             bool trained);
+
+  /// Phase 2: trains on symbolized normal traces and calibrates the
+  /// threshold. Throws if the traces yield no segments.
+  hmm::TrainingReport train(const std::vector<trace::Trace>& normal_traces);
+
+  /// Scores one segment (alphabet-frozen encoding).
+  SegmentVerdict score_segment(const hmm::ObservationSeq& segment) const;
+
+  /// Viterbi attribution: the most likely hidden-state path for a segment,
+  /// rendered with the static state labels ("read@fill_window",
+  /// "cluster{...}") when available, "state<i>" otherwise. Segments with
+  /// unknown observations return an empty path (no state explains them —
+  /// that absence is itself the explanation).
+  std::vector<std::string> explain_segment(
+      const hmm::ObservationSeq& segment) const;
+
+  /// Classifies a full symbolized trace.
+  TraceVerdict classify(const trace::Trace& trace) const;
+
+  /// Lowest segment log-likelihood of a trace (quick score).
+  double score(const trace::Trace& trace) const;
+
+  bool trained() const { return trained_; }
+  double threshold() const { return threshold_; }
+  void set_threshold(double threshold) { threshold_ = threshold; }
+
+  const hmm::Hmm& model() const { return hmm_; }
+  const hmm::Alphabet& alphabet() const { return alphabet_; }
+  const DetectorConfig& config() const { return config_; }
+
+  /// Hidden-state count (after clustering, for CMarkov configs).
+  std::size_t num_states() const { return hmm_.num_states(); }
+
+  /// Static-analysis phase timings (empty for from_parts detectors).
+  const PhaseTimer& build_timings() const { return build_timings_; }
+
+  /// Human-readable hidden-state labels (empty for from_parts detectors).
+  const std::vector<std::string>& state_labels() const {
+    return state_labels_;
+  }
+
+ private:
+  Detector() = default;
+
+  hmm::ObservationSeq encode(const trace::Trace& trace) const;
+
+  DetectorConfig config_;
+  hmm::Hmm hmm_;
+  hmm::Alphabet alphabet_;
+  double threshold_ = 0.0;
+  bool trained_ = false;
+  PhaseTimer build_timings_;
+  std::vector<std::string> state_labels_;
+};
+
+}  // namespace cmarkov::core

@@ -1,0 +1,171 @@
+#include "src/core/model_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace cmarkov::core {
+
+namespace {
+
+constexpr const char* kMagic = "cmarkov-detector";
+constexpr int kVersion = 1;
+
+void write_matrix(std::ostream& out, const char* tag, const Matrix& m) {
+  out << tag << " " << m.rows() << " " << m.cols() << "\n";
+  out << std::setprecision(17);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      if (c > 0) out << " ";
+      out << m(r, c);
+    }
+    out << "\n";
+  }
+}
+
+Matrix read_matrix(std::istream& in, const std::string& expected_tag) {
+  std::string tag;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  if (!(in >> tag >> rows >> cols) || tag != expected_tag) {
+    throw std::runtime_error("model_io: expected matrix tag '" +
+                             expected_tag + "'");
+  }
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (!(in >> m(r, c))) {
+        throw std::runtime_error("model_io: truncated matrix body");
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+void save_detector(std::ostream& out, const Detector& detector) {
+  const DetectorConfig& config = detector.config();
+  out << kMagic << " " << kVersion << "\n";
+  out << "filter " << analysis::call_filter_name(config.pipeline.filter)
+      << "\n";
+  out << "context " << (config.pipeline.context_sensitive ? 1 : 0) << "\n";
+  out << "segment_length " << config.segments.length << "\n";
+  out << "trained " << (detector.trained() ? 1 : 0) << "\n";
+  out << std::setprecision(17);
+  out << "threshold " << detector.threshold() << "\n";
+
+  const hmm::Alphabet& alphabet = detector.alphabet();
+  out << "alphabet " << alphabet.size() << "\n";
+  for (const auto& symbol : alphabet.symbols()) {
+    out << symbol << "\n";  // observation strings never contain newlines
+  }
+
+  const hmm::Hmm& model = detector.model();
+  write_matrix(out, "transition", model.transition);
+  write_matrix(out, "emission", model.emission);
+  out << "initial " << model.initial.size() << "\n";
+  for (std::size_t i = 0; i < model.initial.size(); ++i) {
+    if (i > 0) out << " ";
+    out << model.initial[i];
+  }
+  out << "\n";
+}
+
+void save_detector_file(const std::string& path, const Detector& detector) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("model_io: cannot open '" + path +
+                             "' for writing");
+  }
+  save_detector(out, detector);
+}
+
+Detector load_detector(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != kMagic) {
+    throw std::runtime_error("model_io: not a cmarkov detector file");
+  }
+  if (version != kVersion) {
+    throw std::runtime_error("model_io: unsupported version " +
+                             std::to_string(version));
+  }
+
+  auto expect_key = [&](const char* key) {
+    std::string seen;
+    if (!(in >> seen) || seen != key) {
+      throw std::runtime_error(std::string("model_io: expected key '") +
+                               key + "'");
+    }
+  };
+
+  DetectorConfig config;
+  expect_key("filter");
+  std::string filter_name;
+  in >> filter_name;
+  if (filter_name == "syscall") {
+    config.pipeline.filter = analysis::CallFilter::kSyscalls;
+  } else if (filter_name == "libcall") {
+    config.pipeline.filter = analysis::CallFilter::kLibcalls;
+  } else if (filter_name == "all") {
+    config.pipeline.filter = analysis::CallFilter::kAll;
+  } else {
+    throw std::runtime_error("model_io: unknown filter '" + filter_name +
+                             "'");
+  }
+  expect_key("context");
+  int context = 0;
+  in >> context;
+  config.pipeline.context_sensitive = context != 0;
+  expect_key("segment_length");
+  in >> config.segments.length;
+  expect_key("trained");
+  int trained = 0;
+  in >> trained;
+  expect_key("threshold");
+  double threshold = 0.0;
+  in >> threshold;
+
+  expect_key("alphabet");
+  std::size_t alphabet_size = 0;
+  in >> alphabet_size;
+  in.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+  hmm::Alphabet alphabet;
+  for (std::size_t i = 0; i < alphabet_size; ++i) {
+    std::string symbol;
+    if (!std::getline(in, symbol)) {
+      throw std::runtime_error("model_io: truncated alphabet");
+    }
+    alphabet.intern(symbol);
+  }
+  if (alphabet.size() != alphabet_size) {
+    throw std::runtime_error("model_io: duplicate alphabet symbols");
+  }
+
+  hmm::Hmm model;
+  model.transition = read_matrix(in, "transition");
+  model.emission = read_matrix(in, "emission");
+  expect_key("initial");
+  std::size_t initial_size = 0;
+  in >> initial_size;
+  model.initial.resize(initial_size);
+  for (auto& v : model.initial) {
+    if (!(in >> v)) throw std::runtime_error("model_io: truncated initial");
+  }
+
+  return Detector::from_parts(std::move(config), std::move(model),
+                              std::move(alphabet), threshold, trained != 0);
+}
+
+Detector load_detector_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("model_io: cannot open '" + path + "'");
+  }
+  return load_detector(in);
+}
+
+}  // namespace cmarkov::core

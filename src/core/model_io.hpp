@@ -1,0 +1,22 @@
+// Plain-text persistence for trained detectors: HMM parameters, alphabet,
+// threshold and the config bits needed to re-encode traces. The format is a
+// line-oriented key/value + matrix dump, versioned for forward evolution.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/core/detector.hpp"
+
+namespace cmarkov::core {
+
+/// Serializes a detector (trained or not) to a stream / file.
+void save_detector(std::ostream& out, const Detector& detector);
+void save_detector_file(const std::string& path, const Detector& detector);
+
+/// Loads a detector. Throws std::runtime_error on malformed input or
+/// version mismatch.
+Detector load_detector(std::istream& in);
+Detector load_detector_file(const std::string& path);
+
+}  // namespace cmarkov::core

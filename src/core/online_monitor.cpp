@@ -1,0 +1,85 @@
+#include "src/core/online_monitor.hpp"
+
+#include <stdexcept>
+
+namespace cmarkov::core {
+
+OnlineMonitor::OnlineMonitor(const Detector& detector,
+                             const trace::Symbolizer* symbolizer,
+                             MonitorOptions options)
+    : detector_(detector), symbolizer_(symbolizer), options_(options) {
+  if (!detector.trained()) {
+    throw std::invalid_argument("OnlineMonitor: detector is not trained");
+  }
+  if (options_.windows_to_alarm == 0) {
+    throw std::invalid_argument("OnlineMonitor: windows_to_alarm must be >0");
+  }
+}
+
+MonitorUpdate OnlineMonitor::on_event(trace::CallEvent event) {
+  MonitorUpdate update;
+  stats_.events_seen += 1;
+  if (cooldown_remaining_ > 0) --cooldown_remaining_;
+
+  const auto& config = detector_.config();
+  if (!analysis::filter_matches(config.pipeline.filter, event.kind)) {
+    return update;
+  }
+  stats_.events_observed += 1;
+
+  if (event.caller.empty() && symbolizer_ != nullptr) {
+    event.caller = symbolizer_->resolve(event.site_address)
+                       .value_or(trace::kUnknownCaller);
+  }
+
+  const std::string observation = hmm::encode_observation(
+      event.name, event.caller,
+      config.pipeline.context_sensitive
+          ? hmm::ObservationEncoding::kContextSensitive
+          : hmm::ObservationEncoding::kContextFree);
+  const std::size_t id = detector_.alphabet()
+                             .find(observation)
+                             .value_or(detector_.alphabet().size());
+  window_.push_back(id);
+  if (window_.size() > config.segments.length) window_.pop_front();
+  if (window_.size() < config.segments.length) return update;
+
+  update.window_complete = true;
+  const hmm::ObservationSeq segment(window_.begin(), window_.end());
+  const SegmentVerdict verdict = detector_.score_segment(segment);
+  update.log_likelihood = verdict.log_likelihood;
+  update.flagged = verdict.flagged;
+  update.unknown_symbol = verdict.unknown_symbol;
+  stats_.windows_scored += 1;
+
+  if (verdict.flagged) {
+    stats_.windows_flagged += 1;
+    consecutive_flagged_ += 1;
+    if (consecutive_flagged_ >= options_.windows_to_alarm &&
+        cooldown_remaining_ == 0) {
+      update.alarm = true;
+      stats_.alarms += 1;
+      cooldown_remaining_ = options_.cooldown_events;
+      consecutive_flagged_ = 0;
+    }
+  } else {
+    consecutive_flagged_ = 0;
+  }
+  return update;
+}
+
+std::size_t OnlineMonitor::on_trace(const trace::Trace& trace) {
+  std::size_t alarms = 0;
+  for (const auto& event : trace.events) {
+    if (on_event(event).alarm) ++alarms;
+  }
+  return alarms;
+}
+
+void OnlineMonitor::reset_window() {
+  window_.clear();
+  consecutive_flagged_ = 0;
+  cooldown_remaining_ = 0;
+}
+
+}  // namespace cmarkov::core

@@ -1,0 +1,78 @@
+// Online monitoring: streaming anomaly detection over a live call-event
+// feed (the auditd-style production deployment the paper sketches for its
+// implementation section). Each incoming event slides a window of the
+// detector's segment length; complete windows are scored against the
+// trained HMM and alarms are raised with simple hysteresis (consecutive
+// flagged windows + cooldown) to keep alert volume manageable.
+#pragma once
+
+#include <deque>
+
+#include "src/core/detector.hpp"
+#include "src/trace/symbolizer.hpp"
+
+namespace cmarkov::core {
+
+struct MonitorOptions {
+  /// Consecutive flagged windows required before an alarm fires.
+  std::size_t windows_to_alarm = 1;
+  /// Events suppressed after an alarm before the next one may fire.
+  std::size_t cooldown_events = 0;
+};
+
+/// Per-event monitoring outcome.
+struct MonitorUpdate {
+  /// False while the window is still filling.
+  bool window_complete = false;
+  double log_likelihood = 0.0;
+  /// Window scored below the detector threshold (or contains an unknown
+  /// observation).
+  bool flagged = false;
+  /// Window contained a call the model has never seen in that context.
+  bool unknown_symbol = false;
+  /// Alarm fired on this event (hysteresis + cooldown applied).
+  bool alarm = false;
+};
+
+struct MonitorStats {
+  std::size_t events_seen = 0;
+  std::size_t events_observed = 0;  ///< events matching the model's stream
+  std::size_t windows_scored = 0;
+  std::size_t windows_flagged = 0;
+  std::size_t alarms = 0;
+};
+
+class OnlineMonitor {
+ public:
+  /// `detector` must be trained and must outlive the monitor. `symbolizer`
+  /// may be null when events arrive pre-symbolized; otherwise raw site
+  /// addresses are resolved on the fly (cached-addr2line deployment).
+  OnlineMonitor(const Detector& detector,
+                const trace::Symbolizer* symbolizer = nullptr,
+                MonitorOptions options = {});
+
+  /// Feeds one event; returns what happened. Events outside the model's
+  /// call stream (e.g. libcalls on a syscall model) are counted but
+  /// otherwise ignored.
+  MonitorUpdate on_event(trace::CallEvent event);
+
+  /// Feeds a whole trace; returns the number of alarms raised.
+  std::size_t on_trace(const trace::Trace& trace);
+
+  const MonitorStats& stats() const { return stats_; }
+
+  /// Clears the window and hysteresis state (e.g. on process restart), but
+  /// keeps cumulative stats.
+  void reset_window();
+
+ private:
+  const Detector& detector_;
+  const trace::Symbolizer* symbolizer_;
+  MonitorOptions options_;
+  std::deque<std::size_t> window_;  // encoded observation ids
+  std::size_t consecutive_flagged_ = 0;
+  std::size_t cooldown_remaining_ = 0;
+  MonitorStats stats_;
+};
+
+}  // namespace cmarkov::core

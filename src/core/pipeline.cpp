@@ -1,0 +1,53 @@
+#include "src/core/pipeline.hpp"
+
+#include "src/cfg/cfg_builder.hpp"
+
+namespace cmarkov::core {
+
+StaticPipelineResult run_static_pipeline(const ir::ProgramModule& program,
+                                         const PipelineConfig& config,
+                                         Rng& rng) {
+  StaticPipelineResult result;
+  result.init_encoding = config.context_sensitive
+                             ? hmm::ObservationEncoding::kContextSensitive
+                             : hmm::ObservationEncoding::kContextFree;
+
+  {
+    ScopedPhase phase(result.timings, "cfg");
+    result.module_cfg = cfg::build_module_cfg(program);
+    result.call_graph = cfg::CallGraph::build(result.module_cfg);
+  }
+
+  analysis::FunctionMatrixOptions matrix_options = config.matrix;
+  matrix_options.filter = config.filter;
+  const auto heuristic = analysis::make_branch_heuristic(
+      matrix_options.heuristic, matrix_options.loop_probability);
+  analysis::AggregatedProgram aggregated = analysis::aggregate_program(
+      result.module_cfg, result.call_graph, *heuristic, matrix_options,
+      &result.timings);
+
+  result.program_matrix =
+      config.context_sensitive
+          ? std::move(aggregated.program_matrix)
+          : analysis::project_context_insensitive(aggregated.program_matrix);
+  result.distinct_calls = result.program_matrix.external_indices().size();
+
+  {
+    ScopedPhase phase(result.timings, "clustering");
+    result.clustering =
+        reduction::cluster_calls(result.program_matrix, rng,
+                                 config.clustering);
+    result.reduced = reduction::reconstruct_reduced_model(
+        result.program_matrix, result.clustering);
+  }
+
+  {
+    ScopedPhase phase(result.timings, "initialization");
+    result.init = hmm::statically_initialized_hmm(
+        result.reduced, result.init_encoding, result.alphabet,
+        config.static_init);
+  }
+  return result;
+}
+
+}  // namespace cmarkov::core

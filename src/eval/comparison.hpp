@@ -1,0 +1,68 @@
+// Whole-experiment driver: builds, trains and evaluates the four models on
+// one (program, call stream) pair under the paper's protocol — dedup'd
+// 15-call segments, 20% termination set, k-fold cross validation, FP on
+// held-out normal segments, FN on Abnormal-S segments. Powers the
+// Figure 2-5 benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/eval/cross_validation.hpp"
+#include "src/eval/metrics.hpp"
+#include "src/eval/model_zoo.hpp"
+#include "src/hmm/baum_welch.hpp"
+
+namespace cmarkov::eval {
+
+struct ComparisonOptions {
+  /// Test cases executed to collect normal traces.
+  std::size_t test_cases = 60;
+  /// Abnormal-S segments generated.
+  std::size_t abnormal_count = 1500;
+  std::size_t segment_length = 15;
+  std::uint64_t seed = 1;
+  /// Which models to run (defaults to all four).
+  std::vector<ModelKind> kinds = all_model_kinds();
+  CrossValidationOptions cv{.folds = 3,
+                            .termination_fraction = 0.2,
+                            .max_train_segments = 400};
+  hmm::TrainingOptions training;
+  ModelBuildOptions build;
+};
+
+struct ModelEvaluation {
+  ModelKind kind = ModelKind::kCMarkov;
+  /// Pooled normal/abnormal scores across folds.
+  ScoreSet scores;
+  std::size_t num_states = 0;
+  std::size_t alphabet_size = 0;
+  std::size_t static_calls = 0;
+  double train_seconds = 0.0;
+  std::size_t train_iterations = 0;
+};
+
+struct SuiteComparison {
+  std::string program;
+  analysis::CallFilter filter = analysis::CallFilter::kLibcalls;
+  std::size_t traces = 0;
+  std::size_t unique_normal_segments = 0;
+  std::size_t abnormal_segments = 0;
+  std::vector<ModelEvaluation> models;
+
+  const ModelEvaluation& model(ModelKind kind) const;
+};
+
+/// Runs the full comparison for one suite and call stream.
+SuiteComparison compare_models(const workload::ProgramSuite& suite,
+                               analysis::CallFilter filter,
+                               const ComparisonOptions& options);
+
+/// Convenience for benches: environment-driven scaling. Returns true when
+/// CMARKOV_FULL=1 (or --full was passed), selecting paper-scale parameters.
+bool full_mode_enabled(int argc, char** argv);
+
+/// Default comparison options for quick (CI-speed) or full runs.
+ComparisonOptions default_comparison_options(bool full);
+
+}  // namespace cmarkov::eval

@@ -1,0 +1,54 @@
+#include "src/eval/cross_validation.hpp"
+
+#include <stdexcept>
+
+namespace cmarkov::eval {
+
+std::vector<FoldSplit> k_fold_splits(std::vector<hmm::ObservationSeq> segments,
+                                     Rng& rng,
+                                     const CrossValidationOptions& options) {
+  if (options.folds < 2) {
+    throw std::invalid_argument("k_fold_splits: need at least 2 folds");
+  }
+  if (segments.size() < options.folds) {
+    throw std::invalid_argument("k_fold_splits: fewer segments than folds");
+  }
+  if (options.termination_fraction < 0.0 ||
+      options.termination_fraction >= 1.0) {
+    throw std::invalid_argument(
+        "k_fold_splits: termination fraction must be in [0, 1)");
+  }
+  rng.shuffle(segments);
+
+  // Fold boundaries: fold f owns [f*n/k, (f+1)*n/k).
+  const std::size_t n = segments.size();
+  std::vector<FoldSplit> splits(options.folds);
+  for (std::size_t f = 0; f < options.folds; ++f) {
+    const std::size_t begin = f * n / options.folds;
+    const std::size_t end = (f + 1) * n / options.folds;
+    FoldSplit& split = splits[f];
+    std::vector<hmm::ObservationSeq> rest;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i >= begin && i < end) {
+        split.test.push_back(segments[i]);
+      } else {
+        rest.push_back(segments[i]);
+      }
+    }
+    const std::size_t termination_count = static_cast<std::size_t>(
+        options.termination_fraction * static_cast<double>(rest.size()));
+    split.termination.assign(
+        rest.begin(), rest.begin() + static_cast<std::ptrdiff_t>(
+                                         termination_count));
+    split.train.assign(
+        rest.begin() + static_cast<std::ptrdiff_t>(termination_count),
+        rest.end());
+    if (options.max_train_segments != 0 &&
+        split.train.size() > options.max_train_segments) {
+      split.train.resize(options.max_train_segments);
+    }
+  }
+  return splits;
+}
+
+}  // namespace cmarkov::eval

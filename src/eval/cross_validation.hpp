@@ -1,0 +1,38 @@
+// Cross-validation plumbing for the paper's evaluation protocol: duplicate
+// segments removed, 20% of normal data held out as the training-termination
+// set, 10-fold cross validation over the rest.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/hmm/hmm.hpp"
+#include "src/util/rng.hpp"
+
+namespace cmarkov::eval {
+
+struct FoldSplit {
+  std::vector<hmm::ObservationSeq> train;
+  /// Held-out set that decides Baum-Welch termination (20% of non-test
+  /// data, per the paper).
+  std::vector<hmm::ObservationSeq> termination;
+  /// This fold's normal test segments (FP measurement).
+  std::vector<hmm::ObservationSeq> test;
+};
+
+struct CrossValidationOptions {
+  std::size_t folds = 10;
+  double termination_fraction = 0.2;
+  /// Cap on training segments per fold after the split (0 = unlimited);
+  /// quick-mode benches use this to bound Baum-Welch cost.
+  std::size_t max_train_segments = 0;
+};
+
+/// Splits unique segments into k folds. Segments are shuffled
+/// deterministically by `rng`; every fold's train/termination/test sets are
+/// disjoint. Requires at least `folds` segments.
+std::vector<FoldSplit> k_fold_splits(std::vector<hmm::ObservationSeq> segments,
+                                     Rng& rng,
+                                     const CrossValidationOptions& options);
+
+}  // namespace cmarkov::eval

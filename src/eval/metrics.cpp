@@ -1,0 +1,105 @@
+#include "src/eval/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace cmarkov::eval {
+
+double fp_rate(const ScoreSet& scores, double threshold) {
+  if (scores.normal.empty()) return 0.0;
+  std::size_t below = 0;
+  for (double s : scores.normal) {
+    if (s < threshold) ++below;
+  }
+  return static_cast<double>(below) /
+         static_cast<double>(scores.normal.size());
+}
+
+double fn_rate(const ScoreSet& scores, double threshold) {
+  if (scores.abnormal.empty()) return 0.0;
+  std::size_t above = 0;
+  for (double s : scores.abnormal) {
+    if (s > threshold) ++above;
+  }
+  return static_cast<double>(above) /
+         static_cast<double>(scores.abnormal.size());
+}
+
+std::vector<RocPoint> roc_curve(const ScoreSet& scores, std::size_t points) {
+  if (points < 2) throw std::invalid_argument("roc_curve: points < 2");
+  std::vector<double> sorted = scores.normal;
+  std::sort(sorted.begin(), sorted.end());
+
+  std::vector<double> thresholds;
+  thresholds.push_back(-std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < points && !sorted.empty(); ++i) {
+    const std::size_t idx =
+        std::min(sorted.size() - 1, i * sorted.size() / points);
+    // Both sides of each quantile score: at the score itself (that normal
+    // segment not yet flagged) and just above it (flagged). The lower side
+    // is what realizes FP = 0 with FN = 0 on separable score sets.
+    thresholds.push_back(sorted[idx]);
+    thresholds.push_back(std::nextafter(
+        sorted[idx], std::numeric_limits<double>::infinity()));
+  }
+  thresholds.push_back(std::numeric_limits<double>::infinity());
+
+  std::vector<RocPoint> curve;
+  for (double t : thresholds) {
+    curve.push_back({t, fp_rate(scores, t), fn_rate(scores, t)});
+  }
+  // Order by rising FP; FP ties (e.g. several thresholds below the lowest
+  // normal score) keep descending FN so the curve stays monotone.
+  std::sort(curve.begin(), curve.end(),
+            [](const RocPoint& a, const RocPoint& b) {
+              if (a.fp != b.fp) return a.fp < b.fp;
+              return a.fn > b.fn;
+            });
+  curve.erase(std::unique(curve.begin(), curve.end(),
+                          [](const RocPoint& a, const RocPoint& b) {
+                            return a.fp == b.fp && a.fn == b.fn;
+                          }),
+              curve.end());
+  return curve;
+}
+
+double threshold_for_fp(const ScoreSet& scores, double target_fp) {
+  if (scores.normal.empty()) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  std::vector<double> sorted = scores.normal;
+  std::sort(sorted.begin(), sorted.end());
+  // The largest T with |{normal < T}| <= target_fp * N is just above the
+  // floor(target_fp * N)-th smallest normal score.
+  const auto budget = static_cast<std::size_t>(
+      std::floor(target_fp * static_cast<double>(sorted.size())));
+  if (budget >= sorted.size()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return sorted[budget];  // scores strictly below this are flagged
+}
+
+double fn_at_fp(const ScoreSet& scores, double target_fp) {
+  return fn_rate(scores, threshold_for_fp(scores, target_fp));
+}
+
+double detection_auc(const ScoreSet& scores, std::size_t points) {
+  const auto curve = roc_curve(scores, points);
+  double auc = 0.0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    const double width = curve[i].fp - curve[i - 1].fp;
+    const double detect =
+        1.0 - 0.5 * (curve[i].fn + curve[i - 1].fn);
+    auc += width * detect;
+  }
+  // Extend the last segment to FP = 1 (detection there is trivially the
+  // last point's).
+  if (!curve.empty() && curve.back().fp < 1.0) {
+    auc += (1.0 - curve.back().fp) * (1.0 - curve.back().fn);
+  }
+  return auc;
+}
+
+}  // namespace cmarkov::eval

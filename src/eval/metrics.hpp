@@ -1,0 +1,48 @@
+// Detection metrics (Equations 3 and 4): given a threshold T on segment
+// probability, FP is the fraction of normal segments scoring below T and FN
+// the fraction of abnormal segments scoring above T. Scores here are
+// log-likelihoods (monotone in probability, so the equations carry over);
+// impossible segments score -infinity and are caught at every threshold.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cmarkov::eval {
+
+struct ScoreSet {
+  std::vector<double> normal;    ///< log P of normal test segments
+  std::vector<double> abnormal;  ///< log P of abnormal segments
+};
+
+/// Equation 4: |{S_N : P < T}| / |S_N|.
+double fp_rate(const ScoreSet& scores, double threshold);
+
+/// Equation 3: |{S_A : P > T}| / |S_A|.
+double fn_rate(const ScoreSet& scores, double threshold);
+
+struct RocPoint {
+  double threshold = 0.0;
+  double fp = 0.0;
+  double fn = 0.0;
+};
+
+/// FP/FN pairs swept over thresholds placed at normal-score quantiles
+/// (plus -infinity and +infinity sentinels). Points are ordered by
+/// increasing FP.
+std::vector<RocPoint> roc_curve(const ScoreSet& scores,
+                                std::size_t points = 50);
+
+/// FN at the largest threshold whose FP does not exceed `target_fp` — the
+/// "FN at matched FP" numbers behind Figures 2-5 and the fold-improvement
+/// claims of Section V-C.
+double fn_at_fp(const ScoreSet& scores, double target_fp);
+
+/// The threshold used by fn_at_fp.
+double threshold_for_fp(const ScoreSet& scores, double target_fp);
+
+/// Area under the FP-vs-detection curve (1 - FN over FP in [0,1]); a
+/// single-number summary used by the ablation bench.
+double detection_auc(const ScoreSet& scores, std::size_t points = 200);
+
+}  // namespace cmarkov::eval

@@ -1,0 +1,45 @@
+#include "src/eval/ngram_baseline.hpp"
+
+#include <stdexcept>
+
+namespace cmarkov::eval {
+
+NgramDetector::NgramDetector(std::size_t n) : n_(n) {
+  if (n == 0) throw std::invalid_argument("NgramDetector: n must be > 0");
+}
+
+void NgramDetector::train(const std::vector<hmm::ObservationSeq>& sequences) {
+  for (const auto& seq : sequences) {
+    if (seq.empty()) continue;
+    if (seq.size() <= n_) {
+      grams_.insert(seq);
+      continue;
+    }
+    for (std::size_t start = 0; start + n_ <= seq.size(); ++start) {
+      grams_.insert(hmm::ObservationSeq(
+          seq.begin() + static_cast<std::ptrdiff_t>(start),
+          seq.begin() + static_cast<std::ptrdiff_t>(start + n_)));
+    }
+  }
+}
+
+double NgramDetector::score(const hmm::ObservationSeq& segment) const {
+  if (segment.empty()) return 0.0;
+  if (segment.size() <= n_) {
+    return grams_.contains(segment) ? 0.0 : -1.0;
+  }
+  std::size_t unseen = 0;
+  for (std::size_t start = 0; start + n_ <= segment.size(); ++start) {
+    const hmm::ObservationSeq gram(
+        segment.begin() + static_cast<std::ptrdiff_t>(start),
+        segment.begin() + static_cast<std::ptrdiff_t>(start + n_));
+    if (!grams_.contains(gram)) ++unseen;
+  }
+  return -static_cast<double>(unseen);
+}
+
+bool NgramDetector::accepts(const hmm::ObservationSeq& segment) const {
+  return score(segment) == 0.0;
+}
+
+}  // namespace cmarkov::eval

@@ -1,0 +1,42 @@
+// n-gram (STIDE-style) baseline: the "simplest flow-sensitive solution" of
+// the paper's related-work section [1, 32, 33]. Training records the set of
+// all n-grams seen in normal traces; detection counts unseen n-grams in a
+// segment. Exposed with a score interface compatible with eval::ScoreSet
+// (higher = more normal), so the ablation bench can sweep thresholds over
+// it like over the probabilistic models.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <vector>
+
+#include "src/hmm/hmm.hpp"
+
+namespace cmarkov::eval {
+
+class NgramDetector {
+ public:
+  /// `n` is the gram length (classic STIDE uses 6).
+  explicit NgramDetector(std::size_t n = 6);
+
+  /// Records every n-gram of every sequence (shorter sequences are recorded
+  /// whole).
+  void train(const std::vector<hmm::ObservationSeq>& sequences);
+
+  /// True if every n-gram of the segment was seen in training.
+  bool accepts(const hmm::ObservationSeq& segment) const;
+
+  /// Score = -(number of unseen n-grams in the segment); 0 for a fully
+  /// known segment. Monotone in "normality", so Eq. 3/4 threshold sweeps
+  /// apply unchanged.
+  double score(const hmm::ObservationSeq& segment) const;
+
+  std::size_t gram_length() const { return n_; }
+  std::size_t distinct_grams() const { return grams_.size(); }
+
+ private:
+  std::size_t n_;
+  std::set<hmm::ObservationSeq> grams_;
+};
+
+}  // namespace cmarkov::eval

@@ -1,0 +1,126 @@
+#include "src/gadget/binary_image.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace cmarkov::gadget {
+
+namespace {
+
+Opcode pick_filler(Rng& rng, const ImageOptions& options) {
+  static const Opcode kFillerOps[] = {
+      Opcode::kArith, Opcode::kMov,  Opcode::kLoad,   Opcode::kStore,
+      Opcode::kPush,  Opcode::kPop,  Opcode::kCall,   Opcode::kJump,
+      Opcode::kBranch, Opcode::kNop,
+  };
+  if (options.filler_weights.size() != std::size(kFillerOps)) {
+    throw std::invalid_argument("ImageOptions: need 10 filler weights");
+  }
+  return kFillerOps[rng.weighted_index(options.filler_weights)];
+}
+
+Instruction filler_instruction(std::uint64_t address, Rng& rng,
+                               const ImageOptions& options) {
+  Instruction instr;
+  instr.address = address;
+  if (rng.chance(options.stray_ret_rate)) {
+    instr.op = Opcode::kRet;
+  } else if (rng.chance(options.stray_syscall_rate)) {
+    instr.op = Opcode::kSyscall;  // unintended decoding, name unknown
+  } else {
+    instr.op = pick_filler(rng, options);
+  }
+  return instr;
+}
+
+}  // namespace
+
+BinaryImage BinaryImage::synthesize(const cfg::ModuleCfg& module,
+                                    std::uint64_t seed,
+                                    const ImageOptions& options) {
+  BinaryImage image;
+  image.name_ = module.program_name;
+  Rng rng(seed ^ 0xb17a6e);
+
+  for (const auto& fn : module.functions) {
+    // Real syscall sites of this function, by address.
+    std::map<std::uint64_t, std::string> sites;
+    for (const auto& block : fn.blocks) {
+      const auto* call = block.external_call();
+      if (call != nullptr && call->kind == ir::CallKind::kSyscall) {
+        sites.emplace(call->address, call->callee);
+      }
+    }
+
+    const std::uint64_t stride = 4;  // matches LoweringOptions default
+    const std::uint64_t end = std::max(fn.end_address, fn.base_address + stride);
+    for (std::uint64_t addr = fn.base_address; addr < end; addr += stride) {
+      auto site = sites.find(addr);
+      if (site != sites.end()) {
+        Instruction instr;
+        instr.address = addr;
+        instr.op = Opcode::kSyscall;
+        instr.syscall_name = site->second;
+        image.instructions_.push_back(std::move(instr));
+      } else if (addr + stride >= end) {
+        // Function epilogue.
+        image.instructions_.push_back({addr, Opcode::kRet, {}});
+        continue;
+      } else {
+        image.instructions_.push_back(filler_instruction(addr, rng, options));
+      }
+      // Misaligned decodings: each 4-byte slot offers 3 more positions a
+      // ROP compiler can jump into, decoding to unintended instructions.
+      for (std::uint64_t sub = 1; sub < stride; ++sub) {
+        image.instructions_.push_back(
+            filler_instruction(addr + sub, rng, options));
+      }
+    }
+  }
+  return image;
+}
+
+BinaryImage BinaryImage::synthesize_library(
+    std::string name, std::size_t function_count,
+    std::size_t instructions_per_function, std::uint64_t seed,
+    const ImageOptions& options) {
+  BinaryImage image;
+  image.name_ = std::move(name);
+  Rng rng(seed ^ 0x11bc);
+
+  // Library syscall wrappers: a fraction of functions contain one genuine
+  // syscall instruction (read/write/open wrappers etc.).
+  static const char* const kWrapperNames[] = {
+      "read", "write", "open", "close", "mmap",  "brk",
+      "stat", "ioctl", "recv", "send",  "fcntl", "lseek",
+  };
+
+  std::uint64_t base = 0x7f0000000000ULL;
+  for (std::size_t f = 0; f < function_count; ++f) {
+    const bool is_wrapper = rng.chance(0.2);
+    const std::size_t wrapper_slot =
+        is_wrapper ? 1 + rng.index(instructions_per_function > 2
+                                       ? instructions_per_function - 2
+                                       : 1)
+                   : 0;
+    for (std::size_t i = 0; i < instructions_per_function; ++i) {
+      const std::uint64_t addr = base + i * 4;
+      if (is_wrapper && i == wrapper_slot) {
+        Instruction instr;
+        instr.address = addr;
+        instr.op = Opcode::kSyscall;
+        instr.syscall_name =
+            kWrapperNames[rng.index(std::size(kWrapperNames))];
+        image.instructions_.push_back(std::move(instr));
+      } else if (i + 1 == instructions_per_function) {
+        image.instructions_.push_back({addr, Opcode::kRet, {}});
+      } else {
+        image.instructions_.push_back(filler_instruction(addr, rng, options));
+      }
+    }
+    base += instructions_per_function * 4 + 0x40;
+  }
+  return image;
+}
+
+}  // namespace cmarkov::gadget

@@ -1,0 +1,59 @@
+#include "src/gadget/gadget_scanner.hpp"
+
+namespace cmarkov::gadget {
+
+namespace {
+
+bool breaks_gadget(Opcode op) {
+  switch (op) {
+    case Opcode::kCall:
+    case Opcode::kJump:
+    case Opcode::kBranch:
+    case Opcode::kRet:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::vector<Gadget> find_syscall_ret_gadgets(const BinaryImage& image,
+                                             std::size_t max_length) {
+  std::vector<Gadget> out;
+  const auto& instrs = image.instructions();
+  for (std::size_t i = 0; i < instrs.size(); ++i) {
+    if (instrs[i].op != Opcode::kSyscall) continue;
+    // Walk forward to the first control transfer.
+    for (std::size_t j = i + 1;
+         j < instrs.size() && j - i + 1 <= max_length; ++j) {
+      if (instrs[j].op == Opcode::kRet) {
+        out.push_back({instrs[i].address, instrs[j].address, j - i + 1,
+                       instrs[i].syscall_name});
+        break;
+      }
+      if (breaks_gadget(instrs[j].op)) break;
+    }
+  }
+  return out;
+}
+
+GadgetCounts count_gadgets(
+    const BinaryImage& image, std::size_t max_length,
+    const trace::Symbolizer* symbolizer,
+    const std::set<attack::LegitimateCall>& legitimate) {
+  GadgetCounts counts;
+  for (const auto& gadget : find_syscall_ret_gadgets(image, max_length)) {
+    ++counts.raw;
+    if (symbolizer == nullptr || gadget.syscall_name.empty()) continue;
+    const auto caller = symbolizer->resolve(gadget.syscall_address);
+    if (!caller.has_value()) continue;
+    if (legitimate.contains({gadget.syscall_name, *caller,
+                             ir::CallKind::kSyscall})) {
+      ++counts.context_compatible;
+    }
+  }
+  return counts;
+}
+
+}  // namespace cmarkov::gadget

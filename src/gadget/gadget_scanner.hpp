@@ -1,0 +1,53 @@
+// [SYSCALL...RET] gadget census (Section V-D / Table III).
+//
+// A useful gadget is a straight-line instruction window that executes a
+// syscall and then returns control to the chain: it starts at a SYSCALL
+// instruction, ends at the first following RET, spans at most `max_length`
+// instructions, and contains no intervening control transfer (call / jump /
+// branch / ret) that would wrest control from the ROP chain.
+//
+// Context-sensitive detection shrinks the census further: a gadget only
+// helps an attacker *under CMarkov monitoring* if the (syscall name @
+// containing function) pair it produces is one the behaviour model accepts
+// as legitimate. count() reports both the raw census and the
+// context-compatible subset — the paper's argument that surviving gadgets
+// are far from Turing-complete.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/attack/abnormal_s.hpp"
+#include "src/gadget/binary_image.hpp"
+#include "src/trace/symbolizer.hpp"
+
+namespace cmarkov::gadget {
+
+struct GadgetCounts {
+  /// All [SYSCALL...RET] windows within the length bound.
+  std::size_t raw = 0;
+  /// Subset whose syscall would symbolize to a legitimate (name, caller)
+  /// pair of the program's behaviour model.
+  std::size_t context_compatible = 0;
+};
+
+struct Gadget {
+  std::uint64_t syscall_address = 0;
+  std::uint64_t ret_address = 0;
+  std::size_t length = 0;  // instructions, syscall..ret inclusive
+  std::string syscall_name;  // "" for unintended decodings
+};
+
+/// Enumerates all gadgets within `max_length`.
+std::vector<Gadget> find_syscall_ret_gadgets(const BinaryImage& image,
+                                             std::size_t max_length);
+
+/// Counts gadgets; `symbolizer` may be null (library images without mapped
+/// functions), in which case no gadget is context-compatible.
+GadgetCounts count_gadgets(
+    const BinaryImage& image, std::size_t max_length,
+    const trace::Symbolizer* symbolizer,
+    const std::set<attack::LegitimateCall>& legitimate);
+
+}  // namespace cmarkov::gadget

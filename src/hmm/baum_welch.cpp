@@ -1,0 +1,158 @@
+#include "src/hmm/baum_welch.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/hmm/forward_backward.hpp"
+
+namespace cmarkov::hmm {
+
+double mean_log_likelihood(const Hmm& model,
+                           const std::vector<ObservationSeq>& sequences,
+                           double impossible_penalty) {
+  if (sequences.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& seq : sequences) {
+    const double ll = sequence_log_likelihood(model, seq);
+    total += std::isinf(ll) ? impossible_penalty : ll;
+  }
+  return total / static_cast<double>(sequences.size());
+}
+
+namespace {
+
+struct Accumulators {
+  Matrix transition_num;     // N x N
+  std::vector<double> transition_den;  // N
+  Matrix emission_num;       // N x M
+  std::vector<double> emission_den;    // N
+  std::vector<double> initial;         // N
+
+  Accumulators(std::size_t n, std::size_t m)
+      : transition_num(n, n),
+        transition_den(n, 0.0),
+        emission_num(n, m),
+        emission_den(n, 0.0),
+        initial(n, 0.0) {}
+};
+
+/// Accumulates expected counts for one sequence; returns false if the
+/// sequence is impossible under the current model.
+bool accumulate_sequence(const Hmm& model, const ObservationSeq& seq,
+                         Accumulators& acc) {
+  if (seq.empty()) return false;
+  const ForwardResult fwd = forward_scaled(model, seq);
+  if (fwd.impossible) return false;
+  const Matrix beta = backward_scaled(model, seq, fwd.scales);
+
+  const std::size_t n = model.num_states();
+  const std::size_t t_len = seq.size();
+
+  // gamma(t, i) = alpha(t, i) * beta(t, i) * c_t (scaled quantities).
+  auto gamma = [&](std::size_t t, std::size_t i) {
+    return fwd.alpha(t, i) * beta(t, i) * fwd.scales[t];
+  };
+
+  for (std::size_t i = 0; i < n; ++i) acc.initial[i] += gamma(0, i);
+
+  for (std::size_t t = 0; t + 1 < t_len; ++t) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double alpha_ti = fwd.alpha(t, i);
+      if (alpha_ti == 0.0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        // xi(t, i, j): scaled alpha/beta make the normalizer 1.
+        const double xi = alpha_ti * model.transition(i, j) *
+                          model.emission(j, seq[t + 1]) * beta(t + 1, j);
+        acc.transition_num(i, j) += xi;
+      }
+    }
+  }
+  for (std::size_t t = 0; t < t_len; ++t) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double g = gamma(t, i);
+      acc.emission_num(i, seq[t]) += g;
+      acc.emission_den[i] += g;
+      if (t + 1 < t_len) acc.transition_den[i] += g;
+    }
+  }
+  return true;
+}
+
+void reestimate(Hmm& model, const Accumulators& acc, double pseudocount,
+                std::size_t observed_sequences) {
+  const std::size_t n = model.num_states();
+  const std::size_t m = model.num_symbols();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double den =
+        acc.transition_den[i] + pseudocount * static_cast<double>(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      model.transition(i, j) = (acc.transition_num(i, j) + pseudocount) / den;
+    }
+    const double eden =
+        acc.emission_den[i] + pseudocount * static_cast<double>(m);
+    for (std::size_t k = 0; k < m; ++k) {
+      model.emission(i, k) = (acc.emission_num(i, k) + pseudocount) / eden;
+    }
+  }
+  const double iden = static_cast<double>(observed_sequences) +
+                      pseudocount * static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    model.initial[i] = (acc.initial[i] + pseudocount) / iden;
+  }
+}
+
+}  // namespace
+
+TrainingReport baum_welch_train(Hmm& model,
+                                const std::vector<ObservationSeq>& sequences,
+                                const std::vector<ObservationSeq>& holdout,
+                                const TrainingOptions& options) {
+  model.validate();
+  TrainingReport report;
+  if (sequences.empty()) return report;
+
+  double best_score = holdout.empty()
+                          ? mean_log_likelihood(model, sequences)
+                          : mean_log_likelihood(model, holdout);
+  std::size_t stall = 0;
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    Accumulators acc(model.num_states(), model.num_symbols());
+    std::size_t observed = 0;
+    std::size_t skipped = 0;
+    for (const auto& seq : sequences) {
+      if (accumulate_sequence(model, seq, acc)) {
+        ++observed;
+      } else {
+        ++skipped;
+      }
+    }
+    report.skipped_sequences = skipped;
+    if (observed == 0) break;  // model rejects everything; nothing to learn
+
+    reestimate(model, acc, options.pseudocount, observed);
+    report.iterations = iter + 1;
+    report.train_log_likelihood.push_back(
+        mean_log_likelihood(model, sequences));
+
+    const double score = holdout.empty()
+                             ? report.train_log_likelihood.back()
+                             : mean_log_likelihood(model, holdout);
+    if (!holdout.empty()) report.holdout_log_likelihood.push_back(score);
+
+    if (score - best_score < options.min_improvement) {
+      ++stall;
+      if (stall > options.patience) {
+        report.converged = true;
+        break;
+      }
+    } else {
+      stall = 0;
+    }
+    if (score > best_score) best_score = score;
+  }
+  return report;
+}
+
+}  // namespace cmarkov::hmm

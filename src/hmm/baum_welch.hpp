@@ -1,0 +1,54 @@
+// Multi-sequence Baum-Welch training with Rabiner scaling.
+//
+// Convergence follows the paper's protocol: 20% of the normal data is held
+// out as a termination set; after each iteration the model is evaluated on
+// it and training stops when the average held-out log-likelihood no longer
+// improves significantly. Accumulators carry a small pseudocount so that
+// training never zeroes an entire row.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/hmm/hmm.hpp"
+
+namespace cmarkov::hmm {
+
+struct TrainingOptions {
+  std::size_t max_iterations = 30;
+  /// Minimum improvement of mean held-out log-likelihood per iteration for
+  /// training to continue.
+  double min_improvement = 1e-3;
+  /// Dirichlet-style pseudocount added to every accumulator cell.
+  double pseudocount = 1e-6;
+  /// Consecutive non-improving iterations tolerated before stopping.
+  std::size_t patience = 1;
+};
+
+struct TrainingReport {
+  std::size_t iterations = 0;
+  bool converged = false;
+  /// Mean train log-likelihood after each iteration.
+  std::vector<double> train_log_likelihood;
+  /// Mean held-out log-likelihood after each iteration (empty if no
+  /// held-out data was supplied).
+  std::vector<double> holdout_log_likelihood;
+  /// Sequences skipped because the current model scored them impossible.
+  std::size_t skipped_sequences = 0;
+};
+
+/// Mean per-sequence log-likelihood over a set (impossible sequences count
+/// with a large negative penalty instead of -infinity so means stay finite).
+double mean_log_likelihood(const Hmm& model,
+                           const std::vector<ObservationSeq>& sequences,
+                           double impossible_penalty = -1e4);
+
+/// Trains `model` in place on `sequences`; `holdout` drives termination
+/// (may be empty: then training runs until max_iterations or train-set
+/// improvement stalls).
+TrainingReport baum_welch_train(Hmm& model,
+                                const std::vector<ObservationSeq>& sequences,
+                                const std::vector<ObservationSeq>& holdout,
+                                const TrainingOptions& options = {});
+
+}  // namespace cmarkov::hmm

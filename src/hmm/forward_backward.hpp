@@ -1,0 +1,44 @@
+// Scaled forward/backward recursions. Scaling (Rabiner's c_t normalization)
+// keeps 15-call segment likelihoods representable; log-likelihood is
+// recovered as -sum(log c_t). A segment containing a symbol the model gives
+// zero probability scores -infinity (the "impossible" verdict that drives
+// the paper's detection of out-of-alphabet / out-of-context calls).
+#pragma once
+
+#include <span>
+
+#include "src/hmm/hmm.hpp"
+
+namespace cmarkov::hmm {
+
+struct ForwardResult {
+  /// alpha(t, i): scaled probability of being in state i after t+1 symbols.
+  Matrix alpha;
+  /// Scale factors c_t; empty iff the sequence was empty.
+  std::vector<double> scales;
+  /// log P(observations | model); -infinity when impossible.
+  double log_likelihood = 0.0;
+  /// True when some prefix had zero total probability.
+  bool impossible = false;
+};
+
+/// Forward pass. Observations must be valid alphabet ids (< num_symbols).
+ForwardResult forward_scaled(const Hmm& model,
+                             std::span<const std::size_t> observations);
+
+/// Backward pass reusing the forward scale factors. Returns beta(t, i).
+/// Must not be called for impossible sequences.
+Matrix backward_scaled(const Hmm& model,
+                       std::span<const std::size_t> observations,
+                       std::span<const double> scales);
+
+/// Convenience: log P(observations | model), -infinity when impossible.
+double sequence_log_likelihood(const Hmm& model,
+                               std::span<const std::size_t> observations);
+
+/// P(observations | model) in linear space (may underflow to 0 for long
+/// sequences; fine for the paper's 15-call segments).
+double sequence_probability(const Hmm& model,
+                            std::span<const std::size_t> observations);
+
+}  // namespace cmarkov::hmm

@@ -1,0 +1,78 @@
+#include "src/hmm/hmm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace cmarkov::hmm {
+
+namespace {
+
+void check_stochastic_rows(const Matrix& m, const char* what,
+                           double tolerance) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    double total = 0.0;
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      const double v = m(r, c);
+      if (v < -tolerance || std::isnan(v)) {
+        throw std::invalid_argument(std::string("Hmm: ") + what + " row " +
+                                    std::to_string(r) +
+                                    " has a negative/NaN entry");
+      }
+      total += v;
+    }
+    if (std::abs(total - 1.0) > tolerance) {
+      throw std::invalid_argument(std::string("Hmm: ") + what + " row " +
+                                  std::to_string(r) + " sums to " +
+                                  std::to_string(total));
+    }
+  }
+}
+
+}  // namespace
+
+void Hmm::validate(double tolerance) const {
+  const std::size_t n = num_states();
+  if (n == 0) throw std::invalid_argument("Hmm: no states");
+  if (transition.cols() != n) {
+    throw std::invalid_argument("Hmm: transition matrix not square");
+  }
+  if (emission.rows() != n) {
+    throw std::invalid_argument("Hmm: emission rows != states");
+  }
+  if (num_symbols() == 0) throw std::invalid_argument("Hmm: no symbols");
+  if (initial.size() != n) {
+    throw std::invalid_argument("Hmm: initial distribution size != states");
+  }
+  check_stochastic_rows(transition, "transition", tolerance);
+  check_stochastic_rows(emission, "emission", tolerance);
+  double total = 0.0;
+  for (double v : initial) {
+    if (v < -tolerance || std::isnan(v)) {
+      throw std::invalid_argument("Hmm: initial has a negative/NaN entry");
+    }
+    total += v;
+  }
+  if (std::abs(total - 1.0) > tolerance) {
+    throw std::invalid_argument("Hmm: initial sums to " +
+                                std::to_string(total));
+  }
+}
+
+void Hmm::smooth(double epsilon) {
+  if (epsilon <= 0.0) return;
+  auto smooth_matrix = [epsilon](Matrix& m) {
+    const double uniform = 1.0 / static_cast<double>(m.cols());
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      for (std::size_t c = 0; c < m.cols(); ++c) {
+        m(r, c) = (1.0 - epsilon) * m(r, c) + epsilon * uniform;
+      }
+    }
+  };
+  smooth_matrix(transition);
+  smooth_matrix(emission);
+  const double uniform = 1.0 / static_cast<double>(initial.size());
+  for (double& v : initial) v = (1.0 - epsilon) * v + epsilon * uniform;
+}
+
+}  // namespace cmarkov::hmm

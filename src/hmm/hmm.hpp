@@ -1,0 +1,35 @@
+// Hidden Markov model data type: N hidden states over an M-symbol discrete
+// observation alphabet, with transition matrix A, emission matrix B and
+// initial distribution pi (Section II-B).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/linalg/matrix.hpp"
+
+namespace cmarkov::hmm {
+
+/// An observation sequence is a vector of alphabet ids.
+using ObservationSeq = std::vector<std::size_t>;
+
+struct Hmm {
+  Matrix transition;            ///< N x N, rows sum to 1
+  Matrix emission;              ///< N x M, rows sum to 1
+  std::vector<double> initial;  ///< length N, sums to 1
+
+  std::size_t num_states() const { return transition.rows(); }
+  std::size_t num_symbols() const { return emission.cols(); }
+
+  /// Throws std::invalid_argument when shapes disagree or any stochastic
+  /// constraint is violated beyond `tolerance`.
+  void validate(double tolerance = 1e-6) const;
+
+  /// Mixes every row of A, B and pi with the uniform distribution:
+  /// row = (1 - eps) * row + eps * uniform. Guarantees strictly positive
+  /// parameters so no single unseen transition zeroes out a whole segment.
+  void smooth(double epsilon);
+};
+
+}  // namespace cmarkov::hmm

@@ -1,0 +1,46 @@
+#include "src/hmm/random_init.hpp"
+
+#include <stdexcept>
+
+namespace cmarkov::hmm {
+
+namespace {
+
+void fill_random_stochastic_row(std::span<double> row, Rng& rng,
+                                double min_weight) {
+  double total = 0.0;
+  for (double& v : row) {
+    v = rng.uniform(min_weight, 1.0);
+    total += v;
+  }
+  for (double& v : row) v /= total;
+}
+
+}  // namespace
+
+Hmm randomly_initialized_hmm(std::size_t num_states, std::size_t num_symbols,
+                             Rng& rng, const RandomInitOptions& options) {
+  if (num_states == 0 || num_symbols == 0) {
+    throw std::invalid_argument(
+        "randomly_initialized_hmm: need at least one state and symbol");
+  }
+  if (options.min_weight <= 0.0 || options.min_weight >= 1.0) {
+    throw std::invalid_argument(
+        "randomly_initialized_hmm: min_weight must be in (0, 1)");
+  }
+  Hmm model;
+  model.transition = Matrix(num_states, num_states);
+  model.emission = Matrix(num_states, num_symbols);
+  model.initial.resize(num_states);
+  for (std::size_t i = 0; i < num_states; ++i) {
+    fill_random_stochastic_row(model.transition.row(i), rng,
+                               options.min_weight);
+    fill_random_stochastic_row(model.emission.row(i), rng,
+                               options.min_weight);
+  }
+  fill_random_stochastic_row(model.initial, rng, options.min_weight);
+  model.validate();
+  return model;
+}
+
+}  // namespace cmarkov::hmm

@@ -1,0 +1,21 @@
+// Random HMM initialization — the construction of the paper's baselines
+// (Regular-basic and Regular-context): hidden-state count equals the number
+// of distinct observed calls, parameters drawn randomly and row-normalized.
+#pragma once
+
+#include "src/hmm/hmm.hpp"
+#include "src/util/rng.hpp"
+
+namespace cmarkov::hmm {
+
+struct RandomInitOptions {
+  /// Rows are drawn as uniform(min_weight, 1) then normalized; a positive
+  /// floor keeps every parameter strictly positive.
+  double min_weight = 0.05;
+};
+
+/// A random valid HMM with `num_states` states over `num_symbols` symbols.
+Hmm randomly_initialized_hmm(std::size_t num_states, std::size_t num_symbols,
+                             Rng& rng, const RandomInitOptions& options = {});
+
+}  // namespace cmarkov::hmm

@@ -1,0 +1,72 @@
+#include "src/hmm/viterbi.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace cmarkov::hmm {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+double safe_log(double v) { return v > 0.0 ? std::log(v) : kNegInf; }
+
+}  // namespace
+
+ViterbiResult viterbi_decode(const Hmm& model,
+                             std::span<const std::size_t> observations) {
+  ViterbiResult result;
+  const std::size_t n = model.num_states();
+  const std::size_t t_len = observations.size();
+  if (t_len == 0) return result;
+  for (std::size_t symbol : observations) {
+    if (symbol >= model.num_symbols()) {
+      throw std::out_of_range("viterbi_decode: observation id out of range");
+    }
+  }
+
+  Matrix delta(t_len, n, kNegInf);
+  std::vector<std::vector<std::size_t>> parent(
+      t_len, std::vector<std::size_t>(n, 0));
+
+  for (std::size_t i = 0; i < n; ++i) {
+    delta(0, i) =
+        safe_log(model.initial[i]) + safe_log(model.emission(i, observations[0]));
+  }
+  for (std::size_t t = 1; t < t_len; ++t) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double best = kNegInf;
+      std::size_t best_i = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double v = delta(t - 1, i) + safe_log(model.transition(i, j));
+        if (v > best) {
+          best = v;
+          best_i = i;
+        }
+      }
+      delta(t, j) = best + safe_log(model.emission(j, observations[t]));
+      parent[t][j] = best_i;
+    }
+  }
+
+  double best = kNegInf;
+  std::size_t best_state = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (delta(t_len - 1, i) > best) {
+      best = delta(t_len - 1, i);
+      best_state = i;
+    }
+  }
+  result.log_probability = best;
+  if (std::isinf(best)) return result;  // impossible: no meaningful path
+
+  result.path.resize(t_len);
+  result.path[t_len - 1] = best_state;
+  for (std::size_t t = t_len - 1; t-- > 0;) {
+    result.path[t] = parent[t + 1][result.path[t + 1]];
+  }
+  return result;
+}
+
+}  // namespace cmarkov::hmm

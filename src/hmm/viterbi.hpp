@@ -1,0 +1,23 @@
+// Viterbi decoding: the most likely hidden-state path for an observation
+// sequence, in log space. Used to attribute anomalous segments to states
+// (which calls/contexts the model believes were executing).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/hmm/hmm.hpp"
+
+namespace cmarkov::hmm {
+
+struct ViterbiResult {
+  /// Most likely state sequence (empty for an empty observation sequence).
+  std::vector<std::size_t> path;
+  /// log P(path, observations | model); -infinity when impossible.
+  double log_probability = 0.0;
+};
+
+ViterbiResult viterbi_decode(const Hmm& model,
+                             std::span<const std::size_t> observations);
+
+}  // namespace cmarkov::hmm

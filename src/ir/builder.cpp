@@ -1,0 +1,97 @@
+#include "src/ir/builder.hpp"
+
+namespace cmarkov::ir {
+
+namespace {
+
+BlockStmt block_of(std::vector<StmtPtr> stmts) {
+  BlockStmt block;
+  block.statements = std::move(stmts);
+  return block;
+}
+
+}  // namespace
+
+FunctionBuilder::FunctionBuilder(std::string name,
+                                 std::vector<std::string> params) {
+  fn_.name = std::move(name);
+  fn_.params = std::move(params);
+}
+
+FunctionBuilder& FunctionBuilder::declare(std::string name, ExprPtr init) {
+  fn_.body.statements.push_back(
+      make_var_decl(std::move(name), std::move(init)));
+  return *this;
+}
+
+FunctionBuilder& FunctionBuilder::assign(std::string name, ExprPtr value) {
+  fn_.body.statements.push_back(make_assign(std::move(name), std::move(value)));
+  return *this;
+}
+
+FunctionBuilder& FunctionBuilder::syscall(std::string name) {
+  fn_.body.statements.push_back(make_expr_stmt(
+      make_external_call(CallKind::kSyscall, std::move(name))));
+  return *this;
+}
+
+FunctionBuilder& FunctionBuilder::libcall(std::string name) {
+  fn_.body.statements.push_back(make_expr_stmt(
+      make_external_call(CallKind::kLibcall, std::move(name))));
+  return *this;
+}
+
+FunctionBuilder& FunctionBuilder::call(std::string callee,
+                                       std::vector<ExprPtr> args) {
+  fn_.body.statements.push_back(
+      make_expr_stmt(make_internal_call(std::move(callee), std::move(args))));
+  return *this;
+}
+
+FunctionBuilder& FunctionBuilder::if_else(ExprPtr cond,
+                                          std::vector<StmtPtr> then_stmts,
+                                          std::vector<StmtPtr> else_stmts) {
+  std::optional<BlockStmt> else_block;
+  if (!else_stmts.empty()) else_block = block_of(std::move(else_stmts));
+  fn_.body.statements.push_back(make_if(
+      std::move(cond), block_of(std::move(then_stmts)), std::move(else_block)));
+  return *this;
+}
+
+FunctionBuilder& FunctionBuilder::loop(ExprPtr cond,
+                                       std::vector<StmtPtr> body) {
+  fn_.body.statements.push_back(
+      make_while(std::move(cond), block_of(std::move(body))));
+  return *this;
+}
+
+FunctionBuilder& FunctionBuilder::ret(ExprPtr value) {
+  fn_.body.statements.push_back(make_return(std::move(value)));
+  return *this;
+}
+
+FunctionBuilder& FunctionBuilder::append(StmtPtr stmt) {
+  fn_.body.statements.push_back(std::move(stmt));
+  return *this;
+}
+
+Function FunctionBuilder::build() { return std::move(fn_); }
+
+ProgramBuilder& ProgramBuilder::add(Function fn) {
+  program_.functions.push_back(std::move(fn));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::add(FunctionBuilder& builder) {
+  return add(builder.build());
+}
+
+Program ProgramBuilder::build() { return std::move(program_); }
+
+ProgramModule ProgramBuilder::build_module(std::string name,
+                                           const std::string& entry_point) {
+  return ProgramModule::from_ast(std::move(name), std::move(program_),
+                                 entry_point);
+}
+
+}  // namespace cmarkov::ir

@@ -1,0 +1,95 @@
+// Programmatic AST construction. Tests and examples use this fluent builder
+// to assemble small programs without writing MiniC source text.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/ir/ast.hpp"
+#include "src/ir/module.hpp"
+
+namespace cmarkov::ir {
+
+/// Builds one function body statement-by-statement.
+class FunctionBuilder {
+ public:
+  FunctionBuilder(std::string name, std::vector<std::string> params = {});
+
+  /// var name = init; (init may be null for "var name;")
+  FunctionBuilder& declare(std::string name, ExprPtr init = nullptr);
+  /// name = value;
+  FunctionBuilder& assign(std::string name, ExprPtr value);
+  /// sys("name"); as a statement.
+  FunctionBuilder& syscall(std::string name);
+  /// lib("name"); as a statement.
+  FunctionBuilder& libcall(std::string name);
+  /// callee(args...); as a statement.
+  FunctionBuilder& call(std::string callee, std::vector<ExprPtr> args = {});
+  /// if (cond) { then } else { els } — blocks supplied as statement lists.
+  FunctionBuilder& if_else(ExprPtr cond, std::vector<StmtPtr> then_stmts,
+                           std::vector<StmtPtr> else_stmts = {});
+  /// while (cond) { body }
+  FunctionBuilder& loop(ExprPtr cond, std::vector<StmtPtr> body);
+  /// return value; (null → plain return)
+  FunctionBuilder& ret(ExprPtr value = nullptr);
+  /// Appends an arbitrary statement.
+  FunctionBuilder& append(StmtPtr stmt);
+
+  Function build();
+
+ private:
+  Function fn_;
+};
+
+/// Accumulates functions into a Program / ProgramModule.
+class ProgramBuilder {
+ public:
+  ProgramBuilder& add(Function fn);
+  ProgramBuilder& add(FunctionBuilder& builder);
+
+  Program build();
+  /// Builds and validates into a named module.
+  ProgramModule build_module(std::string name,
+                             const std::string& entry_point = "main");
+
+ private:
+  Program program_;
+};
+
+// Expression shorthands for test code readability.
+namespace dsl {
+
+inline ExprPtr lit(std::int64_t v) { return make_int(v); }
+inline ExprPtr var(std::string name) { return make_var(std::move(name)); }
+inline ExprPtr in() { return make_input(); }
+inline ExprPtr sys(std::string name) {
+  return make_external_call(CallKind::kSyscall, std::move(name));
+}
+inline ExprPtr lib(std::string name) {
+  return make_external_call(CallKind::kLibcall, std::move(name));
+}
+inline ExprPtr call(std::string callee, std::vector<ExprPtr> args = {}) {
+  return make_internal_call(std::move(callee), std::move(args));
+}
+inline ExprPtr lt(ExprPtr a, ExprPtr b) {
+  return make_binary(BinaryOp::kLt, std::move(a), std::move(b));
+}
+inline ExprPtr gt(ExprPtr a, ExprPtr b) {
+  return make_binary(BinaryOp::kGt, std::move(a), std::move(b));
+}
+inline ExprPtr eq(ExprPtr a, ExprPtr b) {
+  return make_binary(BinaryOp::kEq, std::move(a), std::move(b));
+}
+inline ExprPtr add(ExprPtr a, ExprPtr b) {
+  return make_binary(BinaryOp::kAdd, std::move(a), std::move(b));
+}
+inline ExprPtr sub(ExprPtr a, ExprPtr b) {
+  return make_binary(BinaryOp::kSub, std::move(a), std::move(b));
+}
+inline ExprPtr mod(ExprPtr a, ExprPtr b) {
+  return make_binary(BinaryOp::kMod, std::move(a), std::move(b));
+}
+
+}  // namespace dsl
+
+}  // namespace cmarkov::ir

@@ -1,0 +1,192 @@
+#include "src/ir/lexer.hpp"
+
+#include <cctype>
+#include <map>
+
+namespace cmarkov::ir {
+
+SyntaxError::SyntaxError(const std::string& message, int line, int column)
+    : std::runtime_error(message + " at line " + std::to_string(line) +
+                         ", column " + std::to_string(column)),
+      line_(line),
+      column_(column) {}
+
+namespace {
+
+const std::map<std::string, TokenKind, std::less<>>& keyword_table() {
+  static const std::map<std::string, TokenKind, std::less<>> table = {
+      {"fn", TokenKind::kFn},         {"var", TokenKind::kVar},
+      {"if", TokenKind::kIf},         {"else", TokenKind::kElse},
+      {"while", TokenKind::kWhile},   {"return", TokenKind::kReturn},
+      {"sys", TokenKind::kSys},       {"lib", TokenKind::kLib},
+      {"input", TokenKind::kInput},
+  };
+  return table;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : source_(source) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> tokens;
+    while (true) {
+      skip_whitespace_and_comments();
+      Token token = next_token();
+      const bool done = token.kind == TokenKind::kEnd;
+      tokens.push_back(std::move(token));
+      if (done) return tokens;
+    }
+  }
+
+ private:
+  bool at_end() const { return pos_ >= source_.size(); }
+
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+  }
+
+  char advance() {
+    const char c = source_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void skip_whitespace_and_comments() {
+    while (!at_end()) {
+      const char c = peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+      } else if (c == '/' && peek(1) == '/') {
+        while (!at_end() && peek() != '\n') advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  Token make(TokenKind kind, int line, int column, std::string text = {}) {
+    Token token;
+    token.kind = kind;
+    token.text = std::move(text);
+    token.line = line;
+    token.column = column;
+    return token;
+  }
+
+  Token next_token() {
+    const int line = line_;
+    const int column = column_;
+    if (at_end()) return make(TokenKind::kEnd, line, column);
+
+    const char c = advance();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string text(1, c);
+      while (std::isalnum(static_cast<unsigned char>(peek())) ||
+             peek() == '_') {
+        text += advance();
+      }
+      const auto& keywords = keyword_table();
+      if (auto it = keywords.find(text); it != keywords.end()) {
+        return make(it->second, line, column, std::move(text));
+      }
+      return make(TokenKind::kIdentifier, line, column, std::move(text));
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::int64_t value = c - '0';
+      while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        value = value * 10 + (advance() - '0');
+      }
+      Token token = make(TokenKind::kInteger, line, column);
+      token.int_value = value;
+      return token;
+    }
+
+    switch (c) {
+      case '"': {
+        std::string text;
+        while (true) {
+          if (at_end()) {
+            throw SyntaxError("unterminated string literal", line, column);
+          }
+          const char s = advance();
+          if (s == '"') break;
+          if (s == '\n') {
+            throw SyntaxError("newline in string literal", line, column);
+          }
+          text += s;
+        }
+        return make(TokenKind::kString, line, column, std::move(text));
+      }
+      case '(': return make(TokenKind::kLParen, line, column);
+      case ')': return make(TokenKind::kRParen, line, column);
+      case '{': return make(TokenKind::kLBrace, line, column);
+      case '}': return make(TokenKind::kRBrace, line, column);
+      case ',': return make(TokenKind::kComma, line, column);
+      case ';': return make(TokenKind::kSemicolon, line, column);
+      case '+': return make(TokenKind::kPlus, line, column);
+      case '-': return make(TokenKind::kMinus, line, column);
+      case '*': return make(TokenKind::kStar, line, column);
+      case '/': return make(TokenKind::kSlash, line, column);
+      case '%': return make(TokenKind::kPercent, line, column);
+      case '<':
+        if (peek() == '=') {
+          advance();
+          return make(TokenKind::kLe, line, column);
+        }
+        return make(TokenKind::kLt, line, column);
+      case '>':
+        if (peek() == '=') {
+          advance();
+          return make(TokenKind::kGe, line, column);
+        }
+        return make(TokenKind::kGt, line, column);
+      case '=':
+        if (peek() == '=') {
+          advance();
+          return make(TokenKind::kEqEq, line, column);
+        }
+        return make(TokenKind::kAssign, line, column);
+      case '!':
+        if (peek() == '=') {
+          advance();
+          return make(TokenKind::kNotEq, line, column);
+        }
+        return make(TokenKind::kNot, line, column);
+      case '&':
+        if (peek() == '&') {
+          advance();
+          return make(TokenKind::kAndAnd, line, column);
+        }
+        throw SyntaxError("stray '&'", line, column);
+      case '|':
+        if (peek() == '|') {
+          advance();
+          return make(TokenKind::kOrOr, line, column);
+        }
+        throw SyntaxError("stray '|'", line, column);
+      default:
+        throw SyntaxError(std::string("unexpected character '") + c + "'",
+                          line, column);
+    }
+  }
+
+  std::string_view source_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view source) {
+  return Lexer(source).run();
+}
+
+}  // namespace cmarkov::ir

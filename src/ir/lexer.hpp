@@ -1,0 +1,31 @@
+// Hand-written lexer for MiniC. Tracks line/column for diagnostics and for
+// the line-coverage measurements of Table I.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/ir/token.hpp"
+
+namespace cmarkov::ir {
+
+/// Error raised by the lexer and parser on malformed source.
+class SyntaxError : public std::runtime_error {
+ public:
+  SyntaxError(const std::string& message, int line, int column);
+
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+/// Tokenizes an entire MiniC source buffer. The returned vector always ends
+/// with a kEnd token. Supports '//' line comments.
+std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace cmarkov::ir

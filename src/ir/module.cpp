@@ -1,0 +1,112 @@
+#include "src/ir/module.hpp"
+
+#include "src/ir/parser.hpp"
+#include "src/ir/sema.hpp"
+#include "src/util/strings.hpp"
+
+namespace cmarkov::ir {
+
+namespace {
+
+void count_expr(const Expr& expr, ProgramStats& stats) {
+  std::visit(
+      [&](const auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, BinaryExpr>) {
+          count_expr(*node.lhs, stats);
+          count_expr(*node.rhs, stats);
+        } else if constexpr (std::is_same_v<T, UnaryExpr>) {
+          count_expr(*node.operand, stats);
+        } else if constexpr (std::is_same_v<T, ExternalCallExpr>) {
+          stats.external_call_sites += 1;
+          if (node.kind == CallKind::kSyscall) {
+            stats.syscall_sites += 1;
+          } else {
+            stats.libcall_sites += 1;
+          }
+          for (const auto& a : node.args) count_expr(*a, stats);
+        } else if constexpr (std::is_same_v<T, InternalCallExpr>) {
+          stats.internal_call_sites += 1;
+          for (const auto& a : node.args) count_expr(*a, stats);
+        }
+      },
+      expr.node);
+}
+
+void count_block(const BlockStmt& block, ProgramStats& stats);
+
+void count_stmt(const Stmt& stmt, ProgramStats& stats) {
+  stats.statements += 1;
+  std::visit(
+      [&](const auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, VarDeclStmt>) {
+          if (node.init) count_expr(*node.init, stats);
+        } else if constexpr (std::is_same_v<T, AssignStmt>) {
+          count_expr(*node.value, stats);
+        } else if constexpr (std::is_same_v<T, IfStmt>) {
+          stats.branch_statements += 1;
+          count_expr(*node.condition, stats);
+          count_block(node.then_block, stats);
+          if (node.else_block) count_block(*node.else_block, stats);
+        } else if constexpr (std::is_same_v<T, WhileStmt>) {
+          stats.branch_statements += 1;
+          count_expr(*node.condition, stats);
+          count_block(node.body, stats);
+        } else if constexpr (std::is_same_v<T, ReturnStmt>) {
+          if (node.value) count_expr(*node.value, stats);
+        } else {
+          count_expr(*node.expr, stats);
+        }
+      },
+      stmt.node);
+}
+
+void count_block(const BlockStmt& block, ProgramStats& stats) {
+  for (const auto& s : block.statements) count_stmt(*s, stats);
+}
+
+std::size_t count_nonempty_lines(const std::string& source) {
+  std::size_t count = 0;
+  for (const auto& line : split(source, '\n')) {
+    if (!trim(line).empty()) ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+ProgramStats compute_stats(const Program& program) {
+  ProgramStats stats;
+  stats.functions = program.functions.size();
+  for (const auto& fn : program.functions) count_block(fn.body, stats);
+  return stats;
+}
+
+ProgramModule ProgramModule::from_source(std::string name, std::string source,
+                                         const std::string& entry_point) {
+  ProgramModule module;
+  module.name_ = std::move(name);
+  module.source_ = std::move(source);
+  module.program_ = parse_program(module.source_);
+  module.entry_point_ = entry_point;
+  require_valid(module.program_, entry_point);
+  module.stats_ = compute_stats(module.program_);
+  module.stats_.source_lines = count_nonempty_lines(module.source_);
+  return module;
+}
+
+ProgramModule ProgramModule::from_ast(std::string name, Program program,
+                                      const std::string& entry_point) {
+  ProgramModule module;
+  module.name_ = std::move(name);
+  module.program_ = std::move(program);
+  module.entry_point_ = entry_point;
+  require_valid(module.program_, entry_point);
+  module.source_ = to_source(module.program_);
+  module.stats_ = compute_stats(module.program_);
+  module.stats_.source_lines = count_nonempty_lines(module.source_);
+  return module;
+}
+
+}  // namespace cmarkov::ir

@@ -1,0 +1,57 @@
+// ProgramModule bundles a parsed+checked MiniC program with its source text
+// and summary statistics (the "binary" our pipeline analyzes and runs).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "src/ir/ast.hpp"
+
+namespace cmarkov::ir {
+
+/// Static size statistics of a MiniC program, reported alongside Table I
+/// (the paper reports lines of code and binary size per program).
+struct ProgramStats {
+  std::size_t functions = 0;
+  std::size_t source_lines = 0;       // non-empty source lines
+  std::size_t statements = 0;         // total AST statements
+  std::size_t branch_statements = 0;  // if + while statements
+  std::size_t external_call_sites = 0;
+  std::size_t syscall_sites = 0;
+  std::size_t libcall_sites = 0;
+  std::size_t internal_call_sites = 0;
+};
+
+/// A named, validated program.
+class ProgramModule {
+ public:
+  /// Parses and semantically checks `source`. Throws SyntaxError/SemaError.
+  static ProgramModule from_source(std::string name, std::string source,
+                                   const std::string& entry_point = "main");
+
+  /// Wraps an already-built AST (programmatic construction path); still
+  /// runs semantic checks.
+  static ProgramModule from_ast(std::string name, Program program,
+                                const std::string& entry_point = "main");
+
+  const std::string& name() const { return name_; }
+  const std::string& source() const { return source_; }
+  const Program& program() const { return program_; }
+  const std::string& entry_point() const { return entry_point_; }
+  const ProgramStats& stats() const { return stats_; }
+
+ private:
+  ProgramModule() = default;
+
+  std::string name_;
+  std::string source_;
+  Program program_;
+  std::string entry_point_;
+  ProgramStats stats_;
+};
+
+/// Computes statistics over an AST (source_lines filled only when source
+/// text is available to the caller).
+ProgramStats compute_stats(const Program& program);
+
+}  // namespace cmarkov::ir

@@ -1,0 +1,274 @@
+#include "src/ir/parser.hpp"
+
+#include "src/ir/lexer.hpp"
+
+namespace cmarkov::ir {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Program run() {
+    Program program;
+    while (!check(TokenKind::kEnd)) {
+      program.functions.push_back(parse_function());
+    }
+    return program;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[pos_]; }
+
+  bool check(TokenKind kind) const { return peek().kind == kind; }
+
+  Token advance() { return tokens_[pos_++]; }
+
+  bool match(TokenKind kind) {
+    if (!check(kind)) return false;
+    ++pos_;
+    return true;
+  }
+
+  Token expect(TokenKind kind, const char* what) {
+    if (!check(kind)) {
+      throw SyntaxError(std::string("expected ") + what + ", found " +
+                            token_kind_name(peek().kind),
+                        peek().line, peek().column);
+    }
+    return advance();
+  }
+
+  Function parse_function() {
+    const Token fn = expect(TokenKind::kFn, "'fn'");
+    Function out;
+    out.line = fn.line;
+    out.name = expect(TokenKind::kIdentifier, "function name").text;
+    expect(TokenKind::kLParen, "'('");
+    if (!check(TokenKind::kRParen)) {
+      do {
+        out.params.push_back(
+            expect(TokenKind::kIdentifier, "parameter name").text);
+      } while (match(TokenKind::kComma));
+    }
+    expect(TokenKind::kRParen, "')'");
+    out.body = parse_block();
+    return out;
+  }
+
+  BlockStmt parse_block() {
+    expect(TokenKind::kLBrace, "'{'");
+    BlockStmt block;
+    while (!check(TokenKind::kRBrace)) {
+      if (check(TokenKind::kEnd)) {
+        throw SyntaxError("unterminated block", peek().line, peek().column);
+      }
+      block.statements.push_back(parse_statement());
+    }
+    expect(TokenKind::kRBrace, "'}'");
+    return block;
+  }
+
+  StmtPtr parse_statement() {
+    const Token& head = peek();
+    switch (head.kind) {
+      case TokenKind::kVar: {
+        advance();
+        const Token name = expect(TokenKind::kIdentifier, "variable name");
+        ExprPtr init;
+        if (match(TokenKind::kAssign)) init = parse_expr();
+        expect(TokenKind::kSemicolon, "';'");
+        return make_var_decl(name.text, std::move(init), head.line);
+      }
+      case TokenKind::kIf: {
+        advance();
+        expect(TokenKind::kLParen, "'('");
+        ExprPtr cond = parse_expr();
+        expect(TokenKind::kRParen, "')'");
+        BlockStmt then_block = parse_block();
+        std::optional<BlockStmt> else_block;
+        if (match(TokenKind::kElse)) else_block = parse_block();
+        return make_if(std::move(cond), std::move(then_block),
+                       std::move(else_block), head.line);
+      }
+      case TokenKind::kWhile: {
+        advance();
+        expect(TokenKind::kLParen, "'('");
+        ExprPtr cond = parse_expr();
+        expect(TokenKind::kRParen, "')'");
+        BlockStmt body = parse_block();
+        return make_while(std::move(cond), std::move(body), head.line);
+      }
+      case TokenKind::kReturn: {
+        advance();
+        ExprPtr value;
+        if (!check(TokenKind::kSemicolon)) value = parse_expr();
+        expect(TokenKind::kSemicolon, "';'");
+        return make_return(std::move(value), head.line);
+      }
+      case TokenKind::kIdentifier: {
+        // Disambiguate assignment ("x = e;") from a call expression
+        // statement ("f(...);") by one-token lookahead.
+        if (tokens_[pos_ + 1].kind == TokenKind::kAssign) {
+          const Token name = advance();
+          advance();  // '='
+          ExprPtr value = parse_expr();
+          expect(TokenKind::kSemicolon, "';'");
+          return make_assign(name.text, std::move(value), head.line);
+        }
+        ExprPtr expr = parse_expr();
+        expect(TokenKind::kSemicolon, "';'");
+        return make_expr_stmt(std::move(expr), head.line);
+      }
+      default: {
+        ExprPtr expr = parse_expr();
+        expect(TokenKind::kSemicolon, "';'");
+        return make_expr_stmt(std::move(expr), head.line);
+      }
+    }
+  }
+
+  ExprPtr parse_expr() { return parse_or(); }
+
+  ExprPtr parse_or() {
+    ExprPtr lhs = parse_and();
+    while (check(TokenKind::kOrOr)) {
+      const Token op = advance();
+      lhs = make_binary(BinaryOp::kOr, std::move(lhs), parse_and(), op.line);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr lhs = parse_cmp();
+    while (check(TokenKind::kAndAnd)) {
+      const Token op = advance();
+      lhs = make_binary(BinaryOp::kAnd, std::move(lhs), parse_cmp(), op.line);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_cmp() {
+    ExprPtr lhs = parse_add();
+    BinaryOp op;
+    switch (peek().kind) {
+      case TokenKind::kLt: op = BinaryOp::kLt; break;
+      case TokenKind::kLe: op = BinaryOp::kLe; break;
+      case TokenKind::kGt: op = BinaryOp::kGt; break;
+      case TokenKind::kGe: op = BinaryOp::kGe; break;
+      case TokenKind::kEqEq: op = BinaryOp::kEq; break;
+      case TokenKind::kNotEq: op = BinaryOp::kNe; break;
+      default: return lhs;
+    }
+    const Token token = advance();
+    return make_binary(op, std::move(lhs), parse_add(), token.line);
+  }
+
+  ExprPtr parse_add() {
+    ExprPtr lhs = parse_mul();
+    while (check(TokenKind::kPlus) || check(TokenKind::kMinus)) {
+      const Token op = advance();
+      lhs = make_binary(
+          op.kind == TokenKind::kPlus ? BinaryOp::kAdd : BinaryOp::kSub,
+          std::move(lhs), parse_mul(), op.line);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_mul() {
+    ExprPtr lhs = parse_unary();
+    while (check(TokenKind::kStar) || check(TokenKind::kSlash) ||
+           check(TokenKind::kPercent)) {
+      const Token op = advance();
+      BinaryOp bop = BinaryOp::kMul;
+      if (op.kind == TokenKind::kSlash) bop = BinaryOp::kDiv;
+      if (op.kind == TokenKind::kPercent) bop = BinaryOp::kMod;
+      lhs = make_binary(bop, std::move(lhs), parse_unary(), op.line);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_unary() {
+    if (check(TokenKind::kMinus)) {
+      const Token op = advance();
+      return make_unary(UnaryOp::kNeg, parse_unary(), op.line);
+    }
+    if (check(TokenKind::kNot)) {
+      const Token op = advance();
+      return make_unary(UnaryOp::kNot, parse_unary(), op.line);
+    }
+    return parse_primary();
+  }
+
+  std::vector<ExprPtr> parse_call_args() {
+    std::vector<ExprPtr> args;
+    expect(TokenKind::kLParen, "'('");
+    if (!check(TokenKind::kRParen)) {
+      do {
+        args.push_back(parse_expr());
+      } while (match(TokenKind::kComma));
+    }
+    expect(TokenKind::kRParen, "')'");
+    return args;
+  }
+
+  ExprPtr parse_primary() {
+    const Token& head = peek();
+    switch (head.kind) {
+      case TokenKind::kInteger: {
+        const Token token = advance();
+        return make_int(token.int_value, token.line);
+      }
+      case TokenKind::kSys:
+      case TokenKind::kLib: {
+        const Token token = advance();
+        const CallKind kind = token.kind == TokenKind::kSys
+                                  ? CallKind::kSyscall
+                                  : CallKind::kLibcall;
+        expect(TokenKind::kLParen, "'('");
+        const Token name = expect(TokenKind::kString, "call name string");
+        std::vector<ExprPtr> args;
+        while (match(TokenKind::kComma)) args.push_back(parse_expr());
+        expect(TokenKind::kRParen, "')'");
+        return make_external_call(kind, name.text, std::move(args),
+                                  token.line);
+      }
+      case TokenKind::kInput: {
+        const Token token = advance();
+        expect(TokenKind::kLParen, "'('");
+        expect(TokenKind::kRParen, "')'");
+        return make_input(token.line);
+      }
+      case TokenKind::kIdentifier: {
+        const Token token = advance();
+        if (check(TokenKind::kLParen)) {
+          return make_internal_call(token.text, parse_call_args(),
+                                    token.line);
+        }
+        return make_var(token.text, token.line);
+      }
+      case TokenKind::kLParen: {
+        advance();
+        ExprPtr inner = parse_expr();
+        expect(TokenKind::kRParen, "')'");
+        return inner;
+      }
+      default:
+        throw SyntaxError("expected expression, found " +
+                              token_kind_name(head.kind),
+                          head.line, head.column);
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program parse_program(std::string_view source) {
+  return Parser(tokenize(source)).run();
+}
+
+}  // namespace cmarkov::ir

@@ -1,0 +1,34 @@
+// Recursive-descent parser for MiniC.
+//
+// Grammar (EBNF):
+//   program   := function*
+//   function  := "fn" IDENT "(" [ IDENT { "," IDENT } ] ")" block
+//   block     := "{" statement* "}"
+//   statement := "var" IDENT [ "=" expr ] ";"
+//              | IDENT "=" expr ";"
+//              | "if" "(" expr ")" block [ "else" block ]
+//              | "while" "(" expr ")" block
+//              | "return" [ expr ] ";"
+//              | expr ";"
+//   expr      := or_expr
+//   or_expr   := and_expr { "||" and_expr }
+//   and_expr  := cmp_expr { "&&" cmp_expr }
+//   cmp_expr  := add_expr [ ("<"|"<="|">"|">="|"=="|"!=") add_expr ]
+//   add_expr  := mul_expr { ("+"|"-") mul_expr }
+//   mul_expr  := unary { ("*"|"/"|"%") unary }
+//   unary     := ("-"|"!") unary | primary
+//   primary   := INTEGER | IDENT [ "(" args ")" ] | "input" "(" ")"
+//              | ("sys"|"lib") "(" STRING { "," expr } ")" | "(" expr ")"
+#pragma once
+
+#include <string_view>
+
+#include "src/ir/ast.hpp"
+
+namespace cmarkov::ir {
+
+/// Parses a full MiniC source buffer. Throws SyntaxError on malformed input.
+/// The result is purely syntactic; run check_program (sema.hpp) afterwards.
+Program parse_program(std::string_view source);
+
+}  // namespace cmarkov::ir

@@ -1,0 +1,159 @@
+#include "src/ir/sema.hpp"
+
+#include <map>
+#include <set>
+
+#include "src/util/strings.hpp"
+
+namespace cmarkov::ir {
+
+SemaError::SemaError(std::vector<std::string> diagnostics)
+    : std::runtime_error("semantic errors:\n  " + join(diagnostics, "\n  ")),
+      diagnostics_(std::move(diagnostics)) {}
+
+namespace {
+
+class Checker {
+ public:
+  Checker(const Program& program, const std::string& entry_point)
+      : program_(program), entry_point_(entry_point) {}
+
+  std::vector<std::string> run() {
+    collect_signatures();
+    check_entry_point();
+    for (const auto& fn : program_.functions) check_function(fn);
+    return std::move(diagnostics_);
+  }
+
+ private:
+  void error(int line, const std::string& message) {
+    diagnostics_.push_back("line " + std::to_string(line) + ": " + message);
+  }
+
+  void collect_signatures() {
+    for (const auto& fn : program_.functions) {
+      auto [it, inserted] = arity_.emplace(fn.name, fn.params.size());
+      (void)it;
+      if (!inserted) {
+        error(fn.line, "duplicate function '" + fn.name + "'");
+      }
+    }
+  }
+
+  void check_entry_point() {
+    auto it = arity_.find(entry_point_);
+    if (it == arity_.end()) {
+      diagnostics_.push_back("program has no entry function '" +
+                             entry_point_ + "'");
+    } else if (it->second != 0) {
+      diagnostics_.push_back("entry function '" + entry_point_ +
+                             "' must take no parameters");
+    }
+  }
+
+  void check_function(const Function& fn) {
+    std::set<std::string> declared(fn.params.begin(), fn.params.end());
+    if (declared.size() != fn.params.size()) {
+      error(fn.line, "duplicate parameter name in '" + fn.name + "'");
+    }
+    check_block(fn.body, declared, fn);
+  }
+
+  void check_block(const BlockStmt& block, std::set<std::string>& declared,
+                   const Function& fn) {
+    for (const auto& stmt : block.statements) {
+      check_stmt(*stmt, declared, fn);
+    }
+  }
+
+  void check_stmt(const Stmt& stmt, std::set<std::string>& declared,
+                  const Function& fn) {
+    std::visit(
+        [&](const auto& node) {
+          using T = std::decay_t<decltype(node)>;
+          if constexpr (std::is_same_v<T, VarDeclStmt>) {
+            if (node.init) check_expr(*node.init, declared, fn);
+            if (!declared.insert(node.name).second) {
+              error(stmt.line, "redeclaration of '" + node.name + "' in '" +
+                                   fn.name + "'");
+            }
+          } else if constexpr (std::is_same_v<T, AssignStmt>) {
+            check_expr(*node.value, declared, fn);
+            if (!declared.contains(node.name)) {
+              error(stmt.line, "assignment to undeclared variable '" +
+                                   node.name + "' in '" + fn.name + "'");
+            }
+          } else if constexpr (std::is_same_v<T, IfStmt>) {
+            check_expr(*node.condition, declared, fn);
+            check_block(node.then_block, declared, fn);
+            if (node.else_block) check_block(*node.else_block, declared, fn);
+          } else if constexpr (std::is_same_v<T, WhileStmt>) {
+            check_expr(*node.condition, declared, fn);
+            check_block(node.body, declared, fn);
+          } else if constexpr (std::is_same_v<T, ReturnStmt>) {
+            if (node.value) check_expr(*node.value, declared, fn);
+          } else {
+            check_expr(*node.expr, declared, fn);
+          }
+        },
+        stmt.node);
+  }
+
+  void check_expr(const Expr& expr, const std::set<std::string>& declared,
+                  const Function& fn) {
+    std::visit(
+        [&](const auto& node) {
+          using T = std::decay_t<decltype(node)>;
+          if constexpr (std::is_same_v<T, VarRef>) {
+            if (!declared.contains(node.name)) {
+              error(expr.line, "use of undeclared variable '" + node.name +
+                                   "' in '" + fn.name + "'");
+            }
+          } else if constexpr (std::is_same_v<T, BinaryExpr>) {
+            check_expr(*node.lhs, declared, fn);
+            check_expr(*node.rhs, declared, fn);
+          } else if constexpr (std::is_same_v<T, UnaryExpr>) {
+            check_expr(*node.operand, declared, fn);
+          } else if constexpr (std::is_same_v<T, ExternalCallExpr>) {
+            if (node.name.empty()) {
+              error(expr.line, "external call with empty name in '" +
+                                   fn.name + "'");
+            }
+            for (const auto& a : node.args) check_expr(*a, declared, fn);
+          } else if constexpr (std::is_same_v<T, InternalCallExpr>) {
+            auto it = arity_.find(node.callee);
+            if (it == arity_.end()) {
+              error(expr.line, "call to undefined function '" + node.callee +
+                                   "' in '" + fn.name + "'");
+            } else if (it->second != node.args.size()) {
+              error(expr.line,
+                    "call to '" + node.callee + "' with " +
+                        std::to_string(node.args.size()) +
+                        " argument(s), expected " + std::to_string(it->second));
+            }
+            for (const auto& a : node.args) check_expr(*a, declared, fn);
+          }
+          // IntLiteral / InputExpr need no checks.
+        },
+        expr.node);
+  }
+
+  const Program& program_;
+  std::string entry_point_;
+  std::map<std::string, std::size_t> arity_;
+  std::vector<std::string> diagnostics_;
+};
+
+}  // namespace
+
+std::vector<std::string> check_program(const Program& program,
+                                       const std::string& entry_point) {
+  return Checker(program, entry_point).run();
+}
+
+void require_valid(const Program& program, const std::string& entry_point) {
+  auto diagnostics = check_program(program, entry_point);
+  if (!diagnostics.empty()) throw SemaError(std::move(diagnostics));
+}
+
+}  // namespace cmarkov::ir

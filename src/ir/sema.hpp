@@ -1,0 +1,40 @@
+// Semantic checking for MiniC programs: declaration-before-use, duplicate
+// definitions, callee existence and arity. Running this before CFG lowering
+// lets the rest of the pipeline assume a well-formed program.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/ir/ast.hpp"
+
+namespace cmarkov::ir {
+
+/// Error carrying all semantic diagnostics found in a program.
+class SemaError : public std::runtime_error {
+ public:
+  explicit SemaError(std::vector<std::string> diagnostics);
+
+  const std::vector<std::string>& diagnostics() const { return diagnostics_; }
+
+ private:
+  std::vector<std::string> diagnostics_;
+};
+
+/// Checks the whole program. Returns the list of diagnostics (empty when the
+/// program is well-formed). Rules:
+///  - function names are unique
+///  - a function named `entry_point` exists (default "main") and takes no
+///    parameters
+///  - internal calls target defined functions with matching arity
+///  - variables are declared (param or `var`) before use, no redeclaration
+///    within a function (MiniC variables are function-scoped)
+std::vector<std::string> check_program(const Program& program,
+                                       const std::string& entry_point = "main");
+
+/// Like check_program but throws SemaError when any diagnostic is produced.
+void require_valid(const Program& program,
+                   const std::string& entry_point = "main");
+
+}  // namespace cmarkov::ir

@@ -1,0 +1,45 @@
+#include "src/ir/token.hpp"
+
+namespace cmarkov::ir {
+
+std::string token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd: return "<eof>";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kInteger: return "integer";
+    case TokenKind::kString: return "string";
+    case TokenKind::kFn: return "'fn'";
+    case TokenKind::kVar: return "'var'";
+    case TokenKind::kIf: return "'if'";
+    case TokenKind::kElse: return "'else'";
+    case TokenKind::kWhile: return "'while'";
+    case TokenKind::kReturn: return "'return'";
+    case TokenKind::kSys: return "'sys'";
+    case TokenKind::kLib: return "'lib'";
+    case TokenKind::kInput: return "'input'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kEqEq: return "'=='";
+    case TokenKind::kNotEq: return "'!='";
+    case TokenKind::kAndAnd: return "'&&'";
+    case TokenKind::kOrOr: return "'||'";
+    case TokenKind::kNot: return "'!'";
+  }
+  return "<unknown>";
+}
+
+}  // namespace cmarkov::ir

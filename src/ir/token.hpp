@@ -1,0 +1,67 @@
+// Token definitions for MiniC, the small imperative language whose programs
+// stand in for the paper's analyzed binaries (see DESIGN.md substitutions).
+//
+// MiniC has integer variables, arithmetic/comparison expressions, if/while
+// control flow, user function calls, and two external-call intrinsics:
+//   sys("read")   -- a system call observation
+//   lib("malloc") -- a library call observation
+// plus input() which reads the next value from the test-case input stream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cmarkov::ir {
+
+enum class TokenKind {
+  kEnd,
+  kIdentifier,
+  kInteger,
+  kString,
+  // Keywords.
+  kFn,
+  kVar,
+  kIf,
+  kElse,
+  kWhile,
+  kReturn,
+  kSys,
+  kLib,
+  kInput,
+  // Punctuation and operators.
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kSemicolon,
+  kAssign,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEqEq,
+  kNotEq,
+  kAndAnd,
+  kOrOr,
+  kNot,
+};
+
+/// One lexical token with its source position (1-based line/column).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;        // identifier spelling or string literal contents
+  std::int64_t int_value = 0;  // valid when kind == kInteger
+  int line = 0;
+  int column = 0;
+};
+
+/// Human-readable token-kind name for diagnostics.
+std::string token_kind_name(TokenKind kind);
+
+}  // namespace cmarkov::ir

@@ -1,0 +1,33 @@
+// Symmetric eigendecomposition via the cyclic Jacobi rotation method.
+// PCA over call-transition vectors only needs the spectrum of a symmetric
+// covariance matrix, for which Jacobi is simple, robust and accurate.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/linalg/matrix.hpp"
+
+namespace cmarkov {
+
+/// Result of a symmetric eigendecomposition: values are sorted descending,
+/// vectors[k] is the unit eigenvector for values[k].
+struct EigenDecomposition {
+  std::vector<double> values;
+  std::vector<std::vector<double>> vectors;
+};
+
+/// Options for the Jacobi solver.
+struct JacobiOptions {
+  /// Stop when the off-diagonal Frobenius mass falls below this.
+  double tolerance = 1e-12;
+  /// Safety bound on full sweeps.
+  std::size_t max_sweeps = 100;
+};
+
+/// Decomposes a symmetric matrix. Throws std::invalid_argument when the
+/// input is not square or not symmetric (within 1e-9 absolute).
+EigenDecomposition jacobi_eigen(const Matrix& symmetric,
+                                const JacobiOptions& options = {});
+
+}  // namespace cmarkov

@@ -1,0 +1,39 @@
+// K-means clustering (Lloyd's algorithm with k-means++ seeding).
+// Used to merge similar context-sensitive calls before HMM state
+// initialization (Section III-C, Algorithm 1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/linalg/matrix.hpp"
+#include "src/util/rng.hpp"
+
+namespace cmarkov {
+
+struct KMeansOptions {
+  std::size_t max_iterations = 100;
+  /// Stop when no assignment changes between iterations.
+  /// Additionally stop when total centroid movement drops below this.
+  double movement_tolerance = 1e-9;
+  /// Independent restarts; the run with lowest inertia wins.
+  std::size_t restarts = 3;
+};
+
+struct KMeansResult {
+  /// assignment[i] = cluster id of sample i, in [0, k).
+  std::vector<std::size_t> assignment;
+  /// k x dim centroid matrix.
+  Matrix centroids;
+  /// Sum of squared distances of samples to their centroid.
+  double inertia = 0.0;
+  std::size_t iterations = 0;
+};
+
+/// Clusters the rows of `samples` into k groups. Requires 1 <= k <=
+/// samples.rows(). Every cluster is guaranteed non-empty (empty clusters are
+/// re-seeded with the farthest sample).
+KMeansResult kmeans(const Matrix& samples, std::size_t k, Rng& rng,
+                    const KMeansOptions& options = {});
+
+}  // namespace cmarkov

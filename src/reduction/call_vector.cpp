@@ -1,0 +1,28 @@
+#include "src/reduction/call_vector.hpp"
+
+namespace cmarkov::reduction {
+
+CallVectors build_call_vectors(const analysis::CallTransitionMatrix& matrix) {
+  CallVectors out;
+  const std::vector<std::size_t> externals = matrix.external_indices();
+  const std::size_t n = matrix.size();
+  out.features = Matrix(externals.size(), 2 * n);
+  out.calls.reserve(externals.size());
+
+  for (std::size_t r = 0; r < externals.size(); ++r) {
+    const std::size_t call = externals[r];
+    out.calls.push_back(matrix.symbol(call));
+    // Outgoing probabilities (transition-to, the matrix row).
+    for (const auto& [to, p] : matrix.row(call)) {
+      out.features(r, to) = p;
+    }
+    // Incoming probabilities (transition-from, the matrix column).
+    for (std::size_t from = 0; from < n; ++from) {
+      const double p = matrix.prob(from, call);
+      if (p != 0.0) out.features(r, n + from) = p;
+    }
+  }
+  return out;
+}
+
+}  // namespace cmarkov::reduction

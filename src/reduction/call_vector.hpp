@@ -1,0 +1,26 @@
+// Definition 6: the call-transition vector of a call c is the concatenation
+// of its outgoing row and incoming column in the aggregated call-transition
+// matrix (length 2n). These vectors are the clustering features of
+// Algorithm 1.
+#pragma once
+
+#include <vector>
+
+#include "src/analysis/context.hpp"
+#include "src/linalg/matrix.hpp"
+
+namespace cmarkov::reduction {
+
+struct CallVectors {
+  /// External call symbols, one per row of `features`.
+  std::vector<analysis::CallSymbol> calls;
+  /// |calls| x 2n feature matrix (row ‖ column per Definition 6).
+  Matrix features;
+};
+
+/// Extracts call-transition vectors for every external call in `matrix`.
+/// ENTRY/EXIT participate in the feature dimensions (they are columns of
+/// the matrix) but get no row of their own.
+CallVectors build_call_vectors(const analysis::CallTransitionMatrix& matrix);
+
+}  // namespace cmarkov::reduction

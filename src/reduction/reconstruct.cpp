@@ -1,0 +1,88 @@
+#include "src/reduction/reconstruct.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace cmarkov::reduction {
+
+ReducedModel reconstruct_reduced_model(
+    const analysis::CallTransitionMatrix& matrix,
+    const CallClustering& clustering) {
+  using analysis::CallSymbol;
+
+  const std::size_t k = clustering.clusters.size();
+  ReducedModel model;
+  model.members.resize(k);
+  model.member_weights.resize(k);
+  model.transitions = Matrix(k, k);
+  model.entry_mass.assign(k, 0.0);
+  model.exit_mass.assign(k, 0.0);
+
+  // Map matrix symbol index -> cluster id (externals only).
+  std::map<std::size_t, std::size_t> cluster_of;
+  for (std::size_t i = 0; i < clustering.calls.size(); ++i) {
+    cluster_of.emplace(matrix.index_of(clustering.calls[i]),
+                       clustering.assignment[i]);
+  }
+
+  std::size_t entry_idx = static_cast<std::size_t>(-1);
+  std::size_t exit_idx = static_cast<std::size_t>(-1);
+  for (std::size_t i = 0; i < matrix.size(); ++i) {
+    switch (matrix.symbol(i).kind) {
+      case CallSymbol::Kind::kEntry:
+        entry_idx = i;
+        break;
+      case CallSymbol::Kind::kExit:
+        exit_idx = i;
+        break;
+      case CallSymbol::Kind::kInternal:
+        throw std::invalid_argument(
+            "reconstruct_reduced_model: matrix has unresolved internal "
+            "symbol " +
+            matrix.symbol(i).to_string());
+      case CallSymbol::Kind::kExternal:
+        break;
+    }
+  }
+
+  // Member lists and emission weights (incoming mass per member).
+  for (std::size_t c = 0; c < k; ++c) {
+    double total = 0.0;
+    for (std::size_t member : clustering.clusters[c]) {
+      const CallSymbol& sym = clustering.calls[member];
+      model.members[c].push_back(sym);
+      const double mass = matrix.col_sum(matrix.index_of(sym));
+      model.member_weights[c].push_back(mass);
+      total += mass;
+    }
+    if (total > 0.0) {
+      for (double& w : model.member_weights[c]) w /= total;
+    } else {
+      const double uniform =
+          1.0 / static_cast<double>(model.member_weights[c].size());
+      for (double& w : model.member_weights[c]) w = uniform;
+    }
+  }
+
+  // Fold transition cells through the clustering.
+  for (std::size_t from = 0; from < matrix.size(); ++from) {
+    const bool from_entry = from == entry_idx;
+    const auto from_cluster = cluster_of.find(from);
+    for (const auto& [to, p] : matrix.row(from)) {
+      const bool to_exit = to == exit_idx;
+      const auto to_cluster = cluster_of.find(to);
+      if (from_entry && to_cluster != cluster_of.end()) {
+        model.entry_mass[to_cluster->second] += p;
+      } else if (from_cluster != cluster_of.end() && to_exit) {
+        model.exit_mass[from_cluster->second] += p;
+      } else if (from_cluster != cluster_of.end() &&
+                 to_cluster != cluster_of.end()) {
+        model.transitions(from_cluster->second, to_cluster->second) += p;
+      }
+      // ENTRY -> EXIT (silent program) carries no state information.
+    }
+  }
+  return model;
+}
+
+}  // namespace cmarkov::reduction

@@ -1,0 +1,40 @@
+// Reconstruction of the clustered call-transition matrix (the output of
+// Algorithm 1) in the form the HMM initializer consumes: transition mass
+// between clusters, entry/exit mass per cluster, and per-member emission
+// weights.
+#pragma once
+
+#include <vector>
+
+#include "src/analysis/context.hpp"
+#include "src/linalg/matrix.hpp"
+#include "src/reduction/cluster_calls.hpp"
+
+namespace cmarkov::reduction {
+
+/// The reduced program model: one prospective hidden state per cluster.
+struct ReducedModel {
+  /// Members per cluster (call symbols merged into the state).
+  std::vector<std::vector<analysis::CallSymbol>> members;
+  /// member_weights[c][i]: share of cluster c's observation mass owned by
+  /// members[c][i] (incoming transition mass, normalized per cluster).
+  std::vector<std::vector<double>> member_weights;
+  /// k x k transition mass between clusters (unnormalized counts).
+  Matrix transitions;
+  /// Mass from program ENTRY into each cluster (the HMM initial
+  /// distribution before normalization).
+  std::vector<double> entry_mass;
+  /// Mass from each cluster to program EXIT.
+  std::vector<double> exit_mass;
+
+  std::size_t num_states() const { return members.size(); }
+};
+
+/// Folds the aggregated matrix through a clustering: cells between members
+/// are summed into cluster cells ("all occurrences of the same call pair are
+/// added up to one matrix cell", applied at cluster granularity).
+ReducedModel reconstruct_reduced_model(
+    const analysis::CallTransitionMatrix& matrix,
+    const CallClustering& clustering);
+
+}  // namespace cmarkov::reduction

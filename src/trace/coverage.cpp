@@ -1,0 +1,47 @@
+#include "src/trace/coverage.hpp"
+
+#include <variant>
+
+namespace cmarkov::trace {
+
+CoverageTracker::CoverageTracker(const cfg::ModuleCfg& module)
+    : module_(module) {
+  for (const auto& fn : module.functions) {
+    for (const auto& block : fn.blocks) {
+      if (std::holds_alternative<cfg::BranchTerm>(block.terminator)) {
+        branch_edges_total_ += 2;
+      }
+    }
+    lines_total_ += fn.source_lines().size();
+  }
+}
+
+void CoverageTracker::on_block(const std::string& function,
+                               cfg::BlockId block) {
+  const cfg::FunctionCfg* fn = module_.find(function);
+  if (fn == nullptr || block >= fn->block_count()) return;
+  for (const auto& instr : fn->block(block).instructions) {
+    const int line = cfg::instr_line(instr);
+    if (line > 0) lines_covered_.emplace(function, line);
+  }
+  if (const auto* branch =
+          std::get_if<cfg::BranchTerm>(&fn->block(block).terminator)) {
+    if (branch->line > 0) lines_covered_.emplace(function, branch->line);
+  }
+}
+
+void CoverageTracker::on_branch(const std::string& function,
+                                cfg::BlockId block, bool taken) {
+  branches_covered_.emplace(function, block, taken);
+}
+
+CoverageSummary CoverageTracker::summary() const {
+  CoverageSummary out;
+  out.branch_edges_total = branch_edges_total_;
+  out.branch_edges_covered = branches_covered_.size();
+  out.lines_total = lines_total_;
+  out.lines_covered = lines_covered_.size();
+  return out;
+}
+
+}  // namespace cmarkov::trace

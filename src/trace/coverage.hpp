@@ -1,0 +1,56 @@
+// Branch and line coverage tracking over interpreted executions — the
+// measurements behind Table I's test-suite coverage columns.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/cfg/cfg.hpp"
+
+namespace cmarkov::trace {
+
+struct CoverageSummary {
+  std::size_t branch_edges_total = 0;
+  std::size_t branch_edges_covered = 0;
+  std::size_t lines_total = 0;
+  std::size_t lines_covered = 0;
+
+  double branch_coverage() const {
+    return branch_edges_total == 0
+               ? 1.0
+               : static_cast<double>(branch_edges_covered) /
+                     static_cast<double>(branch_edges_total);
+  }
+  double line_coverage() const {
+    return lines_total == 0 ? 1.0
+                            : static_cast<double>(lines_covered) /
+                                  static_cast<double>(lines_total);
+  }
+};
+
+/// Accumulates coverage across any number of runs of one module.
+class CoverageTracker {
+ public:
+  explicit CoverageTracker(const cfg::ModuleCfg& module);
+
+  /// Marks a block's instructions (lines) as executed.
+  void on_block(const std::string& function, cfg::BlockId block);
+
+  /// Marks one branch outcome as taken.
+  void on_branch(const std::string& function, cfg::BlockId block, bool taken);
+
+  CoverageSummary summary() const;
+
+ private:
+  const cfg::ModuleCfg& module_;
+  std::size_t branch_edges_total_ = 0;
+  std::size_t lines_total_ = 0;
+  /// (function, block, direction) covered branch outcomes.
+  std::set<std::tuple<std::string, cfg::BlockId, bool>> branches_covered_;
+  /// (function, line) covered lines.
+  std::set<std::pair<std::string, int>> lines_covered_;
+};
+
+}  // namespace cmarkov::trace

@@ -1,0 +1,71 @@
+#include "src/trace/event.hpp"
+
+#include <stdexcept>
+
+namespace cmarkov::trace {
+
+std::size_t Trace::count(analysis::CallFilter filter) const {
+  std::size_t total = 0;
+  for (const auto& event : events) {
+    if (analysis::filter_matches(filter, event.kind)) ++total;
+  }
+  return total;
+}
+
+namespace {
+
+void require_symbolized(const CallEvent& event,
+                        hmm::ObservationEncoding encoding) {
+  if (encoding != hmm::ObservationEncoding::kContextFree &&
+      event.caller.empty()) {
+    throw std::invalid_argument(
+        "encode_trace: context-sensitive encoding needs a symbolized trace "
+        "(event '" +
+        event.name + "' has no caller)");
+  }
+}
+
+std::string event_observation(const CallEvent& event,
+                              hmm::ObservationEncoding encoding) {
+  if (encoding == hmm::ObservationEncoding::kSiteSensitive) {
+    return hmm::encode_site_observation(event.name, event.caller,
+                                        event.site_address);
+  }
+  if (encoding == hmm::ObservationEncoding::kDeepContext) {
+    return event.name + "@" + event.caller + "@" +
+           (event.grandcaller.empty() ? "-" : event.grandcaller);
+  }
+  return hmm::encode_observation(event.name, event.caller, encoding);
+}
+
+}  // namespace
+
+hmm::ObservationSeq encode_trace(const Trace& trace,
+                                 analysis::CallFilter filter,
+                                 hmm::ObservationEncoding encoding,
+                                 hmm::Alphabet& alphabet) {
+  hmm::ObservationSeq out;
+  for (const auto& event : trace.events) {
+    if (!analysis::filter_matches(filter, event.kind)) continue;
+    require_symbolized(event, encoding);
+    out.push_back(alphabet.intern(event_observation(event, encoding)));
+  }
+  return out;
+}
+
+hmm::ObservationSeq encode_trace_frozen(const Trace& trace,
+                                        analysis::CallFilter filter,
+                                        hmm::ObservationEncoding encoding,
+                                        const hmm::Alphabet& alphabet,
+                                        std::size_t unknown_id) {
+  hmm::ObservationSeq out;
+  for (const auto& event : trace.events) {
+    if (!analysis::filter_matches(filter, event.kind)) continue;
+    require_symbolized(event, encoding);
+    const auto id = alphabet.find(event_observation(event, encoding));
+    out.push_back(id.value_or(unknown_id));
+  }
+  return out;
+}
+
+}  // namespace cmarkov::trace

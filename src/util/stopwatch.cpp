@@ -1,0 +1,29 @@
+#include "src/util/stopwatch.hpp"
+
+namespace cmarkov {
+
+double Stopwatch::seconds() const {
+  return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+void PhaseTimer::add(const std::string& phase, double seconds) {
+  totals_[phase] += seconds;
+  counts_[phase] += 1;
+}
+
+double PhaseTimer::total(const std::string& phase) const {
+  auto it = totals_.find(phase);
+  return it == totals_.end() ? 0.0 : it->second;
+}
+
+std::uint64_t PhaseTimer::count(const std::string& phase) const {
+  auto it = counts_.find(phase);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double PhaseTimer::mean(const std::string& phase) const {
+  const auto n = count(phase);
+  return n == 0 ? 0.0 : total(phase) / static_cast<double>(n);
+}
+
+}  // namespace cmarkov

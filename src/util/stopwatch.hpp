@@ -1,0 +1,70 @@
+// Wall-clock timing for the Table V analysis-runtime measurements and the
+// training-speedup estimates of Table II.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace cmarkov {
+
+/// Monotonic stopwatch. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or last reset, in seconds.
+  double seconds() const;
+  /// Elapsed time in milliseconds.
+  double millis() const { return seconds() * 1e3; }
+  /// Elapsed time in microseconds.
+  double micros() const { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named phase timings (e.g. "cfg", "probability", "aggregation")
+/// across repeated runs; used by the Table V bench.
+class PhaseTimer {
+ public:
+  /// Adds `seconds` to the named phase.
+  void add(const std::string& phase, double seconds);
+
+  /// Total seconds accumulated for the phase (0 if never recorded).
+  double total(const std::string& phase) const;
+
+  /// Number of samples recorded for the phase.
+  std::uint64_t count(const std::string& phase) const;
+
+  /// Mean seconds per sample (0 if never recorded).
+  double mean(const std::string& phase) const;
+
+  const std::map<std::string, double>& totals() const { return totals_; }
+
+ private:
+  std::map<std::string, double> totals_;
+  std::map<std::string, std::uint64_t> counts_;
+};
+
+/// RAII helper: times a scope and records it into a PhaseTimer on
+/// destruction.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseTimer& timer, std::string phase)
+      : timer_(timer), phase_(std::move(phase)) {}
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+  ~ScopedPhase() { timer_.add(phase_, watch_.seconds()); }
+
+ private:
+  PhaseTimer& timer_;
+  std::string phase_;
+  Stopwatch watch_;
+};
+
+}  // namespace cmarkov

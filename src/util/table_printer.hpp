@@ -1,0 +1,32 @@
+// Fixed-width ASCII table output used by the bench binaries to print
+// paper-style tables (Table I-V) and figure series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cmarkov {
+
+/// Collects rows of string cells and renders an aligned ASCII table.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, extra cells are an error.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table with a header separator line.
+  std::string to_string() const;
+
+  /// Convenience: renders to stdout.
+  void print() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cmarkov

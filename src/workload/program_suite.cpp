@@ -1,0 +1,75 @@
+#include "src/workload/program_suite.hpp"
+
+#include <stdexcept>
+
+#include "src/cfg/cfg_builder.hpp"
+
+namespace cmarkov::workload {
+
+ProgramSuite::ProgramSuite(SuiteInfo info, std::string minic_source,
+                           InputSpec inputs)
+    : info_(std::move(info)),
+      inputs_(inputs),
+      module_(ir::ProgramModule::from_source(info_.name,
+                                             std::move(minic_source))),
+      cfg_(cfg::build_module_cfg(module_)),
+      call_graph_(cfg::CallGraph::build(cfg_)) {}
+
+TestCase ProgramSuite::make_test_case(std::size_t index,
+                                      std::uint64_t base_seed) const {
+  // Each test case gets an independent stream derived from (seed, index) so
+  // test cases are stable under reordering.
+  Rng rng(base_seed ^ (0x9e3779b97f4a7c15ULL * (index + 1)));
+  TestCase tc;
+  tc.index = index;
+  const std::size_t len = static_cast<std::size_t>(rng.uniform_int(
+      static_cast<std::int64_t>(inputs_.min_inputs),
+      static_cast<std::int64_t>(inputs_.max_inputs)));
+  tc.inputs.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    tc.inputs.push_back(rng.uniform_int(inputs_.min_value, inputs_.max_value));
+  }
+  tc.environment_seed = rng.engine()();
+  return tc;
+}
+
+std::vector<TestCase> ProgramSuite::make_test_cases(
+    std::size_t count, std::uint64_t base_seed) const {
+  std::vector<TestCase> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(make_test_case(i, base_seed));
+  }
+  return out;
+}
+
+ProgramSuite make_suite(const std::string& name) {
+  if (name == "flex") return make_flex_suite();
+  if (name == "grep") return make_grep_suite();
+  if (name == "gzip") return make_gzip_suite();
+  if (name == "sed") return make_sed_suite();
+  if (name == "bash") return make_bash_suite();
+  if (name == "vim") return make_vim_suite();
+  if (name == "proftpd") return make_proftpd_suite();
+  if (name == "nginx") return make_nginx_suite();
+  throw std::invalid_argument("make_suite: unknown program '" + name + "'");
+}
+
+const std::vector<std::string>& all_suite_names() {
+  static const std::vector<std::string> names = {
+      "flex", "grep", "gzip", "sed", "bash", "vim", "proftpd", "nginx"};
+  return names;
+}
+
+const std::vector<std::string>& utility_suite_names() {
+  static const std::vector<std::string> names = {"flex", "grep", "gzip",
+                                                 "sed",  "bash", "vim"};
+  return names;
+}
+
+const std::vector<std::string>& server_suite_names() {
+  static const std::vector<std::string> names = {"proftpd", "nginx"};
+  return names;
+}
+
+}  // namespace cmarkov::workload

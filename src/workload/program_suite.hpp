@@ -1,0 +1,94 @@
+// Program suites: the synthetic equivalents of the paper's eight evaluated
+// programs. Each suite bundles a MiniC program modeled on the real
+// program's call behaviour (gzip compresses buffers, proftpd serves FTP
+// sessions, ...) with a seeded test-case generator standing in for the SIR
+// test suites / server workloads (see DESIGN.md substitutions).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cfg/call_graph.hpp"
+#include "src/cfg/cfg.hpp"
+#include "src/ir/module.hpp"
+#include "src/trace/coverage.hpp"
+#include "src/trace/event.hpp"
+#include "src/util/rng.hpp"
+
+namespace cmarkov::workload {
+
+struct SuiteInfo {
+  std::string name;
+  std::string description;
+  /// Test-case count the paper reports for this program (Table I; servers
+  /// use the session counts implied by Section V-A).
+  std::size_t paper_test_cases = 0;
+};
+
+/// Distribution of interpreter input streams for a suite's test cases.
+struct InputSpec {
+  std::size_t min_inputs = 16;
+  std::size_t max_inputs = 96;
+  std::int64_t min_value = 0;
+  std::int64_t max_value = 99;
+};
+
+struct TestCase {
+  std::size_t index = 0;
+  std::vector<std::int64_t> inputs;
+  /// Seed of the external-call environment for this run.
+  std::uint64_t environment_seed = 0;
+};
+
+/// One evaluated program with its lowered CFGs and test-case generator.
+class ProgramSuite {
+ public:
+  /// Parses, checks and lowers the MiniC source. Throws on invalid source.
+  ProgramSuite(SuiteInfo info, std::string minic_source, InputSpec inputs);
+
+  const SuiteInfo& info() const { return info_; }
+  const ir::ProgramModule& module() const { return module_; }
+  const cfg::ModuleCfg& cfg() const { return cfg_; }
+  const cfg::CallGraph& call_graph() const { return call_graph_; }
+  const InputSpec& input_spec() const { return inputs_; }
+
+  /// Deterministic test case: same (index, base_seed) -> same inputs.
+  TestCase make_test_case(std::size_t index, std::uint64_t base_seed) const;
+
+  std::vector<TestCase> make_test_cases(std::size_t count,
+                                        std::uint64_t base_seed) const;
+
+ private:
+  SuiteInfo info_;
+  InputSpec inputs_;
+  ir::ProgramModule module_;
+  cfg::ModuleCfg cfg_;
+  cfg::CallGraph call_graph_;
+};
+
+// One factory per evaluated program (defined in suite_<name>.cpp).
+ProgramSuite make_flex_suite();
+ProgramSuite make_grep_suite();
+ProgramSuite make_gzip_suite();
+ProgramSuite make_sed_suite();
+ProgramSuite make_bash_suite();
+ProgramSuite make_vim_suite();
+ProgramSuite make_proftpd_suite();
+ProgramSuite make_nginx_suite();
+
+/// Builds a suite by program name; throws std::invalid_argument for unknown
+/// names.
+ProgramSuite make_suite(const std::string& name);
+
+/// Names of all eight suites, utilities first (Table I order).
+const std::vector<std::string>& all_suite_names();
+
+/// Names of the six SIR utility programs (Figures 2-3).
+const std::vector<std::string>& utility_suite_names();
+
+/// Names of the two server programs (Figures 4-5).
+const std::vector<std::string>& server_suite_names();
+
+}  // namespace cmarkov::workload

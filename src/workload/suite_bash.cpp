@@ -1,0 +1,481 @@
+// bash analogue: the read-parse-expand-execute REPL. Covers builtin
+// execution, external command fork/exec/wait, pipelines, variable expansion
+// and job bookkeeping — the widest call vocabulary of the six utilities
+// (the paper's bash model is also its largest, 1366 libcall states).
+#include "src/workload/program_suite.hpp"
+
+namespace cmarkov::workload {
+
+namespace {
+
+const char* const kBashSource = R"(
+fn main() {
+  startup();
+  read_startup_files();
+  init_job_control();
+  var commands = input() % 12 + 2;
+  while (commands > 0) {
+    check_mail();
+    var n = read_command();
+    if (n > 0) {
+      var tree = parse_command();
+      if (tree > 0) {
+        execute_command(tree);
+        run_trap_handlers();
+      } else {
+        syntax_error();
+      }
+    }
+    reap_background_jobs();
+    commands = commands - 1;
+  }
+  save_history();
+  sys("exit_group");
+}
+
+fn init_job_control() {
+  sys("getpgrp");
+  sys("setpgid");
+  sys("ioctl");
+  sys("rt_sigaction");
+}
+
+fn check_mail() {
+  var due = input() % 6;
+  if (due == 0) {
+    var r = sys("stat");
+    if (r < 4) {
+      lib("printf");
+      sys("write");
+    }
+  }
+}
+
+fn run_trap_handlers() {
+  var pending = input() % 5;
+  if (pending == 0) {
+    sys("rt_sigprocmask");
+    execute_builtin();
+    sys("rt_sigprocmask");
+  }
+}
+
+fn reap_background_jobs() {
+  var jobs = input() % 3;
+  while (jobs > 0) {
+    var r = sys("wait4");
+    if (r > 0) {
+      notify_job_done();
+    }
+    jobs = jobs - 1;
+  }
+}
+
+fn notify_job_done() {
+  lib("sprintf");
+  sys("write");
+}
+
+fn startup() {
+  sys("brk");
+  sys("brk");
+  lib("setlocale");
+  lib("getenv");
+  lib("getenv");
+  lib("getenv");
+  sys("rt_sigaction");
+  sys("rt_sigaction");
+  sys("rt_sigaction");
+  sys("rt_sigaction");
+  sys("ioctl");
+  sys("getpid");
+  lib("malloc");
+  init_shell_variables();
+}
+
+fn init_shell_variables() {
+  var vars = input() % 6 + 3;
+  while (vars > 0) {
+    lib("malloc");
+    lib("strcpy");
+    bind_variable();
+    vars = vars - 1;
+  }
+}
+
+fn bind_variable() {
+  var found = lib("strcmp");
+  if (found == 0) {
+    lib("free");
+  }
+  lib("memcpy");
+}
+
+fn read_startup_files() {
+  var fd = sys("open");
+  if (fd > 0) {
+    var lines = input() % 4 + 1;
+    while (lines > 0) {
+      sys("read");
+      lines = lines - 1;
+    }
+    sys("close");
+  }
+}
+
+fn read_command() {
+  print_prompt();
+  var n = sys("read");
+  if (n > 0) {
+    lib("memcpy");
+    add_history();
+  }
+  return n;
+}
+
+fn print_prompt() {
+  expand_prompt();
+  sys("write");
+}
+
+fn expand_prompt() {
+  lib("strlen");
+  lib("getenv");
+}
+
+fn add_history() {
+  lib("malloc");
+  lib("strcpy");
+}
+
+fn parse_command() {
+  var tokens = input() % 6 + 1;
+  while (tokens > 0) {
+    read_token();
+    tokens = tokens - 1;
+  }
+  var ok = input() % 8;
+  if (ok == 0) {
+    return 0;
+  }
+  lib("malloc");
+  return 1;
+}
+
+fn read_token() {
+  lib("strchr");
+  var quoted = input() % 3;
+  if (quoted == 0) {
+    lib("strcpy");
+  } else {
+    lib("memcpy");
+  }
+}
+
+fn execute_command(tree) {
+  expand_words();
+  apply_redirections();
+  var kind = input() % 6;
+  if (kind == 0) {
+    execute_builtin();
+  } else {
+    if (kind == 1) {
+      execute_pipeline();
+    } else {
+      if (kind == 2) {
+        execute_subshell();
+      } else {
+        if (kind == 3) {
+          execute_function_body();
+        } else {
+          execute_external();
+        }
+      }
+    }
+  }
+}
+
+fn apply_redirections() {
+  var redirs = input() % 3;
+  while (redirs > 0) {
+    var kind = input() % 3;
+    if (kind == 0) {
+      sys("open");
+      sys("dup2");
+    } else {
+      if (kind == 1) {
+        sys("dup2");
+      } else {
+        sys("pipe");
+        here_document();
+      }
+    }
+    redirs = redirs - 1;
+  }
+}
+
+fn here_document() {
+  sys("write");
+  sys("close");
+}
+
+fn execute_subshell() {
+  sys("fork");
+  var child = input() % 2;
+  if (child == 1) {
+    sys("rt_sigaction");
+    execute_builtin();
+    sys("exit_group");
+  }
+  wait_for_job();
+}
+
+fn execute_function_body() {
+  push_variable_scope();
+  var stmts = input() % 4 + 1;
+  while (stmts > 0) {
+    var kind = input() % 3;
+    if (kind == 0) {
+      execute_builtin();
+    } else {
+      if (kind == 1) {
+        evaluate_arithmetic();
+      } else {
+        execute_external();
+      }
+    }
+    stmts = stmts - 1;
+  }
+  pop_variable_scope();
+}
+
+fn push_variable_scope() {
+  lib("malloc");
+  lib("memset");
+}
+
+fn pop_variable_scope() {
+  lib("free");
+}
+
+fn evaluate_arithmetic() {
+  lib("strtol");
+  var ops = input() % 3 + 1;
+  while (ops > 0) {
+    lib("strchr");
+    ops = ops - 1;
+  }
+  bind_variable();
+}
+
+fn expand_words() {
+  var words = input() % 5 + 1;
+  while (words > 0) {
+    var kind = input() % 5;
+    if (kind == 0) {
+      expand_variable();
+    } else {
+      if (kind == 1) {
+        expand_glob();
+      } else {
+        if (kind == 2) {
+          expand_command_substitution();
+        } else {
+          if (kind == 3) {
+            expand_tilde();
+          } else {
+            lib("strcpy");
+          }
+        }
+      }
+    }
+    words = words - 1;
+  }
+}
+
+fn expand_command_substitution() {
+  sys("pipe");
+  sys("fork");
+  var child = input() % 2;
+  if (child == 1) {
+    sys("dup2");
+    sys("execve");
+  }
+  sys("read");
+  sys("wait4");
+  lib("malloc");
+  lib("memcpy");
+}
+
+fn expand_tilde() {
+  lib("getenv");
+  var found = input() % 4;
+  if (found == 0) {
+    lib("getpwnam");
+  }
+  lib("strcpy");
+}
+
+fn expand_variable() {
+  lib("strchr");
+  lib("getenv");
+  lib("malloc");
+}
+
+fn expand_glob() {
+  sys("openat");
+  sys("getdents");
+  var entries = input() % 4;
+  while (entries > 0) {
+    lib("fnmatch");
+    entries = entries - 1;
+  }
+  sys("close");
+}
+
+fn execute_builtin() {
+  var which = input() % 6;
+  if (which == 0) {
+    sys("chdir");
+    bind_variable();
+  } else {
+    if (which == 1) {
+      lib("printf");
+      sys("write");
+    } else {
+      if (which == 2) {
+        builtin_alias();
+      } else {
+        if (which == 3) {
+          builtin_read();
+        } else {
+          if (which == 4) {
+            builtin_test();
+          } else {
+            bind_variable();
+          }
+        }
+      }
+    }
+  }
+}
+
+fn builtin_alias() {
+  lib("strchr");
+  var found = lib("strcmp");
+  if (found == 0) {
+    lib("free");
+  }
+  lib("malloc");
+  lib("strcpy");
+}
+
+fn builtin_read() {
+  sys("read");
+  lib("memchr");
+  bind_variable();
+}
+
+fn builtin_test() {
+  var kind = input() % 3;
+  if (kind == 0) {
+    sys("stat");
+  } else {
+    if (kind == 1) {
+      lib("strcmp");
+    } else {
+      lib("strtol");
+      lib("strtol");
+    }
+  }
+}
+
+fn execute_pipeline() {
+  sys("pipe");
+  spawn_child();
+  spawn_child();
+  sys("close");
+  sys("close");
+  wait_for_job();
+}
+
+fn execute_external() {
+  var found = find_in_path();
+  if (found > 0) {
+    spawn_child();
+    wait_for_job();
+  } else {
+    command_not_found();
+  }
+}
+
+fn find_in_path() {
+  var dirs = input() % 4 + 1;
+  while (dirs > 0) {
+    lib("strcpy");
+    var r = sys("stat");
+    if (r < 8) {
+      return 1;
+    }
+    dirs = dirs - 1;
+  }
+  return 0;
+}
+
+fn spawn_child() {
+  sys("fork");
+  var child = input() % 2;
+  if (child == 1) {
+    sys("dup2");
+    sys("rt_sigaction");
+    sys("execve");
+  }
+}
+
+fn wait_for_job() {
+  sys("wait4");
+  set_exit_status();
+}
+
+fn set_exit_status() {
+  lib("sprintf");
+  bind_variable();
+}
+
+fn command_not_found() {
+  lib("fprintf");
+  lib("strerror");
+}
+
+fn syntax_error() {
+  lib("fprintf");
+}
+
+fn save_history() {
+  var fd = sys("open");
+  if (fd > 0) {
+    lib("fwrite");
+    sys("write");
+    sys("close");
+  }
+  lib("free");
+}
+)";
+
+}  // namespace
+
+ProgramSuite make_bash_suite() {
+  SuiteInfo info;
+  info.name = "bash";
+  info.description =
+      "interactive shell: REPL with parsing, word expansion, builtins, "
+      "fork/exec pipelines, job control";
+  info.paper_test_cases = 1061;
+  InputSpec spec;
+  spec.min_inputs = 16;
+  spec.max_inputs = 96;
+  spec.max_value = 99;
+  return ProgramSuite(info, kBashSource, spec);
+}
+
+}  // namespace cmarkov::workload

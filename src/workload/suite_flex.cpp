@@ -1,0 +1,290 @@
+// flex analogue: scanner-generator pipeline — parse a lexer spec, build NFA
+// from rules, subset-construct a DFA, compress tables, emit the generated
+// scanner. Deep call chains (main -> gen -> dfa -> nfa -> alloc) give libc
+// calls many distinct contexts, the trait that makes context sensitivity
+// shine on libcall models.
+#include "src/workload/program_suite.hpp"
+
+namespace cmarkov::workload {
+
+namespace {
+
+const char* const kFlexSource = R"(
+fn main() {
+  startup();
+  parse_options();
+  var ok = read_spec();
+  if (ok > 0) {
+    var rules = input() % 8 + 2;
+    build_nfa(rules);
+    var states = build_dfa(rules);
+    check_backtracking(states);
+    compress_tables(states);
+    emit_scanner(states);
+    write_summary();
+  } else {
+    usage_error();
+  }
+  cleanup();
+  sys("exit_group");
+}
+
+fn parse_options() {
+  var opts = input() % 4;
+  while (opts > 0) {
+    var kind = input() % 3;
+    if (kind == 0) {
+      lib("strcmp");
+      lib("strcpy");
+    } else {
+      if (kind == 1) {
+        lib("atoi");
+      } else {
+        lib("getenv");
+      }
+    }
+    opts = opts - 1;
+  }
+}
+
+fn check_backtracking(states) {
+  var report = input() % 3;
+  if (report == 0) {
+    var fd = sys("open");
+    if (fd > 0) {
+      var rows = states % 4 + 1;
+      while (rows > 0) {
+        lib("fprintf");
+        rows = rows - 1;
+      }
+      sys("write");
+      sys("close");
+    }
+  }
+}
+
+fn startup() {
+  sys("brk");
+  sys("brk");
+  lib("setlocale");
+  lib("getenv");
+  sys("rt_sigaction");
+  sys("rt_sigaction");
+  lib("malloc");
+  lib("malloc");
+}
+
+fn read_spec() {
+  var fd = sys("open");
+  if (fd < 1) {
+    return 0;
+  }
+  sys("fstat");
+  var sections = input() % 3 + 1;
+  while (sections > 0) {
+    read_section();
+    sections = sections - 1;
+  }
+  sys("close");
+  return 1;
+}
+
+fn read_section() {
+  var lines = input() % 6 + 1;
+  while (lines > 0) {
+    sys("read");
+    var directive = input() % 5;
+    if (directive == 0) {
+      handle_start_condition();
+    } else {
+      tokenize_line();
+    }
+    lines = lines - 1;
+  }
+}
+
+fn handle_start_condition() {
+  lib("strtok");
+  var exists = lib("strcmp");
+  if (exists != 0) {
+    lib("realloc");
+    lib("strcpy");
+  }
+}
+
+fn tokenize_line() {
+  lib("strchr");
+  var tokens = input() % 4 + 1;
+  while (tokens > 0) {
+    lib("strtok");
+    intern_symbol();
+    tokens = tokens - 1;
+  }
+}
+
+fn intern_symbol() {
+  var found = lib("strcmp");
+  if (found != 0) {
+    lib("malloc");
+    lib("strcpy");
+  }
+}
+
+fn build_nfa(rules) {
+  while (rules > 0) {
+    parse_rule();
+    add_nfa_states();
+    rules = rules - 1;
+  }
+}
+
+fn parse_rule() {
+  lib("strlen");
+  var ops = input() % 5 + 1;
+  while (ops > 0) {
+    var kind = input() % 4;
+    if (kind == 0) {
+      mkclosure();
+    } else {
+      if (kind == 1) {
+        mkor();
+      } else {
+        mkcat();
+      }
+    }
+    ops = ops - 1;
+  }
+}
+
+fn mkclosure() {
+  alloc_machine();
+  lib("memcpy");
+}
+
+fn mkor() {
+  alloc_machine();
+  alloc_machine();
+}
+
+fn mkcat() {
+  lib("memcpy");
+}
+
+fn alloc_machine() {
+  lib("realloc");
+  lib("memset");
+}
+
+fn add_nfa_states() {
+  lib("realloc");
+}
+
+fn build_dfa(rules) {
+  lib("calloc");
+  var states = rules * 2 + 1;
+  var work = states;
+  while (work > 0) {
+    subset_step();
+    work = work - 1;
+  }
+  return states;
+}
+
+fn subset_step() {
+  epsilon_closure();
+  var moves = input() % 3 + 1;
+  while (moves > 0) {
+    lib("memcmp");
+    moves = moves - 1;
+  }
+  lib("qsort");
+}
+
+fn epsilon_closure() {
+  lib("memset");
+  lib("memcpy");
+}
+
+fn compress_tables(states) {
+  var rows = states % 7 + 1;
+  while (rows > 0) {
+    lib("memcmp");
+    var dup = input() % 3;
+    if (dup == 0) {
+      lib("memcpy");
+    }
+    rows = rows - 1;
+  }
+  lib("realloc");
+}
+
+fn emit_scanner(states) {
+  var ofd = sys("open");
+  if (ofd < 1) {
+    usage_error();
+    return;
+  }
+  emit_prologue();
+  var chunks = states % 5 + 2;
+  while (chunks > 0) {
+    emit_tables();
+    chunks = chunks - 1;
+  }
+  emit_epilogue();
+  sys("close");
+}
+
+fn emit_prologue() {
+  lib("fprintf");
+  sys("write");
+}
+
+fn emit_tables() {
+  lib("sprintf");
+  sys("write");
+}
+
+fn emit_epilogue() {
+  lib("fprintf");
+  sys("write");
+  lib("fflush");
+}
+
+fn write_summary() {
+  var verbose = input() % 2;
+  if (verbose == 1) {
+    lib("fprintf");
+    lib("fprintf");
+  }
+}
+
+fn usage_error() {
+  lib("fprintf");
+  lib("strerror");
+}
+
+fn cleanup() {
+  lib("free");
+  lib("free");
+  lib("free");
+  sys("close");
+}
+)";
+
+}  // namespace
+
+ProgramSuite make_flex_suite() {
+  SuiteInfo info;
+  info.name = "flex";
+  info.description =
+      "scanner generator: spec parsing, NFA/DFA construction, table "
+      "compression, code emission";
+  info.paper_test_cases = 325;
+  InputSpec spec;
+  spec.min_inputs = 12;
+  spec.max_inputs = 72;
+  spec.max_value = 99;
+  return ProgramSuite(info, kFlexSource, spec);
+}
+
+}  // namespace cmarkov::workload

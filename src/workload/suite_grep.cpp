@@ -1,0 +1,212 @@
+// grep analogue: pattern compilation, buffered line scanning over input
+// files, match printing. Mirrors GNU grep's shape: regcomp up front, an
+// outer per-file loop, an inner fill-buffer/scan-lines loop, bookkeeping
+// calls on matches.
+#include "src/workload/program_suite.hpp"
+
+namespace cmarkov::workload {
+
+namespace {
+
+const char* const kGrepSource = R"(
+fn main() {
+  startup();
+  var pattern_kind = input() % 3;
+  compile_pattern(pattern_kind);
+  var recursive = input() % 4;
+  var total = 0;
+  if (recursive == 0) {
+    total = grep_directory(pattern_kind);
+  } else {
+    var files = input() % 5 + 1;
+    while (files > 0) {
+      total = total + grep_file(pattern_kind);
+      files = files - 1;
+    }
+  }
+  report_totals(total);
+  sys("exit_group");
+}
+
+fn grep_directory(kind) {
+  var fd = sys("openat");
+  if (fd < 1) {
+    file_error();
+    return 0;
+  }
+  var total = 0;
+  var entries = input() % 6 + 1;
+  while (entries > 0) {
+    sys("getdents");
+    var is_dir = input() % 4;
+    if (is_dir > 0) {
+      var binary = check_binary_file();
+      if (binary == 0) {
+        total = total + grep_file(kind);
+      }
+    }
+    entries = entries - 1;
+  }
+  sys("close");
+  return total;
+}
+
+fn check_binary_file() {
+  sys("read");
+  var r = lib("memchr");
+  if (r > 0 && r < 4) {
+    lib("fprintf");
+    return 1;
+  }
+  return 0;
+}
+
+fn startup() {
+  sys("brk");
+  lib("setlocale");
+  lib("getenv");
+  lib("getenv");
+  sys("rt_sigaction");
+  lib("malloc");
+}
+
+fn compile_pattern(kind) {
+  lib("strlen");
+  lib("malloc");
+  if (kind == 0) {
+    lib("regcomp");
+  } else {
+    if (kind == 1) {
+      build_kws_table();
+    } else {
+      lib("strcpy");
+    }
+  }
+}
+
+fn build_kws_table() {
+  lib("calloc");
+  var entries = input() % 6 + 1;
+  while (entries > 0) {
+    lib("memcpy");
+    entries = entries - 1;
+  }
+}
+
+fn grep_file(kind) {
+  var fd = sys("open");
+  if (fd < 1) {
+    file_error();
+    return 0;
+  }
+  sys("fstat");
+  var matches = 0;
+  var chunks = input() % 8 + 1;
+  while (chunks > 0) {
+    var n = fill_buffer();
+    if (n > 0) {
+      matches = matches + scan_buffer(kind, n);
+    }
+    chunks = chunks - 1;
+  }
+  sys("close");
+  return matches;
+}
+
+fn fill_buffer() {
+  lib("memmove");
+  var n = sys("read");
+  return n;
+}
+
+fn scan_buffer(kind, n) {
+  var lines = n % 6 + 1;
+  var matches = 0;
+  while (lines > 0) {
+    var hit = match_line(kind);
+    if (hit > 0) {
+      var with_context = input() % 3;
+      if (with_context == 0) {
+        print_context_lines();
+      }
+      print_match();
+      matches = matches + 1;
+    }
+    lines = lines - 1;
+  }
+  return matches;
+}
+
+fn print_context_lines() {
+  var lines = input() % 3 + 1;
+  while (lines > 0) {
+    lib("fwrite");
+    lines = lines - 1;
+  }
+  lib("fputs");
+}
+
+fn match_line(kind) {
+  lib("memchr");
+  if (kind == 0) {
+    var r = lib("regexec");
+    if (r == 0) {
+      return 1;
+    }
+    return 0;
+  }
+  if (kind == 1) {
+    var k = lib("kwsexec");
+    if (k < 4) {
+      return 1;
+    }
+    return 0;
+  }
+  var s = lib("strstr");
+  if (s > 0) {
+    return 1;
+  }
+  return 0;
+}
+
+fn print_match() {
+  var with_name = input() % 2;
+  if (with_name == 1) {
+    lib("fputs");
+  }
+  lib("fwrite");
+  sys("write");
+}
+
+fn file_error() {
+  lib("strerror");
+  lib("fprintf");
+}
+
+fn report_totals(total) {
+  if (total > 0) {
+    lib("printf");
+  }
+  lib("fflush");
+  lib("free");
+  sys("close");
+}
+)";
+
+}  // namespace
+
+ProgramSuite make_grep_suite() {
+  SuiteInfo info;
+  info.name = "grep";
+  info.description =
+      "pattern scanner: regex/KWS compilation, buffered per-file scan loop, "
+      "match reporting";
+  info.paper_test_cases = 809;
+  InputSpec spec;
+  spec.min_inputs = 10;
+  spec.max_inputs = 64;
+  spec.max_value = 99;
+  return ProgramSuite(info, kGrepSource, spec);
+}
+
+}  // namespace cmarkov::workload

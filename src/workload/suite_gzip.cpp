@@ -1,0 +1,252 @@
+// gzip analogue: block-based compress/decompress/list over input files.
+// Shapes mirrored from the real tool: per-file open/stat, a deflate loop
+// that fills and flushes buffers, CRC updates, and utime/chmod/unlink on
+// completion.
+#include "src/workload/program_suite.hpp"
+
+namespace cmarkov::workload {
+
+namespace {
+
+const char* const kGzipSource = R"(
+fn main() {
+  startup();
+  var mode = input() % 4;
+  var files = input() % 4 + 1;
+  while (files > 0) {
+    if (mode == 3) {
+      test_integrity();
+    } else {
+      var ok = open_files();
+      if (ok > 0) {
+        if (mode == 0) {
+          compress_file();
+        } else {
+          if (mode == 1) {
+            decompress_file();
+          } else {
+            list_file();
+          }
+        }
+        finish_file(mode);
+      } else {
+        report_error();
+      }
+    }
+    files = files - 1;
+  }
+  cleanup();
+  sys("exit_group");
+}
+
+fn test_integrity() {
+  var fd = sys("open");
+  if (fd < 1) {
+    report_error();
+    return;
+  }
+  read_header();
+  var blocks = input() % 8 + 1;
+  while (blocks > 0) {
+    var n = sys("read");
+    if (n > 0) {
+      update_crc(n);
+    }
+    blocks = blocks - 1;
+  }
+  check_crc();
+  sys("close");
+  lib("printf");
+}
+
+fn startup() {
+  sys("brk");
+  sys("brk");
+  lib("setlocale");
+  lib("getenv");
+  lib("textdomain");
+  sys("rt_sigaction");
+  sys("rt_sigaction");
+  sys("rt_sigaction");
+  lib("malloc");
+}
+
+fn open_files() {
+  var fd = sys("open");
+  if (fd < 1) {
+    return 0;
+  }
+  sys("fstat");
+  lib("malloc");
+  var ofd = sys("open");
+  if (ofd < 1) {
+    sys("close");
+    return 0;
+  }
+  return 1;
+}
+
+fn compress_file() {
+  write_header();
+  var blocks = input() % 12 + 1;
+  while (blocks > 0) {
+    var got = fill_window();
+    if (got > 0) {
+      deflate_block(got);
+    }
+    blocks = blocks - 1;
+  }
+  flush_outbuf();
+  write_trailer();
+}
+
+fn write_header() {
+  lib("memset");
+  sys("write");
+}
+
+fn fill_window() {
+  lib("memcpy");
+  var n = sys("read");
+  if (n == 0) {
+    return 0;
+  }
+  update_crc(n);
+  return n;
+}
+
+fn deflate_block(len) {
+  var strategy = len % 3;
+  lib("memchr");
+  if (strategy == 0) {
+    longest_match(len);
+  } else {
+    lib("memcpy");
+  }
+  var flush = len % 4;
+  if (flush == 0) {
+    flush_outbuf();
+  }
+}
+
+fn longest_match(len) {
+  var probes = len % 5 + 1;
+  while (probes > 0) {
+    lib("memcmp");
+    probes = probes - 1;
+  }
+}
+
+fn update_crc(n) {
+  var chunks = n % 3 + 1;
+  while (chunks > 0) {
+    lib("crc32");
+    chunks = chunks - 1;
+  }
+}
+
+fn flush_outbuf() {
+  sys("write");
+}
+
+fn write_trailer() {
+  lib("memcpy");
+  sys("write");
+}
+
+fn decompress_file() {
+  read_header();
+  var blocks = input() % 10 + 1;
+  while (blocks > 0) {
+    var n = sys("read");
+    if (n > 0) {
+      inflate_block(n);
+      update_crc(n);
+    }
+    blocks = blocks - 1;
+  }
+  flush_outbuf();
+  check_crc();
+}
+
+fn read_header() {
+  sys("read");
+  lib("memcmp");
+}
+
+fn inflate_block(n) {
+  var huff = n % 2;
+  if (huff == 1) {
+    build_huffman_tables();
+  }
+  lib("memcpy");
+  sys("write");
+}
+
+fn build_huffman_tables() {
+  lib("malloc");
+  lib("memset");
+  var codes = input() % 4 + 1;
+  while (codes > 0) {
+    lib("memcpy");
+    codes = codes - 1;
+  }
+  lib("free");
+}
+
+fn check_crc() {
+  lib("crc32");
+  lib("memcmp");
+}
+
+fn list_file() {
+  read_header();
+  sys("lseek");
+  sys("read");
+  lib("printf");
+}
+
+fn finish_file(mode) {
+  sys("close");
+  sys("close");
+  if (mode < 2) {
+    copy_attributes();
+    sys("unlink");
+  }
+}
+
+fn copy_attributes() {
+  sys("chmod");
+  sys("utime");
+  sys("chown");
+}
+
+fn report_error() {
+  lib("fprintf");
+  lib("strerror");
+}
+
+fn cleanup() {
+  lib("free");
+  lib("free");
+  sys("close");
+}
+)";
+
+}  // namespace
+
+ProgramSuite make_gzip_suite() {
+  SuiteInfo info;
+  info.name = "gzip";
+  info.description =
+      "block compressor: per-file deflate/inflate loops, CRC maintenance, "
+      "attribute copying";
+  info.paper_test_cases = 214;
+  InputSpec spec;
+  spec.min_inputs = 8;
+  spec.max_inputs = 48;
+  spec.max_value = 99;
+  return ProgramSuite(info, kGzipSource, spec);
+}
+
+}  // namespace cmarkov::workload

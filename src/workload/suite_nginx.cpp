@@ -1,0 +1,350 @@
+// nginx analogue: HTTP server event loop — accept, parse request, route to
+// static-file / PHP-proxy / TLS handling, send response, access logging.
+// Matches the paper's nginx workload: static pages, dynamic PHP pages
+// backed by SQL, media types, and both http and https accesses.
+#include "src/workload/program_suite.hpp"
+
+namespace cmarkov::workload {
+
+namespace {
+
+const char* const kNginxSource = R"(
+fn main() {
+  startup();
+  listen_sockets();
+  var connections = input() % 10 + 2;
+  while (connections > 0) {
+    event_cycle();
+    connections = connections - 1;
+  }
+  shutdown_server();
+  sys("exit_group");
+}
+
+fn startup() {
+  sys("brk");
+  sys("brk");
+  lib("setlocale");
+  lib("getenv");
+  sys("rt_sigaction");
+  sys("rt_sigaction");
+  sys("rt_sigaction");
+  lib("malloc");
+  parse_config();
+  init_log();
+}
+
+fn parse_config() {
+  var fd = sys("open");
+  if (fd < 1) {
+    lib("fprintf");
+    return;
+  }
+  var directives = input() % 10 + 3;
+  while (directives > 0) {
+    sys("read");
+    lib("strtok");
+    var block = input() % 4;
+    if (block == 0) {
+      push_server_block();
+    } else {
+      lib("strcmp");
+    }
+    directives = directives - 1;
+  }
+  sys("close");
+}
+
+fn push_server_block() {
+  lib("malloc");
+  lib("memset");
+  lib("strcpy");
+}
+
+fn init_log() {
+  sys("open");
+  sys("fstat");
+}
+
+fn listen_sockets() {
+  sys("socket");
+  sys("setsockopt");
+  sys("bind");
+  sys("listen");
+  var with_tls = input() % 2;
+  if (with_tls == 1) {
+    sys("socket");
+    sys("bind");
+    sys("listen");
+    load_certificates();
+  }
+}
+
+fn load_certificates() {
+  sys("open");
+  sys("read");
+  sys("close");
+  lib("malloc");
+  lib("memcpy");
+}
+
+fn event_cycle() {
+  sys("epoll_wait");
+  var fd = sys("accept");
+  if (fd < 1) {
+    return;
+  }
+  var tls = input() % 3;
+  if (tls == 0) {
+    tls_handshake();
+  }
+  var keepalive = input() % 3 + 1;
+  while (keepalive > 0) {
+    var ok = read_request();
+    if (ok > 0) {
+      handle_request();
+    }
+    keepalive = keepalive - 1;
+  }
+  sys("close");
+}
+
+fn tls_handshake() {
+  sys("recv");
+  lib("memcpy");
+  sys("send");
+  sys("recv");
+  lib("memcmp");
+}
+
+fn read_request() {
+  var n = sys("recv");
+  if (n == 0) {
+    return 0;
+  }
+  parse_request_line();
+  parse_headers();
+  return 1;
+}
+
+fn parse_request_line() {
+  lib("memchr");
+  lib("strncmp");
+  lib("memcpy");
+}
+
+fn parse_headers() {
+  var headers = input() % 6 + 1;
+  while (headers > 0) {
+    lib("memchr");
+    lib("strncasecmp");
+    headers = headers - 1;
+  }
+}
+
+fn handle_request() {
+  var route = find_location();
+  var cached = check_cache();
+  if (cached > 0) {
+    serve_from_cache();
+  } else {
+    if (route == 0) {
+      serve_static();
+    } else {
+      if (route == 1) {
+        serve_php();
+      } else {
+        send_error_page();
+      }
+    }
+  }
+  write_access_log();
+}
+
+fn check_cache() {
+  var enabled = input() % 3;
+  if (enabled > 0) {
+    return 0;
+  }
+  lib("memcmp");
+  var r = sys("stat");
+  if (r < 5) {
+    return 1;
+  }
+  return 0;
+}
+
+fn serve_from_cache() {
+  var fd = sys("open");
+  if (fd < 1) {
+    send_error_page();
+    return;
+  }
+  send_headers();
+  sys("sendfile");
+  sys("close");
+}
+
+fn find_location() {
+  var candidates = input() % 4 + 1;
+  while (candidates > 0) {
+    var r = lib("strncmp");
+    if (r == 0) {
+      return input() % 3;
+    }
+    candidates = candidates - 1;
+  }
+  return 2;
+}
+
+fn serve_static() {
+  map_uri_to_path();
+  var fd = sys("open");
+  if (fd < 1) {
+    send_error_page();
+    return;
+  }
+  sys("fstat");
+  var not_modified = check_conditional_headers();
+  if (not_modified > 0) {
+    send_headers();
+    sys("close");
+    return;
+  }
+  send_headers();
+  var media = input() % 4;
+  if (media == 0) {
+    sys("sendfile");
+  } else {
+    if (media == 1) {
+      send_gzip_encoded();
+    } else {
+      var chunks = input() % 6 + 1;
+      while (chunks > 0) {
+        sys("read");
+        sys("send");
+        chunks = chunks - 1;
+      }
+    }
+  }
+  sys("close");
+}
+
+fn check_conditional_headers() {
+  var has_etag = input() % 3;
+  if (has_etag == 0) {
+    lib("strncasecmp");
+    var match = lib("memcmp");
+    if (match == 0) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+fn send_gzip_encoded() {
+  lib("malloc");
+  var chunks = input() % 5 + 1;
+  while (chunks > 0) {
+    sys("read");
+    lib("crc32");
+    lib("memcpy");
+    sys("send");
+    chunks = chunks - 1;
+  }
+  lib("free");
+}
+
+fn map_uri_to_path() {
+  lib("strlen");
+  lib("memcpy");
+  lib("strcat");
+}
+
+fn serve_php() {
+  var up = connect_upstream();
+  if (up < 1) {
+    send_error_page();
+    return;
+  }
+  forward_request();
+  var rows = input() % 4;
+  if (rows > 0) {
+    query_database(rows);
+  }
+  relay_response();
+  sys("close");
+}
+
+fn connect_upstream() {
+  sys("socket");
+  var c = sys("connect");
+  return c;
+}
+
+fn forward_request() {
+  lib("sprintf");
+  sys("send");
+}
+
+fn query_database(rows) {
+  sys("send");
+  while (rows > 0) {
+    sys("recv");
+    lib("memcpy");
+    rows = rows - 1;
+  }
+}
+
+fn relay_response() {
+  send_headers();
+  var chunks = input() % 5 + 1;
+  while (chunks > 0) {
+    sys("recv");
+    sys("send");
+    chunks = chunks - 1;
+  }
+}
+
+fn send_headers() {
+  lib("sprintf");
+  lib("strcat");
+  sys("send");
+}
+
+fn send_error_page() {
+  lib("sprintf");
+  sys("send");
+}
+
+fn write_access_log() {
+  sys("time");
+  lib("sprintf");
+  sys("write");
+}
+
+fn shutdown_server() {
+  sys("close");
+  sys("close");
+  lib("free");
+  lib("free");
+}
+)";
+
+}  // namespace
+
+ProgramSuite make_nginx_suite() {
+  SuiteInfo info;
+  info.name = "nginx";
+  info.description =
+      "HTTP server: event loop, request parsing, static/PHP/TLS routes, "
+      "upstream+SQL interaction, access log";
+  info.paper_test_cases = 400;  // request workload, Section V-A
+  InputSpec spec;
+  spec.min_inputs = 16;
+  spec.max_inputs = 96;
+  spec.max_value = 99;
+  return ProgramSuite(info, kNginxSource, spec);
+}
+
+}  // namespace cmarkov::workload

@@ -1,0 +1,414 @@
+// proftpd analogue: FTP server session loop — accept, authenticate, then
+// dispatch client commands (CWD/LIST/RETR/STOR/MKD/DELE/...) over a
+// control/data-connection pair. Matches the paper's proftpd workload:
+// navigating directories, creating/deleting files, uploads and downloads.
+#include "src/workload/program_suite.hpp"
+
+namespace cmarkov::workload {
+
+namespace {
+
+const char* const kProftpdSource = R"(
+fn main() {
+  startup();
+  bind_control_socket();
+  var sessions = input() % 4 + 1;
+  while (sessions > 0) {
+    handle_session();
+    sessions = sessions - 1;
+  }
+  shutdown_server();
+  sys("exit_group");
+}
+
+fn startup() {
+  sys("brk");
+  sys("brk");
+  lib("setlocale");
+  lib("getenv");
+  sys("rt_sigaction");
+  sys("rt_sigaction");
+  sys("rt_sigaction");
+  sys("rt_sigaction");
+  lib("malloc");
+  load_config();
+  sys("setuid");
+}
+
+fn load_config() {
+  var fd = sys("open");
+  if (fd < 1) {
+    lib("fprintf");
+    return;
+  }
+  var directives = input() % 8 + 2;
+  while (directives > 0) {
+    sys("read");
+    parse_directive();
+    directives = directives - 1;
+  }
+  sys("close");
+}
+
+fn parse_directive() {
+  lib("strtok");
+  lib("strcmp");
+  var known = input() % 6;
+  if (known > 0) {
+    lib("malloc");
+    lib("strcpy");
+  }
+}
+
+fn bind_control_socket() {
+  sys("socket");
+  sys("setsockopt");
+  sys("bind");
+  sys("listen");
+}
+
+fn handle_session() {
+  var fd = sys("accept");
+  if (fd < 1) {
+    return;
+  }
+  send_banner();
+  var authed = authenticate();
+  if (authed > 0) {
+    command_loop();
+  }
+  sys("close");
+}
+
+fn send_banner() {
+  lib("sprintf");
+  sys("send");
+}
+
+fn authenticate() {
+  var attempts = input() % 3 + 1;
+  while (attempts > 0) {
+    read_command_line();
+    read_command_line();
+    var ok = check_password();
+    if (ok > 0) {
+      send_reply();
+      open_user_context();
+      return 1;
+    }
+    send_reply();
+    attempts = attempts - 1;
+  }
+  return 0;
+}
+
+fn read_command_line() {
+  var n = sys("recv");
+  lib("memchr");
+  lib("strtok");
+  return n;
+}
+
+fn check_password() {
+  sys("open");
+  sys("read");
+  sys("close");
+  lib("crypt");
+  var r = lib("strcmp");
+  if (r == 0) {
+    return 1;
+  }
+  return 0;
+}
+
+fn open_user_context() {
+  sys("chdir");
+  sys("getcwd");
+  lib("malloc");
+}
+
+fn command_loop() {
+  var commands = input() % 10 + 2;
+  while (commands > 0) {
+    var n = read_command_line();
+    if (n > 0) {
+      dispatch_command();
+    }
+    commands = commands - 1;
+  }
+}
+
+fn dispatch_command() {
+  var cmd = input() % 12;
+  if (cmd == 0) {
+    cmd_cwd();
+  } else {
+    if (cmd == 1) {
+      cmd_list();
+    } else {
+      if (cmd == 2) {
+        cmd_retr();
+      } else {
+        if (cmd == 3) {
+          cmd_stor();
+        } else {
+          if (cmd == 4) {
+            cmd_mkd();
+          } else {
+            if (cmd == 5) {
+              cmd_dele();
+            } else {
+              if (cmd == 6) {
+                cmd_size();
+              } else {
+                if (cmd == 7) {
+                  cmd_rename();
+                } else {
+                  if (cmd == 8) {
+                    cmd_appe();
+                  } else {
+                    if (cmd == 9) {
+                      cmd_site();
+                    } else {
+                      if (cmd == 10) {
+                        cmd_mdtm();
+                      } else {
+                        cmd_pwd();
+                      }
+                    }
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+fn cmd_rename() {
+  check_path_access();
+  read_command_line();
+  check_path_access();
+  var r = sys("rename");
+  if (r < 12) {
+    log_transfer();
+  }
+  send_reply();
+}
+
+fn cmd_appe() {
+  check_path_access();
+  var fd = sys("open");
+  if (fd < 1) {
+    send_reply();
+    return;
+  }
+  sys("lseek");
+  var data = open_data_connection();
+  if (data > 0) {
+    var chunks = input() % 6 + 1;
+    while (chunks > 0) {
+      sys("recv");
+      sys("write");
+      chunks = chunks - 1;
+    }
+    close_data_connection();
+  }
+  sys("close");
+  send_reply();
+}
+
+fn cmd_site() {
+  var sub = input() % 3;
+  if (sub == 0) {
+    check_path_access();
+    sys("chmod");
+  } else {
+    if (sub == 1) {
+      sys("getcwd");
+      lib("sprintf");
+    } else {
+      lib("strcmp");
+    }
+  }
+  send_reply();
+}
+
+fn cmd_mdtm() {
+  check_path_access();
+  var r = sys("stat");
+  if (r < 12) {
+    sys("time");
+    lib("sprintf");
+  }
+  send_reply();
+}
+
+fn cmd_cwd() {
+  check_path_access();
+  var r = sys("chdir");
+  if (r < 12) {
+    sys("getcwd");
+  }
+  send_reply();
+}
+
+fn cmd_list() {
+  var data = open_data_connection();
+  if (data > 0) {
+    sys("openat");
+    var entries = input() % 8 + 1;
+    while (entries > 0) {
+      sys("getdents");
+      format_list_entry();
+      sys("send");
+      entries = entries - 1;
+    }
+    sys("close");
+    close_data_connection();
+  }
+  send_reply();
+}
+
+fn format_list_entry() {
+  sys("stat");
+  lib("sprintf");
+  lib("strcat");
+}
+
+fn cmd_retr() {
+  check_path_access();
+  var fd = sys("open");
+  if (fd < 1) {
+    send_reply();
+    return;
+  }
+  sys("fstat");
+  var data = open_data_connection();
+  if (data > 0) {
+    var chunks = input() % 8 + 1;
+    while (chunks > 0) {
+      sys("read");
+      sys("send");
+      chunks = chunks - 1;
+    }
+    close_data_connection();
+  }
+  sys("close");
+  send_reply();
+  log_transfer();
+}
+
+fn cmd_stor() {
+  check_path_access();
+  var fd = sys("open");
+  if (fd < 1) {
+    send_reply();
+    return;
+  }
+  var data = open_data_connection();
+  if (data > 0) {
+    var chunks = input() % 8 + 1;
+    while (chunks > 0) {
+      sys("recv");
+      sys("write");
+      chunks = chunks - 1;
+    }
+    close_data_connection();
+  }
+  sys("close");
+  sys("chmod");
+  send_reply();
+  log_transfer();
+}
+
+fn cmd_mkd() {
+  check_path_access();
+  sys("mkdir");
+  send_reply();
+}
+
+fn cmd_dele() {
+  check_path_access();
+  var is_dir = input() % 2;
+  if (is_dir == 1) {
+    sys("rmdir");
+  } else {
+    sys("unlink");
+  }
+  send_reply();
+}
+
+fn cmd_size() {
+  sys("stat");
+  lib("sprintf");
+  send_reply();
+}
+
+fn cmd_pwd() {
+  sys("getcwd");
+  send_reply();
+}
+
+fn check_path_access() {
+  lib("strlen");
+  lib("strstr");
+  sys("stat");
+}
+
+fn open_data_connection() {
+  var passive = input() % 2;
+  if (passive == 1) {
+    sys("socket");
+    sys("bind");
+    sys("listen");
+    var fd = sys("accept");
+    return fd;
+  }
+  sys("socket");
+  var c = sys("connect");
+  return c;
+}
+
+fn close_data_connection() {
+  sys("shutdown");
+  sys("close");
+}
+
+fn send_reply() {
+  lib("sprintf");
+  sys("send");
+}
+
+fn log_transfer() {
+  sys("time");
+  lib("sprintf");
+  sys("write");
+}
+
+fn shutdown_server() {
+  sys("close");
+  lib("free");
+  lib("free");
+}
+)";
+
+}  // namespace
+
+ProgramSuite make_proftpd_suite() {
+  SuiteInfo info;
+  info.name = "proftpd";
+  info.description =
+      "FTP server: session accept/auth loop, control+data connections, "
+      "directory and transfer commands";
+  info.paper_test_cases = 400;  // session workload, Section V-A
+  InputSpec spec;
+  spec.min_inputs = 16;
+  spec.max_inputs = 96;
+  spec.max_value = 99;
+  return ProgramSuite(info, kProftpdSource, spec);
+}
+
+}  // namespace cmarkov::workload

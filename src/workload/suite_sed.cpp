@@ -1,0 +1,239 @@
+// sed analogue: compile an edit script, then run it over input streams —
+// per-line read, address matching, substitute/delete/print command
+// execution, pattern-space maintenance.
+#include "src/workload/program_suite.hpp"
+
+namespace cmarkov::workload {
+
+namespace {
+
+const char* const kSedSource = R"(
+fn main() {
+  startup();
+  var cmds = compile_script();
+  var files = input() % 4 + 1;
+  while (files > 0) {
+    process_file(cmds);
+    files = files - 1;
+  }
+  finish_output();
+  sys("exit_group");
+}
+
+fn startup() {
+  sys("brk");
+  lib("setlocale");
+  lib("getenv");
+  sys("rt_sigaction");
+  lib("malloc");
+}
+
+fn compile_script() {
+  var from_file = input() % 2;
+  if (from_file == 1) {
+    sys("open");
+    sys("read");
+    sys("close");
+  }
+  var cmds = input() % 6 + 1;
+  var left = cmds;
+  while (left > 0) {
+    compile_command();
+    left = left - 1;
+  }
+  return cmds;
+}
+
+fn compile_command() {
+  var kind = input() % 4;
+  compile_address();
+  if (kind == 0) {
+    compile_substitute();
+  } else {
+    if (kind == 1) {
+      lib("strchr");
+    } else {
+      lib("malloc");
+    }
+  }
+}
+
+fn compile_address() {
+  var has_regex = input() % 2;
+  if (has_regex == 1) {
+    lib("regcomp");
+  } else {
+    lib("atoi");
+  }
+}
+
+fn compile_substitute() {
+  lib("regcomp");
+  lib("malloc");
+  lib("strcpy");
+}
+
+fn process_file(cmds) {
+  var fd = sys("open");
+  if (fd < 1) {
+    io_error();
+    return;
+  }
+  var in_place = input() % 4;
+  if (in_place == 0) {
+    open_inplace_temp();
+  }
+  var lines = input() % 10 + 1;
+  while (lines > 0) {
+    var n = read_line();
+    if (n > 0) {
+      execute_program(cmds);
+    }
+    lines = lines - 1;
+  }
+  sys("close");
+  if (in_place == 0) {
+    finish_inplace_edit();
+  }
+}
+
+fn open_inplace_temp() {
+  lib("sprintf");
+  sys("open");
+  sys("fstat");
+}
+
+fn finish_inplace_edit() {
+  sys("fsync");
+  sys("close");
+  sys("rename");
+  sys("chmod");
+}
+
+fn read_line() {
+  var n = sys("read");
+  lib("memchr");
+  return n;
+}
+
+fn execute_program(cmds) {
+  var left = cmds;
+  var deleted = 0;
+  while (left > 0) {
+    if (deleted == 0) {
+      var act = match_address();
+      if (act > 0) {
+        deleted = execute_command();
+      }
+    }
+    left = left - 1;
+  }
+  if (deleted == 0) {
+    output_line();
+  }
+}
+
+fn match_address() {
+  var regex = input() % 2;
+  if (regex == 1) {
+    var r = lib("regexec");
+    if (r == 0) {
+      return 1;
+    }
+    return 0;
+  }
+  return 1;
+}
+
+fn execute_command() {
+  var kind = input() % 6;
+  if (kind == 0) {
+    do_substitute();
+    return 0;
+  }
+  if (kind == 1) {
+    return 1;
+  }
+  if (kind == 2) {
+    append_hold_space();
+    return 0;
+  }
+  if (kind == 3) {
+    do_transliterate();
+    return 0;
+  }
+  if (kind == 4) {
+    write_to_file();
+    return 0;
+  }
+  output_line();
+  return 0;
+}
+
+fn do_transliterate() {
+  var chars = input() % 5 + 1;
+  while (chars > 0) {
+    lib("strchr");
+    chars = chars - 1;
+  }
+}
+
+fn write_to_file() {
+  var fd = sys("open");
+  if (fd < 1) {
+    io_error();
+    return;
+  }
+  sys("write");
+  sys("close");
+}
+
+fn do_substitute() {
+  var hits = input() % 3;
+  lib("regexec");
+  while (hits > 0) {
+    lib("memmove");
+    lib("memcpy");
+    hits = hits - 1;
+  }
+}
+
+fn append_hold_space() {
+  lib("realloc");
+  lib("memcpy");
+}
+
+fn output_line() {
+  lib("fwrite");
+  sys("write");
+}
+
+fn io_error() {
+  lib("strerror");
+  lib("fprintf");
+}
+
+fn finish_output() {
+  lib("fflush");
+  lib("free");
+  sys("close");
+}
+)";
+
+}  // namespace
+
+ProgramSuite make_sed_suite() {
+  SuiteInfo info;
+  info.name = "sed";
+  info.description =
+      "stream editor: script compilation, per-line command execution, "
+      "pattern/hold space edits";
+  info.paper_test_cases = 370;
+  InputSpec spec;
+  spec.min_inputs = 10;
+  spec.max_inputs = 60;
+  spec.max_value = 99;
+  return ProgramSuite(info, kSedSource, spec);
+}
+
+}  // namespace cmarkov::workload

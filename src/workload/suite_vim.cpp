@@ -1,0 +1,420 @@
+// vim analogue: modal editor event loop — buffer loading, normal/insert/ex
+// command dispatch, undo recording, screen redraw, swap-file syncing and
+// file write-out. Deep per-feature call chains give libc calls many
+// contexts (the paper's vim libcall model has 829 states).
+#include "src/workload/program_suite.hpp"
+
+namespace cmarkov::workload {
+
+namespace {
+
+const char* const kVimSource = R"(
+fn main() {
+  startup();
+  load_buffer();
+  var events = input() % 14 + 2;
+  while (events > 0) {
+    var key = sys("read");
+    dispatch_key(key);
+    maybe_redraw();
+    events = events - 1;
+  }
+  quit_editor();
+  sys("exit_group");
+}
+
+fn startup() {
+  sys("brk");
+  sys("brk");
+  lib("setlocale");
+  lib("getenv");
+  lib("getenv");
+  sys("ioctl");
+  sys("ioctl");
+  sys("rt_sigaction");
+  sys("rt_sigaction");
+  sys("rt_sigaction");
+  lib("malloc");
+  init_highlighting();
+  open_swap_file();
+}
+
+fn init_highlighting() {
+  var groups = input() % 5 + 2;
+  while (groups > 0) {
+    lib("malloc");
+    lib("strcpy");
+    groups = groups - 1;
+  }
+}
+
+fn open_swap_file() {
+  sys("open");
+  sys("fstat");
+  sys("write");
+}
+
+fn load_buffer() {
+  var fd = sys("open");
+  if (fd < 1) {
+    new_empty_buffer();
+    return;
+  }
+  sys("fstat");
+  var chunks = input() % 8 + 1;
+  while (chunks > 0) {
+    sys("read");
+    append_lines();
+    chunks = chunks - 1;
+  }
+  sys("close");
+}
+
+fn new_empty_buffer() {
+  lib("calloc");
+  lib("memset");
+}
+
+fn append_lines() {
+  var lines = input() % 4 + 1;
+  while (lines > 0) {
+    lib("malloc");
+    lib("memcpy");
+    lines = lines - 1;
+  }
+}
+
+fn dispatch_key(key) {
+  var mode = key % 6;
+  if (mode == 0) {
+    normal_command(key);
+  } else {
+    if (mode == 1) {
+      insert_text();
+    } else {
+      if (mode == 2) {
+        ex_command();
+      } else {
+        if (mode == 3) {
+          visual_selection();
+        } else {
+          if (mode == 4) {
+            replay_macro();
+          } else {
+            move_cursor();
+          }
+        }
+      }
+    }
+  }
+}
+
+fn visual_selection() {
+  var motions = input() % 4 + 1;
+  while (motions > 0) {
+    move_cursor();
+    highlight_region();
+    motions = motions - 1;
+  }
+  var op = input() % 3;
+  if (op == 0) {
+    delete_text();
+  } else {
+    if (op == 1) {
+      yank_text();
+    } else {
+      indent_region();
+    }
+  }
+}
+
+fn highlight_region() {
+  lib("memset");
+}
+
+fn indent_region() {
+  record_undo();
+  var lines = input() % 4 + 1;
+  while (lines > 0) {
+    lib("memmove");
+    lines = lines - 1;
+  }
+  mark_dirty();
+}
+
+fn replay_macro() {
+  var keys = input() % 5 + 1;
+  while (keys > 0) {
+    var key = lib("memchr");
+    normal_command(key);
+    keys = keys - 1;
+  }
+}
+
+fn normal_command(key) {
+  var op = key % 5;
+  if (op == 0) {
+    delete_text();
+  } else {
+    if (op == 1) {
+      yank_text();
+    } else {
+      if (op == 2) {
+        paste_text();
+      } else {
+        if (op == 3) {
+          search_pattern();
+        } else {
+          move_cursor();
+        }
+      }
+    }
+  }
+}
+
+fn delete_text() {
+  record_undo();
+  lib("memmove");
+  lib("free");
+  mark_dirty();
+}
+
+fn yank_text() {
+  lib("malloc");
+  lib("memcpy");
+}
+
+fn paste_text() {
+  record_undo();
+  lib("malloc");
+  lib("memcpy");
+  mark_dirty();
+}
+
+fn insert_text() {
+  record_undo();
+  var chars = input() % 5 + 1;
+  while (chars > 0) {
+    lib("memmove");
+    chars = chars - 1;
+  }
+  mark_dirty();
+}
+
+fn search_pattern() {
+  lib("regcomp");
+  var lines = input() % 6 + 1;
+  while (lines > 0) {
+    var r = lib("regexec");
+    if (r == 0) {
+      return;
+    }
+    lines = lines - 1;
+  }
+  lib("fprintf");
+}
+
+fn move_cursor() {
+  lib("memchr");
+}
+
+fn ex_command() {
+  var kind = input() % 7;
+  if (kind == 0) {
+    write_buffer();
+  } else {
+    if (kind == 1) {
+      substitute_lines();
+    } else {
+      if (kind == 2) {
+        set_option();
+      } else {
+        if (kind == 3) {
+          edit_other_file();
+        } else {
+          if (kind == 4) {
+            jump_to_tag();
+          } else {
+            if (kind == 5) {
+              spell_check();
+            } else {
+              shell_filter();
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+fn edit_other_file() {
+  var modified = input() % 2;
+  if (modified == 1) {
+    write_buffer();
+  }
+  lib("free");
+  load_buffer();
+}
+
+fn jump_to_tag() {
+  var fd = sys("open");
+  if (fd < 1) {
+    lib("fprintf");
+    return;
+  }
+  var entries = input() % 5 + 1;
+  while (entries > 0) {
+    sys("read");
+    var r = lib("strcmp");
+    if (r == 0) {
+      sys("close");
+      edit_other_file();
+      return;
+    }
+    entries = entries - 1;
+  }
+  sys("close");
+  lib("fprintf");
+}
+
+fn spell_check() {
+  load_spell_file();
+  var words = input() % 6 + 1;
+  var bad = 0;
+  while (words > 0) {
+    var r = lib("bsearch");
+    if (r == 0) {
+      bad = bad + 1;
+      highlight_region();
+    }
+    words = words - 1;
+  }
+  if (bad > 0) {
+    lib("sprintf");
+    sys("write");
+  }
+}
+
+fn load_spell_file() {
+  var loaded = input() % 3;
+  if (loaded == 0) {
+    sys("open");
+    sys("mmap");
+    sys("close");
+  }
+}
+
+fn write_buffer() {
+  var fd = sys("open");
+  if (fd < 1) {
+    lib("fprintf");
+    return;
+  }
+  var chunks = input() % 6 + 1;
+  while (chunks > 0) {
+    sys("write");
+    chunks = chunks - 1;
+  }
+  sys("fsync");
+  sys("close");
+  clear_dirty();
+}
+
+fn substitute_lines() {
+  lib("regcomp");
+  var lines = input() % 5 + 1;
+  while (lines > 0) {
+    var r = lib("regexec");
+    if (r == 0) {
+      record_undo();
+      lib("memcpy");
+      mark_dirty();
+    }
+    lines = lines - 1;
+  }
+}
+
+fn set_option() {
+  lib("strcmp");
+  lib("strcpy");
+}
+
+fn shell_filter() {
+  sys("pipe");
+  sys("fork");
+  var child = input() % 2;
+  if (child == 1) {
+    sys("dup2");
+    sys("execve");
+  }
+  sys("wait4");
+  sys("read");
+  record_undo();
+}
+
+fn record_undo() {
+  lib("malloc");
+  lib("memcpy");
+}
+
+fn mark_dirty() {
+  sync_swap();
+}
+
+fn clear_dirty() {
+  lib("memset");
+}
+
+fn sync_swap() {
+  var due = input() % 3;
+  if (due == 0) {
+    sys("lseek");
+    sys("write");
+  }
+}
+
+fn maybe_redraw() {
+  var dirty = input() % 2;
+  if (dirty == 1) {
+    draw_screen();
+  }
+}
+
+fn draw_screen() {
+  var rows = input() % 5 + 1;
+  while (rows > 0) {
+    lib("memcpy");
+    rows = rows - 1;
+  }
+  sys("write");
+}
+
+fn quit_editor() {
+  var modified = input() % 2;
+  if (modified == 1) {
+    write_buffer();
+  }
+  sys("unlink");
+  sys("ioctl");
+  lib("free");
+  lib("free");
+}
+)";
+
+}  // namespace
+
+ProgramSuite make_vim_suite() {
+  SuiteInfo info;
+  info.name = "vim";
+  info.description =
+      "modal editor: event loop over normal/insert/ex commands, undo log, "
+      "swap syncing, screen redraw";
+  info.paper_test_cases = 936;
+  InputSpec spec;
+  spec.min_inputs = 16;
+  spec.max_inputs = 96;
+  spec.max_value = 99;
+  return ProgramSuite(info, kVimSource, spec);
+}
+
+}  // namespace cmarkov::workload

@@ -1,0 +1,31 @@
+#include "src/workload/testcase_generator.hpp"
+
+#include "src/trace/interpreter.hpp"
+#include "src/trace/symbolizer.hpp"
+
+namespace cmarkov::workload {
+
+TraceCollection collect_traces(const ProgramSuite& suite, std::size_t count,
+                               std::uint64_t seed) {
+  TraceCollection out;
+  const trace::Interpreter interpreter(suite.cfg());
+  const trace::Symbolizer symbolizer(suite.cfg());
+  trace::CoverageTracker coverage(suite.cfg());
+
+  for (const TestCase& tc : suite.make_test_cases(count, seed)) {
+    trace::SeededEnvironment environment(tc.environment_seed);
+    trace::RunResult run =
+        interpreter.run(tc.inputs, environment, &coverage);
+    if (!run.completed) {
+      ++out.incomplete_runs;
+      continue;
+    }
+    symbolizer.symbolize(run.trace);
+    out.total_events += run.trace.events.size();
+    out.traces.push_back(std::move(run.trace));
+  }
+  out.coverage = coverage.summary();
+  return out;
+}
+
+}  // namespace cmarkov::workload

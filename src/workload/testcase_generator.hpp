@@ -1,0 +1,28 @@
+// Batch execution of a suite's test cases: runs the interpreter over
+// generated inputs, symbolizes traces (addr2line stage) and accumulates
+// coverage — producing the "normal traces" every experiment trains on.
+#pragma once
+
+#include <cstdint>
+
+#include "src/trace/coverage.hpp"
+#include "src/trace/event.hpp"
+#include "src/workload/program_suite.hpp"
+
+namespace cmarkov::workload {
+
+struct TraceCollection {
+  /// Symbolized normal traces, one per completed test case.
+  std::vector<trace::Trace> traces;
+  trace::CoverageSummary coverage;
+  std::size_t total_events = 0;
+  /// Runs that hit the interpreter's step/depth guard (excluded from
+  /// `traces`).
+  std::size_t incomplete_runs = 0;
+};
+
+/// Runs `count` seeded test cases of the suite and returns their traces.
+TraceCollection collect_traces(const ProgramSuite& suite, std::size_t count,
+                               std::uint64_t seed);
+
+}  // namespace cmarkov::workload

@@ -1,0 +1,204 @@
+// Unit tests for the aggregation operation (Section IV): callee inlining,
+// context preservation, silent pass-through closure, recursion handling.
+#include <gtest/gtest.h>
+
+#include "src/analysis/aggregation.hpp"
+#include "src/cfg/cfg_builder.hpp"
+#include "src/ir/module.hpp"
+
+namespace cmarkov::analysis {
+namespace {
+
+AggregatedProgram aggregate(const char* source,
+                            FunctionMatrixOptions options = {}) {
+  const auto module =
+      cfg::build_module_cfg(ir::ProgramModule::from_source("t", source));
+  const auto graph = cfg::CallGraph::build(module);
+  static const UniformBranchHeuristic heuristic;
+  return aggregate_program(module, graph, heuristic, options);
+}
+
+CallSymbol sys_at(const std::string& name, const std::string& fn) {
+  return CallSymbol::external(ir::CallKind::kSyscall, name, fn);
+}
+
+TEST(AggregationTest, ProgramMatrixHasNoInternalSymbols) {
+  const auto result = aggregate(R"(
+fn c() { sys("c1"); }
+fn b() { c(); sys("b1"); }
+fn a() { b(); }
+fn main() { a(); }
+)");
+  for (std::size_t i = 0; i < result.program_matrix.size(); ++i) {
+    EXPECT_NE(result.program_matrix.symbol(i).kind,
+              CallSymbol::Kind::kInternal);
+  }
+}
+
+TEST(AggregationTest, InliningChainsCallerAndCalleeCalls) {
+  const auto result = aggregate(R"(
+fn helper() { sys("h"); }
+fn main() { sys("a"); helper(); sys("b"); }
+)");
+  const auto& m = result.program_matrix;
+  // a -> (enter helper) -> h, then h -> (return) -> b.
+  EXPECT_DOUBLE_EQ(m.prob(sys_at("a", "main"), sys_at("h", "helper")), 1.0);
+  EXPECT_DOUBLE_EQ(m.prob(sys_at("h", "helper"), sys_at("b", "main")), 1.0);
+  EXPECT_DOUBLE_EQ(m.prob(CallSymbol::entry("main"), sys_at("a", "main")),
+                   1.0);
+}
+
+TEST(AggregationTest, ContextIsPreservedThroughInlining) {
+  // write@f stays write@f after f is inlined into g and g into main
+  // (Section IV's aggregation example).
+  const auto result = aggregate(R"(
+fn f() { sys("write"); }
+fn g() { f(); }
+fn main() { g(); }
+)");
+  EXPECT_TRUE(result.program_matrix.contains(sys_at("write", "f")));
+  EXPECT_FALSE(result.program_matrix.contains(sys_at("write", "g")));
+  EXPECT_FALSE(result.program_matrix.contains(sys_at("write", "main")));
+}
+
+TEST(AggregationTest, SilentCalleeIsPassThrough) {
+  const auto result = aggregate(R"(
+fn quiet() { var x = 1; }
+fn main() { sys("a"); quiet(); sys("b"); }
+)");
+  EXPECT_DOUBLE_EQ(
+      result.program_matrix.prob(sys_at("a", "main"), sys_at("b", "main")),
+      1.0);
+}
+
+TEST(AggregationTest, ConditionallySilentCalleeSplitsMass) {
+  const auto result = aggregate(R"(
+fn maybe() { if (input()) { sys("m"); } }
+fn main() { sys("a"); maybe(); sys("b"); }
+)");
+  const auto& m = result.program_matrix;
+  EXPECT_DOUBLE_EQ(m.prob(sys_at("a", "main"), sys_at("m", "maybe")), 0.5);
+  EXPECT_DOUBLE_EQ(m.prob(sys_at("a", "main"), sys_at("b", "main")), 0.5);
+  EXPECT_DOUBLE_EQ(m.prob(sys_at("m", "maybe"), sys_at("b", "main")), 0.5);
+}
+
+TEST(AggregationTest, CalleeInternalTransitionsScaleByInvocations) {
+  // helper is invoked from two sites; its inner h1->h2 transition should
+  // appear with the total invocation mass (2 invocations per main run).
+  const auto result = aggregate(R"(
+fn helper() { sys("h1"); sys("h2"); }
+fn main() { helper(); helper(); }
+)");
+  const auto& m = result.program_matrix;
+  EXPECT_DOUBLE_EQ(m.prob(sys_at("h1", "helper"), sys_at("h2", "helper")),
+                   2.0);
+  // Between invocations: h2 -> h1.
+  EXPECT_DOUBLE_EQ(m.prob(sys_at("h2", "helper"), sys_at("h1", "helper")),
+                   1.0);
+  EXPECT_DOUBLE_EQ(m.prob(sys_at("h2", "helper"), CallSymbol::exit("main")),
+                   1.0);
+}
+
+TEST(AggregationTest, SelfRecursionBecomesPassThrough) {
+  const auto result = aggregate(R"(
+fn f(n) {
+  sys("a");
+  if (n > 0) { f(n - 1); }
+  sys("b");
+}
+fn main() { f(3); }
+)");
+  const auto& m = result.program_matrix;
+  // The recursive site is transparent: a -> b both with and without the
+  // recursion branch; total a -> b mass is 1 (0.5 direct + 0.5 through the
+  // pass-through site).
+  EXPECT_NEAR(m.prob(sys_at("a", "f"), sys_at("b", "f")), 1.0, 1e-9);
+}
+
+TEST(AggregationTest, MutualRecursionStillResolves) {
+  const auto result = aggregate(R"(
+fn ping(n) { sys("p"); if (n > 0) { pong(n - 1); } }
+fn pong(n) { sys("q"); if (n > 0) { ping(n - 1); } }
+fn main() { ping(4); }
+)");
+  for (std::size_t i = 0; i < result.program_matrix.size(); ++i) {
+    EXPECT_NE(result.program_matrix.symbol(i).kind,
+              CallSymbol::Kind::kInternal);
+  }
+  EXPECT_TRUE(result.program_matrix.contains(sys_at("p", "ping")));
+}
+
+TEST(AggregationTest, PerFunctionMatricesExposed) {
+  const auto result = aggregate(R"(
+fn helper() { sys("h"); }
+fn main() { helper(); }
+)");
+  ASSERT_TRUE(result.per_function.contains("helper"));
+  ASSERT_TRUE(result.per_function.contains("main"));
+  const auto& helper = result.per_function.at("helper");
+  EXPECT_DOUBLE_EQ(
+      helper.prob(CallSymbol::entry("helper"), sys_at("h", "helper")), 1.0);
+}
+
+TEST(AggregationTest, TimingsRecordedWhenRequested) {
+  const auto module = cfg::build_module_cfg(ir::ProgramModule::from_source(
+      "t", "fn helper() { sys(\"h\"); } fn main() { helper(); }"));
+  const auto graph = cfg::CallGraph::build(module);
+  const UniformBranchHeuristic heuristic;
+  PhaseTimer timings;
+  aggregate_program(module, graph, heuristic, {}, &timings);
+  EXPECT_EQ(timings.count("probability"), 2u);
+  EXPECT_EQ(timings.count("aggregation"), 2u);
+}
+
+TEST(SummarizeCalleeTest, ExtractsEntryExitAndPassThrough) {
+  const auto result = aggregate(R"(
+fn maybe() { if (input()) { sys("m"); } }
+fn main() { maybe(); }
+)");
+  const CalleeSummary summary =
+      summarize_callee(result.per_function.at("maybe"));
+  EXPECT_NEAR(summary.pass_through, 0.5, 1e-12);
+  ASSERT_EQ(summary.entry_dist.size(), 1u);
+  EXPECT_EQ(summary.entry_dist[0].first.name, "m");
+  EXPECT_NEAR(summary.entry_dist[0].second, 0.5, 1e-12);
+  ASSERT_EQ(summary.exit_counts.size(), 1u);
+  EXPECT_NEAR(summary.exit_counts[0].second, 0.5, 1e-12);
+}
+
+TEST(SummarizeCalleeTest, RejectsUnresolvedMatrix) {
+  CallTransitionMatrix m;
+  m.add_symbol(CallSymbol::entry("f"));
+  m.add_symbol(CallSymbol::exit("f"));
+  m.add_symbol(CallSymbol::internal("g"));
+  EXPECT_THROW(summarize_callee(m), std::invalid_argument);
+}
+
+TEST(ResolveInternalSymbolTest, GeometricSilentChainClosure) {
+  // Hand-built matrix: x -> s (1.0), s -> s (0.5), s -> y (0.5), with a
+  // fully silent callee. Eliminating s must route all of x's mass to y.
+  CallTransitionMatrix m;
+  const auto entry = CallSymbol::entry("f");
+  const auto exit = CallSymbol::exit("f");
+  const auto x = CallSymbol::external(ir::CallKind::kSyscall, "x", "f");
+  const auto y = CallSymbol::external(ir::CallKind::kSyscall, "y", "f");
+  const auto s = CallSymbol::internal("g");
+  const auto ei = m.add_symbol(entry);
+  const auto xi = m.add_symbol(x);
+  const auto yi = m.add_symbol(y);
+  const auto si = m.add_symbol(s);
+  const auto oi = m.add_symbol(exit);
+  m.set_prob(ei, xi, 1.0);
+  m.set_prob(xi, si, 1.0);
+  m.set_prob(si, si, 0.5);
+  m.set_prob(si, yi, 0.5);
+  m.set_prob(yi, oi, 1.0);
+
+  const CallTransitionMatrix resolved =
+      resolve_internal_symbol(m, s, nullptr);
+  EXPECT_FALSE(resolved.contains(s));
+  EXPECT_NEAR(resolved.prob(x, y), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace cmarkov::analysis

@@ -1,0 +1,126 @@
+// Tests for the programmatic AST builder and its expression DSL.
+#include <gtest/gtest.h>
+
+#include "src/cfg/cfg_builder.hpp"
+#include "src/ir/builder.hpp"
+#include "src/ir/sema.hpp"
+#include "src/trace/interpreter.hpp"
+
+namespace cmarkov::ir {
+namespace {
+
+using namespace dsl;
+
+TEST(BuilderTest, BuildsRunnableProgram) {
+  FunctionBuilder helper("helper", {"n"});
+  helper.ret(add(var("n"), lit(1)));
+
+  FunctionBuilder main_fn("main");
+  main_fn.declare("x", lit(41));
+  main_fn.assign("x", call("helper", [] {
+                    std::vector<ExprPtr> args;
+                    args.push_back(var("x"));
+                    return args;
+                  }()));
+  main_fn.ret(var("x"));
+
+  ProgramBuilder program;
+  program.add(helper);
+  program.add(main_fn);
+  const ProgramModule module = program.build_module("built");
+
+  const auto cfg = cfg::build_module_cfg(module);
+  const trace::Interpreter interpreter(cfg);
+  trace::SeededEnvironment environment(1);
+  const auto result = interpreter.run({}, environment);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.exit_value, 42);
+}
+
+TEST(BuilderTest, CallStatementsEmitTraceEvents) {
+  FunctionBuilder main_fn("main");
+  main_fn.syscall("open").libcall("malloc").syscall("close");
+  ProgramBuilder program;
+  program.add(main_fn);
+  const ProgramModule module = program.build_module("calls");
+
+  const auto cfg = cfg::build_module_cfg(module);
+  const trace::Interpreter interpreter(cfg);
+  trace::SeededEnvironment environment(1);
+  const auto result = interpreter.run({}, environment);
+  ASSERT_EQ(result.trace.events.size(), 3u);
+  EXPECT_EQ(result.trace.events[0].name, "open");
+  EXPECT_EQ(result.trace.events[1].kind, CallKind::kLibcall);
+}
+
+TEST(BuilderTest, IfElseAndLoopControlFlow) {
+  // sum = sum of 1..n via builder-constructed while loop.
+  FunctionBuilder main_fn("main");
+  main_fn.declare("n", in());
+  main_fn.declare("sum", lit(0));
+  std::vector<StmtPtr> body;
+  body.push_back(make_assign("sum", add(var("sum"), var("n"))));
+  body.push_back(make_assign("n", sub(var("n"), lit(1))));
+  main_fn.loop(gt(var("n"), lit(0)), std::move(body));
+
+  std::vector<StmtPtr> then_branch;
+  then_branch.push_back(make_return(var("sum")));
+  std::vector<StmtPtr> else_branch;
+  else_branch.push_back(make_return(lit(0)));
+  main_fn.if_else(gt(var("sum"), lit(5)), std::move(then_branch),
+                  std::move(else_branch));
+
+  ProgramBuilder program;
+  program.add(main_fn);
+  const ProgramModule module = program.build_module("loops");
+
+  const auto cfg = cfg::build_module_cfg(module);
+  const trace::Interpreter interpreter(cfg);
+  trace::SeededEnvironment environment(1);
+  EXPECT_EQ(interpreter.run(std::vector<std::int64_t>{4}, environment)
+                .exit_value,
+            10);
+  EXPECT_EQ(interpreter.run(std::vector<std::int64_t>{2}, environment)
+                .exit_value,
+            0);
+}
+
+TEST(BuilderTest, DslOperatorsLowerToExpectedSemantics) {
+  FunctionBuilder main_fn("main");
+  main_fn.ret(add(mod(lit(17), lit(5)), eq(lit(3), lit(3))));  // 2 + 1
+  ProgramBuilder program;
+  program.add(main_fn);
+  const ProgramModule module = program.build_module("dsl");
+  const auto cfg = cfg::build_module_cfg(module);
+  const trace::Interpreter interpreter(cfg);
+  trace::SeededEnvironment environment(1);
+  EXPECT_EQ(interpreter.run({}, environment).exit_value, 3);
+}
+
+TEST(BuilderTest, BuildModuleRunsSemanticChecks) {
+  FunctionBuilder main_fn("main");
+  main_fn.call("missing_function");
+  ProgramBuilder program;
+  program.add(main_fn);
+  EXPECT_THROW(program.build_module("bad"), SemaError);
+}
+
+TEST(BuilderTest, BuiltAstRoundTripsThroughSource) {
+  FunctionBuilder main_fn("main");
+  main_fn.declare("x", in());
+  std::vector<StmtPtr> then_branch;
+  then_branch.push_back(make_expr_stmt(sys("write")));
+  main_fn.if_else(lt(var("x"), lit(10)), std::move(then_branch));
+  ProgramBuilder program;
+  program.add(main_fn);
+  const ProgramModule module = program.build_module("roundtrip");
+
+  // Printed source parses back to an equivalent program.
+  const ProgramModule reparsed =
+      ProgramModule::from_source("again", module.source());
+  EXPECT_EQ(reparsed.stats().statements, module.stats().statements);
+  EXPECT_EQ(to_source(reparsed.program()), module.source());
+}
+
+}  // namespace
+}  // namespace cmarkov::ir

@@ -1,0 +1,192 @@
+// Unit tests for Definitions 4/5 and Equation 2: per-function
+// call-transition matrices, including virtual ENTRY/EXIT rows, call
+// filtering and loop handling.
+#include <gtest/gtest.h>
+
+#include "src/analysis/call_transition.hpp"
+#include "src/cfg/cfg_builder.hpp"
+#include "src/ir/module.hpp"
+
+namespace cmarkov::analysis {
+namespace {
+
+CallTransitionMatrix matrix_of(const char* source,
+                               FunctionMatrixOptions options = {},
+                               const char* function = "main") {
+  const auto module =
+      cfg::build_module_cfg(ir::ProgramModule::from_source("t", source));
+  static const UniformBranchHeuristic heuristic;
+  return function_call_transitions(module.require(function), heuristic,
+                                   options);
+}
+
+CallSymbol sys_at(const std::string& name, const std::string& fn) {
+  return CallSymbol::external(ir::CallKind::kSyscall, name, fn);
+}
+
+TEST(CallTransitionTest, StraightLineSequence) {
+  const auto m = matrix_of("fn main() { sys(\"a\"); sys(\"b\"); }");
+  const auto entry = CallSymbol::entry("main");
+  const auto exit = CallSymbol::exit("main");
+  EXPECT_DOUBLE_EQ(m.prob(entry, sys_at("a", "main")), 1.0);
+  EXPECT_DOUBLE_EQ(m.prob(sys_at("a", "main"), sys_at("b", "main")), 1.0);
+  EXPECT_DOUBLE_EQ(m.prob(sys_at("b", "main"), exit), 1.0);
+}
+
+TEST(CallTransitionTest, EmptyFunctionIsPassThrough) {
+  const auto m = matrix_of("fn main() { var x = 1; }");
+  EXPECT_DOUBLE_EQ(m.prob(CallSymbol::entry("main"), CallSymbol::exit("main")),
+                   1.0);
+  EXPECT_TRUE(m.external_indices().empty());
+}
+
+TEST(CallTransitionTest, BranchWeightsTransitions) {
+  const auto m = matrix_of(R"(
+fn main() {
+  if (input()) { sys("a"); } else { sys("b"); }
+  sys("c");
+}
+)");
+  const auto entry = CallSymbol::entry("main");
+  EXPECT_DOUBLE_EQ(m.prob(entry, sys_at("a", "main")), 0.5);
+  EXPECT_DOUBLE_EQ(m.prob(entry, sys_at("b", "main")), 0.5);
+  // Equation 2: P^r(a) * P[next=c] = 0.5 * 1.
+  EXPECT_DOUBLE_EQ(m.prob(sys_at("a", "main"), sys_at("c", "main")), 0.5);
+  EXPECT_DOUBLE_EQ(m.prob(sys_at("b", "main"), sys_at("c", "main")), 0.5);
+  EXPECT_DOUBLE_EQ(m.prob(sys_at("c", "main"), CallSymbol::exit("main")),
+                   1.0);
+}
+
+TEST(CallTransitionTest, SkipsNonCallNodesOnPath) {
+  // Arithmetic between the calls must not break the transition.
+  const auto m = matrix_of(R"(
+fn main() {
+  sys("a");
+  var x = 1 + 2 * 3;
+  x = x - 1;
+  sys("b");
+}
+)");
+  EXPECT_DOUBLE_EQ(m.prob(sys_at("a", "main"), sys_at("b", "main")), 1.0);
+}
+
+TEST(CallTransitionTest, SameNamedCallsMergeIntoOneSymbol) {
+  const auto m = matrix_of(R"(
+fn main() {
+  sys("dup");
+  sys("dup");
+  sys("end");
+}
+)");
+  // One symbol for both dup calls; self-transition dup->dup recorded.
+  EXPECT_DOUBLE_EQ(m.prob(sys_at("dup", "main"), sys_at("dup", "main")), 1.0);
+  EXPECT_DOUBLE_EQ(m.prob(sys_at("dup", "main"), sys_at("end", "main")), 1.0);
+}
+
+TEST(CallTransitionTest, SyscallFilterIgnoresLibcalls) {
+  FunctionMatrixOptions options;
+  options.filter = CallFilter::kSyscalls;
+  const auto m = matrix_of(R"(
+fn main() {
+  sys("a");
+  lib("noise");
+  lib("noise2");
+  sys("b");
+}
+)",
+                           options);
+  // Libcalls are transparent under the syscall filter.
+  EXPECT_DOUBLE_EQ(m.prob(sys_at("a", "main"), sys_at("b", "main")), 1.0);
+  EXPECT_EQ(m.external_indices().size(), 2u);
+}
+
+TEST(CallTransitionTest, LibcallFilterSymmetrically) {
+  FunctionMatrixOptions options;
+  options.filter = CallFilter::kLibcalls;
+  const auto m = matrix_of(R"(
+fn main() {
+  sys("noise");
+  lib("x");
+  lib("y");
+}
+)",
+                           options);
+  const auto lib_x =
+      CallSymbol::external(ir::CallKind::kLibcall, "x", "main");
+  const auto lib_y =
+      CallSymbol::external(ir::CallKind::kLibcall, "y", "main");
+  EXPECT_DOUBLE_EQ(m.prob(CallSymbol::entry("main"), lib_x), 1.0);
+  EXPECT_DOUBLE_EQ(m.prob(lib_x, lib_y), 1.0);
+}
+
+TEST(CallTransitionTest, InternalCallsBecomePlaceholderSymbols) {
+  const auto m = matrix_of(R"(
+fn helper() { sys("h"); }
+fn main() { sys("a"); helper(); sys("b"); }
+)");
+  const auto site = CallSymbol::internal("helper");
+  ASSERT_TRUE(m.contains(site));
+  EXPECT_DOUBLE_EQ(m.prob(sys_at("a", "main"), site), 1.0);
+  EXPECT_DOUBLE_EQ(m.prob(site, sys_at("b", "main")), 1.0);
+}
+
+TEST(CallTransitionTest, AcyclicCutDropsLoopRepeatMass) {
+  FunctionMatrixOptions options;
+  options.mode = PropagationMode::kAcyclicCut;
+  const auto m = matrix_of(R"(
+fn main() {
+  var n = input();
+  while (n > 0) { sys("body"); n = n - 1; }
+  sys("after");
+}
+)",
+                           options);
+  // The body's only successor path returns via the back edge, which is
+  // cut: no body->body or body->after transition statically.
+  EXPECT_DOUBLE_EQ(m.prob(sys_at("body", "main"), sys_at("body", "main")),
+                   0.0);
+  EXPECT_DOUBLE_EQ(m.prob(sys_at("body", "main"), sys_at("after", "main")),
+                   0.0);
+  EXPECT_DOUBLE_EQ(m.prob(CallSymbol::entry("main"), sys_at("body", "main")),
+                   0.5);
+}
+
+TEST(CallTransitionTest, FixpointModeCapturesLoopTransitions) {
+  FunctionMatrixOptions options;
+  options.mode = PropagationMode::kIterativeFixpoint;
+  const auto m = matrix_of(R"(
+fn main() {
+  var n = input();
+  while (n > 0) { sys("body"); n = n - 1; }
+  sys("after");
+}
+)",
+                           options);
+  // Expected visits of body = 1; from body the header re-enters with 0.5
+  // and exits with 0.5.
+  EXPECT_NEAR(m.prob(sys_at("body", "main"), sys_at("body", "main")), 0.5,
+              1e-9);
+  EXPECT_NEAR(m.prob(sys_at("body", "main"), sys_at("after", "main")), 0.5,
+              1e-9);
+  EXPECT_NEAR(m.prob(sys_at("after", "main"), CallSymbol::exit("main")), 1.0,
+              1e-9);
+}
+
+TEST(CallTransitionTest, EntryRowSumsToOne) {
+  const auto m = matrix_of(R"(
+fn main() {
+  if (input()) { sys("a"); } else { if (input()) { sys("b"); } }
+}
+)");
+  const std::size_t entry = m.index_of(CallSymbol::entry("main"));
+  EXPECT_NEAR(m.row_sum(entry), 1.0, 1e-12);
+}
+
+TEST(CallTransitionTest, UnreachableCallRegisteredWithZeroMass) {
+  const auto m = matrix_of("fn main() { return; sys(\"dead\"); }");
+  ASSERT_TRUE(m.contains(sys_at("dead", "main")));
+  EXPECT_DOUBLE_EQ(m.row_sum(m.index_of(sys_at("dead", "main"))), 0.0);
+}
+
+}  // namespace
+}  // namespace cmarkov::analysis

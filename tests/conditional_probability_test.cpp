@@ -1,0 +1,132 @@
+// Unit tests for Definition 2: conditional edge probabilities and branch
+// heuristics.
+#include <gtest/gtest.h>
+
+#include "src/analysis/conditional_probability.hpp"
+#include "src/cfg/cfg_builder.hpp"
+#include "src/ir/module.hpp"
+
+namespace cmarkov::analysis {
+namespace {
+
+cfg::ModuleCfg lower(const char* source) {
+  return cfg::build_module_cfg(ir::ProgramModule::from_source("t", source));
+}
+
+TEST(ConditionalProbabilityTest, JumpEdgesGetProbabilityOne) {
+  const auto module = lower("fn main() { sys(\"a\"); sys(\"b\"); }");
+  const auto& fn = module.require("main");
+  const UniformBranchHeuristic heuristic;
+  const auto edges = conditional_probabilities(fn, heuristic);
+  for (const auto& block : fn.blocks) {
+    if (std::holds_alternative<cfg::JumpTerm>(block.terminator)) {
+      ASSERT_EQ(edges.outgoing[block.id].size(), 1u);
+      EXPECT_DOUBLE_EQ(edges.outgoing[block.id][0].second, 1.0);
+    }
+  }
+}
+
+TEST(ConditionalProbabilityTest, UniformBranchSplitsEvenly) {
+  const auto module = lower(R"(
+fn main() {
+  if (input()) { sys("a"); } else { sys("b"); }
+}
+)");
+  const auto& fn = module.require("main");
+  const UniformBranchHeuristic heuristic;
+  const auto edges = conditional_probabilities(fn, heuristic);
+  const auto& entry = fn.block(fn.entry);
+  const auto* branch = std::get_if<cfg::BranchTerm>(&entry.terminator);
+  ASSERT_NE(branch, nullptr);
+  EXPECT_DOUBLE_EQ(edges.edge(fn.entry, branch->if_true), 0.5);
+  EXPECT_DOUBLE_EQ(edges.edge(fn.entry, branch->if_false), 0.5);
+}
+
+TEST(ConditionalProbabilityTest, OutgoingMassSumsToOneForNonReturn) {
+  const auto module = lower(R"(
+fn main() {
+  var n = input();
+  while (n > 0) {
+    if (n % 2 == 0) { sys("even"); } else { sys("odd"); }
+    n = n - 1;
+  }
+}
+)");
+  const auto& fn = module.require("main");
+  const UniformBranchHeuristic heuristic;
+  const auto edges = conditional_probabilities(fn, heuristic);
+  for (const auto& block : fn.blocks) {
+    if (std::holds_alternative<cfg::ReturnTerm>(block.terminator)) {
+      EXPECT_TRUE(edges.outgoing[block.id].empty());
+      continue;
+    }
+    double total = 0.0;
+    for (const auto& [succ, p] : edges.outgoing[block.id]) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(ConditionalProbabilityTest, EdgeLookupForMissingEdgeIsZero) {
+  const auto module = lower("fn main() { sys(\"a\"); }");
+  const auto& fn = module.require("main");
+  const UniformBranchHeuristic heuristic;
+  const auto edges = conditional_probabilities(fn, heuristic);
+  EXPECT_DOUBLE_EQ(edges.edge(fn.entry, 999), 0.0);
+  EXPECT_DOUBLE_EQ(edges.edge(999, fn.entry), 0.0);
+}
+
+TEST(ConditionalProbabilityTest, CanReachDetectsLoops) {
+  const auto module = lower(R"(
+fn main() {
+  var n = input();
+  while (n > 0) { n = n - 1; }
+  sys("done");
+}
+)");
+  const auto& fn = module.require("main");
+  const auto backs = fn.back_edges();
+  ASSERT_EQ(backs.size(), 1u);
+  // The loop body can reach the header (that is what makes it a loop).
+  EXPECT_TRUE(can_reach(fn, backs[0].first, backs[0].second));
+}
+
+TEST(LoopBiasedHeuristicTest, BiasesLoopEntryEdges) {
+  const auto module = lower(R"(
+fn main() {
+  var n = input();
+  while (n > 0) { n = n - 1; }
+  if (n == 0) { sys("done"); }
+}
+)");
+  const auto& fn = module.require("main");
+  const LoopBiasedBranchHeuristic heuristic(0.9);
+  const auto edges = conditional_probabilities(fn, heuristic);
+
+  std::size_t biased = 0;
+  std::size_t uniform = 0;
+  for (const auto& block : fn.blocks) {
+    const auto* branch = std::get_if<cfg::BranchTerm>(&block.terminator);
+    if (branch == nullptr) continue;
+    const double p_true = edges.edge(block.id, branch->if_true);
+    if (p_true == 0.9) {
+      ++biased;  // the while-loop header
+    } else if (p_true == 0.5) {
+      ++uniform;  // the plain if
+    }
+  }
+  EXPECT_EQ(biased, 1u);
+  EXPECT_EQ(uniform, 1u);
+}
+
+TEST(LoopBiasedHeuristicTest, RejectsDegenerateProbability) {
+  EXPECT_THROW(LoopBiasedBranchHeuristic(0.0), std::invalid_argument);
+  EXPECT_THROW(LoopBiasedBranchHeuristic(1.0), std::invalid_argument);
+}
+
+TEST(BranchHeuristicFactoryTest, NamesAreDistinct) {
+  EXPECT_EQ(make_uniform_heuristic()->name(), "uniform");
+  EXPECT_EQ(make_loop_biased_heuristic()->name(), "loop-biased");
+}
+
+}  // namespace
+}  // namespace cmarkov::analysis

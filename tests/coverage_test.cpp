@@ -1,0 +1,109 @@
+// Unit tests for branch/line coverage accounting (Table I measurements).
+#include <gtest/gtest.h>
+
+#include "src/cfg/cfg_builder.hpp"
+#include "src/ir/module.hpp"
+#include "src/trace/coverage.hpp"
+#include "src/trace/interpreter.hpp"
+
+namespace cmarkov::trace {
+namespace {
+
+cfg::ModuleCfg lower(const char* source) {
+  return cfg::build_module_cfg(ir::ProgramModule::from_source("t", source));
+}
+
+TEST(CoverageTest, NoBranchesMeansFullBranchCoverage) {
+  const auto module = lower("fn main() { var x = 1; }");
+  CoverageTracker tracker(module);
+  const CoverageSummary summary = tracker.summary();
+  EXPECT_EQ(summary.branch_edges_total, 0u);
+  EXPECT_DOUBLE_EQ(summary.branch_coverage(), 1.0);
+}
+
+TEST(CoverageTest, BranchTotalsCountBothDirections) {
+  const auto module = lower(R"(
+fn main() {
+  if (input()) { } else { }
+  while (input()) { }
+}
+)");
+  CoverageTracker tracker(module);
+  EXPECT_EQ(tracker.summary().branch_edges_total, 4u);
+}
+
+TEST(CoverageTest, SingleRunCoversOneBranchDirection) {
+  const auto module = lower(R"(
+fn main() {
+  if (input() > 5) { sys("a"); } else { sys("b"); }
+}
+)");
+  const Interpreter interpreter(module);
+  SeededEnvironment environment(1);
+  CoverageTracker tracker(module);
+  interpreter.run(std::vector<std::int64_t>{9}, environment, &tracker);
+  const auto summary = tracker.summary();
+  EXPECT_EQ(summary.branch_edges_covered, 1u);
+  EXPECT_DOUBLE_EQ(summary.branch_coverage(), 0.5);
+}
+
+TEST(CoverageTest, BothDirectionsAccumulateAcrossRuns) {
+  const auto module = lower(R"(
+fn main() {
+  if (input() > 5) { sys("a"); } else { sys("b"); }
+}
+)");
+  const Interpreter interpreter(module);
+  SeededEnvironment environment(1);
+  CoverageTracker tracker(module);
+  interpreter.run(std::vector<std::int64_t>{9}, environment, &tracker);
+  interpreter.run(std::vector<std::int64_t>{1}, environment, &tracker);
+  EXPECT_DOUBLE_EQ(tracker.summary().branch_coverage(), 1.0);
+}
+
+TEST(CoverageTest, LineCoverageGrowsWithExecution) {
+  const auto module = lower(R"(
+fn main() {
+  var x = input();
+  if (x > 50) {
+    sys("rare");
+    sys("rare2");
+  }
+  sys("common");
+}
+)");
+  const Interpreter interpreter(module);
+  SeededEnvironment environment(1);
+  CoverageTracker tracker(module);
+  interpreter.run(std::vector<std::int64_t>{10}, environment, &tracker);
+  const auto partial = tracker.summary();
+  EXPECT_LT(partial.line_coverage(), 1.0);
+  EXPECT_GT(partial.line_coverage(), 0.0);
+
+  interpreter.run(std::vector<std::int64_t>{99}, environment, &tracker);
+  const auto full = tracker.summary();
+  EXPECT_GT(full.lines_covered, partial.lines_covered);
+  EXPECT_DOUBLE_EQ(full.line_coverage(), 1.0);
+}
+
+TEST(CoverageTest, UnknownFunctionMarksAreIgnored) {
+  const auto module = lower("fn main() { }");
+  CoverageTracker tracker(module);
+  tracker.on_block("ghost", 0);
+  tracker.on_block("main", 99);
+  EXPECT_EQ(tracker.summary().lines_covered, 0u);
+}
+
+TEST(CoverageTest, MultiFunctionTotalsAggregate) {
+  const auto module = lower(R"(
+fn a() { if (input()) { } }
+fn b() { if (input()) { } }
+fn main() { a(); b(); }
+)");
+  CoverageTracker tracker(module);
+  EXPECT_EQ(tracker.summary().branch_edges_total, 4u);
+  EXPECT_GT(tracker.summary().lines_total, 0u);
+}
+
+}  // namespace
+}  // namespace cmarkov::trace

@@ -1,0 +1,115 @@
+// Unit tests for the k-fold / termination-set splitting protocol.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/eval/cross_validation.hpp"
+
+namespace cmarkov::eval {
+namespace {
+
+std::vector<hmm::ObservationSeq> numbered_segments(std::size_t n) {
+  std::vector<hmm::ObservationSeq> out;
+  for (std::size_t i = 0; i < n; ++i) out.push_back({i});
+  return out;
+}
+
+TEST(CrossValidationTest, FoldCountAndSizes) {
+  Rng rng(1);
+  CrossValidationOptions options;
+  options.folds = 5;
+  const auto splits = k_fold_splits(numbered_segments(100), rng, options);
+  ASSERT_EQ(splits.size(), 5u);
+  for (const auto& split : splits) {
+    EXPECT_EQ(split.test.size(), 20u);
+    EXPECT_EQ(split.termination.size(), 16u);  // 20% of 80
+    EXPECT_EQ(split.train.size(), 64u);
+  }
+}
+
+TEST(CrossValidationTest, TestFoldsPartitionTheData) {
+  Rng rng(2);
+  CrossValidationOptions options;
+  options.folds = 4;
+  const auto segments = numbered_segments(41);
+  const auto splits = k_fold_splits(segments, rng, options);
+  std::multiset<std::size_t> seen;
+  for (const auto& split : splits) {
+    for (const auto& segment : split.test) seen.insert(segment[0]);
+  }
+  EXPECT_EQ(seen.size(), 41u);
+  for (std::size_t i = 0; i < 41; ++i) {
+    EXPECT_EQ(seen.count(i), 1u) << "segment " << i;
+  }
+}
+
+TEST(CrossValidationTest, SplitsAreDisjointWithinAFold) {
+  Rng rng(3);
+  CrossValidationOptions options;
+  options.folds = 3;
+  const auto splits = k_fold_splits(numbered_segments(60), rng, options);
+  for (const auto& split : splits) {
+    std::set<std::size_t> ids;
+    for (const auto* part : {&split.train, &split.termination, &split.test}) {
+      for (const auto& segment : *part) {
+        EXPECT_TRUE(ids.insert(segment[0]).second)
+            << "segment " << segment[0] << " in two parts";
+      }
+    }
+    EXPECT_EQ(ids.size(), 60u);
+  }
+}
+
+TEST(CrossValidationTest, TrainCapApplies) {
+  Rng rng(4);
+  CrossValidationOptions options;
+  options.folds = 2;
+  options.max_train_segments = 10;
+  const auto splits = k_fold_splits(numbered_segments(100), rng, options);
+  for (const auto& split : splits) {
+    EXPECT_EQ(split.train.size(), 10u);
+  }
+}
+
+TEST(CrossValidationTest, ZeroTerminationFraction) {
+  Rng rng(5);
+  CrossValidationOptions options;
+  options.folds = 2;
+  options.termination_fraction = 0.0;
+  const auto splits = k_fold_splits(numbered_segments(10), rng, options);
+  for (const auto& split : splits) {
+    EXPECT_TRUE(split.termination.empty());
+    EXPECT_EQ(split.train.size() + split.test.size(), 10u);
+  }
+}
+
+TEST(CrossValidationTest, DeterministicGivenSeed) {
+  Rng a(6);
+  Rng b(6);
+  CrossValidationOptions options;
+  options.folds = 3;
+  const auto sa = k_fold_splits(numbered_segments(30), a, options);
+  const auto sb = k_fold_splits(numbered_segments(30), b, options);
+  for (std::size_t f = 0; f < 3; ++f) {
+    EXPECT_EQ(sa[f].train, sb[f].train);
+    EXPECT_EQ(sa[f].test, sb[f].test);
+  }
+}
+
+TEST(CrossValidationTest, RejectsInvalidArguments) {
+  Rng rng(7);
+  CrossValidationOptions options;
+  options.folds = 1;
+  EXPECT_THROW(k_fold_splits(numbered_segments(10), rng, options),
+               std::invalid_argument);
+  options.folds = 20;
+  EXPECT_THROW(k_fold_splits(numbered_segments(10), rng, options),
+               std::invalid_argument);
+  options.folds = 2;
+  options.termination_fraction = 1.0;
+  EXPECT_THROW(k_fold_splits(numbered_segments(10), rng, options),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cmarkov::eval

@@ -1,0 +1,185 @@
+// Tests for the public Detector facade: build/train/classify lifecycle and
+// detection of context-violating attacks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/attack/exploit_driver.hpp"
+#include "src/core/detector.hpp"
+#include "src/workload/testcase_generator.hpp"
+
+namespace cmarkov::core {
+namespace {
+
+struct Fixture {
+  workload::ProgramSuite suite = workload::make_gzip_suite();
+  workload::TraceCollection collection =
+      workload::collect_traces(suite, 30, 77);
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+DetectorConfig quick_config() {
+  DetectorConfig config;
+  config.pipeline.filter = analysis::CallFilter::kSyscalls;
+  config.training.max_iterations = 8;
+  config.target_fp = 0.01;
+  return config;
+}
+
+TEST(DetectorTest, BuildProducesUntrainedModel) {
+  const Detector detector =
+      Detector::build(fixture().suite.module(), quick_config());
+  EXPECT_FALSE(detector.trained());
+  EXPECT_GT(detector.num_states(), 0u);
+  EXPECT_NO_THROW(detector.model().validate());
+  EXPECT_GT(detector.build_timings().total("probability"), 0.0);
+}
+
+TEST(DetectorTest, ClassifyBeforeTrainingThrows) {
+  const Detector detector =
+      Detector::build(fixture().suite.module(), quick_config());
+  EXPECT_THROW(detector.classify(fixture().collection.traces.front()),
+               std::logic_error);
+}
+
+TEST(DetectorTest, TrainCalibratesThreshold) {
+  Detector detector =
+      Detector::build(fixture().suite.module(), quick_config());
+  const auto report = detector.train(fixture().collection.traces);
+  EXPECT_TRUE(detector.trained());
+  EXPECT_GE(report.iterations, 1u);
+  EXPECT_TRUE(std::isfinite(detector.threshold()));
+}
+
+TEST(DetectorTest, NormalTracesMostlyPass) {
+  Detector detector =
+      Detector::build(fixture().suite.module(), quick_config());
+  detector.train(fixture().collection.traces);
+  const auto fresh = workload::collect_traces(fixture().suite, 10, 555);
+  std::size_t flagged_segments = 0;
+  std::size_t total_segments = 0;
+  for (const auto& trace : fresh.traces) {
+    const TraceVerdict verdict = detector.classify(trace);
+    flagged_segments += verdict.flagged_segments;
+    total_segments += verdict.total_segments;
+  }
+  ASSERT_GT(total_segments, 0u);
+  // Segment-level FP should be in the vicinity of the calibration target.
+  EXPECT_LT(static_cast<double>(flagged_segments) /
+                static_cast<double>(total_segments),
+            0.1);
+}
+
+TEST(DetectorTest, DetectsRopAttacks) {
+  Detector detector =
+      Detector::build(fixture().suite.module(), quick_config());
+  detector.train(fixture().collection.traces);
+  const auto attacks =
+      attack::build_attack_traces(fixture().suite, attack::gzip_payloads(),
+                                  1234);
+  ASSERT_FALSE(attacks.empty());
+  for (const auto& attack : attacks) {
+    const TraceVerdict verdict = detector.classify(attack.trace);
+    EXPECT_TRUE(verdict.anomalous) << attack.payload_name;
+    // At least one segment should be impossible (unknown context).
+    bool unknown = false;
+    for (const auto& sv : verdict.segments) {
+      unknown = unknown || sv.unknown_symbol;
+    }
+    EXPECT_TRUE(unknown) << attack.payload_name;
+  }
+}
+
+TEST(DetectorTest, ScoreReturnsMinSegmentLogLikelihood) {
+  Detector detector =
+      Detector::build(fixture().suite.module(), quick_config());
+  detector.train(fixture().collection.traces);
+  const auto& trace = fixture().collection.traces.front();
+  const TraceVerdict verdict = detector.classify(trace);
+  EXPECT_DOUBLE_EQ(detector.score(trace), verdict.min_log_likelihood);
+}
+
+TEST(DetectorTest, ThresholdOverrideChangesVerdicts) {
+  Detector detector =
+      Detector::build(fixture().suite.module(), quick_config());
+  detector.train(fixture().collection.traces);
+  const auto& trace = fixture().collection.traces.front();
+  detector.set_threshold(-std::numeric_limits<double>::infinity());
+  EXPECT_FALSE(detector.classify(trace).anomalous);
+  detector.set_threshold(std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(detector.classify(trace).anomalous);
+}
+
+TEST(DetectorTest, ContextInsensitiveVariantBuilds) {
+  DetectorConfig config = quick_config();
+  config.pipeline.context_sensitive = false;
+  Detector detector = Detector::build(fixture().suite.module(), config);
+  detector.train(fixture().collection.traces);
+  const auto verdict = detector.classify(fixture().collection.traces[1]);
+  EXPECT_GT(verdict.total_segments, 0u);
+}
+
+TEST(DetectorTest, ExplainSegmentAttributesStates) {
+  Detector detector =
+      Detector::build(fixture().suite.module(), quick_config());
+  detector.train(fixture().collection.traces);
+  ASSERT_FALSE(detector.state_labels().empty());
+
+  // A known-good segment decodes to a full path of labeled states.
+  const auto& trace = fixture().collection.traces.front();
+  hmm::ObservationSeq encoded;
+  for (const auto& event : trace.events) {
+    if (event.kind != ir::CallKind::kSyscall) continue;
+    const auto id = detector.alphabet().find(
+        hmm::encode_observation(event.name, event.caller,
+                                hmm::ObservationEncoding::kContextSensitive));
+    ASSERT_TRUE(id.has_value());
+    encoded.push_back(*id);
+    if (encoded.size() == 15) break;
+  }
+  ASSERT_EQ(encoded.size(), 15u);
+  const auto path = detector.explain_segment(encoded);
+  ASSERT_EQ(path.size(), 15u);
+  // The decoded states should mostly be the states whose labels match the
+  // observations (near-deterministic emissions after static init).
+  std::size_t matching = 0;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (path[i] == detector.alphabet().name(encoded[i])) ++matching;
+  }
+  EXPECT_GT(matching, 10u);
+
+  // Unknown observations yield an empty explanation.
+  hmm::ObservationSeq unknown = encoded;
+  unknown[3] = detector.alphabet().size();
+  EXPECT_TRUE(detector.explain_segment(unknown).empty());
+}
+
+TEST(DetectorTest, TrainOnEmptyTracesThrows) {
+  Detector detector =
+      Detector::build(fixture().suite.module(), quick_config());
+  EXPECT_THROW(detector.train({}), std::invalid_argument);
+}
+
+TEST(DetectorTest, DynamicOnlySymbolsExtendEmission) {
+  // Train with traces containing symbols the static model never saw: the
+  // emission matrix must widen to cover them.
+  Detector detector =
+      Detector::build(fixture().suite.module(), quick_config());
+  const std::size_t before = detector.model().num_symbols();
+  auto traces = fixture().collection.traces;
+  trace::CallEvent weird;
+  weird.kind = ir::CallKind::kSyscall;
+  weird.name = "exotic_syscall";
+  weird.caller = "main";
+  for (int i = 0; i < 20; ++i) traces[0].events.push_back(weird);
+  detector.train(traces);
+  EXPECT_GT(detector.model().num_symbols(), before);
+  EXPECT_NO_THROW(detector.model().validate());
+}
+
+}  // namespace
+}  // namespace cmarkov::core

@@ -1,0 +1,123 @@
+// Unit tests for the MiniC lexer.
+#include <gtest/gtest.h>
+
+#include "src/ir/lexer.hpp"
+
+namespace cmarkov::ir {
+namespace {
+
+std::vector<TokenKind> kinds_of(std::string_view source) {
+  std::vector<TokenKind> kinds;
+  for (const auto& token : tokenize(source)) kinds.push_back(token.kind);
+  return kinds;
+}
+
+TEST(LexerTest, EmptySourceYieldsEnd) {
+  const auto tokens = tokenize("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, Keywords) {
+  const auto kinds = kinds_of("fn var if else while return sys lib input");
+  const std::vector<TokenKind> expected = {
+      TokenKind::kFn,    TokenKind::kVar,   TokenKind::kIf,
+      TokenKind::kElse,  TokenKind::kWhile, TokenKind::kReturn,
+      TokenKind::kSys,   TokenKind::kLib,   TokenKind::kInput,
+      TokenKind::kEnd};
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(LexerTest, IdentifiersAndKeywordPrefixes) {
+  const auto tokens = tokenize("fnord variable if_x _under x1");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "fnord");
+  EXPECT_EQ(tokens[1].text, "variable");
+  EXPECT_EQ(tokens[2].text, "if_x");
+  EXPECT_EQ(tokens[3].text, "_under");
+  EXPECT_EQ(tokens[4].text, "x1");
+}
+
+TEST(LexerTest, IntegerLiterals) {
+  const auto tokens = tokenize("0 42 123456789");
+  EXPECT_EQ(tokens[0].int_value, 0);
+  EXPECT_EQ(tokens[1].int_value, 42);
+  EXPECT_EQ(tokens[2].int_value, 123456789);
+}
+
+TEST(LexerTest, StringLiterals) {
+  const auto tokens = tokenize("\"read\" \"\"");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, "read");
+  EXPECT_EQ(tokens[1].text, "");
+}
+
+TEST(LexerTest, OperatorsIncludingTwoCharacter) {
+  const auto kinds =
+      kinds_of("+ - * / % < <= > >= == != = && || ! ( ) { } , ;");
+  const std::vector<TokenKind> expected = {
+      TokenKind::kPlus,    TokenKind::kMinus,   TokenKind::kStar,
+      TokenKind::kSlash,   TokenKind::kPercent, TokenKind::kLt,
+      TokenKind::kLe,      TokenKind::kGt,      TokenKind::kGe,
+      TokenKind::kEqEq,    TokenKind::kNotEq,   TokenKind::kAssign,
+      TokenKind::kAndAnd,  TokenKind::kOrOr,    TokenKind::kNot,
+      TokenKind::kLParen,  TokenKind::kRParen,  TokenKind::kLBrace,
+      TokenKind::kRBrace,  TokenKind::kComma,   TokenKind::kSemicolon,
+      TokenKind::kEnd};
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(LexerTest, MaximalMunchWithoutSpaces) {
+  const auto kinds = kinds_of("a<=b==c!=d");
+  const std::vector<TokenKind> expected = {
+      TokenKind::kIdentifier, TokenKind::kLe,    TokenKind::kIdentifier,
+      TokenKind::kEqEq,       TokenKind::kIdentifier, TokenKind::kNotEq,
+      TokenKind::kIdentifier, TokenKind::kEnd};
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(LexerTest, LineCommentsAreSkipped) {
+  const auto tokens = tokenize("var x; // trailing comment\n// full line\ny");
+  ASSERT_EQ(tokens.size(), 5u);  // var, x, ;, y, EOF
+  EXPECT_EQ(tokens[3].text, "y");
+  EXPECT_EQ(tokens[3].line, 3);
+}
+
+TEST(LexerTest, TracksLineAndColumn) {
+  const auto tokens = tokenize("fn main\n  x");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].column, 1);
+  EXPECT_EQ(tokens[1].column, 4);
+  EXPECT_EQ(tokens[2].line, 2);
+  EXPECT_EQ(tokens[2].column, 3);
+}
+
+TEST(LexerTest, ErrorsOnUnterminatedString) {
+  EXPECT_THROW(tokenize("\"abc"), SyntaxError);
+  EXPECT_THROW(tokenize("\"ab\ncd\""), SyntaxError);
+}
+
+TEST(LexerTest, ErrorsOnStrayCharacters) {
+  EXPECT_THROW(tokenize("a & b"), SyntaxError);
+  EXPECT_THROW(tokenize("a | b"), SyntaxError);
+  EXPECT_THROW(tokenize("#"), SyntaxError);
+}
+
+TEST(LexerTest, SyntaxErrorCarriesPosition) {
+  try {
+    tokenize("ok\n  $");
+    FAIL() << "expected SyntaxError";
+  } catch (const SyntaxError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_EQ(e.column(), 3);
+  }
+}
+
+TEST(LexerTest, TokenKindNamesAreDistinctive) {
+  EXPECT_EQ(token_kind_name(TokenKind::kFn), "'fn'");
+  EXPECT_EQ(token_kind_name(TokenKind::kEnd), "<eof>");
+  EXPECT_EQ(token_kind_name(TokenKind::kIdentifier), "identifier");
+}
+
+}  // namespace
+}  // namespace cmarkov::ir

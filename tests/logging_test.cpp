@@ -1,0 +1,68 @@
+// Tests for the leveled logging facility.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/util/logging.hpp"
+
+namespace cmarkov {
+namespace {
+
+/// Captures std::cerr for the duration of a scope.
+class CerrCapture {
+ public:
+  CerrCapture() : old_(std::cerr.rdbuf(buffer_.rdbuf())) {}
+  ~CerrCapture() { std::cerr.rdbuf(old_); }
+  std::string text() const { return buffer_.str(); }
+
+ private:
+  std::ostringstream buffer_;
+  std::streambuf* old_;
+};
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kInfo); }
+};
+
+TEST_F(LoggingTest, MessagesCarryLevelPrefix) {
+  set_log_level(LogLevel::kDebug);
+  CerrCapture capture;
+  log_message(LogLevel::kWarn, "watch out");
+  EXPECT_EQ(capture.text(), "[WARN] watch out\n");
+}
+
+TEST_F(LoggingTest, LevelsBelowThresholdAreDropped) {
+  set_log_level(LogLevel::kWarn);
+  CerrCapture capture;
+  log_message(LogLevel::kDebug, "noise");
+  log_message(LogLevel::kInfo, "more noise");
+  log_message(LogLevel::kError, "signal");
+  EXPECT_EQ(capture.text(), "[ERROR] signal\n");
+}
+
+TEST_F(LoggingTest, StreamStyleBuildersFlushOnDestruction) {
+  set_log_level(LogLevel::kDebug);
+  CerrCapture capture;
+  log_info() << "value=" << 42 << " ratio=" << 1.5;
+  EXPECT_EQ(capture.text(), "[INFO] value=42 ratio=1.5\n");
+}
+
+TEST_F(LoggingTest, BuilderRespectsLevel) {
+  set_log_level(LogLevel::kError);
+  CerrCapture capture;
+  log_debug() << "hidden";
+  log_warn() << "also hidden";
+  log_error() << "visible";
+  EXPECT_EQ(capture.text(), "[ERROR] visible\n");
+}
+
+TEST_F(LoggingTest, LevelIsQueryable) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+}  // namespace
+}  // namespace cmarkov

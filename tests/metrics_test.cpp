@@ -1,0 +1,119 @@
+// Unit tests for Equations 3/4 and the derived ROC utilities.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "src/eval/metrics.hpp"
+
+namespace cmarkov::eval {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+ScoreSet separable_scores() {
+  ScoreSet scores;
+  scores.normal = {-1, -2, -3, -4, -5, -6, -7, -8, -9, -10};
+  scores.abnormal = {-50, -60, -70, -80};
+  return scores;
+}
+
+TEST(MetricsTest, FpRateIsFractionBelowThreshold) {
+  const ScoreSet scores = separable_scores();
+  EXPECT_DOUBLE_EQ(fp_rate(scores, -kInf), 0.0);
+  EXPECT_DOUBLE_EQ(fp_rate(scores, kInf), 1.0);
+  EXPECT_DOUBLE_EQ(fp_rate(scores, -5.5), 0.5);  // -6..-10 below
+  // Strict inequality: a score exactly at T is not flagged (Eq. 4: P < T).
+  EXPECT_DOUBLE_EQ(fp_rate(scores, -10.0), 0.0);
+}
+
+TEST(MetricsTest, FnRateIsFractionAboveThreshold) {
+  const ScoreSet scores = separable_scores();
+  EXPECT_DOUBLE_EQ(fn_rate(scores, -kInf), 1.0);
+  EXPECT_DOUBLE_EQ(fn_rate(scores, kInf), 0.0);
+  EXPECT_DOUBLE_EQ(fn_rate(scores, -65.0), 0.5);  // -50, -60 above
+  // Strict inequality (Eq. 3: P > T).
+  EXPECT_DOUBLE_EQ(fn_rate(scores, -50.0), 0.0);
+}
+
+TEST(MetricsTest, EmptySetsAreZeroRates) {
+  ScoreSet empty;
+  EXPECT_DOUBLE_EQ(fp_rate(empty, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(fn_rate(empty, 0.0), 0.0);
+}
+
+TEST(MetricsTest, MinusInfinityScoresAlwaysCaught) {
+  ScoreSet scores;
+  scores.normal = {-1.0, -2.0};
+  scores.abnormal = {-kInf, -kInf, -5.0};
+  // Even at a very low threshold, -inf abnormal segments are flagged.
+  EXPECT_DOUBLE_EQ(fn_rate(scores, -1e9), 1.0 / 3.0);
+}
+
+TEST(MetricsTest, SeparableScoresAdmitPerfectOperatingPoint) {
+  const ScoreSet scores = separable_scores();
+  const double fn = fn_at_fp(scores, 0.0);
+  EXPECT_DOUBLE_EQ(fn, 0.0);  // threshold fits between -10 and -50
+}
+
+TEST(MetricsTest, FnAtFpRespectsBudget) {
+  ScoreSet scores;
+  // Overlapping distributions.
+  scores.normal = {-1, -2, -3, -4, -5, -6, -7, -8, -9, -10};
+  scores.abnormal = {-3.5, -5.5, -7.5, -9.5, -11.5};
+  const double threshold = threshold_for_fp(scores, 0.2);
+  EXPECT_LE(fp_rate(scores, threshold), 0.2);
+  const double fn = fn_at_fp(scores, 0.2);
+  EXPECT_DOUBLE_EQ(fn, fn_rate(scores, threshold));
+  // A larger FP budget can only reduce FN.
+  EXPECT_LE(fn_at_fp(scores, 0.5), fn);
+}
+
+TEST(MetricsTest, FnAtFullBudgetIsZero) {
+  const ScoreSet scores = separable_scores();
+  EXPECT_DOUBLE_EQ(fn_at_fp(scores, 1.0), 0.0);
+}
+
+TEST(MetricsTest, RocCurveIsMonotone) {
+  ScoreSet scores;
+  for (int i = 0; i < 100; ++i) {
+    scores.normal.push_back(-static_cast<double>(i % 17));
+    scores.abnormal.push_back(-static_cast<double>(10 + i % 23));
+  }
+  const auto curve = roc_curve(scores, 25);
+  ASSERT_GE(curve.size(), 2u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].fp, curve[i - 1].fp);
+    EXPECT_LE(curve[i].fn, curve[i - 1].fn + 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(curve.front().fp, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().fn, 0.0);
+}
+
+TEST(MetricsTest, RocCurveRejectsTooFewPoints) {
+  EXPECT_THROW(roc_curve(separable_scores(), 1), std::invalid_argument);
+}
+
+TEST(MetricsTest, AucIsOneForPerfectSeparation) {
+  EXPECT_NEAR(detection_auc(separable_scores()), 1.0, 1e-9);
+}
+
+TEST(MetricsTest, AucIsLowForInvertedScores) {
+  ScoreSet inverted;
+  inverted.normal = {-50, -60, -70, -80};
+  inverted.abnormal = {-1, -2, -3, -4};
+  EXPECT_LT(detection_auc(inverted), 0.3);
+}
+
+TEST(MetricsTest, AucBetweenZeroAndOne) {
+  ScoreSet mixed;
+  for (int i = 0; i < 50; ++i) {
+    mixed.normal.push_back(-static_cast<double>(i));
+    mixed.abnormal.push_back(-static_cast<double>(i) - 0.5);
+  }
+  const double auc = detection_auc(mixed);
+  EXPECT_GT(auc, 0.0);
+  EXPECT_LE(auc, 1.0);
+}
+
+}  // namespace
+}  // namespace cmarkov::eval

@@ -1,0 +1,108 @@
+// Tests for detector persistence: save/load round trips and malformed-input
+// rejection.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/core/model_io.hpp"
+#include "src/workload/testcase_generator.hpp"
+
+namespace cmarkov::core {
+namespace {
+
+Detector trained_detector() {
+  static const workload::ProgramSuite suite = workload::make_gzip_suite();
+  DetectorConfig config;
+  config.pipeline.filter = analysis::CallFilter::kSyscalls;
+  config.training.max_iterations = 5;
+  Detector detector = Detector::build(suite.module(), config);
+  const auto collection = workload::collect_traces(suite, 20, 31);
+  detector.train(collection.traces);
+  return detector;
+}
+
+TEST(ModelIoTest, RoundTripPreservesEverything) {
+  const Detector original = trained_detector();
+  std::stringstream buffer;
+  save_detector(buffer, original);
+  const Detector loaded = load_detector(buffer);
+
+  EXPECT_EQ(loaded.trained(), original.trained());
+  EXPECT_DOUBLE_EQ(loaded.threshold(), original.threshold());
+  EXPECT_EQ(loaded.alphabet().symbols(), original.alphabet().symbols());
+  EXPECT_EQ(loaded.model().num_states(), original.model().num_states());
+  EXPECT_EQ(loaded.model().num_symbols(), original.model().num_symbols());
+  EXPECT_LT(loaded.model().transition.max_abs_diff(
+                original.model().transition),
+            1e-15);
+  EXPECT_LT(loaded.model().emission.max_abs_diff(original.model().emission),
+            1e-15);
+  EXPECT_EQ(loaded.config().pipeline.filter,
+            original.config().pipeline.filter);
+  EXPECT_EQ(loaded.config().pipeline.context_sensitive,
+            original.config().pipeline.context_sensitive);
+  EXPECT_EQ(loaded.config().segments.length,
+            original.config().segments.length);
+}
+
+TEST(ModelIoTest, LoadedDetectorClassifiesIdentically) {
+  const Detector original = trained_detector();
+  std::stringstream buffer;
+  save_detector(buffer, original);
+  const Detector loaded = load_detector(buffer);
+
+  static const workload::ProgramSuite suite = workload::make_gzip_suite();
+  const auto fresh = workload::collect_traces(suite, 5, 999);
+  for (const auto& trace : fresh.traces) {
+    const TraceVerdict a = original.classify(trace);
+    const TraceVerdict b = loaded.classify(trace);
+    EXPECT_EQ(a.anomalous, b.anomalous);
+    EXPECT_EQ(a.flagged_segments, b.flagged_segments);
+    EXPECT_NEAR(a.min_log_likelihood, b.min_log_likelihood, 1e-9);
+  }
+}
+
+TEST(ModelIoTest, FileRoundTrip) {
+  const Detector original = trained_detector();
+  const std::string path = ::testing::TempDir() + "/cmarkov_model.txt";
+  save_detector_file(path, original);
+  const Detector loaded = load_detector_file(path);
+  EXPECT_EQ(loaded.model().num_states(), original.model().num_states());
+}
+
+TEST(ModelIoTest, RejectsWrongMagic) {
+  std::stringstream buffer("not-a-detector 1\n");
+  EXPECT_THROW(load_detector(buffer), std::runtime_error);
+}
+
+TEST(ModelIoTest, RejectsWrongVersion) {
+  std::stringstream buffer("cmarkov-detector 999\n");
+  EXPECT_THROW(load_detector(buffer), std::runtime_error);
+}
+
+TEST(ModelIoTest, RejectsTruncatedBody) {
+  const Detector original = trained_detector();
+  std::stringstream buffer;
+  save_detector(buffer, original);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load_detector(truncated), std::runtime_error);
+}
+
+TEST(ModelIoTest, MissingFileThrows) {
+  EXPECT_THROW(load_detector_file("/nonexistent/path/model.txt"),
+               std::runtime_error);
+}
+
+TEST(ModelIoTest, FromPartsValidatesShape) {
+  const Detector original = trained_detector();
+  hmm::Hmm narrow = original.model();
+  hmm::Alphabet alphabet = original.alphabet();
+  alphabet.intern("extra_symbol_beyond_emission");
+  EXPECT_THROW(Detector::from_parts(original.config(), std::move(narrow),
+                                    std::move(alphabet), 0.0, true),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cmarkov::core

@@ -1,0 +1,71 @@
+// Tests for the STIDE-style n-gram baseline.
+#include <gtest/gtest.h>
+
+#include "src/eval/metrics.hpp"
+#include "src/eval/ngram_baseline.hpp"
+
+namespace cmarkov::eval {
+namespace {
+
+TEST(NgramTest, RejectsZeroN) {
+  EXPECT_THROW(NgramDetector(0), std::invalid_argument);
+}
+
+TEST(NgramTest, AcceptsTrainedGrams) {
+  NgramDetector detector(3);
+  detector.train({{1, 2, 3, 4, 5}});
+  EXPECT_TRUE(detector.accepts({1, 2, 3}));
+  EXPECT_TRUE(detector.accepts({2, 3, 4}));
+  EXPECT_TRUE(detector.accepts({3, 4, 5}));
+  EXPECT_FALSE(detector.accepts({1, 2, 4}));
+  EXPECT_EQ(detector.distinct_grams(), 3u);
+}
+
+TEST(NgramTest, ScoreCountsUnseenGrams) {
+  NgramDetector detector(3);
+  detector.train({{1, 2, 3, 4}});
+  // Segment 1 2 3 4 9: grams 123 (ok) 234 (ok) 349 (unseen).
+  EXPECT_DOUBLE_EQ(detector.score({1, 2, 3, 4, 9}), -1.0);
+  // Fully known segment.
+  EXPECT_DOUBLE_EQ(detector.score({1, 2, 3, 4}), 0.0);
+  // Fully unknown segment: 3 unseen grams.
+  EXPECT_DOUBLE_EQ(detector.score({7, 8, 9, 7, 8}), -3.0);
+}
+
+TEST(NgramTest, ShortSegmentsMatchWholeGrams) {
+  NgramDetector detector(6);
+  detector.train({{1, 2, 3}});
+  EXPECT_TRUE(detector.accepts({1, 2, 3}));
+  EXPECT_FALSE(detector.accepts({1, 2}));
+  EXPECT_DOUBLE_EQ(detector.score({}), 0.0);
+}
+
+TEST(NgramTest, MoreTrainingNeverDecreasesScores) {
+  NgramDetector small(4);
+  NgramDetector large(4);
+  const std::vector<hmm::ObservationSeq> base = {{1, 2, 3, 4, 5, 6}};
+  const std::vector<hmm::ObservationSeq> extra = {{6, 5, 4, 3, 2, 1}};
+  small.train(base);
+  large.train(base);
+  large.train(extra);
+  const std::vector<hmm::ObservationSeq> probes = {
+      {1, 2, 3, 4}, {6, 5, 4, 3}, {9, 9, 9, 9}, {3, 4, 5, 6, 5, 4}};
+  for (const auto& probe : probes) {
+    EXPECT_GE(large.score(probe), small.score(probe));
+  }
+}
+
+TEST(NgramTest, WorksWithScoreSetMetrics) {
+  // The score interface plugs into the Eq. 3/4 machinery.
+  NgramDetector detector(3);
+  detector.train({{1, 2, 3, 4, 5, 1, 2, 3}});
+  ScoreSet scores;
+  scores.normal = {detector.score({1, 2, 3, 4}),
+                   detector.score({2, 3, 4, 5})};
+  scores.abnormal = {detector.score({9, 8, 7, 6}),
+                     detector.score({5, 5, 5, 5})};
+  EXPECT_DOUBLE_EQ(fn_at_fp(scores, 0.0), 0.0);  // separable
+}
+
+}  // namespace
+}  // namespace cmarkov::eval

@@ -1,0 +1,164 @@
+// Tests for the streaming OnlineMonitor.
+#include <gtest/gtest.h>
+
+#include "src/attack/exploit_driver.hpp"
+#include "src/core/online_monitor.hpp"
+#include "src/workload/testcase_generator.hpp"
+
+namespace cmarkov::core {
+namespace {
+
+struct Fixture {
+  workload::ProgramSuite suite = workload::make_gzip_suite();
+  Detector detector = [this] {
+    DetectorConfig config;
+    config.pipeline.filter = analysis::CallFilter::kSyscalls;
+    config.training.max_iterations = 8;
+    config.target_fp = 0.001;
+    Detector d = Detector::build(suite.module(), config);
+    d.train(workload::collect_traces(suite, 40, 91).traces);
+    return d;
+  }();
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+TEST(OnlineMonitorTest, RequiresTrainedDetector) {
+  DetectorConfig config;
+  config.pipeline.filter = analysis::CallFilter::kSyscalls;
+  const Detector untrained =
+      Detector::build(fixture().suite.module(), config);
+  EXPECT_THROW((OnlineMonitor{untrained}), std::invalid_argument);
+  MonitorOptions bad;
+  bad.windows_to_alarm = 0;
+  EXPECT_THROW(OnlineMonitor(fixture().detector, nullptr, bad),
+               std::invalid_argument);
+}
+
+TEST(OnlineMonitorTest, WindowFillsBeforeScoring) {
+  OnlineMonitor monitor(fixture().detector);
+  const auto collection = workload::collect_traces(fixture().suite, 1, 7);
+  const auto& events = collection.traces.front().events;
+  const std::size_t window =
+      fixture().detector.config().segments.length;
+  std::size_t syscalls_fed = 0;
+  for (const auto& event : events) {
+    const auto update = monitor.on_event(event);
+    if (analysis::filter_matches(analysis::CallFilter::kSyscalls,
+                                 event.kind)) {
+      ++syscalls_fed;
+      // On-stream events complete the window once `window` of them arrived.
+      EXPECT_EQ(update.window_complete, syscalls_fed >= window);
+    } else {
+      // Off-stream events never produce a scored window.
+      EXPECT_FALSE(update.window_complete);
+    }
+    if (syscalls_fed >= window + 3) break;
+  }
+}
+
+TEST(OnlineMonitorTest, BenignStreamRaisesFewAlarms) {
+  OnlineMonitor monitor(fixture().detector);
+  const auto collection = workload::collect_traces(fixture().suite, 10, 77);
+  std::size_t alarms = 0;
+  for (const auto& trace : collection.traces) {
+    alarms += monitor.on_trace(trace);
+    monitor.reset_window();
+  }
+  const auto& stats = monitor.stats();
+  EXPECT_GT(stats.windows_scored, 100u);
+  // Calibrated at 0.1% segment FP.
+  EXPECT_LT(static_cast<double>(stats.windows_flagged) /
+                static_cast<double>(stats.windows_scored),
+            0.05);
+  EXPECT_EQ(stats.alarms, alarms);
+}
+
+TEST(OnlineMonitorTest, AttackStreamRaisesAlarm) {
+  OnlineMonitor monitor(fixture().detector);
+  const auto attacks = attack::build_attack_traces(
+      fixture().suite, attack::gzip_payloads(), 5);
+  std::size_t alarms = 0;
+  for (const auto& attack : attacks) {
+    alarms += monitor.on_trace(attack.trace);
+    monitor.reset_window();
+  }
+  EXPECT_GT(alarms, 0u);
+}
+
+TEST(OnlineMonitorTest, SymbolizerResolvesRawEvents) {
+  const trace::Symbolizer symbolizer(fixture().suite.cfg());
+  OnlineMonitor monitor(fixture().detector, &symbolizer);
+  auto collection = workload::collect_traces(fixture().suite, 2, 13);
+  std::size_t flagged = 0;
+  std::size_t scored = 0;
+  for (auto& trace : collection.traces) {
+    for (auto event : trace.events) {
+      event.caller.clear();  // arrives raw, as from a kernel feed
+      const auto update = monitor.on_event(event);
+      if (update.window_complete) {
+        ++scored;
+        flagged += update.flagged;
+      }
+    }
+  }
+  ASSERT_GT(scored, 10u);
+  // With on-the-fly symbolization the benign stream still mostly passes.
+  EXPECT_LT(static_cast<double>(flagged) / static_cast<double>(scored),
+            0.1);
+}
+
+TEST(OnlineMonitorTest, HysteresisRequiresConsecutiveWindows) {
+  MonitorOptions options;
+  options.windows_to_alarm = 1000000;  // effectively never
+  OnlineMonitor monitor(fixture().detector, nullptr, options);
+  const auto attacks = attack::build_attack_traces(
+      fixture().suite, attack::gzip_payloads(), 5);
+  std::size_t alarms = 0;
+  for (const auto& attack : attacks) {
+    alarms += monitor.on_trace(attack.trace);
+  }
+  EXPECT_EQ(alarms, 0u);
+  EXPECT_GT(monitor.stats().windows_flagged, 0u);
+}
+
+TEST(OnlineMonitorTest, CooldownSuppressesAlarmBursts) {
+  MonitorOptions noisy;
+  noisy.cooldown_events = 0;
+  MonitorOptions calm;
+  calm.cooldown_events = 1000000;
+
+  const auto attacks = attack::build_attack_traces(
+      fixture().suite, attack::gzip_payloads(), 3);
+
+  OnlineMonitor monitor_noisy(fixture().detector, nullptr, noisy);
+  OnlineMonitor monitor_calm(fixture().detector, nullptr, calm);
+  std::size_t noisy_alarms = 0;
+  std::size_t calm_alarms = 0;
+  for (const auto& attack : attacks) {
+    noisy_alarms += monitor_noisy.on_trace(attack.trace);
+    calm_alarms += monitor_calm.on_trace(attack.trace);
+  }
+  EXPECT_LE(calm_alarms, noisy_alarms);
+  EXPECT_LE(calm_alarms, 1u);
+}
+
+TEST(OnlineMonitorTest, OffStreamEventsAreIgnoredButCounted) {
+  OnlineMonitor monitor(fixture().detector);  // syscall model
+  trace::CallEvent libcall;
+  libcall.kind = ir::CallKind::kLibcall;
+  libcall.name = "malloc";
+  libcall.caller = "main";
+  for (int i = 0; i < 50; ++i) {
+    const auto update = monitor.on_event(libcall);
+    EXPECT_FALSE(update.window_complete);
+  }
+  EXPECT_EQ(monitor.stats().events_seen, 50u);
+  EXPECT_EQ(monitor.stats().events_observed, 0u);
+}
+
+}  // namespace
+}  // namespace cmarkov::core

@@ -1,0 +1,195 @@
+// Unit tests for the MiniC parser: grammar coverage, precedence, round-trip
+// through to_source, and error reporting.
+#include <gtest/gtest.h>
+
+#include "src/ir/lexer.hpp"
+#include "src/ir/parser.hpp"
+
+namespace cmarkov::ir {
+namespace {
+
+const Function& single_function(const Program& program) {
+  EXPECT_EQ(program.functions.size(), 1u);
+  return program.functions.front();
+}
+
+TEST(ParserTest, EmptyProgram) {
+  const Program program = parse_program("");
+  EXPECT_TRUE(program.functions.empty());
+}
+
+TEST(ParserTest, FunctionHeaderAndParams) {
+  const Program program = parse_program("fn add(a, b) { return a + b; }");
+  const Function& fn = single_function(program);
+  EXPECT_EQ(fn.name, "add");
+  ASSERT_EQ(fn.params.size(), 2u);
+  EXPECT_EQ(fn.params[0], "a");
+  EXPECT_EQ(fn.params[1], "b");
+}
+
+TEST(ParserTest, StatementKinds) {
+  const Program program = parse_program(R"(
+fn main() {
+  var x;
+  var y = 3;
+  y = y + 1;
+  if (y > 2) { y = 0; } else { y = 1; }
+  while (y < 5) { y = y + 1; }
+  sys("write");
+  return y;
+}
+)");
+  const Function& fn = single_function(program);
+  ASSERT_EQ(fn.body.statements.size(), 7u);
+  EXPECT_TRUE(std::holds_alternative<VarDeclStmt>(fn.body.statements[0]->node));
+  EXPECT_TRUE(std::holds_alternative<VarDeclStmt>(fn.body.statements[1]->node));
+  EXPECT_TRUE(std::holds_alternative<AssignStmt>(fn.body.statements[2]->node));
+  EXPECT_TRUE(std::holds_alternative<IfStmt>(fn.body.statements[3]->node));
+  EXPECT_TRUE(std::holds_alternative<WhileStmt>(fn.body.statements[4]->node));
+  EXPECT_TRUE(std::holds_alternative<ExprStmt>(fn.body.statements[5]->node));
+  EXPECT_TRUE(std::holds_alternative<ReturnStmt>(fn.body.statements[6]->node));
+}
+
+TEST(ParserTest, PrecedenceMulOverAdd) {
+  const Program program = parse_program("fn main() { return 1 + 2 * 3; }");
+  const auto& ret = std::get<ReturnStmt>(
+      single_function(program).body.statements[0]->node);
+  const auto& add = std::get<BinaryExpr>(ret.value->node);
+  EXPECT_EQ(add.op, BinaryOp::kAdd);
+  const auto& mul = std::get<BinaryExpr>(add.rhs->node);
+  EXPECT_EQ(mul.op, BinaryOp::kMul);
+}
+
+TEST(ParserTest, PrecedenceComparisonOverLogical) {
+  const Program program =
+      parse_program("fn main() { return 1 < 2 && 3 > 2 || 0 == 1; }");
+  const auto& ret = std::get<ReturnStmt>(
+      single_function(program).body.statements[0]->node);
+  const auto& top = std::get<BinaryExpr>(ret.value->node);
+  EXPECT_EQ(top.op, BinaryOp::kOr);
+  const auto& lhs = std::get<BinaryExpr>(top.lhs->node);
+  EXPECT_EQ(lhs.op, BinaryOp::kAnd);
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  const Program program = parse_program("fn main() { return (1 + 2) * 3; }");
+  const auto& ret = std::get<ReturnStmt>(
+      single_function(program).body.statements[0]->node);
+  const auto& mul = std::get<BinaryExpr>(ret.value->node);
+  EXPECT_EQ(mul.op, BinaryOp::kMul);
+  EXPECT_EQ(std::get<BinaryExpr>(mul.lhs->node).op, BinaryOp::kAdd);
+}
+
+TEST(ParserTest, UnaryOperatorsNest) {
+  const Program program = parse_program("fn main() { return - - 1 + !0; }");
+  const auto& ret = std::get<ReturnStmt>(
+      single_function(program).body.statements[0]->node);
+  const auto& add = std::get<BinaryExpr>(ret.value->node);
+  const auto& neg = std::get<UnaryExpr>(add.lhs->node);
+  EXPECT_EQ(neg.op, UnaryOp::kNeg);
+  EXPECT_TRUE(std::holds_alternative<UnaryExpr>(neg.operand->node));
+  EXPECT_EQ(std::get<UnaryExpr>(add.rhs->node).op, UnaryOp::kNot);
+}
+
+TEST(ParserTest, ExternalCallsWithKindAndArgs) {
+  const Program program =
+      parse_program("fn main() { var x = sys(\"read\", 1, 2); lib(\"malloc\"); }");
+  const Function& fn = single_function(program);
+  const auto& decl = std::get<VarDeclStmt>(fn.body.statements[0]->node);
+  const auto& call = std::get<ExternalCallExpr>(decl.init->node);
+  EXPECT_EQ(call.kind, CallKind::kSyscall);
+  EXPECT_EQ(call.name, "read");
+  EXPECT_EQ(call.args.size(), 2u);
+  const auto& stmt = std::get<ExprStmt>(fn.body.statements[1]->node);
+  const auto& lib = std::get<ExternalCallExpr>(stmt.expr->node);
+  EXPECT_EQ(lib.kind, CallKind::kLibcall);
+  EXPECT_EQ(lib.name, "malloc");
+}
+
+TEST(ParserTest, InternalCallVsVariableReference) {
+  const Program program =
+      parse_program("fn main() { var x = helper(1); var y = x; }");
+  const Function& fn = single_function(program);
+  const auto& decl0 = std::get<VarDeclStmt>(fn.body.statements[0]->node);
+  EXPECT_TRUE(std::holds_alternative<InternalCallExpr>(decl0.init->node));
+  const auto& decl1 = std::get<VarDeclStmt>(fn.body.statements[1]->node);
+  EXPECT_TRUE(std::holds_alternative<VarRef>(decl1.init->node));
+}
+
+TEST(ParserTest, InputExpression) {
+  const Program program = parse_program("fn main() { var x = input(); }");
+  const auto& decl = std::get<VarDeclStmt>(
+      single_function(program).body.statements[0]->node);
+  EXPECT_TRUE(std::holds_alternative<InputExpr>(decl.init->node));
+}
+
+TEST(ParserTest, ElseIsOptional) {
+  const Program program =
+      parse_program("fn main() { if (1) { return; } return; }");
+  const auto& if_stmt = std::get<IfStmt>(
+      single_function(program).body.statements[0]->node);
+  EXPECT_FALSE(if_stmt.else_block.has_value());
+}
+
+TEST(ParserTest, BareReturn) {
+  const Program program = parse_program("fn main() { return; }");
+  const auto& ret = std::get<ReturnStmt>(
+      single_function(program).body.statements[0]->node);
+  EXPECT_EQ(ret.value, nullptr);
+}
+
+TEST(ParserTest, RoundTripThroughToSource) {
+  const char* source = R"(
+fn helper(n) {
+  var total = 0;
+  while (n > 0) {
+    total = total + sys("read");
+    n = n - 1;
+  }
+  return total;
+}
+fn main() {
+  var x = input();
+  if (x % 2 == 0) {
+    helper(x);
+  } else {
+    lib("printf");
+  }
+}
+)";
+  const Program first = parse_program(source);
+  const std::string printed = to_source(first);
+  const Program second = parse_program(printed);
+  EXPECT_EQ(to_source(second), printed);
+}
+
+TEST(ParserTest, ErrorMissingSemicolon) {
+  EXPECT_THROW(parse_program("fn main() { var x = 1 }"), SyntaxError);
+}
+
+TEST(ParserTest, ErrorUnterminatedBlock) {
+  EXPECT_THROW(parse_program("fn main() { if (1) { return; }"), SyntaxError);
+}
+
+TEST(ParserTest, ErrorGarbageTopLevel) {
+  EXPECT_THROW(parse_program("var x = 1;"), SyntaxError);
+}
+
+TEST(ParserTest, ErrorExternalCallNeedsStringName) {
+  EXPECT_THROW(parse_program("fn main() { sys(read); }"), SyntaxError);
+}
+
+TEST(ParserTest, CloneProducesDeepEqualTree) {
+  const Program program = parse_program(
+      "fn main() { var x = 1 + input(); if (x) { sys(\"a\"); } }");
+  const Function& fn = single_function(program);
+  const StmtPtr copy = clone(*fn.body.statements[1]);
+  // Mutating the clone must not affect the original (deep copy).
+  auto& cloned_if = std::get<IfStmt>(copy->node);
+  cloned_if.then_block.statements.clear();
+  const auto& original_if = std::get<IfStmt>(fn.body.statements[1]->node);
+  EXPECT_EQ(original_if.then_block.statements.size(), 1u);
+}
+
+}  // namespace
+}  // namespace cmarkov::ir

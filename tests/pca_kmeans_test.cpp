@@ -1,0 +1,258 @@
+// Unit and property tests for PCA and K-means — the model-reduction math of
+// Section III-C.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/linalg/kmeans.hpp"
+#include "src/linalg/pca.hpp"
+#include "src/util/rng.hpp"
+
+namespace cmarkov {
+namespace {
+
+Matrix two_blob_samples(Rng& rng, std::size_t per_blob, std::size_t dims,
+                        double separation) {
+  Matrix samples(2 * per_blob, dims);
+  for (std::size_t i = 0; i < 2 * per_blob; ++i) {
+    const double center = i < per_blob ? 0.0 : separation;
+    for (std::size_t d = 0; d < dims; ++d) {
+      samples(i, d) = center + rng.gaussian(0.0, 0.3);
+    }
+  }
+  return samples;
+}
+
+TEST(PcaTest, RecoversDominantAxis) {
+  // Points along y = 2x with small noise: first component should capture
+  // nearly all variance.
+  Rng rng(1);
+  Matrix samples(200, 2);
+  for (std::size_t i = 0; i < 200; ++i) {
+    const double t = rng.gaussian(0.0, 2.0);
+    samples(i, 0) = t + rng.gaussian(0.0, 0.01);
+    samples(i, 1) = 2.0 * t + rng.gaussian(0.0, 0.01);
+  }
+  PcaOptions options;
+  options.max_components = 1;
+  options.variance_to_explain = 1.0;
+  const Pca pca = Pca::fit(samples, options);
+  EXPECT_EQ(pca.output_dimension(), 1u);
+  EXPECT_GT(pca.explained_variance_ratio(), 0.99);
+  // Axis direction ~ (1, 2)/sqrt(5).
+  const double ratio =
+      std::abs(pca.basis()(0, 1)) / std::abs(pca.basis()(0, 0));
+  EXPECT_NEAR(ratio, 2.0, 0.05);
+}
+
+TEST(PcaTest, VarianceTargetSelectsComponentCount) {
+  Rng rng(2);
+  // 3 independent dimensions with very different variances.
+  Matrix samples(300, 3);
+  for (std::size_t i = 0; i < 300; ++i) {
+    samples(i, 0) = rng.gaussian(0.0, 10.0);
+    samples(i, 1) = rng.gaussian(0.0, 1.0);
+    samples(i, 2) = rng.gaussian(0.0, 0.01);
+  }
+  PcaOptions options;
+  options.variance_to_explain = 0.95;
+  const Pca pca = Pca::fit(samples, options);
+  EXPECT_LE(pca.output_dimension(), 2u);
+  EXPECT_GE(pca.explained_variance_ratio(), 0.95);
+}
+
+TEST(PcaTest, TransformPreservesPairwiseDistancesWhenFullRank) {
+  Rng rng(3);
+  Matrix samples(50, 4);
+  for (std::size_t i = 0; i < 50; ++i) {
+    for (std::size_t d = 0; d < 4; ++d) samples(i, d) = rng.gaussian();
+  }
+  PcaOptions options;
+  options.variance_to_explain = 1.0;
+  const Pca pca = Pca::fit(samples, options);
+  ASSERT_EQ(pca.output_dimension(), 4u);
+  const Matrix projected = pca.transform(samples);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = i + 1; j < 10; ++j) {
+      const double before =
+          euclidean_distance(samples.row(i), samples.row(j));
+      const double after =
+          euclidean_distance(projected.row(i), projected.row(j));
+      EXPECT_NEAR(before, after, 1e-8);
+    }
+  }
+}
+
+TEST(PcaTest, DegenerateIdenticalSamples) {
+  Matrix samples(5, 3, 1.0);
+  const Pca pca = Pca::fit(samples);
+  EXPECT_GE(pca.output_dimension(), 1u);
+  const Matrix projected = pca.transform(samples);
+  for (std::size_t i = 0; i < projected.rows(); ++i) {
+    EXPECT_NEAR(projected(i, 0), 0.0, 1e-12);
+  }
+}
+
+TEST(PcaTest, RejectsTooFewSamplesAndWrongDims) {
+  EXPECT_THROW(Pca::fit(Matrix(1, 3)), std::invalid_argument);
+  Rng rng(4);
+  Matrix samples(10, 3);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t d = 0; d < 3; ++d) samples(i, d) = rng.gaussian();
+  }
+  const Pca pca = Pca::fit(samples);
+  EXPECT_THROW(pca.transform(Matrix(2, 2)), std::invalid_argument);
+}
+
+TEST(PcaTest, TruncatedPathRecoversDominantAxis) {
+  // Input dimensionality above exact_dimension_limit forces the
+  // orthogonal-iteration solver; the dominant axis must still come out.
+  Rng rng(21);
+  const std::size_t dims = 220;
+  Matrix samples(120, dims);
+  for (std::size_t i = 0; i < samples.rows(); ++i) {
+    const double t = rng.gaussian(0.0, 5.0);
+    for (std::size_t d = 0; d < dims; ++d) {
+      // Signal lives along a fixed direction (alternating signs); small
+      // isotropic noise on top.
+      const double axis = (d % 2 == 0 ? 1.0 : -1.0);
+      samples(i, d) = t * axis + rng.gaussian(0.0, 0.1);
+    }
+  }
+  PcaOptions options;
+  options.exact_dimension_limit = 160;  // force truncated path
+  options.truncated_components = 8;
+  options.max_components = 1;
+  options.variance_to_explain = 1.0;
+  const Pca pca = Pca::fit(samples, options);
+  EXPECT_EQ(pca.output_dimension(), 1u);
+  EXPECT_GT(pca.explained_variance_ratio(), 0.95);
+  // First axis aligns with the alternating-sign direction.
+  double aligned = 0.0;
+  for (std::size_t d = 0; d < dims; ++d) {
+    aligned += pca.basis()(0, d) * (d % 2 == 0 ? 1.0 : -1.0);
+  }
+  EXPECT_GT(std::abs(aligned) / std::sqrt(static_cast<double>(dims)), 0.95);
+}
+
+TEST(PcaTest, TruncatedAndExactPathsAgreeOnSpectrum) {
+  // Same data fit with both solvers: leading eigenvalues should agree.
+  Rng rng(22);
+  Matrix samples(150, 40);
+  for (std::size_t i = 0; i < samples.rows(); ++i) {
+    const double a = rng.gaussian(0.0, 4.0);
+    const double b = rng.gaussian(0.0, 1.5);
+    for (std::size_t d = 0; d < samples.cols(); ++d) {
+      samples(i, d) = a * std::sin(static_cast<double>(d)) +
+                      b * std::cos(static_cast<double>(2 * d)) +
+                      rng.gaussian(0.0, 0.05);
+    }
+  }
+  PcaOptions exact;
+  exact.exact_dimension_limit = 100;  // exact path
+  exact.max_components = 2;
+  exact.variance_to_explain = 1.0;
+  PcaOptions truncated = exact;
+  truncated.exact_dimension_limit = 10;  // truncated path
+  truncated.truncated_components = 6;
+
+  const Pca pe = Pca::fit(samples, exact);
+  const Pca pt = Pca::fit(samples, truncated);
+  EXPECT_NEAR(pe.explained_variance_ratio(), pt.explained_variance_ratio(),
+              0.02);
+  // Projections agree up to sign per component.
+  const Matrix te = pe.transform(samples);
+  const Matrix tt = pt.transform(samples);
+  for (std::size_t k = 0; k < 2; ++k) {
+    double dot = 0.0;
+    double ne = 0.0;
+    double nt = 0.0;
+    for (std::size_t i = 0; i < samples.rows(); ++i) {
+      dot += te(i, k) * tt(i, k);
+      ne += te(i, k) * te(i, k);
+      nt += tt(i, k) * tt(i, k);
+    }
+    EXPECT_GT(std::abs(dot) / std::sqrt(ne * nt), 0.99) << "component " << k;
+  }
+}
+
+TEST(KMeansTest, SeparatesTwoBlobs) {
+  Rng rng(5);
+  const Matrix samples = two_blob_samples(rng, 30, 3, 10.0);
+  const KMeansResult result = kmeans(samples, 2, rng);
+  // All members of a blob share a cluster.
+  for (std::size_t i = 1; i < 30; ++i) {
+    EXPECT_EQ(result.assignment[i], result.assignment[0]);
+    EXPECT_EQ(result.assignment[30 + i], result.assignment[30]);
+  }
+  EXPECT_NE(result.assignment[0], result.assignment[30]);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  Rng rng(6);
+  const Matrix samples = two_blob_samples(rng, 40, 4, 5.0);
+  const double inertia1 = kmeans(samples, 1, rng).inertia;
+  const double inertia2 = kmeans(samples, 2, rng).inertia;
+  const double inertia8 = kmeans(samples, 8, rng).inertia;
+  EXPECT_GT(inertia1, inertia2);
+  EXPECT_GE(inertia2, inertia8);
+}
+
+TEST(KMeansTest, KEqualsNGivesSingletons) {
+  Rng rng(7);
+  Matrix samples(6, 2);
+  for (std::size_t i = 0; i < 6; ++i) {
+    samples(i, 0) = static_cast<double>(i) * 10.0;
+    samples(i, 1) = 0.0;
+  }
+  const KMeansResult result = kmeans(samples, 6, rng);
+  std::set<std::size_t> distinct(result.assignment.begin(),
+                                 result.assignment.end());
+  EXPECT_EQ(distinct.size(), 6u);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, EveryClusterNonEmpty) {
+  Rng rng(8);
+  const Matrix samples = two_blob_samples(rng, 25, 2, 3.0);
+  for (std::size_t k : {2u, 3u, 5u, 10u}) {
+    const KMeansResult result = kmeans(samples, k, rng);
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t a : result.assignment) counts[a] += 1;
+    for (std::size_t c = 0; c < k; ++c) {
+      EXPECT_GT(counts[c], 0u) << "k=" << k << " cluster " << c;
+    }
+  }
+}
+
+TEST(KMeansTest, HandlesDuplicatePoints) {
+  Matrix samples(8, 2, 1.0);  // all identical
+  Rng rng(9);
+  const KMeansResult result = kmeans(samples, 3, rng);
+  EXPECT_EQ(result.assignment.size(), 8u);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, RejectsBadK) {
+  Matrix samples(4, 2, 0.0);
+  Rng rng(10);
+  EXPECT_THROW(kmeans(samples, 0, rng), std::invalid_argument);
+  EXPECT_THROW(kmeans(samples, 5, rng), std::invalid_argument);
+}
+
+TEST(KMeansTest, DeterministicGivenSeed) {
+  Rng rng_a(11);
+  Rng rng_b(11);
+  const Matrix samples = two_blob_samples(rng_a, 20, 3, 4.0);
+  Rng rng_c(11);
+  const Matrix samples_b = two_blob_samples(rng_c, 20, 3, 4.0);
+  Rng ka(99);
+  Rng kb(99);
+  const auto ra = kmeans(samples, 4, ka);
+  const auto rb = kmeans(samples_b, 4, kb);
+  EXPECT_EQ(ra.assignment, rb.assignment);
+  EXPECT_DOUBLE_EQ(ra.inertia, rb.inertia);
+}
+
+}  // namespace
+}  // namespace cmarkov

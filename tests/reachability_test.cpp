@@ -1,0 +1,153 @@
+// Unit tests for Definition 3 / Equation 1: reachability probabilities in
+// both acyclic-cut (paper) and iterative-fixpoint (extension) modes.
+#include <gtest/gtest.h>
+
+#include "src/analysis/reachability.hpp"
+#include "src/cfg/cfg_builder.hpp"
+#include "src/ir/module.hpp"
+
+namespace cmarkov::analysis {
+namespace {
+
+struct Prepared {
+  cfg::ModuleCfg module;
+  EdgeProbabilities edges;
+  std::vector<double> reach;
+};
+
+Prepared prepare(const char* source, PropagationMode mode) {
+  Prepared out;
+  out.module =
+      cfg::build_module_cfg(ir::ProgramModule::from_source("t", source));
+  const auto& fn = out.module.require("main");
+  static const UniformBranchHeuristic heuristic;
+  out.edges = conditional_probabilities(fn, heuristic);
+  ReachabilityOptions options;
+  options.mode = mode;
+  out.reach = reachability_probabilities(fn, out.edges, options);
+  return out;
+}
+
+/// Reachability of the block making the named call.
+double call_reach(const Prepared& p, const std::string& call) {
+  const auto& fn = p.module.require("main");
+  for (const auto& block : fn.blocks) {
+    const auto* ext = block.external_call();
+    if (ext != nullptr && ext->callee == call) return p.reach[block.id];
+  }
+  ADD_FAILURE() << "no call " << call;
+  return -1.0;
+}
+
+TEST(ReachabilityTest, EntryIsOne) {
+  const auto p = prepare("fn main() { }", PropagationMode::kAcyclicCut);
+  const auto& fn = p.module.require("main");
+  EXPECT_DOUBLE_EQ(p.reach[fn.entry], 1.0);
+}
+
+TEST(ReachabilityTest, StraightLinePropagatesFullMass) {
+  const auto p = prepare("fn main() { sys(\"a\"); sys(\"b\"); sys(\"c\"); }",
+                         PropagationMode::kAcyclicCut);
+  EXPECT_DOUBLE_EQ(call_reach(p, "a"), 1.0);
+  EXPECT_DOUBLE_EQ(call_reach(p, "b"), 1.0);
+  EXPECT_DOUBLE_EQ(call_reach(p, "c"), 1.0);
+}
+
+TEST(ReachabilityTest, BranchHalvesMass) {
+  const auto p = prepare(R"(
+fn main() {
+  if (input()) { sys("a"); } else { sys("b"); }
+  sys("c");
+}
+)",
+                         PropagationMode::kAcyclicCut);
+  EXPECT_DOUBLE_EQ(call_reach(p, "a"), 0.5);
+  EXPECT_DOUBLE_EQ(call_reach(p, "b"), 0.5);
+  // The merge point recovers the full mass (Equation 1 sums over parents).
+  EXPECT_DOUBLE_EQ(call_reach(p, "c"), 1.0);
+}
+
+TEST(ReachabilityTest, NestedBranchesQuarterMass) {
+  const auto p = prepare(R"(
+fn main() {
+  if (input()) {
+    if (input()) { sys("deep"); }
+  }
+}
+)",
+                         PropagationMode::kAcyclicCut);
+  EXPECT_DOUBLE_EQ(call_reach(p, "deep"), 0.25);
+}
+
+TEST(ReachabilityTest, AcyclicCutGivesLoopBodySingleIterationMass) {
+  const auto p = prepare(R"(
+fn main() {
+  var n = input();
+  while (n > 0) { sys("body"); n = n - 1; }
+  sys("after");
+}
+)",
+                         PropagationMode::kAcyclicCut);
+  // One pass through the header: body gets 0.5 (uniform branch), and the
+  // post-loop call gets only the direct-exit mass because the back edge is
+  // cut.
+  EXPECT_DOUBLE_EQ(call_reach(p, "body"), 0.5);
+  EXPECT_DOUBLE_EQ(call_reach(p, "after"), 0.5);
+}
+
+TEST(ReachabilityTest, FixpointGivesExpectedVisits) {
+  const auto p = prepare(R"(
+fn main() {
+  var n = input();
+  while (n > 0) { sys("body"); n = n - 1; }
+  sys("after");
+}
+)",
+                         PropagationMode::kIterativeFixpoint);
+  // Geometric loop with continuation 0.5: expected body visits =
+  // 0.5 + 0.25 + ... = 1.0; the post-loop call is always reached.
+  EXPECT_NEAR(call_reach(p, "body"), 1.0, 1e-9);
+  EXPECT_NEAR(call_reach(p, "after"), 1.0, 1e-9);
+}
+
+TEST(ReachabilityTest, UnreachableBlocksGetZero) {
+  const auto p = prepare("fn main() { return; sys(\"dead\"); }",
+                         PropagationMode::kAcyclicCut);
+  EXPECT_DOUBLE_EQ(call_reach(p, "dead"), 0.0);
+}
+
+TEST(ReachabilityTest, ModesAgreeOnAcyclicFunctions) {
+  const char* source = R"(
+fn main() {
+  if (input()) { sys("a"); } else { if (input()) { sys("b"); } }
+  sys("c");
+}
+)";
+  const auto acyclic = prepare(source, PropagationMode::kAcyclicCut);
+  const auto fixpoint = prepare(source, PropagationMode::kIterativeFixpoint);
+  for (std::size_t i = 0; i < acyclic.reach.size(); ++i) {
+    EXPECT_NEAR(acyclic.reach[i], fixpoint.reach[i], 1e-9) << "block " << i;
+  }
+}
+
+TEST(ReachabilityTest, MassIsConservedAtMergePoints) {
+  // Three-way nested diamond: every path ends at the final call.
+  const auto p = prepare(R"(
+fn main() {
+  if (input()) {
+    if (input()) { sys("p"); } else { sys("q"); }
+  } else {
+    sys("r");
+  }
+  sys("end");
+}
+)",
+                         PropagationMode::kAcyclicCut);
+  EXPECT_DOUBLE_EQ(call_reach(p, "p"), 0.25);
+  EXPECT_DOUBLE_EQ(call_reach(p, "q"), 0.25);
+  EXPECT_DOUBLE_EQ(call_reach(p, "r"), 0.5);
+  EXPECT_DOUBLE_EQ(call_reach(p, "end"), 1.0);
+}
+
+}  // namespace
+}  // namespace cmarkov::analysis

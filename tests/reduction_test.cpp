@@ -1,0 +1,209 @@
+// Unit tests for Definition 6 call-transition vectors, clustering-based
+// state reduction and the reduced-model reconstruction (Algorithm 1).
+#include <gtest/gtest.h>
+
+#include "src/analysis/aggregation.hpp"
+#include "src/cfg/cfg_builder.hpp"
+#include "src/ir/module.hpp"
+#include "src/reduction/call_vector.hpp"
+#include "src/reduction/cluster_calls.hpp"
+#include "src/reduction/reconstruct.hpp"
+
+namespace cmarkov::reduction {
+namespace {
+
+using analysis::CallSymbol;
+
+analysis::CallTransitionMatrix program_matrix(const char* source) {
+  const auto module =
+      cfg::build_module_cfg(ir::ProgramModule::from_source("t", source));
+  const auto graph = cfg::CallGraph::build(module);
+  static const analysis::UniformBranchHeuristic heuristic;
+  return analysis::aggregate_program(module, graph, heuristic)
+      .program_matrix;
+}
+
+TEST(CallVectorTest, DefinitionSixShape) {
+  // Def. 6: vector of call c has size 2n (outgoing row ++ incoming column).
+  const auto m = program_matrix("fn main() { sys(\"a\"); sys(\"b\"); }");
+  const CallVectors vectors = build_call_vectors(m);
+  ASSERT_EQ(vectors.calls.size(), 2u);
+  EXPECT_EQ(vectors.features.cols(), 2 * m.size());
+  EXPECT_EQ(vectors.features.rows(), 2u);
+}
+
+TEST(CallVectorTest, RowHoldsOutgoingThenIncoming) {
+  const auto m = program_matrix("fn main() { sys(\"a\"); sys(\"b\"); }");
+  const CallVectors vectors = build_call_vectors(m);
+  const std::size_t n = m.size();
+  for (std::size_t r = 0; r < vectors.calls.size(); ++r) {
+    const std::size_t idx = m.index_of(vectors.calls[r]);
+    for (std::size_t c = 0; c < n; ++c) {
+      EXPECT_DOUBLE_EQ(vectors.features(r, c), m.prob(idx, c));
+      EXPECT_DOUBLE_EQ(vectors.features(r, n + c), m.prob(c, idx));
+    }
+  }
+}
+
+TEST(ClusterCallsTest, BelowThresholdYieldsSingletons) {
+  const auto m =
+      program_matrix("fn main() { sys(\"a\"); sys(\"b\"); sys(\"c\"); }");
+  Rng rng(1);
+  ClusteringOptions options;  // default threshold 800 >> 3 calls
+  const CallClustering clustering = cluster_calls(m, rng, options);
+  EXPECT_FALSE(clustering.reduced);
+  EXPECT_EQ(clustering.clusters.size(), 3u);
+  for (const auto& cluster : clustering.clusters) {
+    EXPECT_EQ(cluster.size(), 1u);
+  }
+}
+
+TEST(ClusterCallsTest, ForcedClusteringReducesToTargetFraction) {
+  // 12 distinct calls in a chain; force clustering with k = n/3.
+  std::string source = "fn main() {";
+  for (int i = 0; i < 12; ++i) {
+    source += " sys(\"c" + std::to_string(i) + "\");";
+  }
+  source += " }";
+  const auto m = program_matrix(source.c_str());
+  Rng rng(2);
+  ClusteringOptions options;
+  options.min_calls_for_reduction = 0;
+  const CallClustering clustering = cluster_calls(m, rng, options);
+  EXPECT_TRUE(clustering.reduced);
+  EXPECT_EQ(clustering.clusters.size(), 4u);  // 12 / 3
+  // Every call assigned exactly once.
+  std::size_t members = 0;
+  for (const auto& cluster : clustering.clusters) members += cluster.size();
+  EXPECT_EQ(members, 12u);
+}
+
+TEST(ClusterCallsTest, SimilarCallsClusterTogether) {
+  // Two groups with identical transition behaviour: branches make a1/a2
+  // interchangeable, likewise b1/b2; the end call is distinct.
+  const auto m = program_matrix(R"(
+fn main() {
+  if (input()) { sys("a1"); } else { sys("a2"); }
+  if (input()) { sys("b1"); } else { sys("b2"); }
+  sys("end");
+}
+)");
+  Rng rng(3);
+  ClusteringOptions options;
+  options.min_calls_for_reduction = 0;
+  options.k = 3;
+  const CallClustering clustering = cluster_calls(m, rng, options);
+  ASSERT_EQ(clustering.clusters.size(), 3u);
+
+  auto cluster_of = [&](const std::string& name) {
+    for (std::size_t i = 0; i < clustering.calls.size(); ++i) {
+      if (clustering.calls[i].name == name) return clustering.assignment[i];
+    }
+    ADD_FAILURE() << "missing call " << name;
+    return std::size_t{0};
+  };
+  EXPECT_EQ(cluster_of("a1"), cluster_of("a2"));
+  EXPECT_EQ(cluster_of("b1"), cluster_of("b2"));
+  EXPECT_NE(cluster_of("a1"), cluster_of("b1"));
+  EXPECT_NE(cluster_of("end"), cluster_of("a1"));
+}
+
+TEST(ClusterCallsTest, PcaTogglesAndRecordsDimensions) {
+  std::string source = "fn main() {";
+  for (int i = 0; i < 9; ++i) {
+    source += " sys(\"c" + std::to_string(i) + "\");";
+  }
+  source += " }";
+  const auto m = program_matrix(source.c_str());
+  Rng rng(4);
+  ClusteringOptions with_pca;
+  with_pca.min_calls_for_reduction = 0;
+  with_pca.use_pca = true;
+  const auto clustered = cluster_calls(m, rng, with_pca);
+  EXPECT_GT(clustered.pca_dimensions, 0u);
+  EXPECT_LE(clustered.pca_dimensions, 2 * m.size());
+
+  ClusteringOptions without_pca = with_pca;
+  without_pca.use_pca = false;
+  const auto unprojected = cluster_calls(m, rng, without_pca);
+  EXPECT_EQ(unprojected.pca_dimensions, 0u);
+  EXPECT_TRUE(unprojected.reduced);
+}
+
+TEST(IdentityClusteringTest, OneClusterPerCall) {
+  const auto m = program_matrix("fn main() { sys(\"a\"); lib(\"b\"); }");
+  const CallClustering clustering = identity_clustering(m);
+  EXPECT_EQ(clustering.clusters.size(), 2u);
+  EXPECT_FALSE(clustering.reduced);
+}
+
+TEST(ReconstructTest, IdentityReductionPreservesTransitions) {
+  const auto m = program_matrix(R"(
+fn main() {
+  if (input()) { sys("a"); } else { sys("b"); }
+  sys("c");
+}
+)");
+  const ReducedModel model =
+      reconstruct_reduced_model(m, identity_clustering(m));
+  ASSERT_EQ(model.num_states(), 3u);
+
+  auto state_of = [&](const std::string& name) {
+    for (std::size_t s = 0; s < model.members.size(); ++s) {
+      if (model.members[s][0].name == name) return s;
+    }
+    ADD_FAILURE() << "missing state " << name;
+    return std::size_t{0};
+  };
+  const auto a = state_of("a");
+  const auto b = state_of("b");
+  const auto c = state_of("c");
+  EXPECT_DOUBLE_EQ(model.entry_mass[a], 0.5);
+  EXPECT_DOUBLE_EQ(model.entry_mass[b], 0.5);
+  EXPECT_DOUBLE_EQ(model.transitions(a, c), 0.5);
+  EXPECT_DOUBLE_EQ(model.transitions(b, c), 0.5);
+  EXPECT_DOUBLE_EQ(model.exit_mass[c], 1.0);
+  // Singleton members carry full emission weight.
+  EXPECT_DOUBLE_EQ(model.member_weights[a][0], 1.0);
+}
+
+TEST(ReconstructTest, MergedClusterSumsMassAndWeightsMembers) {
+  const auto m = program_matrix(R"(
+fn main() {
+  if (input()) { sys("a1"); } else { sys("a2"); }
+  sys("c");
+}
+)");
+  // Force a1+a2 into one cluster by hand.
+  CallClustering clustering = identity_clustering(m);
+  ASSERT_EQ(clustering.calls.size(), 3u);
+  for (std::size_t i = 0; i < clustering.calls.size(); ++i) {
+    clustering.assignment[i] = clustering.calls[i].name == "c" ? 1 : 0;
+  }
+  clustering.clusters.assign(2, {});
+  for (std::size_t i = 0; i < clustering.assignment.size(); ++i) {
+    clustering.clusters[clustering.assignment[i]].push_back(i);
+  }
+
+  const ReducedModel model = reconstruct_reduced_model(m, clustering);
+  ASSERT_EQ(model.num_states(), 2u);
+  EXPECT_DOUBLE_EQ(model.entry_mass[0], 1.0);       // 0.5 + 0.5
+  EXPECT_DOUBLE_EQ(model.transitions(0, 1), 1.0);   // both halves into c
+  ASSERT_EQ(model.member_weights[0].size(), 2u);
+  EXPECT_NEAR(model.member_weights[0][0] + model.member_weights[0][1], 1.0,
+              1e-12);
+}
+
+TEST(ReconstructTest, RejectsUnresolvedInternalSymbols) {
+  analysis::CallTransitionMatrix m;
+  m.add_symbol(CallSymbol::entry("f"));
+  m.add_symbol(CallSymbol::exit("f"));
+  m.add_symbol(CallSymbol::external(ir::CallKind::kSyscall, "a", "f"));
+  m.add_symbol(CallSymbol::internal("g"));
+  const CallClustering clustering = identity_clustering(m);
+  EXPECT_THROW(reconstruct_reduced_model(m, clustering),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cmarkov::reduction

@@ -1,0 +1,133 @@
+// Unit tests for MiniC semantic checking.
+#include <gtest/gtest.h>
+
+#include "src/ir/parser.hpp"
+#include "src/ir/sema.hpp"
+
+namespace cmarkov::ir {
+namespace {
+
+std::vector<std::string> diagnose(const char* source) {
+  return check_program(parse_program(source));
+}
+
+TEST(SemaTest, ValidProgramHasNoDiagnostics) {
+  EXPECT_TRUE(diagnose(R"(
+fn helper(a, b) { return a + b; }
+fn main() { var x = helper(1, 2); sys("write"); }
+)").empty());
+}
+
+TEST(SemaTest, MissingMain) {
+  const auto diags = diagnose("fn helper() { return; }");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].find("no entry function"), std::string::npos);
+}
+
+TEST(SemaTest, CustomEntryPoint) {
+  const Program program = parse_program("fn start() { return; }");
+  EXPECT_TRUE(check_program(program, "start").empty());
+  EXPECT_FALSE(check_program(program, "main").empty());
+}
+
+TEST(SemaTest, EntryPointMustTakeNoParams) {
+  const auto diags = diagnose("fn main(argc) { return; }");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].find("must take no parameters"), std::string::npos);
+}
+
+TEST(SemaTest, DuplicateFunction) {
+  const auto diags = diagnose("fn main() { } fn main() { }");
+  ASSERT_GE(diags.size(), 1u);
+  EXPECT_NE(diags[0].find("duplicate function"), std::string::npos);
+}
+
+TEST(SemaTest, UndefinedCallee) {
+  const auto diags = diagnose("fn main() { ghost(); }");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].find("undefined function 'ghost'"), std::string::npos);
+}
+
+TEST(SemaTest, ArityMismatch) {
+  const auto diags =
+      diagnose("fn f(a, b) { return a + b; } fn main() { f(1); }");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].find("expected 2"), std::string::npos);
+}
+
+TEST(SemaTest, UndeclaredVariableUse) {
+  const auto diags = diagnose("fn main() { var x = y; }");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].find("undeclared variable 'y'"), std::string::npos);
+}
+
+TEST(SemaTest, AssignmentToUndeclared) {
+  const auto diags = diagnose("fn main() { x = 1; }");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].find("undeclared variable 'x'"), std::string::npos);
+}
+
+TEST(SemaTest, RedeclarationInFunction) {
+  const auto diags = diagnose("fn main() { var x = 1; var x = 2; }");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].find("redeclaration of 'x'"), std::string::npos);
+}
+
+TEST(SemaTest, VariablesAreFunctionScoped) {
+  // Declared inside an if-block, used after: allowed by MiniC scoping.
+  EXPECT_TRUE(diagnose(R"(
+fn main() {
+  if (input()) { var x = 1; } else { }
+  x = 2;
+}
+)").empty());
+}
+
+TEST(SemaTest, ParametersActAsDeclarations) {
+  EXPECT_TRUE(diagnose("fn f(n) { return n; } fn main() { f(1); }").empty());
+}
+
+TEST(SemaTest, DuplicateParameter) {
+  const auto diags = diagnose("fn f(a, a) { return a; } fn main() { f(1, 2); }");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].find("duplicate parameter"), std::string::npos);
+}
+
+TEST(SemaTest, ChecksInsideNestedBlocksAndConditions) {
+  const auto diags = diagnose(R"(
+fn main() {
+  while (missing > 0) {
+    if (also_missing) { }
+  }
+}
+)");
+  EXPECT_EQ(diags.size(), 2u);
+}
+
+TEST(SemaTest, ChecksCallArgumentsRecursively) {
+  const auto diags =
+      diagnose("fn f(a) { return a; } fn main() { f(nope); }");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].find("'nope'"), std::string::npos);
+}
+
+TEST(SemaTest, RequireValidThrowsWithAllDiagnostics) {
+  const Program program = parse_program("fn main() { x = y; }");
+  try {
+    require_valid(program);
+    FAIL() << "expected SemaError";
+  } catch (const SemaError& e) {
+    EXPECT_EQ(e.diagnostics().size(), 2u);
+    EXPECT_NE(std::string(e.what()).find("semantic errors"),
+              std::string::npos);
+  }
+}
+
+TEST(SemaTest, DiagnosticsCarryLineNumbers) {
+  const auto diags = diagnose("fn main() {\n\n  x = 1;\n}");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].find("line 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cmarkov::ir

@@ -1,0 +1,206 @@
+// Unit tests for src/util: rng determinism and distributions, stopwatch,
+// strings, table printer.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "src/util/rng.hpp"
+#include "src/util/stopwatch.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/table_printer.hpp"
+
+namespace cmarkov {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.uniform_int(0, 1 << 30) != b.uniform_int(0, 1 << 30)) ++differing;
+  }
+  EXPECT_GT(differing, 40);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, UniformIntRejectsInvertedRange) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform_int(5, 4), std::invalid_argument);
+}
+
+TEST(RngTest, IndexCoversAllBuckets) {
+  Rng rng(3);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_THROW(rng.index(0), std::invalid_argument);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, ChanceApproximatesProbability) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, WeightedIndexFollowsWeights) {
+  Rng rng(13);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::size_t counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) counts[rng.weighted_index(weights)] += 1;
+  EXPECT_EQ(counts[1], 0u);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.5);
+}
+
+TEST(RngTest, WeightedIndexRejectsDegenerateInput) {
+  Rng rng(13);
+  const std::vector<double> zeros = {0.0, 0.0};
+  EXPECT_THROW(rng.weighted_index(zeros), std::invalid_argument);
+  EXPECT_THROW(rng.weighted_index(std::vector<double>{}),
+               std::invalid_argument);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = items;
+  rng.shuffle(copy);
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, items);
+}
+
+TEST(RngTest, PickRejectsEmpty) {
+  Rng rng(1);
+  std::vector<int> empty;
+  EXPECT_THROW(rng.pick(empty), std::invalid_argument);
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng parent(100);
+  Rng child = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (parent.uniform_int(0, 1 << 30) == child.uniform_int(0, 1 << 30)) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(watch.millis(), 5.0);
+  watch.reset();
+  EXPECT_LT(watch.millis(), 5.0);
+}
+
+TEST(PhaseTimerTest, AccumulatesPhases) {
+  PhaseTimer timer;
+  timer.add("a", 1.0);
+  timer.add("a", 2.0);
+  timer.add("b", 0.5);
+  EXPECT_DOUBLE_EQ(timer.total("a"), 3.0);
+  EXPECT_EQ(timer.count("a"), 2u);
+  EXPECT_DOUBLE_EQ(timer.mean("a"), 1.5);
+  EXPECT_DOUBLE_EQ(timer.total("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(timer.mean("missing"), 0.0);
+}
+
+TEST(ScopedPhaseTest, RecordsOnDestruction) {
+  PhaseTimer timer;
+  {
+    ScopedPhase phase(timer, "scope");
+  }
+  EXPECT_EQ(timer.count("scope"), 1u);
+}
+
+TEST(StringsTest, SplitPreservesEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StringsTest, JoinConcatenatesWithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(StringsTest, PrefixSuffixChecks) {
+  EXPECT_TRUE(starts_with("read@main", "read"));
+  EXPECT_FALSE(starts_with("read", "read@"));
+  EXPECT_TRUE(ends_with("read@main", "@main"));
+  EXPECT_FALSE(ends_with("main", "@main"));
+}
+
+TEST(StringsTest, FormatHelpers) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_probability(0.0), "0");
+  EXPECT_EQ(format_probability(0.00032), "3.2e-04");
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"Program", "N"});
+  table.add_row({"gzip", "21"});
+  table.add_row({"bash", "1366"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("Program  N"), std::string::npos);
+  EXPECT_NE(out.find("gzip"), std::string::npos);
+  EXPECT_NE(out.find("1366"), std::string::npos);
+}
+
+TEST(TablePrinterTest, PadsMissingCellsAndRejectsWideRows) {
+  TablePrinter table({"a", "b", "c"});
+  table.add_row({"x"});
+  EXPECT_EQ(table.row_count(), 1u);
+  EXPECT_THROW(table.add_row({"1", "2", "3", "4"}), std::invalid_argument);
+  EXPECT_THROW(TablePrinter({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cmarkov

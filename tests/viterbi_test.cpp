@@ -1,0 +1,102 @@
+// Unit tests for Viterbi decoding, including brute-force cross-checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/hmm/viterbi.hpp"
+
+namespace cmarkov::hmm {
+namespace {
+
+Hmm weather_model() {
+  Hmm model;
+  model.transition = Matrix::from_rows({{0.7, 0.3}, {0.4, 0.6}});
+  model.emission = Matrix::from_rows({{0.1, 0.9}, {0.8, 0.2}});
+  model.initial = {0.5, 0.5};
+  return model;
+}
+
+/// Brute-force best path by enumeration.
+std::pair<std::vector<std::size_t>, double> brute_force_best(
+    const Hmm& model, const std::vector<std::size_t>& obs) {
+  const std::size_t n = model.num_states();
+  const std::size_t t_len = obs.size();
+  std::vector<std::size_t> path(t_len, 0);
+  std::vector<std::size_t> best_path;
+  double best = -1.0;
+  while (true) {
+    double p = model.initial[path[0]] * model.emission(path[0], obs[0]);
+    for (std::size_t t = 1; t < t_len; ++t) {
+      p *= model.transition(path[t - 1], path[t]) *
+           model.emission(path[t], obs[t]);
+    }
+    if (p > best) {
+      best = p;
+      best_path = path;
+    }
+    std::size_t pos = 0;
+    while (pos < t_len && ++path[pos] == n) {
+      path[pos] = 0;
+      ++pos;
+    }
+    if (pos == t_len) break;
+  }
+  return {best_path, best};
+}
+
+TEST(ViterbiTest, MatchesBruteForce) {
+  const Hmm model = weather_model();
+  const std::vector<std::vector<std::size_t>> sequences = {
+      {0}, {1, 0}, {0, 0, 1}, {1, 1, 0, 0, 1}};
+  for (const auto& obs : sequences) {
+    const auto [expected_path, expected_p] = brute_force_best(model, obs);
+    const ViterbiResult result = viterbi_decode(model, obs);
+    EXPECT_EQ(result.path, expected_path);
+    EXPECT_NEAR(result.log_probability, std::log(expected_p), 1e-10);
+  }
+}
+
+TEST(ViterbiTest, EmptySequence) {
+  const ViterbiResult result = viterbi_decode(weather_model(), {});
+  EXPECT_TRUE(result.path.empty());
+  EXPECT_DOUBLE_EQ(result.log_probability, 0.0);
+}
+
+TEST(ViterbiTest, DeterministicChainDecodesExactly) {
+  Hmm model;
+  model.transition = Matrix::from_rows({{0, 1, 0}, {0, 0, 1}, {1, 0, 0}});
+  model.emission = Matrix::identity(3);
+  model.initial = {1.0, 0.0, 0.0};
+  const std::vector<std::size_t> obs = {0, 1, 2, 0, 1};
+  const ViterbiResult result = viterbi_decode(model, obs);
+  EXPECT_EQ(result.path, obs);
+  EXPECT_NEAR(result.log_probability, 0.0, 1e-12);
+}
+
+TEST(ViterbiTest, ImpossibleSequenceYieldsMinusInfinity) {
+  Hmm model;
+  model.transition = Matrix::from_rows({{1.0, 0.0}, {0.0, 1.0}});
+  model.emission = Matrix::from_rows({{1.0, 0.0}, {1.0, 0.0}});
+  model.initial = {1.0, 0.0};
+  const std::vector<std::size_t> obs = {0, 1};
+  const ViterbiResult result = viterbi_decode(model, obs);
+  EXPECT_TRUE(std::isinf(result.log_probability));
+  EXPECT_TRUE(result.path.empty());
+}
+
+TEST(ViterbiTest, RejectsOutOfRangeObservation) {
+  EXPECT_THROW(viterbi_decode(weather_model(), std::vector<std::size_t>{5}),
+               std::out_of_range);
+}
+
+TEST(ViterbiTest, PathProbabilityNeverExceedsSequenceProbability) {
+  const Hmm model = weather_model();
+  const std::vector<std::size_t> obs = {0, 1, 0, 0, 1, 1};
+  const ViterbiResult result = viterbi_decode(model, obs);
+  const auto [path, best_p] = brute_force_best(model, obs);
+  (void)path;
+  EXPECT_NEAR(result.log_probability, std::log(best_p), 1e-10);
+}
+
+}  // namespace
+}  // namespace cmarkov::hmm

@@ -1,0 +1,155 @@
+// Tests for the eight program suites: parameterized over every suite to
+// verify each one parses, lowers, runs, and produces usable traces.
+#include <gtest/gtest.h>
+
+#include "src/workload/program_suite.hpp"
+#include "src/workload/suite_synthetic.hpp"
+#include "src/workload/testcase_generator.hpp"
+
+namespace cmarkov::workload {
+namespace {
+
+class SuiteTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SuiteTest, BuildsValidProgram) {
+  const ProgramSuite suite = make_suite(GetParam());
+  EXPECT_EQ(suite.info().name, GetParam());
+  EXPECT_GE(suite.module().stats().functions, 10u);
+  EXPECT_GT(suite.module().stats().syscall_sites, 0u);
+  EXPECT_GT(suite.module().stats().libcall_sites, 0u);
+  EXPECT_GT(suite.info().paper_test_cases, 0u);
+}
+
+TEST_P(SuiteTest, EntryFunctionIsMainAndReachesCallGraph) {
+  const ProgramSuite suite = make_suite(GetParam());
+  EXPECT_NE(suite.cfg().find("main"), nullptr);
+  const auto reachable = suite.call_graph().reachable_from("main");
+  // Most functions should be reachable from main (no dead scaffolding).
+  EXPECT_GE(reachable.size(), suite.cfg().functions.size() - 2);
+}
+
+TEST_P(SuiteTest, TestCasesAreDeterministic) {
+  const ProgramSuite suite = make_suite(GetParam());
+  const TestCase a = suite.make_test_case(3, 42);
+  const TestCase b = suite.make_test_case(3, 42);
+  EXPECT_EQ(a.inputs, b.inputs);
+  EXPECT_EQ(a.environment_seed, b.environment_seed);
+  const TestCase c = suite.make_test_case(4, 42);
+  EXPECT_NE(a.inputs, c.inputs);
+}
+
+TEST_P(SuiteTest, TracesAreRichAndComplete) {
+  const ProgramSuite suite = make_suite(GetParam());
+  const TraceCollection collection = collect_traces(suite, 10, 7);
+  EXPECT_EQ(collection.incomplete_runs, 0u);
+  ASSERT_EQ(collection.traces.size(), 10u);
+  // Every trace is symbolized and contains both call streams.
+  std::size_t sys_events = 0;
+  std::size_t lib_events = 0;
+  for (const auto& trace : collection.traces) {
+    for (const auto& event : trace.events) {
+      EXPECT_FALSE(event.caller.empty());
+      EXPECT_NE(event.caller, "?");
+    }
+    sys_events += trace.count(analysis::CallFilter::kSyscalls);
+    lib_events += trace.count(analysis::CallFilter::kLibcalls);
+  }
+  EXPECT_GT(sys_events, 100u);
+  EXPECT_GT(lib_events, 100u);
+}
+
+TEST_P(SuiteTest, DifferentTestCasesProduceDifferentTraces) {
+  const ProgramSuite suite = make_suite(GetParam());
+  const TraceCollection collection = collect_traces(suite, 6, 11);
+  std::set<std::size_t> lengths;
+  for (const auto& trace : collection.traces) {
+    lengths.insert(trace.events.size());
+  }
+  EXPECT_GT(lengths.size(), 1u) << "all traces identical";
+}
+
+TEST_P(SuiteTest, CoverageIsSubstantial) {
+  const ProgramSuite suite = make_suite(GetParam());
+  const TraceCollection collection = collect_traces(suite, 25, 3);
+  EXPECT_GT(collection.coverage.branch_coverage(), 0.5);
+  EXPECT_GT(collection.coverage.line_coverage(), 0.7);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrograms, SuiteTest,
+                         ::testing::ValuesIn(all_suite_names()),
+                         [](const auto& info) { return info.param; });
+
+TEST(SuiteRegistryTest, NameListsArePartition) {
+  const auto& all = all_suite_names();
+  const auto& utilities = utility_suite_names();
+  const auto& servers = server_suite_names();
+  EXPECT_EQ(all.size(), 8u);
+  EXPECT_EQ(utilities.size(), 6u);
+  EXPECT_EQ(servers.size(), 2u);
+  for (const auto& name : utilities) {
+    EXPECT_NE(std::find(all.begin(), all.end(), name), all.end());
+  }
+  for (const auto& name : servers) {
+    EXPECT_NE(std::find(all.begin(), all.end(), name), all.end());
+  }
+}
+
+TEST(SuiteRegistryTest, UnknownNameThrows) {
+  EXPECT_THROW(make_suite("emacs"), std::invalid_argument);
+}
+
+TEST(SyntheticSuiteTest, SmallConfigIsRunnableAndDeterministic) {
+  SyntheticConfig config;
+  config.modules = 4;
+  config.functions_per_module = 5;
+  config.libcall_vocab = 30;
+  config.syscall_vocab = 10;
+  const ProgramSuite a = make_synthetic_suite(config);
+  const ProgramSuite b = make_synthetic_suite(config);
+  EXPECT_EQ(a.module().source(), b.module().source());
+  // 4*5 functions + 4 dispatchers + main.
+  EXPECT_EQ(a.module().stats().functions, 25u);
+
+  const TraceCollection collection = collect_traces(a, 8, 3);
+  EXPECT_EQ(collection.incomplete_runs, 0u);
+  EXPECT_GT(collection.total_events, 100u);
+}
+
+TEST(SyntheticSuiteTest, EveryFunctionReachableFromMain) {
+  SyntheticConfig config;
+  config.modules = 5;
+  config.functions_per_module = 6;
+  const ProgramSuite suite = make_synthetic_suite(config);
+  const auto reachable = suite.call_graph().reachable_from("main");
+  EXPECT_EQ(reachable.size(), suite.cfg().functions.size());
+}
+
+TEST(SyntheticSuiteTest, SeedChangesTheProgram) {
+  SyntheticConfig a;
+  a.modules = 3;
+  a.functions_per_module = 4;
+  SyntheticConfig b = a;
+  b.seed = a.seed + 1;
+  EXPECT_NE(make_synthetic_suite(a).module().source(),
+            make_synthetic_suite(b).module().source());
+}
+
+TEST(SuiteRegistryTest, ServerSuitesUseNetworkCalls) {
+  for (const auto& name : server_suite_names()) {
+    const ProgramSuite suite = make_suite(name);
+    const TraceCollection collection = collect_traces(suite, 8, 5);
+    bool saw_network = false;
+    for (const auto& trace : collection.traces) {
+      for (const auto& event : trace.events) {
+        if (event.name == "accept" || event.name == "recv" ||
+            event.name == "send") {
+          saw_network = true;
+        }
+      }
+    }
+    EXPECT_TRUE(saw_network) << name;
+  }
+}
+
+}  // namespace
+}  // namespace cmarkov::workload

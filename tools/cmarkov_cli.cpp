@@ -1,0 +1,369 @@
+// cmarkov — command-line front end for the library.
+//
+//   cmarkov list
+//   cmarkov analyze <suite|file.minic> [--filter sys|lib]
+//   cmarkov trace   <suite|file.minic> [--count N] [--seed S] --out <dir>
+//   cmarkov train   <suite|file.minic> [--filter sys|lib] [--traces N]
+//                   [--context 0|1] --out <model.txt>
+//   cmarkov scan    <model.txt> <trace.txt>...
+//   cmarkov monitor <model.txt> <trace.txt>
+//
+// `suite` is one of the built-in program analogues (gzip, bash, ...); a
+// path ending in .minic is parsed as MiniC source.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "src/cfg/cfg_builder.hpp"
+#include "src/core/detector.hpp"
+#include "src/core/model_io.hpp"
+#include "src/core/online_monitor.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/eval/comparison.hpp"
+#include "src/gadget/gadget_scanner.hpp"
+#include "src/trace/interpreter.hpp"
+#include "src/trace/trace_io.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/table_printer.hpp"
+#include "src/workload/testcase_generator.hpp"
+
+using namespace cmarkov;
+
+namespace {
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (starts_with(token, "--")) {
+      if (i + 1 >= argc) {
+        throw std::runtime_error("missing value for option " + token);
+      }
+      args.options[token.substr(2)] = argv[++i];
+    } else {
+      args.positional.push_back(token);
+    }
+  }
+  return args;
+}
+
+bool is_suite_name(const std::string& name) {
+  const auto& names = workload::all_suite_names();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+ir::ProgramModule load_program(const std::string& target) {
+  if (is_suite_name(target)) {
+    // Re-parse the suite's source: ProgramModule owns its AST (move-only).
+    const workload::ProgramSuite suite = workload::make_suite(target);
+    return ir::ProgramModule::from_source(target, suite.module().source());
+  }
+  std::ifstream in(target);
+  if (!in) {
+    throw std::runtime_error("cannot open program '" + target +
+                             "' (not a suite name or readable file)");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ir::ProgramModule::from_source(
+      std::filesystem::path(target).stem().string(), buffer.str());
+}
+
+analysis::CallFilter parse_filter(const std::string& text) {
+  if (text == "sys" || text == "syscall") return analysis::CallFilter::kSyscalls;
+  if (text == "lib" || text == "libcall") return analysis::CallFilter::kLibcalls;
+  if (text == "all") return analysis::CallFilter::kAll;
+  throw std::runtime_error("unknown filter '" + text + "' (sys|lib|all)");
+}
+
+std::vector<trace::Trace> collect_program_traces(
+    const ir::ProgramModule& program, std::size_t count,
+    std::uint64_t seed) {
+  const auto module_cfg = cfg::build_module_cfg(program);
+  const trace::Interpreter interpreter(module_cfg);
+  const trace::Symbolizer symbolizer(module_cfg);
+  Rng rng(seed);
+  std::vector<trace::Trace> traces;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::vector<std::int64_t> inputs;
+    const std::size_t len = 16 + rng.index(80);
+    for (std::size_t j = 0; j < len; ++j) {
+      inputs.push_back(rng.uniform_int(0, 99));
+    }
+    trace::SeededEnvironment environment(rng.engine()());
+    auto run = interpreter.run(inputs, environment);
+    if (!run.completed) continue;
+    symbolizer.symbolize(run.trace);
+    run.trace.program = program.name();
+    traces.push_back(std::move(run.trace));
+  }
+  return traces;
+}
+
+int cmd_list() {
+  TablePrinter table({"Suite", "Paper test cases", "Description"});
+  for (const auto& name : workload::all_suite_names()) {
+    const workload::ProgramSuite suite = workload::make_suite(name);
+    table.add_row({name, std::to_string(suite.info().paper_test_cases),
+                   suite.info().description});
+  }
+  table.print();
+  return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  if (args.positional.empty()) {
+    throw std::runtime_error("analyze: need a suite name or .minic file");
+  }
+  const ir::ProgramModule program = load_program(args.positional[0]);
+  const auto filter = parse_filter(args.get("filter", "sys"));
+
+  core::PipelineConfig config;
+  config.filter = filter;
+  Rng rng(1);
+  const auto result = core::run_static_pipeline(program, config, rng);
+
+  std::cout << "program:        " << program.name() << "\n";
+  std::cout << "functions:      " << program.stats().functions << "\n";
+  std::cout << "source lines:   " << program.stats().source_lines << "\n";
+  std::cout << "syscall sites:  " << program.stats().syscall_sites << "\n";
+  std::cout << "libcall sites:  " << program.stats().libcall_sites << "\n";
+  std::cout << "stream:         " << analysis::call_filter_name(filter)
+            << "\n";
+  std::cout << "distinct calls: " << result.distinct_calls
+            << " (context-sensitive)\n";
+  std::cout << "hidden states:  " << result.init.model.num_states() << "\n";
+  std::cout << "matrix cells:   " << result.program_matrix.nonzero_count()
+            << " non-zero\n";
+  std::cout << "analysis time:  ";
+  for (const auto& [phase, seconds] : result.timings.totals()) {
+    std::cout << phase << "=" << format_double(seconds * 1e3, 2) << "ms ";
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+int cmd_trace(const Args& args) {
+  if (args.positional.empty()) {
+    throw std::runtime_error("trace: need a suite name or .minic file");
+  }
+  const ir::ProgramModule program = load_program(args.positional[0]);
+  const auto count = static_cast<std::size_t>(
+      std::stoul(args.get("count", "10")));
+  const auto seed = std::stoull(args.get("seed", "42"));
+  const std::string out_dir = args.get("out", ".");
+  std::filesystem::create_directories(out_dir);
+
+  const auto traces = collect_program_traces(program, count, seed);
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const std::string path = out_dir + "/" + program.name() + "_" +
+                             std::to_string(i) + ".trace";
+    trace::write_trace_file(path, traces[i]);
+  }
+  std::cout << "wrote " << traces.size() << " traces to " << out_dir << "\n";
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  if (args.positional.empty()) {
+    throw std::runtime_error("train: need a suite name or .minic file");
+  }
+  const ir::ProgramModule program = load_program(args.positional[0]);
+  const std::string out = args.get("out", program.name() + ".model");
+
+  core::DetectorConfig config;
+  config.pipeline.filter = parse_filter(args.get("filter", "sys"));
+  config.pipeline.context_sensitive = args.get("context", "1") != "0";
+  config.target_fp = std::stod(args.get("target-fp", "0.001"));
+
+  core::Detector detector = core::Detector::build(program, config);
+  const auto traces = collect_program_traces(
+      program, static_cast<std::size_t>(std::stoul(args.get("traces", "60"))),
+      std::stoull(args.get("seed", "42")));
+  const auto report = detector.train(traces);
+
+  core::save_detector_file(out, detector);
+  std::cout << "trained " << (config.pipeline.context_sensitive
+                                  ? "context-sensitive"
+                                  : "context-insensitive")
+            << " model on " << traces.size() << " traces ("
+            << report.iterations << " iterations), threshold "
+            << format_double(detector.threshold(), 3) << "\n";
+  std::cout << "saved to " << out << "\n";
+  return 0;
+}
+
+int cmd_compare(const Args& args) {
+  if (args.positional.empty()) {
+    throw std::runtime_error("compare: need a built-in suite name");
+  }
+  if (!is_suite_name(args.positional[0])) {
+    throw std::runtime_error(
+        "compare: the comparison harness needs a built-in suite (its "
+        "test-case generator drives the workload)");
+  }
+  const workload::ProgramSuite suite = workload::make_suite(args.positional[0]);
+  const auto filter = parse_filter(args.get("filter", "sys"));
+  eval::ComparisonOptions options =
+      eval::default_comparison_options(args.get("full", "0") == "1");
+  options.seed = std::stoull(args.get("seed", "1"));
+
+  const eval::SuiteComparison comparison =
+      eval::compare_models(suite, filter, options);
+  TablePrinter table({"Model", "N states", "M symbols", "FN@FP=0.01",
+                      "FN@FP=0.05", "AUC", "Train (s)"});
+  for (const auto& model : comparison.models) {
+    table.add_row({eval::model_kind_name(model.kind),
+                   std::to_string(model.num_states),
+                   std::to_string(model.alphabet_size),
+                   format_double(eval::fn_at_fp(model.scores, 0.01), 4),
+                   format_double(eval::fn_at_fp(model.scores, 0.05), 4),
+                   format_double(eval::detection_auc(model.scores), 4),
+                   format_double(model.train_seconds, 2)});
+  }
+  std::cout << comparison.program << " / "
+            << analysis::call_filter_name(filter) << ": "
+            << comparison.unique_normal_segments << " unique segments, "
+            << comparison.abnormal_segments << " Abnormal-S segments\n";
+  table.print();
+  return 0;
+}
+
+int cmd_gadgets(const Args& args) {
+  if (args.positional.empty() || !is_suite_name(args.positional[0])) {
+    throw std::runtime_error("gadgets: need a built-in suite name");
+  }
+  const workload::ProgramSuite suite =
+      workload::make_suite(args.positional[0]);
+  const gadget::BinaryImage image =
+      gadget::BinaryImage::synthesize(suite.cfg(),
+                                      std::stoull(args.get("seed", "7")));
+  const trace::Symbolizer symbolizer(suite.cfg());
+  const auto collection = workload::collect_traces(
+      suite, static_cast<std::size_t>(std::stoul(args.get("traces", "30"))),
+      5);
+  const auto legit_vec = attack::legitimate_call_set(
+      collection.traces, analysis::CallFilter::kSyscalls);
+  const std::set<attack::LegitimateCall> legit(legit_vec.begin(),
+                                               legit_vec.end());
+
+  TablePrinter table({"Max length", "Context-compatible", "Raw census"});
+  for (std::size_t len : {2u, 4u, 6u, 8u, 10u}) {
+    const auto counts = gadget::count_gadgets(image, len, &symbolizer, legit);
+    table.add_row({std::to_string(len),
+                   std::to_string(counts.context_compatible),
+                   std::to_string(counts.raw)});
+  }
+  std::cout << "[SYSCALL...RET] gadget census for " << suite.info().name
+            << " (" << image.instructions().size() << " decoded slots)\n";
+  table.print();
+  return 0;
+}
+
+int cmd_scan(const Args& args) {
+  if (args.positional.size() < 2) {
+    throw std::runtime_error("scan: need <model.txt> <trace.txt>...");
+  }
+  const core::Detector detector =
+      core::load_detector_file(args.positional[0]);
+  TablePrinter table({"Trace", "Verdict", "Flagged", "Min log-likelihood"});
+  int anomalies = 0;
+  for (std::size_t i = 1; i < args.positional.size(); ++i) {
+    const trace::Trace trace = trace::read_trace_file(args.positional[i]);
+    const auto verdict = detector.classify(trace);
+    if (verdict.anomalous) ++anomalies;
+    table.add_row({args.positional[i],
+                   verdict.anomalous ? "ANOMALY" : "ok",
+                   std::to_string(verdict.flagged_segments) + "/" +
+                       std::to_string(verdict.total_segments),
+                   format_double(verdict.min_log_likelihood, 2)});
+  }
+  table.print();
+  return anomalies > 0 ? 2 : 0;  // grep-style exit code
+}
+
+int cmd_monitor(const Args& args) {
+  if (args.positional.size() != 2) {
+    throw std::runtime_error("monitor: need <model.txt> <trace.txt>");
+  }
+  const core::Detector detector =
+      core::load_detector_file(args.positional[0]);
+  const trace::Trace trace = trace::read_trace_file(args.positional[1]);
+
+  core::MonitorOptions options;
+  options.windows_to_alarm = static_cast<std::size_t>(
+      std::stoul(args.get("windows-to-alarm", "1")));
+  options.cooldown_events = static_cast<std::size_t>(
+      std::stoul(args.get("cooldown", "30")));
+  core::OnlineMonitor monitor(detector, nullptr, options);
+
+  std::size_t event_index = 0;
+  for (const auto& event : trace.events) {
+    ++event_index;
+    const auto update = monitor.on_event(event);
+    if (update.alarm) {
+      std::cout << "ALARM at event " << event_index << ": " << event.name
+                << "@" << event.caller
+                << (update.unknown_symbol ? " (unknown context)"
+                                          : " (low likelihood)")
+                << "\n";
+    }
+  }
+  const auto& stats = monitor.stats();
+  std::cout << "events=" << stats.events_seen
+            << " observed=" << stats.events_observed
+            << " windows=" << stats.windows_scored
+            << " flagged=" << stats.windows_flagged
+            << " alarms=" << stats.alarms << "\n";
+  return stats.alarms > 0 ? 2 : 0;
+}
+
+int usage() {
+  std::cerr << "usage: cmarkov "
+               "<list|analyze|trace|train|scan|monitor|compare> ...\n"
+            << "  list                              built-in program suites\n"
+            << "  analyze <prog> [--filter sys|lib] static-analysis summary\n"
+            << "  trace <prog> [--count N] [--seed S] [--out DIR]\n"
+            << "  train <prog> [--filter sys|lib] [--context 0|1]\n"
+            << "        [--traces N] [--target-fp P] [--out FILE]\n"
+            << "  scan <model> <trace>...           classify recorded traces\n"
+            << "  monitor <model> <trace>           streaming detection demo\n"
+            << "  compare <suite> [--filter sys|lib] 4-model accuracy table\n"
+            << "  gadgets <suite>                   ROP gadget census\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    const Args args = parse_args(argc, argv);
+    if (command == "list") return cmd_list();
+    if (command == "analyze") return cmd_analyze(args);
+    if (command == "trace") return cmd_trace(args);
+    if (command == "train") return cmd_train(args);
+    if (command == "scan") return cmd_scan(args);
+    if (command == "monitor") return cmd_monitor(args);
+    if (command == "compare") return cmd_compare(args);
+    if (command == "gadgets") return cmd_gadgets(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "cmarkov " << command << ": " << e.what() << "\n";
+    return 1;
+  }
+}
