@@ -1,0 +1,161 @@
+// Load generator for the cmarkovd serving layer: K concurrent sessions
+// (one producer thread each) replay workload::program_suite traces through
+// a SessionManager worker pool and the bench reports aggregate events/sec,
+// per-session drop/alarm counters and enqueue-to-verdict latency quantiles.
+//
+//   bench_serve_throughput [--sessions K] [--events-per-session N]
+//                          [--workers W] [--queue C]
+//                          [--policy block|drop-oldest|reject] [--full]
+//
+// Acceptance target (ISSUE 1): >= 100k events/sec aggregate across >= 8
+// concurrent sessions under the block policy (nothing dropped).
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/serve/session_manager.hpp"
+#include "src/util/stopwatch.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/table_printer.hpp"
+#include "src/workload/testcase_generator.hpp"
+
+using namespace cmarkov;
+
+namespace {
+
+constexpr double kTargetEventsPerSecond = 100e3;
+
+core::Detector train_detector(const workload::ProgramSuite& suite,
+                              std::uint64_t seed) {
+  core::DetectorConfig config;
+  config.pipeline.filter = analysis::CallFilter::kSyscalls;
+  config.training.max_iterations = 6;
+  core::Detector detector = core::Detector::build(suite.module(), config);
+  detector.train(workload::collect_traces(suite, 30, seed).traces);
+  return detector;
+}
+
+/// Cycles a suite's benign trace events into a feed of exactly `count`.
+std::vector<trace::CallEvent> build_feed(const workload::ProgramSuite& suite,
+                                         std::size_t count,
+                                         std::uint64_t seed) {
+  std::vector<trace::CallEvent> pool;
+  for (const auto& trace : workload::collect_traces(suite, 5, seed).traces) {
+    pool.insert(pool.end(), trace.events.begin(), trace.events.end());
+  }
+  std::vector<trace::CallEvent> feed;
+  feed.reserve(count);
+  while (feed.size() < count) {
+    feed.insert(feed.end(), pool.begin(),
+                pool.begin() + static_cast<std::ptrdiff_t>(std::min(
+                                   pool.size(), count - feed.size())));
+  }
+  return feed;
+}
+
+std::string arg_value(int argc, char** argv, const std::string& flag,
+                      const std::string& fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (argv[i] == flag) return argv[i + 1];
+  }
+  return fallback;
+}
+
+bool has_flag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] == flag) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full =
+      has_flag(argc, argv, "--full") || std::getenv("CMARKOV_FULL") != nullptr;
+  const auto sessions =
+      std::stoul(arg_value(argc, argv, "--sessions", "8"));
+  const auto events_per_session = std::stoul(
+      arg_value(argc, argv, "--events-per-session", full ? "100000" : "40000"));
+  serve::ServiceConfig config;
+  config.num_workers = std::stoul(arg_value(argc, argv, "--workers", "2"));
+  config.queue_capacity = std::stoul(arg_value(argc, argv, "--queue", "4096"));
+  const auto policy = serve::parse_backpressure_policy(
+      arg_value(argc, argv, "--policy", "block"));
+  if (!policy) {
+    std::cerr << "unknown --policy (block|drop-oldest|reject)\n";
+    return 1;
+  }
+  config.policy = *policy;
+
+  std::cout << "cmarkovd load generator: " << sessions << " sessions x "
+            << events_per_session << " events, " << config.num_workers
+            << " workers, queue=" << config.queue_capacity
+            << ", policy=" << serve::backpressure_policy_name(config.policy)
+            << "\n";
+
+  const workload::ProgramSuite gzip = workload::make_gzip_suite();
+  const workload::ProgramSuite sed = workload::make_sed_suite();
+  serve::ModelRegistry registry;
+  registry.add("gzip", train_detector(gzip, 91));
+  registry.add("sed", train_detector(sed, 17));
+
+  std::vector<std::string> ids;
+  std::vector<std::vector<trace::CallEvent>> feeds;
+  for (std::size_t i = 0; i < sessions; ++i) {
+    const bool is_gzip = i % 2 == 0;
+    ids.push_back((is_gzip ? "gzip-" : "sed-") + std::to_string(i));
+    feeds.push_back(build_feed(is_gzip ? gzip : sed, events_per_session,
+                               300 + i));
+  }
+
+  serve::SessionManager manager(registry, config);
+  for (std::size_t i = 0; i < sessions; ++i) {
+    manager.open_session(ids[i], i % 2 == 0 ? "gzip" : "sed");
+  }
+
+  Stopwatch watch;
+  std::vector<std::thread> producers;
+  producers.reserve(sessions);
+  for (std::size_t i = 0; i < sessions; ++i) {
+    producers.emplace_back([&, i] {
+      for (const auto& event : feeds[i]) manager.submit(ids[i], event);
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  manager.drain();
+  const double elapsed = watch.seconds();
+
+  TablePrinter table({"Session", "Model", "Enqueued", "Processed", "Dropped",
+                      "Rejected", "Windows", "Alarms"});
+  for (const auto& id : ids) {
+    const serve::SessionStats stats = manager.session_stats(id);
+    table.add_row({stats.id, stats.model, std::to_string(stats.enqueued),
+                   std::to_string(stats.processed),
+                   std::to_string(stats.dropped),
+                   std::to_string(stats.rejected),
+                   std::to_string(stats.monitor.windows_scored),
+                   std::to_string(stats.monitor.alarms)});
+  }
+  table.print();
+
+  const serve::ServiceMetrics metrics = manager.metrics();
+  const double events_per_second =
+      static_cast<double>(metrics.events_processed) / elapsed;
+  std::cout << "aggregate: " << metrics.events_processed << " events in "
+            << format_double(elapsed, 2) << "s -> "
+            << format_double(events_per_second, 0) << " events/sec\n";
+  std::cout << "latency: p50=" << format_double(metrics.p50_latency_micros, 0)
+            << "us p99=" << format_double(metrics.p99_latency_micros, 0)
+            << "us (" << metrics.latency_samples << " samples)\n";
+  std::cout << "dropped=" << metrics.events_dropped
+            << " rejected=" << metrics.events_rejected
+            << " alarms=" << metrics.alarms << "\n";
+  std::cout << "target " << format_double(kTargetEventsPerSecond, 0)
+            << " events/sec: "
+            << (events_per_second >= kTargetEventsPerSecond ? "PASS" : "FAIL")
+            << "\n";
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "src/core/model_io.hpp"
 
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <limits>
@@ -37,11 +39,43 @@ Matrix read_matrix(std::istream& in, const std::string& expected_tag) {
   for (std::size_t r = 0; r < rows; ++r) {
     for (std::size_t c = 0; c < cols; ++c) {
       if (!(in >> m(r, c))) {
-        throw std::runtime_error("model_io: truncated matrix body");
+        throw std::runtime_error(
+            "model_io: truncated or malformed '" + expected_tag +
+            "' matrix at row " + std::to_string(r) + ", column " +
+            std::to_string(c));
       }
     }
   }
   return m;
+}
+
+/// Reads one numeric value, failing loudly with the owning key's name.
+template <typename T>
+T read_value(std::istream& in, const char* key) {
+  T value{};
+  if (!(in >> value)) {
+    throw std::runtime_error(
+        std::string("model_io: malformed value for key '") + key + "'");
+  }
+  return value;
+}
+
+/// Reads a double that must be finite (rejects "nan"/"inf" spellings too,
+/// which operator>> would not even parse).
+double read_finite_double(std::istream& in, const char* key) {
+  std::string token;
+  if (!(in >> token)) {
+    throw std::runtime_error(std::string("model_io: missing value for key '") +
+                             key + "'");
+  }
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size() || !std::isfinite(value)) {
+    throw std::runtime_error(std::string("model_io: key '") + key +
+                             "' has non-finite or malformed value '" + token +
+                             "'");
+  }
+  return value;
 }
 
 }  // namespace
@@ -85,9 +119,14 @@ void save_detector_file(const std::string& path, const Detector& detector) {
 
 Detector load_detector(std::istream& in) {
   std::string magic;
-  int version = 0;
-  if (!(in >> magic >> version) || magic != kMagic) {
+  if (!(in >> magic) || magic != kMagic) {
     throw std::runtime_error("model_io: not a cmarkov detector file");
+  }
+  int version = 0;
+  if (!(in >> version)) {
+    throw std::runtime_error(
+        "model_io: malformed version line (expected '" + std::string(kMagic) +
+        " <number>')");
   }
   if (version != kVersion) {
     throw std::runtime_error("model_io: unsupported version " +
@@ -117,21 +156,16 @@ Detector load_detector(std::istream& in) {
                              "'");
   }
   expect_key("context");
-  int context = 0;
-  in >> context;
-  config.pipeline.context_sensitive = context != 0;
+  config.pipeline.context_sensitive = read_value<int>(in, "context") != 0;
   expect_key("segment_length");
-  in >> config.segments.length;
+  config.segments.length = read_value<std::size_t>(in, "segment_length");
   expect_key("trained");
-  int trained = 0;
-  in >> trained;
+  const int trained = read_value<int>(in, "trained");
   expect_key("threshold");
-  double threshold = 0.0;
-  in >> threshold;
+  const double threshold = read_finite_double(in, "threshold");
 
   expect_key("alphabet");
-  std::size_t alphabet_size = 0;
-  in >> alphabet_size;
+  const auto alphabet_size = read_value<std::size_t>(in, "alphabet");
   in.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
   hmm::Alphabet alphabet;
   for (std::size_t i = 0; i < alphabet_size; ++i) {
@@ -149,11 +183,14 @@ Detector load_detector(std::istream& in) {
   model.transition = read_matrix(in, "transition");
   model.emission = read_matrix(in, "emission");
   expect_key("initial");
-  std::size_t initial_size = 0;
-  in >> initial_size;
+  const auto initial_size = read_value<std::size_t>(in, "initial");
   model.initial.resize(initial_size);
-  for (auto& v : model.initial) {
-    if (!(in >> v)) throw std::runtime_error("model_io: truncated initial");
+  for (std::size_t i = 0; i < initial_size; ++i) {
+    if (!(in >> model.initial[i])) {
+      throw std::runtime_error(
+          "model_io: truncated 'initial' vector at entry " +
+          std::to_string(i));
+    }
   }
 
   return Detector::from_parts(std::move(config), std::move(model),

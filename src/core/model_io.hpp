@@ -15,7 +15,8 @@ void save_detector(std::ostream& out, const Detector& detector);
 void save_detector_file(const std::string& path, const Detector& detector);
 
 /// Loads a detector. Throws std::runtime_error on malformed input or
-/// version mismatch.
+/// version mismatch; messages name the offending key, matrix tag, or
+/// value (a serving registry must reject bad model files loudly).
 Detector load_detector(std::istream& in);
 Detector load_detector_file(const std::string& path);
 

@@ -13,6 +13,20 @@
 
 namespace cmarkov::core {
 
+// Hysteresis/cooldown semantics (asserted by online_monitor_test):
+//   - A streak of consecutive flagged windows is kept; any clean window
+//     resets it, and raising an alarm resets it.
+//   - An alarm fires on a flagged window when the streak reaches
+//     `windows_to_alarm` AND no cooldown is pending.
+//   - `cooldown_events` counts *events fed* (on- or off-stream), not scored
+//     windows. While the cooldown is pending no alarm can fire, but flagged
+//     windows still extend the streak — so if the anomaly persists, the
+//     first flagged window at or after cooldown expiry re-alarms
+//     immediately; a fresh `windows_to_alarm` streak is NOT required.
+//   - Net effect for a persistent anomaly: the first alarm needs
+//     `windows_to_alarm` flagged windows, then one alarm every
+//     `cooldown_events` events (or every `windows_to_alarm` windows when
+//     the cooldown is 0).
 struct MonitorOptions {
   /// Consecutive flagged windows required before an alarm fires.
   std::size_t windows_to_alarm = 1;

@@ -1,0 +1,80 @@
+#include "src/serve/model_registry.hpp"
+
+#include <filesystem>
+#include <mutex>
+#include <stdexcept>
+
+#include "src/core/model_io.hpp"
+#include "src/util/logging.hpp"
+
+namespace cmarkov::serve {
+
+void ModelRegistry::add(const std::string& name, core::Detector detector) {
+  add_shared(name,
+             std::make_shared<const core::Detector>(std::move(detector)));
+}
+
+void ModelRegistry::add_shared(
+    const std::string& name,
+    std::shared_ptr<const core::Detector> detector) {
+  if (!detector) {
+    throw std::invalid_argument("ModelRegistry: null detector for '" + name +
+                                "'");
+  }
+  if (!detector->trained()) {
+    throw std::invalid_argument("ModelRegistry: detector '" + name +
+                                "' is not trained");
+  }
+  const std::unique_lock lock(mu_);
+  models_[name] = std::move(detector);
+}
+
+void ModelRegistry::load_file(const std::string& name,
+                              const std::string& path) {
+  add(name, core::load_detector_file(path));
+  log_info() << "registry: loaded model '" << name << "' from " << path;
+}
+
+std::size_t ModelRegistry::load_directory(const std::string& dir) {
+  std::size_t loaded = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".model") {
+      continue;
+    }
+    load_file(entry.path().stem().string(), entry.path().string());
+    ++loaded;
+  }
+  return loaded;
+}
+
+std::shared_ptr<const core::Detector> ModelRegistry::get(
+    const std::string& name) const {
+  const std::shared_lock lock(mu_);
+  const auto it = models_.find(name);
+  return it == models_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const core::Detector> ModelRegistry::require(
+    const std::string& name) const {
+  auto detector = get(name);
+  if (!detector) {
+    throw std::invalid_argument("ModelRegistry: no model named '" + name +
+                                "'");
+  }
+  return detector;
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  const std::shared_lock lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(models_.size());
+  for (const auto& [name, detector] : models_) out.push_back(name);
+  return out;
+}
+
+std::size_t ModelRegistry::size() const {
+  const std::shared_lock lock(mu_);
+  return models_.size();
+}
+
+}  // namespace cmarkov::serve

@@ -1,0 +1,53 @@
+// Thread-safe store of trained detectors, shared immutably across every
+// session of the serving layer. Models are reference-counted: replacing a
+// name (hot swap) leaves sessions opened against the old model untouched —
+// they keep their shared_ptr until they close.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/detector.hpp"
+
+namespace cmarkov::serve {
+
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Registers (or hot-swaps) a trained detector under `name`. Throws
+  /// std::invalid_argument for untrained detectors: the serving layer only
+  /// scores, it never trains.
+  void add(const std::string& name, core::Detector detector);
+  void add_shared(const std::string& name,
+                  std::shared_ptr<const core::Detector> detector);
+
+  /// Loads a detector file (core::load_detector_file format). Malformed
+  /// files throw std::runtime_error naming the offending content; untrained
+  /// models throw std::invalid_argument.
+  void load_file(const std::string& name, const std::string& path);
+
+  /// Loads every "*.model" file in `dir` under its stem name; returns the
+  /// number of models loaded.
+  std::size_t load_directory(const std::string& dir);
+
+  /// nullptr when the name is unknown.
+  std::shared_ptr<const core::Detector> get(const std::string& name) const;
+
+  /// Throws std::invalid_argument when the name is unknown.
+  std::shared_ptr<const core::Detector> require(const std::string& name) const;
+
+  std::vector<std::string> names() const;
+  std::size_t size() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::shared_ptr<const core::Detector>> models_;
+};
+
+}  // namespace cmarkov::serve

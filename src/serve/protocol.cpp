@@ -1,0 +1,128 @@
+#include "src/serve/protocol.hpp"
+
+#include <sstream>
+
+#include "src/util/strings.hpp"
+
+namespace cmarkov::serve {
+
+namespace {
+
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> words;
+  std::istringstream stream{std::string(trim(line))};
+  std::string word;
+  while (stream >> word) words.push_back(std::move(word));
+  return words;
+}
+
+}  // namespace
+
+std::string format_session_stats(const SessionStats& stats) {
+  std::ostringstream out;
+  out << "STATS session=" << stats.id << " model=" << stats.model
+      << " enqueued=" << stats.enqueued << " processed=" << stats.processed
+      << " dropped=" << stats.dropped << " rejected=" << stats.rejected
+      << " events=" << stats.monitor.events_seen
+      << " observed=" << stats.monitor.events_observed
+      << " windows=" << stats.monitor.windows_scored
+      << " flagged=" << stats.monitor.windows_flagged
+      << " alarms=" << stats.monitor.alarms;
+  return out.str();
+}
+
+ProtocolSession::ProtocolSession(SessionManager& manager)
+    : manager_(manager) {}
+
+ProtocolSession::~ProtocolSession() {
+  if (!session_id_.empty() && !closed_) {
+    try {
+      manager_.close_session(session_id_);
+    } catch (const std::exception&) {
+      // Disconnect raced with an explicit close; nothing left to release.
+    }
+  }
+}
+
+std::string ProtocolSession::handle_line(std::string_view line) {
+  const std::string_view trimmed = trim(line);
+  if (trimmed.empty() || trimmed.front() == '#') return "";
+  const std::vector<std::string> words = tokenize(trimmed);
+  const std::string& command = words.front();
+  if (closed_) return "ERR session closed (BYE already processed)";
+  try {
+    if (command == "HELLO") return handle_hello(words);
+    if (command == "EV") return handle_event(words);
+    if (command == "STATS") {
+      if (session_id_.empty()) return "ERR no session (send HELLO first)";
+      manager_.drain();  // verdicts are async; settle before reporting
+      return format_session_stats(manager_.session_stats(session_id_));
+    }
+    if (command == "METRICS") {
+      manager_.drain();
+      return "METRICS " + manager_.metrics().to_line();
+    }
+    if (command == "BYE") return handle_bye();
+    return "ERR unknown command '" + command + "'";
+  } catch (const std::exception& e) {
+    return std::string("ERR ") + e.what();
+  }
+}
+
+std::string ProtocolSession::handle_hello(
+    const std::vector<std::string>& words) {
+  if (!session_id_.empty()) {
+    return "ERR session already bound to '" + session_id_ + "'";
+  }
+  if (words.size() < 2 || words.size() > 3) {
+    return "ERR usage: HELLO <model> [session-id]";
+  }
+  const std::string& model = words[1];
+  const std::string id =
+      words.size() == 3 ? words[2] : manager_.next_session_id();
+  manager_.open_session(id, model);
+  session_id_ = id;
+  return "OK session=" + id + " model=" + model;
+}
+
+std::string ProtocolSession::handle_event(
+    const std::vector<std::string>& words) {
+  if (session_id_.empty()) return "ERR no session (send HELLO first)";
+  if (words.size() < 3 || words.size() > 4) {
+    return "ERR usage: EV <site> <callee> [sys|lib]";
+  }
+  trace::CallEvent event;
+  event.caller = words[1];
+  event.name = words[2];
+  if (words.size() == 4) {
+    if (words[3] == "sys") {
+      event.kind = ir::CallKind::kSyscall;
+    } else if (words[3] == "lib") {
+      event.kind = ir::CallKind::kLibcall;
+    } else {
+      return "ERR unknown call kind '" + words[3] + "' (sys|lib)";
+    }
+  }
+  switch (manager_.submit(session_id_, std::move(event))) {
+    case SubmitResult::kAccepted:
+      return "OK";
+    case SubmitResult::kDroppedOldest:
+      return "OK dropped-oldest";
+    case SubmitResult::kRejected:
+      return "ERR rejected queue-full";
+    case SubmitResult::kUnknownSession:
+      return "ERR session vanished";
+  }
+  return "ERR unreachable";
+}
+
+std::string ProtocolSession::handle_bye() {
+  if (session_id_.empty()) return "ERR no session (send HELLO first)";
+  const SessionStats stats = manager_.close_session(session_id_);
+  closed_ = true;
+  return "OK session=" + stats.id +
+         " alarms=" + std::to_string(stats.monitor.alarms) +
+         " processed=" + std::to_string(stats.processed);
+}
+
+}  // namespace cmarkov::serve

@@ -1,0 +1,58 @@
+// cmarkovd's transport-agnostic line protocol. One transport connection is
+// one protocol conversation, which is one monitored session:
+//
+//   HELLO <model> [session-id]       -> OK session=<id> model=<model>
+//   EV <site> <callee> [sys|lib]     -> OK | OK dropped-oldest
+//                                       | ERR rejected queue-full
+//   STATS                            -> STATS session=... (drains first)
+//   METRICS                          -> METRICS uptime_s=... (service-wide)
+//   BYE                              -> OK session=<id> alarms=<n>
+//
+// <site> is the calling context (caller function) of the event, <callee>
+// the called function — mirroring the paper's context-sensitive
+// observations. Blank lines and "#" comment lines produce no response.
+// Errors never throw out of handle_line; they render as "ERR <reason>".
+// Full grammar and examples: docs/SERVING.md.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/serve/session_manager.hpp"
+
+namespace cmarkov::serve {
+
+/// Renders SessionStats as the one-line STATS reply body.
+std::string format_session_stats(const SessionStats& stats);
+
+/// One protocol conversation. Owns the session it opens: destroying the
+/// object (transport disconnect) closes the session if BYE never arrived.
+class ProtocolSession {
+ public:
+  explicit ProtocolSession(SessionManager& manager);
+  ~ProtocolSession();
+  ProtocolSession(const ProtocolSession&) = delete;
+  ProtocolSession& operator=(const ProtocolSession&) = delete;
+
+  /// Handles one request line; returns the single response line, or an
+  /// empty string for blank/comment lines. Never throws.
+  std::string handle_line(std::string_view line);
+
+  /// True once BYE was processed; further lines answer ERR.
+  bool closed() const { return closed_; }
+
+  /// Empty until HELLO succeeds.
+  const std::string& session_id() const { return session_id_; }
+
+ private:
+  std::string handle_hello(const std::vector<std::string>& words);
+  std::string handle_event(const std::vector<std::string>& words);
+  std::string handle_bye();
+
+  SessionManager& manager_;
+  std::string session_id_;
+  bool closed_ = false;
+};
+
+}  // namespace cmarkov::serve

@@ -1,0 +1,24 @@
+#include "src/serve/service.hpp"
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+namespace cmarkov::serve {
+
+CmarkovService::CmarkovService(ServiceConfig config)
+    : sessions_(registry_, config) {}
+
+void CmarkovService::serve_stream(std::istream& in, std::ostream& out) {
+  ProtocolSession session(sessions_);
+  std::string line;
+  while (!session.closed() && std::getline(in, line)) {
+    const std::string response = session.handle_line(line);
+    if (!response.empty()) {
+      out << response << "\n";
+      out.flush();
+    }
+  }
+}
+
+}  // namespace cmarkov::serve

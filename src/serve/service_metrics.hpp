@@ -1,0 +1,67 @@
+// Service-level observability for cmarkovd: a lock-free fixed-bucket
+// latency histogram plus the point-in-time ServiceMetrics snapshot the
+// protocol's METRICS command renders. Field semantics are documented in
+// docs/SERVING.md.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cmarkov::serve {
+
+/// Fixed-bucket histogram over microsecond latencies. Recording is a single
+/// relaxed atomic increment, safe from any number of worker threads;
+/// quantiles are approximate (they report the upper bound of the bucket in
+/// which the requested rank falls). The last bucket is open-ended and its
+/// quantile saturates at kOverflowMicros.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 20;
+  static constexpr double kOverflowMicros = 2e6;
+
+  /// Upper bucket bounds in microseconds (1us .. 1s, log-ish spacing); the
+  /// final entry is the open-ended overflow bucket.
+  static const std::array<double, kBuckets>& bucket_bounds();
+
+  LatencyHistogram();
+
+  void record(double micros);
+
+  std::uint64_t samples() const;
+
+  /// Approximate q-quantile for q in [0, 1]; 0 when empty.
+  double quantile_micros(double q) const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> counts_;
+};
+
+/// Point-in-time snapshot of a SessionManager. Counters are monotonically
+/// increasing over the manager's lifetime; queue_depths is instantaneous.
+struct ServiceMetrics {
+  double uptime_seconds = 0.0;
+  std::size_t sessions_open = 0;
+  std::uint64_t events_enqueued = 0;
+  std::uint64_t events_processed = 0;
+  std::uint64_t events_dropped = 0;   ///< evicted by the drop-oldest policy
+  std::uint64_t events_rejected = 0;  ///< refused by the reject policy
+  std::uint64_t windows_scored = 0;
+  std::uint64_t alarms = 0;
+  /// events_processed / uptime_seconds (lifetime average).
+  double events_per_second = 0.0;
+  /// Instantaneous per-worker queue depths, indexed by shard.
+  std::vector<std::size_t> queue_depths;
+  std::uint64_t latency_samples = 0;
+  /// Enqueue-to-verdict latency quantiles (microseconds, approximate).
+  double p50_latency_micros = 0.0;
+  double p99_latency_micros = 0.0;
+
+  /// Renders the snapshot as one "key=value ..." line (the body of the
+  /// protocol METRICS reply).
+  std::string to_line() const;
+};
+
+}  // namespace cmarkov::serve

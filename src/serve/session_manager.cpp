@@ -1,0 +1,348 @@
+#include "src/serve/session_manager.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "src/util/logging.hpp"
+
+namespace cmarkov::serve {
+
+namespace {
+/// Items a worker moves out of its queue per lock acquisition.
+constexpr std::size_t kBatchSize = 64;
+}  // namespace
+
+const char* backpressure_policy_name(BackpressurePolicy policy) {
+  switch (policy) {
+    case BackpressurePolicy::kBlock:
+      return "block";
+    case BackpressurePolicy::kDropOldest:
+      return "drop-oldest";
+    case BackpressurePolicy::kReject:
+      return "reject";
+  }
+  return "?";
+}
+
+std::optional<BackpressurePolicy> parse_backpressure_policy(
+    std::string_view name) {
+  if (name == "block") return BackpressurePolicy::kBlock;
+  if (name == "drop-oldest") return BackpressurePolicy::kDropOldest;
+  if (name == "reject") return BackpressurePolicy::kReject;
+  return std::nullopt;
+}
+
+struct SessionManager::Session {
+  Session(std::string id, std::string model_name,
+          std::shared_ptr<const core::Detector> detector_ptr,
+          std::size_t shard, core::MonitorOptions options)
+      : id(std::move(id)),
+        model_name(std::move(model_name)),
+        detector(std::move(detector_ptr)),
+        shard(shard),
+        monitor(*detector, nullptr, options) {}
+
+  const std::string id;
+  const std::string model_name;
+  /// Keeps the detector alive even if the registry hot-swaps the name.
+  const std::shared_ptr<const core::Detector> detector;
+  const std::size_t shard;
+
+  std::atomic<std::uint64_t> enqueued{0};
+  std::atomic<std::uint64_t> processed{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::atomic<std::uint64_t> rejected{0};
+
+  /// Guards `monitor`: held by the owning worker while scoring and by stats
+  /// readers while snapshotting (uncontended in steady state — one worker
+  /// owns the session's shard).
+  mutable std::mutex monitor_mu;
+  core::OnlineMonitor monitor;
+};
+
+struct SessionManager::Item {
+  std::shared_ptr<Session> session;
+  trace::CallEvent event;
+  double enqueue_micros = 0.0;
+};
+
+struct SessionManager::Worker {
+  mutable std::mutex mu;
+  std::condition_variable cv_nonempty;  // producer -> worker
+  std::condition_variable cv_space;     // worker -> blocked producers
+  std::condition_variable cv_idle;      // worker -> drain()
+  std::deque<Item> queue;
+  std::size_t in_flight = 0;  // items popped but not yet processed
+  bool stop = false;
+  std::thread thread;
+};
+
+SessionManager::SessionManager(const ModelRegistry& registry,
+                               ServiceConfig config)
+    : registry_(registry), config_(config) {
+  if (config_.num_workers == 0) {
+    throw std::invalid_argument("SessionManager: num_workers must be > 0");
+  }
+  if (config_.queue_capacity == 0) {
+    throw std::invalid_argument("SessionManager: queue_capacity must be > 0");
+  }
+  workers_.reserve(config_.num_workers);
+  for (std::size_t i = 0; i < config_.num_workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  if (!config_.manual_pump) {
+    for (auto& worker : workers_) {
+      worker->thread = std::thread([this, w = worker.get()] { worker_loop(*w); });
+    }
+  }
+}
+
+SessionManager::~SessionManager() {
+  for (auto& worker : workers_) {
+    {
+      const std::lock_guard lock(worker->mu);
+      worker->stop = true;
+    }
+    worker->cv_nonempty.notify_all();
+    worker->cv_space.notify_all();
+  }
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+void SessionManager::open_session(const std::string& id,
+                                  const std::string& model,
+                                  std::optional<core::MonitorOptions> options) {
+  auto detector = registry_.require(model);
+  const std::size_t shard =
+      std::hash<std::string>{}(id) % workers_.size();
+  auto session = std::make_shared<Session>(
+      id, model, std::move(detector), shard,
+      options.value_or(config_.monitor));
+  const std::unique_lock lock(sessions_mu_);
+  if (!sessions_.emplace(id, std::move(session)).second) {
+    throw std::invalid_argument("SessionManager: session '" + id +
+                                "' is already open");
+  }
+}
+
+SubmitResult SessionManager::submit(const std::string& id,
+                                    trace::CallEvent event) {
+  const std::shared_ptr<Session> session = find_session(id);
+  if (!session) return SubmitResult::kUnknownSession;
+
+  Worker& worker = *workers_[session->shard];
+  SubmitResult result = SubmitResult::kAccepted;
+  {
+    std::unique_lock lock(worker.mu);
+    if (worker.queue.size() >= config_.queue_capacity) {
+      switch (config_.policy) {
+        case BackpressurePolicy::kBlock:
+          if (config_.manual_pump) {
+            // No worker thread will ever make room: pump inline instead.
+            lock.unlock();
+            pump_worker(worker);
+            lock.lock();
+          } else {
+            worker.cv_space.wait(lock, [&] {
+              return worker.queue.size() < config_.queue_capacity ||
+                     worker.stop;
+            });
+            if (worker.stop) return SubmitResult::kRejected;
+          }
+          break;
+        case BackpressurePolicy::kDropOldest: {
+          Item& victim = worker.queue.front();
+          victim.session->dropped.fetch_add(1, std::memory_order_relaxed);
+          total_dropped_.fetch_add(1, std::memory_order_relaxed);
+          worker.queue.pop_front();
+          result = SubmitResult::kDroppedOldest;
+          break;
+        }
+        case BackpressurePolicy::kReject:
+          session->rejected.fetch_add(1, std::memory_order_relaxed);
+          total_rejected_.fetch_add(1, std::memory_order_relaxed);
+          return SubmitResult::kRejected;
+      }
+    }
+    worker.queue.push_back(
+        Item{session, std::move(event), clock_.micros()});
+  }
+  worker.cv_nonempty.notify_one();
+  session->enqueued.fetch_add(1, std::memory_order_relaxed);
+  total_enqueued_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+bool SessionManager::has_session(const std::string& id) const {
+  return find_session(id) != nullptr;
+}
+
+SessionStats SessionManager::session_stats(const std::string& id) const {
+  const auto session = find_session(id);
+  if (!session) {
+    throw std::invalid_argument("SessionManager: no session '" + id + "'");
+  }
+  return snapshot(*session);
+}
+
+std::vector<SessionStats> SessionManager::all_session_stats() const {
+  std::vector<std::shared_ptr<Session>> sessions;
+  {
+    const std::shared_lock lock(sessions_mu_);
+    sessions.reserve(sessions_.size());
+    for (const auto& [id, session] : sessions_) sessions.push_back(session);
+  }
+  std::vector<SessionStats> out;
+  out.reserve(sessions.size());
+  for (const auto& session : sessions) out.push_back(snapshot(*session));
+  return out;
+}
+
+SessionStats SessionManager::close_session(const std::string& id) {
+  const auto session = find_session(id);
+  if (!session) {
+    throw std::invalid_argument("SessionManager: no session '" + id + "'");
+  }
+  drain();
+  SessionStats stats = snapshot(*session);
+  const std::unique_lock lock(sessions_mu_);
+  sessions_.erase(id);
+  return stats;
+}
+
+void SessionManager::drain() {
+  for (auto& worker : workers_) {
+    if (config_.manual_pump) {
+      pump_worker(*worker);
+      continue;
+    }
+    std::unique_lock lock(worker->mu);
+    worker->cv_idle.wait(lock, [&] {
+      return worker->queue.empty() && worker->in_flight == 0;
+    });
+  }
+}
+
+ServiceMetrics SessionManager::metrics() const {
+  ServiceMetrics m;
+  m.uptime_seconds = clock_.seconds();
+  {
+    const std::shared_lock lock(sessions_mu_);
+    m.sessions_open = sessions_.size();
+  }
+  m.events_enqueued = total_enqueued_.load(std::memory_order_relaxed);
+  m.events_processed = total_processed_.load(std::memory_order_relaxed);
+  m.events_dropped = total_dropped_.load(std::memory_order_relaxed);
+  m.events_rejected = total_rejected_.load(std::memory_order_relaxed);
+  m.windows_scored = total_windows_.load(std::memory_order_relaxed);
+  m.alarms = total_alarms_.load(std::memory_order_relaxed);
+  if (m.uptime_seconds > 0.0) {
+    m.events_per_second =
+        static_cast<double>(m.events_processed) / m.uptime_seconds;
+  }
+  m.queue_depths.reserve(workers_.size());
+  for (const auto& worker : workers_) {
+    const std::lock_guard lock(worker->mu);
+    m.queue_depths.push_back(worker->queue.size());
+  }
+  m.latency_samples = latency_.samples();
+  m.p50_latency_micros = latency_.quantile_micros(0.50);
+  m.p99_latency_micros = latency_.quantile_micros(0.99);
+  return m;
+}
+
+std::string SessionManager::next_session_id() {
+  return "s" + std::to_string(
+                   next_id_.fetch_add(1, std::memory_order_relaxed) + 1);
+}
+
+std::shared_ptr<SessionManager::Session> SessionManager::find_session(
+    const std::string& id) const {
+  const std::shared_lock lock(sessions_mu_);
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+void SessionManager::process_item(Item& item) {
+  core::MonitorUpdate update;
+  {
+    const std::lock_guard lock(item.session->monitor_mu);
+    update = item.session->monitor.on_event(std::move(item.event));
+  }
+  item.session->processed.fetch_add(1, std::memory_order_relaxed);
+  total_processed_.fetch_add(1, std::memory_order_relaxed);
+  if (update.window_complete) {
+    total_windows_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (update.alarm) {
+    total_alarms_.fetch_add(1, std::memory_order_relaxed);
+    log_debug() << "alarm session=" << item.session->id
+                << " model=" << item.session->model_name
+                << (update.unknown_symbol ? " cause=unknown-context"
+                                          : " cause=low-likelihood");
+  }
+  latency_.record(clock_.micros() - item.enqueue_micros);
+  item.session.reset();
+}
+
+void SessionManager::pump_worker(Worker& worker) {
+  for (;;) {
+    Item item;
+    {
+      const std::lock_guard lock(worker.mu);
+      if (worker.queue.empty()) return;
+      item = std::move(worker.queue.front());
+      worker.queue.pop_front();
+    }
+    process_item(item);
+  }
+}
+
+void SessionManager::worker_loop(Worker& worker) {
+  std::vector<Item> batch;
+  batch.reserve(kBatchSize);
+  for (;;) {
+    {
+      std::unique_lock lock(worker.mu);
+      worker.cv_nonempty.wait(
+          lock, [&] { return worker.stop || !worker.queue.empty(); });
+      if (worker.queue.empty()) return;  // stop requested, queue drained
+      while (!worker.queue.empty() && batch.size() < kBatchSize) {
+        batch.push_back(std::move(worker.queue.front()));
+        worker.queue.pop_front();
+      }
+      worker.in_flight = batch.size();
+    }
+    worker.cv_space.notify_all();
+    for (Item& item : batch) process_item(item);
+    batch.clear();
+    {
+      const std::lock_guard lock(worker.mu);
+      worker.in_flight = 0;
+      if (worker.queue.empty()) worker.cv_idle.notify_all();
+    }
+  }
+}
+
+SessionStats SessionManager::snapshot(const Session& session) const {
+  SessionStats stats;
+  stats.id = session.id;
+  stats.model = session.model_name;
+  stats.enqueued = session.enqueued.load(std::memory_order_relaxed);
+  stats.processed = session.processed.load(std::memory_order_relaxed);
+  stats.dropped = session.dropped.load(std::memory_order_relaxed);
+  stats.rejected = session.rejected.load(std::memory_order_relaxed);
+  {
+    const std::lock_guard lock(session.monitor_mu);
+    stats.monitor = session.monitor.stats();
+  }
+  return stats;
+}
+
+}  // namespace cmarkov::serve

@@ -1,0 +1,144 @@
+// The concurrency heart of cmarkovd: one OnlineMonitor per monitored
+// process (a "session"), sharded across a fixed worker pool by session id.
+//
+// Threading model (docs/SERVING.md has the full picture):
+//   - Producers (transport threads) call submit(); the event lands on the
+//     bounded MPSC queue of the worker that owns the session's shard.
+//   - Each worker drains its own queue in FIFO batches, so events of one
+//     session are always scored in arrival order by a single thread.
+//   - Backpressure on a full queue is explicit policy: block the producer,
+//     evict the oldest queued event (counted against the evicted event's
+//     session), or reject the new event (counted against the submitter).
+//
+// Per-session verdicts are bit-identical to feeding the same events through
+// a standalone core::OnlineMonitor, provided each session has one producer
+// and no events are dropped (block policy) — serve_test asserts this.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/online_monitor.hpp"
+#include "src/serve/model_registry.hpp"
+#include "src/serve/service_metrics.hpp"
+#include "src/util/stopwatch.hpp"
+
+namespace cmarkov::serve {
+
+enum class BackpressurePolicy { kBlock, kDropOldest, kReject };
+
+const char* backpressure_policy_name(BackpressurePolicy policy);
+/// "block" | "drop-oldest" | "reject"; nullopt for anything else.
+std::optional<BackpressurePolicy> parse_backpressure_policy(
+    std::string_view name);
+
+struct ServiceConfig {
+  std::size_t num_workers = 2;
+  /// Maximum queued events per worker (must be > 0).
+  std::size_t queue_capacity = 1024;
+  BackpressurePolicy policy = BackpressurePolicy::kBlock;
+  /// Monitor options for sessions opened without explicit options.
+  core::MonitorOptions monitor;
+  /// Test hook: spawn no worker threads; queued events are processed
+  /// synchronously by drain() on the calling thread. Makes backpressure
+  /// accounting deterministic. (A full queue under the block policy is
+  /// pumped inline instead of deadlocking.)
+  bool manual_pump = false;
+};
+
+/// What happened to a submitted event.
+enum class SubmitResult {
+  kAccepted,
+  /// Accepted, but the oldest queued event was evicted to make room.
+  kDroppedOldest,
+  /// Refused; the event was not queued.
+  kRejected,
+  kUnknownSession,
+};
+
+struct SessionStats {
+  std::string id;
+  std::string model;
+  std::uint64_t enqueued = 0;
+  std::uint64_t processed = 0;
+  std::uint64_t dropped = 0;   ///< this session's events evicted from a queue
+  std::uint64_t rejected = 0;  ///< this session's submissions refused
+  /// Cumulative monitor counters (alarms live in monitor.alarms).
+  core::MonitorStats monitor;
+};
+
+class SessionManager {
+ public:
+  SessionManager(const ModelRegistry& registry, ServiceConfig config = {});
+  ~SessionManager();
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Opens a session scoring against `model`. Throws std::invalid_argument
+  /// on duplicate id, unknown model, or invalid monitor options.
+  void open_session(const std::string& id, const std::string& model,
+                    std::optional<core::MonitorOptions> options = std::nullopt);
+
+  /// Queues one event for the session; applies the backpressure policy when
+  /// the shard queue is full. Safe from any thread.
+  SubmitResult submit(const std::string& id, trace::CallEvent event);
+
+  bool has_session(const std::string& id) const;
+
+  /// Live counters (no drain; may lag concurrent processing).
+  SessionStats session_stats(const std::string& id) const;
+  std::vector<SessionStats> all_session_stats() const;
+
+  /// Drains outstanding events, then removes the session and returns its
+  /// final stats. Throws std::invalid_argument for unknown ids.
+  SessionStats close_session(const std::string& id);
+
+  /// Blocks until every event submitted before the call has been processed.
+  /// Quiescent only if no producer submits concurrently.
+  void drain();
+
+  ServiceMetrics metrics() const;
+
+  /// Fresh collision-free id ("s1", "s2", ...) for transports whose HELLO
+  /// omits one.
+  std::string next_session_id();
+
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  struct Session;
+  struct Item;
+  struct Worker;
+
+  std::shared_ptr<Session> find_session(const std::string& id) const;
+  void process_item(Item& item);
+  void pump_worker(Worker& worker);
+  void worker_loop(Worker& worker);
+  SessionStats snapshot(const Session& session) const;
+
+  const ModelRegistry& registry_;
+  ServiceConfig config_;
+  Stopwatch clock_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  mutable std::shared_mutex sessions_mu_;
+  std::unordered_map<std::string, std::shared_ptr<Session>> sessions_;
+
+  std::atomic<std::uint64_t> next_id_{0};
+  std::atomic<std::uint64_t> total_enqueued_{0};
+  std::atomic<std::uint64_t> total_processed_{0};
+  std::atomic<std::uint64_t> total_dropped_{0};
+  std::atomic<std::uint64_t> total_rejected_{0};
+  std::atomic<std::uint64_t> total_windows_{0};
+  std::atomic<std::uint64_t> total_alarms_{0};
+  LatencyHistogram latency_;
+};
+
+}  // namespace cmarkov::serve

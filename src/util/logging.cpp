@@ -1,8 +1,11 @@
 #include "src/util/logging.hpp"
 
 #include <atomic>
+#include <cstdio>
 #include <iostream>
 #include <mutex>
+
+#include "src/util/stopwatch.hpp"
 
 namespace cmarkov {
 
@@ -10,6 +13,20 @@ namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
 std::mutex g_mutex;
+std::atomic<int> g_next_thread_ordinal{1};
+
+/// Small stable id for the calling thread, assigned on its first log line.
+int thread_ordinal() {
+  thread_local const int ordinal =
+      g_next_thread_ordinal.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+/// Monotonic time base shared by every log line.
+const Stopwatch& process_clock() {
+  static const Stopwatch watch;
+  return watch;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -33,8 +50,14 @@ LogLevel log_level() { return g_level.load(); }
 
 void log_message(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  const int ordinal = thread_ordinal();
   const std::lock_guard<std::mutex> lock(g_mutex);
-  std::cerr << "[" << level_name(level) << "] " << message << "\n";
+  // Timestamp read under the lock so timestamps are non-decreasing in
+  // output order even with concurrent writers.
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), "[%s %.6f t%d] ", level_name(level),
+                process_clock().seconds(), ordinal);
+  std::cerr << prefix << message << "\n";
 }
 
 }  // namespace cmarkov

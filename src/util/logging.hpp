@@ -1,5 +1,11 @@
 // Minimal leveled logging to stderr. Benches and examples keep stdout clean
 // for table output; diagnostics go through here.
+//
+// Line format: "[LEVEL <seconds> t<ordinal>] <message>". The timestamp is
+// monotonic (steady-clock seconds since the logger first ran) and
+// non-decreasing in output order; the ordinal is a small per-thread id
+// assigned in order of each thread's first log line — both matter once the
+// cmarkovd worker pool logs from many threads at once.
 #pragma once
 
 #include <sstream>
@@ -13,7 +19,8 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emits a single log line (thread-safe at the line level).
+/// Emits a single log line (thread-safe: concurrent writers never
+/// interleave within a line and timestamps stay ordered).
 void log_message(LogLevel level, const std::string& message);
 
 namespace detail {

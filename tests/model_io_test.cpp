@@ -89,6 +89,87 @@ TEST(ModelIoTest, RejectsTruncatedBody) {
   EXPECT_THROW(load_detector(truncated), std::runtime_error);
 }
 
+/// Serialized form of the shared trained detector, computed once.
+const std::string& saved_model_text() {
+  static const std::string text = [] {
+    std::stringstream buffer;
+    save_detector(buffer, trained_detector());
+    return buffer.str();
+  }();
+  return text;
+}
+
+/// Asserts load_detector throws std::runtime_error whose message names the
+/// offending content via `expected_substring`.
+void expect_load_error(const std::string& text,
+                       const std::string& expected_substring) {
+  std::stringstream in(text);
+  try {
+    load_detector(in);
+    FAIL() << "expected std::runtime_error mentioning '"
+           << expected_substring << "'";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(expected_substring),
+              std::string::npos)
+        << "error message '" << e.what() << "' does not name '"
+        << expected_substring << "'";
+  }
+}
+
+/// Replaces the whole "key value" line with "key <replacement>".
+std::string with_key_value(const std::string& text, const std::string& key,
+                           const std::string& replacement) {
+  const std::size_t key_pos = text.find("\n" + key + " ") + 1;
+  EXPECT_NE(key_pos, std::string::npos);
+  const std::size_t line_end = text.find('\n', key_pos);
+  std::string mutated = text;
+  mutated.replace(key_pos, line_end - key_pos, key + " " + replacement);
+  return mutated;
+}
+
+TEST(ModelIoTest, RejectsNaNAndInfThreshold) {
+  for (const char* bad : {"nan", "inf", "-inf", "NaN", "0x", "1.0.0"}) {
+    expect_load_error(with_key_value(saved_model_text(), "threshold", bad),
+                      "threshold");
+  }
+}
+
+TEST(ModelIoTest, RejectsBadVersionLine) {
+  expect_load_error("cmarkov-detector one\nfilter syscall\n", "version");
+  expect_load_error("cmarkov-detector\n", "version");
+  expect_load_error("cmarkov-detector 2\n", "version 2");
+}
+
+TEST(ModelIoTest, TruncatedMatrixNamesTheTag) {
+  const std::string& text = saved_model_text();
+  // Cut a few characters into the transition matrix body.
+  const std::size_t tag = text.find("transition ");
+  ASSERT_NE(tag, std::string::npos);
+  const std::size_t body = text.find('\n', tag) + 1;
+  expect_load_error(text.substr(0, body + 3), "transition");
+
+  // Same for a matrix body poisoned with a non-numeric token.
+  std::string poisoned = text;
+  poisoned.replace(body, 4, "zzzz");
+  expect_load_error(poisoned, "transition");
+}
+
+TEST(ModelIoTest, MalformedNumericKeysNameTheKey) {
+  expect_load_error(
+      with_key_value(saved_model_text(), "segment_length", "banana"),
+      "segment_length");
+  expect_load_error(with_key_value(saved_model_text(), "alphabet", "-"),
+                    "alphabet");
+}
+
+TEST(ModelIoTest, TruncatedInitialVectorNamesIt) {
+  const std::string& text = saved_model_text();
+  const std::size_t tag = text.find("\ninitial ");
+  ASSERT_NE(tag, std::string::npos);
+  const std::size_t body = text.find('\n', tag + 1) + 1;
+  expect_load_error(text.substr(0, body), "initial");
+}
+
 TEST(ModelIoTest, MissingFileThrows) {
   EXPECT_THROW(load_detector_file("/nonexistent/path/model.txt"),
                std::runtime_error);

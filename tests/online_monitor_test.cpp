@@ -146,6 +146,90 @@ TEST(OnlineMonitorTest, CooldownSuppressesAlarmBursts) {
   EXPECT_LE(calm_alarms, 1u);
 }
 
+// Deterministic flagged-window generator: an unknown call name is outside
+// the model's alphabet, so every complete window containing it is flagged.
+trace::CallEvent unknown_event() {
+  trace::CallEvent event;
+  event.kind = ir::CallKind::kSyscall;
+  event.name = "__never_trained__";
+  event.caller = "main";
+  return event;
+}
+
+/// Feeds `count` always-flagged events and returns the 1-based indices of
+/// the events on which an alarm fired.
+std::vector<std::size_t> alarm_positions(MonitorOptions options,
+                                         std::size_t count) {
+  OnlineMonitor monitor(fixture().detector, nullptr, options);
+  std::vector<std::size_t> positions;
+  for (std::size_t i = 1; i <= count; ++i) {
+    if (monitor.on_event(unknown_event()).alarm) positions.push_back(i);
+  }
+  return positions;
+}
+
+// The documented cooldown/hysteresis interaction (see MonitorOptions): with
+// windows_to_alarm=3 and cooldown_events=10 over a persistently flagged
+// stream, the first alarm needs the window to fill (L events) plus a
+// 3-window streak, and every later alarm fires exactly when the cooldown
+// expires — never inside it, and without needing a fresh 3-window streak.
+TEST(OnlineMonitorTest, CooldownAndHysteresisInteractAsDocumented) {
+  const std::size_t window = fixture().detector.config().segments.length;
+  MonitorOptions options;
+  options.windows_to_alarm = 3;
+  options.cooldown_events = 10;
+
+  const auto positions = alarm_positions(options, window + 45);
+  const std::size_t first = window + 2;  // 3rd flagged window
+  EXPECT_EQ(positions,
+            (std::vector<std::size_t>{first, first + 10, first + 20,
+                                      first + 30, first + 40}));
+}
+
+TEST(OnlineMonitorTest, AlarmNeverRefiresInsideCooldownWindow) {
+  MonitorOptions options;
+  options.windows_to_alarm = 2;
+  options.cooldown_events = 25;
+  const auto positions = alarm_positions(options, 120);
+  ASSERT_GE(positions.size(), 2u);
+  for (std::size_t i = 1; i < positions.size(); ++i) {
+    // Strictly no alarm until the cooldown has fully elapsed.
+    EXPECT_GE(positions[i] - positions[i - 1], options.cooldown_events);
+  }
+}
+
+TEST(OnlineMonitorTest, ZeroCooldownAlarmsEveryStreak) {
+  const std::size_t window = fixture().detector.config().segments.length;
+  MonitorOptions options;
+  options.windows_to_alarm = 3;
+  options.cooldown_events = 0;
+
+  // Streak resets on each alarm, so alarms fire every 3 flagged windows.
+  const auto positions = alarm_positions(options, window + 8);
+  const std::size_t first = window + 2;
+  EXPECT_EQ(positions,
+            (std::vector<std::size_t>{first, first + 3, first + 6}));
+}
+
+TEST(OnlineMonitorTest, ResetWindowClearsCooldownAndStreak) {
+  MonitorOptions options;
+  options.windows_to_alarm = 1;
+  options.cooldown_events = 1000000;
+  OnlineMonitor monitor(fixture().detector, nullptr, options);
+  const std::size_t window = fixture().detector.config().segments.length;
+  std::size_t alarms = 0;
+  for (std::size_t i = 0; i < window + 5; ++i) {
+    alarms += monitor.on_event(unknown_event()).alarm;
+  }
+  EXPECT_EQ(alarms, 1u);  // the huge cooldown suppresses everything after
+
+  monitor.reset_window();  // process restart: hysteresis state is forgotten
+  for (std::size_t i = 0; i < window + 5; ++i) {
+    alarms += monitor.on_event(unknown_event()).alarm;
+  }
+  EXPECT_EQ(alarms, 2u);
+}
+
 TEST(OnlineMonitorTest, OffStreamEventsAreIgnoredButCounted) {
   OnlineMonitor monitor(fixture().detector);  // syscall model
   trace::CallEvent libcall;

@@ -1,0 +1,484 @@
+// Tests for the cmarkovd serving subsystem: model registry, sharded
+// session manager (including the multi-session sequential-equivalence
+// guarantee and backpressure accounting), latency metrics, and the line
+// protocol over the in-memory transport.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "src/core/model_io.hpp"
+#include "src/serve/service.hpp"
+#include "src/util/rng.hpp"
+#include "src/workload/testcase_generator.hpp"
+
+namespace cmarkov::serve {
+namespace {
+
+core::Detector train_detector(const workload::ProgramSuite& suite,
+                              std::uint64_t seed) {
+  core::DetectorConfig config;
+  config.pipeline.filter = analysis::CallFilter::kSyscalls;
+  config.training.max_iterations = 4;
+  core::Detector detector = core::Detector::build(suite.module(), config);
+  detector.train(workload::collect_traces(suite, 20, seed).traces);
+  return detector;
+}
+
+/// Two trained models plus benign event streams, built once per process.
+struct Fixture {
+  workload::ProgramSuite gzip = workload::make_gzip_suite();
+  workload::ProgramSuite sed = workload::make_sed_suite();
+  std::shared_ptr<const core::Detector> gzip_model =
+      std::make_shared<const core::Detector>(train_detector(gzip, 91));
+  std::shared_ptr<const core::Detector> sed_model =
+      std::make_shared<const core::Detector>(train_detector(sed, 17));
+  ModelRegistry registry;
+
+  Fixture() {
+    registry.add_shared("gzip", gzip_model);
+    registry.add_shared("sed", sed_model);
+  }
+
+  /// A session's event feed: the concatenated events of a few benign runs.
+  std::vector<trace::CallEvent> events_for(const workload::ProgramSuite& suite,
+                                           std::uint64_t seed,
+                                           std::size_t runs = 3) const {
+    std::vector<trace::CallEvent> events;
+    for (const auto& trace :
+         workload::collect_traces(suite, runs, seed).traces) {
+      events.insert(events.end(), trace.events.begin(), trace.events.end());
+    }
+    return events;
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+/// Expected counters from running the same events through a standalone
+/// OnlineMonitor — the single-threaded ground truth.
+core::MonitorStats sequential_stats(const core::Detector& detector,
+                                    const std::vector<trace::CallEvent>& events,
+                                    core::MonitorOptions options) {
+  core::OnlineMonitor monitor(detector, nullptr, options);
+  for (const auto& event : events) monitor.on_event(event);
+  return monitor.stats();
+}
+
+void expect_matches_sequential(const SessionStats& stats,
+                               const core::MonitorStats& expected) {
+  EXPECT_EQ(stats.monitor.events_seen, expected.events_seen) << stats.id;
+  EXPECT_EQ(stats.monitor.events_observed, expected.events_observed)
+      << stats.id;
+  EXPECT_EQ(stats.monitor.windows_scored, expected.windows_scored) << stats.id;
+  EXPECT_EQ(stats.monitor.windows_flagged, expected.windows_flagged)
+      << stats.id;
+  EXPECT_EQ(stats.monitor.alarms, expected.alarms) << stats.id;
+  EXPECT_EQ(stats.processed, expected.events_seen) << stats.id;
+  EXPECT_EQ(stats.dropped, 0u) << stats.id;
+  EXPECT_EQ(stats.rejected, 0u) << stats.id;
+}
+
+TEST(ModelRegistryTest, ServesSharedTrainedDetectors) {
+  ModelRegistry registry;
+  registry.add_shared("gzip", fixture().gzip_model);
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.get("gzip"), fixture().gzip_model);
+  EXPECT_EQ(registry.get("nope"), nullptr);
+  EXPECT_THROW(registry.require("nope"), std::invalid_argument);
+  EXPECT_EQ(registry.names(), std::vector<std::string>{"gzip"});
+}
+
+TEST(ModelRegistryTest, RejectsUntrainedDetectors) {
+  ModelRegistry registry;
+  core::DetectorConfig config;
+  config.pipeline.filter = analysis::CallFilter::kSyscalls;
+  EXPECT_THROW(
+      registry.add("raw",
+                   core::Detector::build(fixture().gzip.module(), config)),
+      std::invalid_argument);
+}
+
+TEST(ModelRegistryTest, LoadsFilesAndDirectories) {
+  const std::string dir = ::testing::TempDir() + "/cmarkov_registry_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/registry_gzip.model";
+  core::save_detector_file(path, *fixture().gzip_model);
+
+  ModelRegistry registry;
+  registry.load_file("from-file", path);
+  EXPECT_TRUE(registry.get("from-file") != nullptr);
+  EXPECT_GE(registry.load_directory(dir), 1u);  // picks up *.model files
+  EXPECT_TRUE(registry.get("registry_gzip") != nullptr);
+
+  std::ofstream(dir + "/broken.model") << "garbage\n";
+  EXPECT_THROW(registry.load_file("broken", dir + "/broken.model"),
+               std::runtime_error);
+}
+
+TEST(ModelRegistryTest, HotSwapKeepsOldSharedPtrAlive) {
+  ModelRegistry registry;
+  registry.add_shared("m", fixture().gzip_model);
+  const auto before = registry.get("m");
+  registry.add_shared("m", fixture().sed_model);
+  EXPECT_EQ(registry.get("m"), fixture().sed_model);
+  EXPECT_EQ(before, fixture().gzip_model);  // old handle still valid
+}
+
+// The tentpole guarantee: 2 models x 8 sessions fed interleaved from one
+// producer thread (rng-seeded interleaving), scored concurrently by 4
+// workers, must reproduce the sequential OnlineMonitor counters exactly.
+TEST(SessionManagerTest, InterleavedSubmissionMatchesSequential) {
+  ServiceConfig config;
+  config.num_workers = 4;
+  config.queue_capacity = 128;
+  config.policy = BackpressurePolicy::kBlock;
+  config.monitor.windows_to_alarm = 2;
+  config.monitor.cooldown_events = 5;
+  SessionManager manager(fixture().registry, config);
+
+  std::vector<std::string> ids;
+  std::vector<std::vector<trace::CallEvent>> feeds;
+  std::vector<const core::Detector*> detectors;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const bool is_gzip = i % 2 == 0;
+    ids.push_back("session-" + std::to_string(i));
+    manager.open_session(ids.back(), is_gzip ? "gzip" : "sed");
+    feeds.push_back(fixture().events_for(
+        is_gzip ? fixture().gzip : fixture().sed, 100 + i));
+    detectors.push_back(is_gzip ? fixture().gzip_model.get()
+                                : fixture().sed_model.get());
+  }
+
+  Rng rng(2024);
+  std::vector<std::size_t> cursors(ids.size(), 0);
+  std::vector<std::size_t> live;  // sessions with events remaining
+  for (std::size_t i = 0; i < ids.size(); ++i) live.push_back(i);
+  while (!live.empty()) {
+    const std::size_t pick = rng.index(live.size());
+    const std::size_t s = live[pick];
+    ASSERT_EQ(manager.submit(ids[s], feeds[s][cursors[s]++]),
+              SubmitResult::kAccepted);
+    if (cursors[s] == feeds[s].size()) {
+      live[pick] = live.back();
+      live.pop_back();
+    }
+  }
+  manager.drain();
+
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    expect_matches_sequential(
+        manager.session_stats(ids[i]),
+        sequential_stats(*detectors[i], feeds[i], config.monitor));
+  }
+  const ServiceMetrics metrics = manager.metrics();
+  EXPECT_EQ(metrics.events_processed, metrics.events_enqueued);
+  EXPECT_EQ(metrics.events_dropped, 0u);
+  EXPECT_EQ(metrics.events_rejected, 0u);
+  EXPECT_EQ(metrics.latency_samples, metrics.events_processed);
+}
+
+// Same guarantee under real MPSC contention: one producer thread per
+// session, all eight hammering the pool at once.
+TEST(SessionManagerTest, ConcurrentProducersMatchSequential) {
+  ServiceConfig config;
+  config.num_workers = 4;
+  config.queue_capacity = 64;
+  config.policy = BackpressurePolicy::kBlock;
+  SessionManager manager(fixture().registry, config);
+
+  std::vector<std::string> ids;
+  std::vector<std::vector<trace::CallEvent>> feeds;
+  std::vector<const core::Detector*> detectors;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const bool is_gzip = i < 4;
+    ids.push_back("p" + std::to_string(i));
+    manager.open_session(ids.back(), is_gzip ? "gzip" : "sed");
+    feeds.push_back(fixture().events_for(
+        is_gzip ? fixture().gzip : fixture().sed, 200 + i, 2));
+    detectors.push_back(is_gzip ? fixture().gzip_model.get()
+                                : fixture().sed_model.get());
+  }
+
+  std::vector<std::thread> producers;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    producers.emplace_back([&, i] {
+      for (const auto& event : feeds[i]) {
+        ASSERT_EQ(manager.submit(ids[i], event), SubmitResult::kAccepted);
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  manager.drain();
+
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    expect_matches_sequential(
+        manager.session_stats(ids[i]),
+        sequential_stats(*detectors[i], feeds[i], config.monitor));
+  }
+}
+
+TEST(SessionManagerTest, RejectPolicyCountsPerSession) {
+  ServiceConfig config;
+  config.num_workers = 1;  // both sessions share the one shard queue
+  config.queue_capacity = 4;
+  config.policy = BackpressurePolicy::kReject;
+  config.manual_pump = true;
+  SessionManager manager(fixture().registry, config);
+  manager.open_session("a", "gzip");
+  manager.open_session("b", "gzip");
+
+  trace::CallEvent event;
+  event.name = "read";
+  event.caller = "main";
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(manager.submit("a", event), SubmitResult::kAccepted);
+  }
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(manager.submit("b", event), SubmitResult::kRejected);
+  }
+  EXPECT_EQ(manager.session_stats("a").enqueued, 4u);
+  EXPECT_EQ(manager.session_stats("a").rejected, 0u);
+  EXPECT_EQ(manager.session_stats("b").rejected, 3u);
+  EXPECT_EQ(manager.metrics().events_rejected, 3u);
+
+  manager.drain();  // frees the queue
+  EXPECT_EQ(manager.session_stats("a").processed, 4u);
+  EXPECT_EQ(manager.submit("b", event), SubmitResult::kAccepted);
+}
+
+TEST(SessionManagerTest, DropOldestEvictsVictimAndCountsIt) {
+  ServiceConfig config;
+  config.num_workers = 1;
+  config.queue_capacity = 4;
+  config.policy = BackpressurePolicy::kDropOldest;
+  config.manual_pump = true;
+  SessionManager manager(fixture().registry, config);
+  manager.open_session("victim", "gzip");
+  manager.open_session("hog", "gzip");
+
+  trace::CallEvent event;
+  event.name = "read";
+  event.caller = "main";
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(manager.submit("victim", event), SubmitResult::kAccepted);
+  }
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(manager.submit("hog", event), SubmitResult::kDroppedOldest);
+  }
+  // The two oldest queued events belonged to "victim".
+  EXPECT_EQ(manager.session_stats("victim").dropped, 2u);
+  EXPECT_EQ(manager.session_stats("hog").dropped, 0u);
+
+  manager.drain();
+  EXPECT_EQ(manager.session_stats("victim").processed, 2u);
+  EXPECT_EQ(manager.session_stats("hog").processed, 2u);
+  EXPECT_EQ(manager.metrics().events_dropped, 2u);
+}
+
+TEST(SessionManagerTest, BlockPolicyLosesNothingUnderSaturation) {
+  ServiceConfig config;
+  config.num_workers = 2;
+  config.queue_capacity = 8;  // tiny: forces producers to block constantly
+  config.policy = BackpressurePolicy::kBlock;
+  SessionManager manager(fixture().registry, config);
+
+  const auto feed = fixture().events_for(fixture().gzip, 300, 2);
+  std::vector<std::thread> producers;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::string id = "blocked-" + std::to_string(i);
+    manager.open_session(id, "gzip");
+    producers.emplace_back([&, id] {
+      for (const auto& event : feed) manager.submit(id, event);
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  manager.drain();
+
+  const ServiceMetrics metrics = manager.metrics();
+  EXPECT_EQ(metrics.events_enqueued, 4 * feed.size());
+  EXPECT_EQ(metrics.events_processed, 4 * feed.size());
+  EXPECT_EQ(metrics.events_dropped, 0u);
+  EXPECT_EQ(metrics.events_rejected, 0u);
+}
+
+TEST(SessionManagerTest, LifecycleErrorsAreLoud) {
+  ServiceConfig config;
+  config.manual_pump = true;
+  SessionManager manager(fixture().registry, config);
+  manager.open_session("dup", "gzip");
+  EXPECT_THROW(manager.open_session("dup", "gzip"), std::invalid_argument);
+  EXPECT_THROW(manager.open_session("x", "no-such-model"),
+               std::invalid_argument);
+  EXPECT_EQ(manager.submit("ghost", {}), SubmitResult::kUnknownSession);
+  EXPECT_THROW(manager.session_stats("ghost"), std::invalid_argument);
+  EXPECT_THROW(manager.close_session("ghost"), std::invalid_argument);
+
+  EXPECT_TRUE(manager.has_session("dup"));
+  const SessionStats stats = manager.close_session("dup");
+  EXPECT_EQ(stats.id, "dup");
+  EXPECT_FALSE(manager.has_session("dup"));
+
+  EXPECT_NE(manager.next_session_id(), manager.next_session_id());
+}
+
+TEST(LatencyHistogramTest, QuantilesLandInTheRightBucket) {
+  LatencyHistogram histogram;
+  EXPECT_EQ(histogram.samples(), 0u);
+  EXPECT_EQ(histogram.quantile_micros(0.5), 0.0);
+  for (int i = 0; i < 99; ++i) histogram.record(0.8);  // bucket <=1us
+  histogram.record(900.0);                             // bucket <=1000us
+  EXPECT_EQ(histogram.samples(), 100u);
+  EXPECT_DOUBLE_EQ(histogram.quantile_micros(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile_micros(0.99), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile_micros(1.0), 1000.0);
+  histogram.record(1e9);  // overflow bucket saturates
+  EXPECT_DOUBLE_EQ(histogram.quantile_micros(1.0),
+                   LatencyHistogram::kOverflowMicros);
+}
+
+TEST(ServiceMetricsTest, RendersOneKeyValueLine) {
+  ServiceMetrics metrics;
+  metrics.uptime_seconds = 1.5;
+  metrics.events_processed = 42;
+  metrics.queue_depths = {3, 0};
+  const std::string line = metrics.to_line();
+  EXPECT_NE(line.find("uptime_s=1.500"), std::string::npos);
+  EXPECT_NE(line.find("processed=42"), std::string::npos);
+  EXPECT_NE(line.find("qdepth=3,0"), std::string::npos);
+  EXPECT_NE(line.find("p99_us="), std::string::npos);
+}
+
+ServiceConfig protocol_config() {
+  ServiceConfig config;
+  config.num_workers = 1;
+  config.manual_pump = true;
+  return config;
+}
+
+TEST(ProtocolTest, HappyPathHelloEvStatsBye) {
+  SessionManager manager(fixture().registry, protocol_config());
+  ProtocolSession session(manager);
+  EXPECT_FALSE(session.closed());
+  EXPECT_EQ(session.handle_line("HELLO gzip watchman"),
+            "OK session=watchman model=gzip");
+  EXPECT_EQ(session.session_id(), "watchman");
+
+  const auto feed = fixture().events_for(fixture().gzip, 55, 2);
+  std::size_t fed = 0;
+  for (const auto& event : feed) {
+    if (event.kind != ir::CallKind::kSyscall) continue;
+    EXPECT_EQ(session.handle_line("EV " + event.caller + " " + event.name),
+              "OK");
+    if (++fed >= 40) break;
+  }
+  ASSERT_GT(fed, 0u);
+  const std::string stats = session.handle_line("STATS");
+  EXPECT_TRUE(stats.starts_with("STATS session=watchman model=gzip"));
+  const std::string fed_str = std::to_string(fed);
+  EXPECT_NE(stats.find("enqueued=" + fed_str), std::string::npos) << stats;
+  EXPECT_NE(stats.find("processed=" + fed_str), std::string::npos) << stats;
+  EXPECT_NE(stats.find("alarms="), std::string::npos);
+
+  const std::string metrics = session.handle_line("METRICS");
+  EXPECT_TRUE(metrics.starts_with("METRICS "));
+  EXPECT_NE(metrics.find("sessions=1"), std::string::npos);
+
+  EXPECT_TRUE(session.handle_line("BYE").starts_with("OK session=watchman"));
+  EXPECT_TRUE(session.closed());
+  EXPECT_FALSE(manager.has_session("watchman"));
+}
+
+TEST(ProtocolTest, BlankAndCommentLinesAreSilent) {
+  SessionManager manager(fixture().registry, protocol_config());
+  ProtocolSession session(manager);
+  EXPECT_EQ(session.handle_line(""), "");
+  EXPECT_EQ(session.handle_line("   "), "");
+  EXPECT_EQ(session.handle_line("# a comment"), "");
+}
+
+TEST(ProtocolTest, ErrorsAreLoudAndNeverThrow) {
+  SessionManager manager(fixture().registry, protocol_config());
+  ProtocolSession session(manager);
+  EXPECT_TRUE(session.handle_line("EV main read").starts_with("ERR"));
+  EXPECT_TRUE(session.handle_line("STATS").starts_with("ERR"));
+  EXPECT_TRUE(session.handle_line("BYE").starts_with("ERR"));
+  const std::string unknown_model = session.handle_line("HELLO no-such-model");
+  EXPECT_TRUE(unknown_model.starts_with("ERR"));
+  EXPECT_NE(unknown_model.find("no-such-model"), std::string::npos);
+
+  EXPECT_TRUE(session.handle_line("HELLO gzip").starts_with("OK"));
+  EXPECT_TRUE(session.handle_line("HELLO gzip").starts_with("ERR"));
+  EXPECT_TRUE(session.handle_line("EV onlysite").starts_with("ERR"));
+  EXPECT_TRUE(session.handle_line("EV a b weird-kind").starts_with("ERR"));
+  EXPECT_TRUE(session.handle_line("NOSUCH").starts_with("ERR"));
+
+  EXPECT_TRUE(session.handle_line("BYE").starts_with("OK"));
+  EXPECT_TRUE(session.handle_line("EV main read").starts_with("ERR"));
+}
+
+TEST(ProtocolTest, RejectedEventsSurfaceInResponses) {
+  ServiceConfig config = protocol_config();
+  config.queue_capacity = 2;
+  config.policy = BackpressurePolicy::kReject;
+  SessionManager manager(fixture().registry, config);
+  ProtocolSession session(manager);
+  session.handle_line("HELLO gzip");
+  EXPECT_EQ(session.handle_line("EV main read"), "OK");
+  EXPECT_EQ(session.handle_line("EV main read"), "OK");
+  EXPECT_EQ(session.handle_line("EV main read"), "ERR rejected queue-full");
+  const std::string stats = session.handle_line("STATS");
+  EXPECT_NE(stats.find("rejected=1"), std::string::npos);
+}
+
+TEST(ProtocolTest, DisconnectWithoutByeClosesSession) {
+  SessionManager manager(fixture().registry, protocol_config());
+  {
+    ProtocolSession session(manager);
+    session.handle_line("HELLO gzip dangling");
+    EXPECT_TRUE(manager.has_session("dangling"));
+  }
+  EXPECT_FALSE(manager.has_session("dangling"));
+}
+
+TEST(ServiceTest, ServeStreamEndToEnd) {
+  ServiceConfig config = protocol_config();
+  CmarkovService service(config);
+  service.registry().add_shared("gzip", fixture().gzip_model);
+
+  std::istringstream in(
+      "# scripted session\n"
+      "HELLO gzip scripted\n"
+      "EV main read\n"
+      "EV main close sys\n"
+      "STATS\n"
+      "BYE\n"
+      "EV main read\n");  // after BYE: stream ends first, never answered
+  std::ostringstream out;
+  service.serve_stream(in, out);
+
+  std::istringstream lines(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, "OK session=scripted model=gzip");
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, "OK");
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, "OK");
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_TRUE(line.starts_with("STATS session=scripted"));
+  EXPECT_NE(line.find("processed=2"), std::string::npos);
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_TRUE(line.starts_with("OK session=scripted"));
+  EXPECT_FALSE(std::getline(lines, line));  // nothing after BYE
+  EXPECT_EQ(service.metrics().sessions_open, 0u);
+}
+
+}  // namespace
+}  // namespace cmarkov::serve

@@ -1,0 +1,220 @@
+// cmarkovd — the concurrent multi-session scoring daemon over trained
+// detectors (docs/SERVING.md).
+//
+//   cmarkovd --model <name>=<path> [--model ...] [--models-dir DIR]
+//            [--workers N] [--queue N] [--policy block|drop-oldest|reject]
+//            [--windows-to-alarm N] [--cooldown N]
+//            [--replay <model>:<trace-file>]...   replay mode (batch)
+//            [--tcp PORT]                         TCP front-end
+//
+// With no --replay/--tcp the daemon speaks the line protocol on
+// stdin/stdout (HELLO/EV/STATS/METRICS/BYE — one response line per
+// request). --replay pushes a recorded trace file through a full protocol
+// session (HELLO, one EV per event, STATS, BYE) and prints the dialogue's
+// verdict lines; repeat the flag to replay several sessions.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/serve/service.hpp"
+#include "src/trace/trace_io.hpp"
+#include "src/util/logging.hpp"
+#include "src/util/strings.hpp"
+
+using namespace cmarkov;
+
+namespace {
+
+struct DaemonOptions {
+  std::vector<std::pair<std::string, std::string>> models;  // name -> path
+  std::string models_dir;
+  std::vector<std::pair<std::string, std::string>> replays;  // model -> trace
+  int tcp_port = 0;
+  serve::ServiceConfig service;
+};
+
+int usage() {
+  std::cerr
+      << "usage: cmarkovd --model <name>=<path> [--model ...]\n"
+         "                [--models-dir DIR] [--workers N] [--queue N]\n"
+         "                [--policy block|drop-oldest|reject]\n"
+         "                [--windows-to-alarm N] [--cooldown N]\n"
+         "                [--replay <model>:<trace-file>]... [--tcp PORT]\n"
+         "With neither --replay nor --tcp, serves the line protocol on\n"
+         "stdin/stdout: HELLO <model> [id] | EV <site> <callee> [sys|lib]\n"
+         "| STATS | METRICS | BYE\n";
+  return 1;
+}
+
+DaemonOptions parse_options(int argc, char** argv) {
+  DaemonOptions options;
+  auto need_value = [&](int i) -> std::string {
+    if (i + 1 >= argc) {
+      throw std::runtime_error(std::string("missing value for ") + argv[i]);
+    }
+    return argv[i + 1];
+  };
+  for (int i = 1; i < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = need_value(i);
+    if (flag == "--model") {
+      const auto eq = value.find('=');
+      if (eq == std::string::npos) {
+        throw std::runtime_error("--model expects <name>=<path>");
+      }
+      options.models.emplace_back(value.substr(0, eq), value.substr(eq + 1));
+    } else if (flag == "--models-dir") {
+      options.models_dir = value;
+    } else if (flag == "--replay") {
+      const auto colon = value.find(':');
+      if (colon == std::string::npos) {
+        throw std::runtime_error("--replay expects <model>:<trace-file>");
+      }
+      options.replays.emplace_back(value.substr(0, colon),
+                                   value.substr(colon + 1));
+    } else if (flag == "--tcp") {
+      options.tcp_port = std::stoi(value);
+    } else if (flag == "--workers") {
+      options.service.num_workers = std::stoul(value);
+    } else if (flag == "--queue") {
+      options.service.queue_capacity = std::stoul(value);
+    } else if (flag == "--policy") {
+      const auto policy = serve::parse_backpressure_policy(value);
+      if (!policy) {
+        throw std::runtime_error("unknown policy '" + value +
+                                 "' (block|drop-oldest|reject)");
+      }
+      options.service.policy = *policy;
+    } else if (flag == "--windows-to-alarm") {
+      options.service.monitor.windows_to_alarm = std::stoul(value);
+    } else if (flag == "--cooldown") {
+      options.service.monitor.cooldown_events = std::stoul(value);
+    } else {
+      throw std::runtime_error("unknown flag '" + flag + "'");
+    }
+  }
+  return options;
+}
+
+/// Replays a recorded trace through a full protocol conversation; prints
+/// only the interesting response lines (HELLO/STATS/BYE and any errors).
+void replay_trace(serve::CmarkovService& service, const std::string& model,
+                  const std::string& trace_path) {
+  const trace::Trace trace = trace::read_trace_file(trace_path);
+  serve::ProtocolSession session(service.sessions());
+  std::cout << session.handle_line("HELLO " + model) << "\n";
+  std::size_t errors = 0;
+  for (const auto& event : trace.events) {
+    const std::string site = event.caller.empty() ? "?" : event.caller;
+    const char* kind = event.kind == ir::CallKind::kLibcall ? "lib" : "sys";
+    const std::string response = session.handle_line(
+        "EV " + site + " " + event.name + " " + kind);
+    if (starts_with(response, "ERR")) {
+      ++errors;
+      std::cout << response << "\n";
+    }
+  }
+  if (errors > 0) std::cout << errors << " events not accepted\n";
+  std::cout << session.handle_line("STATS") << "\n";
+  std::cout << session.handle_line("BYE") << "\n";
+}
+
+/// Minimal line-framing TCP front-end: one thread and one protocol session
+/// per connection.
+void serve_connection(serve::SessionManager& manager, int fd) {
+  serve::ProtocolSession session(manager);
+  std::string buffer;
+  char chunk[4096];
+  while (!session.closed()) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start);
+         nl != std::string::npos && !session.closed();
+         nl = buffer.find('\n', start)) {
+      const std::string response =
+          session.handle_line(buffer.substr(start, nl - start));
+      start = nl + 1;
+      if (!response.empty()) {
+        const std::string line = response + "\n";
+        if (::write(fd, line.data(), line.size()) < 0) break;
+      }
+    }
+    buffer.erase(0, start);
+  }
+  ::close(fd);
+}
+
+int serve_tcp(serve::CmarkovService& service, int port) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::cerr << "cmarkovd: socket: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  const int enable = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listener, 64) < 0) {
+    std::cerr << "cmarkovd: bind/listen: " << std::strerror(errno) << "\n";
+    ::close(listener);
+    return 1;
+  }
+  log_info() << "cmarkovd: listening on 127.0.0.1:" << port;
+  for (;;) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) continue;
+    std::thread(serve_connection, std::ref(service.sessions()), fd).detach();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const DaemonOptions options = parse_options(argc, argv);
+    serve::CmarkovService service(options.service);
+    for (const auto& [name, path] : options.models) {
+      service.registry().load_file(name, path);
+    }
+    if (!options.models_dir.empty()) {
+      service.registry().load_directory(options.models_dir);
+    }
+    if (service.registry().size() == 0) {
+      std::cerr << "cmarkovd: no models loaded (use --model/--models-dir)\n";
+      return usage();
+    }
+    log_info() << "cmarkovd: " << service.registry().size() << " model(s), "
+               << options.service.num_workers << " worker(s), policy="
+               << serve::backpressure_policy_name(options.service.policy);
+
+    if (!options.replays.empty()) {
+      for (const auto& [model, path] : options.replays) {
+        replay_trace(service, model, path);
+      }
+      std::cout << "METRICS " << service.metrics().to_line() << "\n";
+      return 0;
+    }
+    if (options.tcp_port > 0) {
+      ::signal(SIGPIPE, SIG_IGN);
+      return serve_tcp(service, options.tcp_port);
+    }
+    service.serve_stream(std::cin, std::cout);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "cmarkovd: " << e.what() << "\n";
+    return 1;
+  }
+}

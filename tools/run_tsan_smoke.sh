@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# ThreadSanitizer smoke for the cmarkovd serving layer: builds the repo with
+# CMARKOV_SANITIZE=thread and runs the concurrency-sensitive tests. Any TSan
+# report fails the run (halt_on_error). Usage:
+#
+#   tools/run_tsan_smoke.sh            # build into build-tsan/ and run
+#   BUILD_DIR=/tmp/tsan tools/run_tsan_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-tsan}"
+TESTS='^(serve_test|logging_test)$'
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMARKOV_SANITIZE=thread
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target serve_test logging_test
+
+(cd "$BUILD_DIR" && \
+  TSAN_OPTIONS="halt_on_error=1 abort_on_error=1" \
+  ctest --output-on-failure -R "$TESTS")
+
+echo "TSan smoke: clean"
