@@ -4,6 +4,8 @@
 // motivates state reduction.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "src/core/pipeline.hpp"
 #include "src/hmm/baum_welch.hpp"
 #include "src/hmm/forward_backward.hpp"
@@ -64,6 +66,36 @@ void BM_BaumWelchIteration(benchmark::State& state) {
 // The O(T S^2) scaling the Table II reduction exploits: 3x fewer states ->
 // ~9x faster iterations.
 BENCHMARK(BM_BaumWelchIteration)->Arg(40)->Arg(120)->Arg(360);
+
+void BM_BaumWelchIterationThreads(benchmark::State& state) {
+  const auto model = model_with_states(static_cast<std::size_t>(state.range(0)));
+  std::vector<hmm::ObservationSeq> data;
+  for (int i = 0; i < 50; ++i) data.push_back(segment_for(model, 15));
+  hmm::TrainingOptions options;
+  options.max_iterations = 1;
+  options.min_improvement = -1.0;
+  options.num_threads = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    hmm::Hmm copy = model;
+    hmm::baum_welch_train(copy, data, {}, options);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetLabel("50 segments x 1 iteration, " +
+                 std::to_string(state.range(1)) + " threads");
+}
+// Thread scaling of the parallel E-step at the paper's two largest model
+// sizes (glibc CMarkov: 372 states). Re-estimation stays sequential, so
+// expect sub-linear but substantial speedup on multi-core hosts; results
+// are bit-identical at every thread count.
+BENCHMARK(BM_BaumWelchIterationThreads)
+    ->Args({128, 1})
+    ->Args({128, 2})
+    ->Args({128, 4})
+    ->Args({128, 8})
+    ->Args({372, 1})
+    ->Args({372, 2})
+    ->Args({372, 4})
+    ->Args({372, 8});
 
 void BM_StaticPipeline(benchmark::State& state) {
   const workload::ProgramSuite suite = workload::make_bash_suite();

@@ -34,9 +34,11 @@ StaticPipelineResult run_static_pipeline(const ir::ProgramModule& program,
 
   {
     ScopedPhase phase(result.timings, "clustering");
+    reduction::ClusteringOptions clustering_options = config.clustering;
+    clustering_options.num_threads = config.num_threads;
     result.clustering =
         reduction::cluster_calls(result.program_matrix, rng,
-                                 config.clustering);
+                                 clustering_options);
     result.reduced = reduction::reconstruct_reduced_model(
         result.program_matrix, result.clustering);
   }

@@ -17,6 +17,10 @@ struct PipelineConfig {
   analysis::CallFilter filter = analysis::CallFilter::kLibcalls;
   /// false builds the STILO (context-insensitive) variant.
   bool context_sensitive = true;
+  /// Worker threads for the clustering phase (PCA + k-means; 0 = one per
+  /// hardware core); authoritative over clustering.num_threads. All
+  /// pipeline results are identical at any value.
+  std::size_t num_threads = 1;
   analysis::FunctionMatrixOptions matrix;
   reduction::ClusteringOptions clustering;
   hmm::StaticInitOptions static_init;

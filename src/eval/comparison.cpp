@@ -50,6 +50,11 @@ SuiteComparison compare_models(const workload::ProgramSuite& suite,
 
   ModelBuildOptions build = options.build;
   build.filter = filter;
+  build.num_threads = options.num_threads;
+  hmm::TrainingOptions training = options.training;
+  training.num_threads = options.num_threads;
+  CrossValidationOptions cv = options.cv;
+  cv.num_threads = options.num_threads;
 
   for (ModelKind kind : options.kinds) {
     Rng model_rng = rng.fork();
@@ -82,12 +87,12 @@ SuiteComparison compare_models(const workload::ProgramSuite& suite,
     evaluation.static_calls = model.static_calls;
 
     Rng fold_rng = model_rng.fork();
-    const auto folds = k_fold_splits(segments, fold_rng, options.cv);
+    const auto folds = k_fold_splits(segments, fold_rng, cv);
     for (const auto& fold : folds) {
       hmm::Hmm trained = model.hmm;  // fresh copy of the initialization
       Stopwatch watch;
       const hmm::TrainingReport report = hmm::baum_welch_train(
-          trained, fold.train, fold.termination, options.training);
+          trained, fold.train, fold.termination, training);
       evaluation.train_seconds += watch.seconds();
       evaluation.train_iterations += report.iterations;
 
@@ -117,6 +122,9 @@ bool full_mode_enabled(int argc, char** argv) {
 
 ComparisonOptions default_comparison_options(bool full) {
   ComparisonOptions options;
+  // Training is bit-identical at any thread count (see baum_welch.hpp), so
+  // the figure benches default to one worker per hardware core.
+  options.num_threads = 0;
   if (full) {
     options.test_cases = 200;
     options.abnormal_count = 4000;

@@ -24,6 +24,10 @@ struct ComparisonOptions {
   std::uint64_t seed = 1;
   /// Which models to run (defaults to all four).
   std::vector<ModelKind> kinds = all_model_kinds();
+  /// Worker threads for building, training, and fold materialization
+  /// (0 = one per hardware core); authoritative over the nested
+  /// build/training/cv thread counts. Results are identical at any value.
+  std::size_t num_threads = 1;
   CrossValidationOptions cv{.folds = 3,
                             .termination_fraction = 0.2,
                             .max_train_segments = 400};

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/util/parallel.hpp"
+
 namespace cmarkov::eval {
 
 std::vector<FoldSplit> k_fold_splits(std::vector<hmm::ObservationSeq> segments,
@@ -20,10 +22,12 @@ std::vector<FoldSplit> k_fold_splits(std::vector<hmm::ObservationSeq> segments,
   }
   rng.shuffle(segments);
 
-  // Fold boundaries: fold f owns [f*n/k, (f+1)*n/k).
+  // Fold boundaries: fold f owns [f*n/k, (f+1)*n/k). Every fold's split is
+  // a pure function of the shuffled order, so folds materialize in
+  // parallel without changing the result.
   const std::size_t n = segments.size();
   std::vector<FoldSplit> splits(options.folds);
-  for (std::size_t f = 0; f < options.folds; ++f) {
+  parallel_for(options.num_threads, options.folds, [&](std::size_t f) {
     const std::size_t begin = f * n / options.folds;
     const std::size_t end = (f + 1) * n / options.folds;
     FoldSplit& split = splits[f];
@@ -47,7 +51,7 @@ std::vector<FoldSplit> k_fold_splits(std::vector<hmm::ObservationSeq> segments,
         split.train.size() > options.max_train_segments) {
       split.train.resize(options.max_train_segments);
     }
-  }
+  });
   return splits;
 }
 

@@ -26,6 +26,11 @@ struct CrossValidationOptions {
   /// Cap on training segments per fold after the split (0 = unlimited);
   /// quick-mode benches use this to bound Baum-Welch cost.
   std::size_t max_train_segments = 0;
+  /// Worker threads for materializing the per-fold segment copies (0 = one
+  /// per hardware core). Splits are identical at any value: the shuffle
+  /// happens once on the calling thread and each fold is built
+  /// independently from it.
+  std::size_t num_threads = 1;
 };
 
 /// Splits unique segments into k folds. Segments are shuffled

@@ -119,9 +119,11 @@ BuiltModel build_static_model(ModelKind kind,
 
   model.static_calls = program_matrix.external_indices().size();
 
+  reduction::ClusteringOptions clustering_options = options.clustering;
+  clustering_options.num_threads = options.num_threads;
   reduction::CallClustering clustering =
       kind == ModelKind::kCMarkov
-          ? reduction::cluster_calls(program_matrix, rng, options.clustering)
+          ? reduction::cluster_calls(program_matrix, rng, clustering_options)
           : reduction::identity_clustering(program_matrix);
 
   const reduction::ReducedModel reduced =

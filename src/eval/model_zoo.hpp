@@ -53,6 +53,10 @@ const std::vector<ModelKind>& extended_model_kinds();
 
 struct ModelBuildOptions {
   analysis::CallFilter filter = analysis::CallFilter::kLibcalls;
+  /// Worker threads for the clustering phase (0 = one per hardware core);
+  /// authoritative over clustering.num_threads. Built models are identical
+  /// at any value.
+  std::size_t num_threads = 1;
   /// Static-analysis controls (propagation mode, etc.).
   analysis::FunctionMatrixOptions matrix;
   /// Clustering controls for CMarkov (min_calls_for_reduction gates it).

@@ -1,30 +1,57 @@
 #include "src/hmm/baum_welch.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "src/hmm/forward_backward.hpp"
+#include "src/util/parallel.hpp"
 
 namespace cmarkov::hmm {
 
-double mean_log_likelihood(const Hmm& model,
-                           const std::vector<ObservationSeq>& sequences,
-                           double impossible_penalty) {
+namespace {
+
+/// Merge slots of the parallel E-step. Fixed (never derived from the thread
+/// count) so the accumulator merge order — and therefore every
+/// floating-point sum — is the same no matter how many workers run.
+constexpr std::size_t kMergeSlots = 16;
+
+/// Sequences per work item of the parallel scoring pass.
+constexpr std::size_t kScoreChunk = 64;
+
+/// Per-sequence log-likelihoods with the impossible/empty penalty applied.
+/// Scoring fans out over the pool; the mean is reduced in sequence order on
+/// the calling thread, so the result is independent of the thread count.
+double pooled_mean_log_likelihood(const Hmm& model,
+                                  const HmmKernelCache& cache,
+                                  const std::vector<ObservationSeq>& sequences,
+                                  double impossible_penalty,
+                                  WorkerPool& pool) {
   if (sequences.empty()) return 0.0;
+  std::vector<double> per_sequence(sequences.size());
+  pool.run(chunk_count(sequences.size(), kScoreChunk), [&](std::size_t c) {
+    const ChunkRange range =
+        chunk_range(sequences.size(), kScoreChunk, c);
+    for (std::size_t s = range.begin; s < range.end; ++s) {
+      if (sequences[s].empty()) {
+        per_sequence[s] = impossible_penalty;
+        continue;
+      }
+      const double ll =
+          forward_scaled(model, sequences[s], cache).log_likelihood;
+      per_sequence[s] = std::isinf(ll) ? impossible_penalty : ll;
+    }
+  });
   double total = 0.0;
-  for (const auto& seq : sequences) {
-    const double ll = sequence_log_likelihood(model, seq);
-    total += std::isinf(ll) ? impossible_penalty : ll;
-  }
+  for (double ll : per_sequence) total += ll;
   return total / static_cast<double>(sequences.size());
 }
 
-namespace {
-
 struct Accumulators {
-  Matrix transition_num;     // N x N
+  Matrix transition_num;               // N x N
   std::vector<double> transition_den;  // N
-  Matrix emission_num;       // N x M
+  Matrix emission_num;                 // N x M
   std::vector<double> emission_den;    // N
   std::vector<double> initial;         // N
 
@@ -34,16 +61,50 @@ struct Accumulators {
         emission_num(n, m),
         emission_den(n, 0.0),
         initial(n, 0.0) {}
+
+  void reset() {
+    for (std::size_t r = 0; r < transition_num.rows(); ++r) {
+      auto row = transition_num.row(r);
+      std::fill(row.begin(), row.end(), 0.0);
+    }
+    for (std::size_t r = 0; r < emission_num.rows(); ++r) {
+      auto row = emission_num.row(r);
+      std::fill(row.begin(), row.end(), 0.0);
+    }
+    std::fill(transition_den.begin(), transition_den.end(), 0.0);
+    std::fill(emission_den.begin(), emission_den.end(), 0.0);
+    std::fill(initial.begin(), initial.end(), 0.0);
+  }
+
+  void merge(const Accumulators& other) {
+    const std::size_t n = transition_den.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      auto dst = transition_num.row(i);
+      const auto src = other.transition_num.row(i);
+      for (std::size_t j = 0; j < dst.size(); ++j) dst[j] += src[j];
+      auto edst = emission_num.row(i);
+      const auto esrc = other.emission_num.row(i);
+      for (std::size_t k = 0; k < edst.size(); ++k) edst[k] += esrc[k];
+      transition_den[i] += other.transition_den[i];
+      emission_den[i] += other.emission_den[i];
+      initial[i] += other.initial[i];
+    }
+  }
 };
 
 /// Accumulates expected counts for one sequence; returns false if the
-/// sequence is impossible under the current model.
-bool accumulate_sequence(const Hmm& model, const ObservationSeq& seq,
-                         Accumulators& acc) {
+/// sequence is empty or impossible under the current model. On success,
+/// `log_likelihood` receives the forward log-likelihood computed along the
+/// way (the quantity the trainer previously re-derived with a second full
+/// forward sweep).
+bool accumulate_sequence(const Hmm& model, const HmmKernelCache& cache,
+                         const ObservationSeq& seq, Accumulators& acc,
+                         double& log_likelihood) {
   if (seq.empty()) return false;
-  const ForwardResult fwd = forward_scaled(model, seq);
+  const ForwardResult fwd = forward_scaled(model, seq, cache);
   if (fwd.impossible) return false;
-  const Matrix beta = backward_scaled(model, seq, fwd.scales);
+  log_likelihood = fwd.log_likelihood;
+  const Matrix beta = backward_scaled(model, seq, fwd.scales, cache);
 
   const std::size_t n = model.num_states();
   const std::size_t t_len = seq.size();
@@ -56,14 +117,18 @@ bool accumulate_sequence(const Hmm& model, const ObservationSeq& seq,
   for (std::size_t i = 0; i < n; ++i) acc.initial[i] += gamma(0, i);
 
   for (std::size_t t = 0; t + 1 < t_len; ++t) {
+    const auto emission_col = cache.emission_t.row(seq[t + 1]);
+    const auto next_beta = beta.row(t + 1);
     for (std::size_t i = 0; i < n; ++i) {
       const double alpha_ti = fwd.alpha(t, i);
       if (alpha_ti == 0.0) continue;
+      const auto out_of_i = model.transition.row(i);
+      auto num_row = acc.transition_num.row(i);
       for (std::size_t j = 0; j < n; ++j) {
         // xi(t, i, j): scaled alpha/beta make the normalizer 1.
-        const double xi = alpha_ti * model.transition(i, j) *
-                          model.emission(j, seq[t + 1]) * beta(t + 1, j);
-        acc.transition_num(i, j) += xi;
+        const double xi =
+            alpha_ti * out_of_i[j] * emission_col[j] * next_beta[j];
+        num_row[j] += xi;
       }
     }
   }
@@ -104,6 +169,17 @@ void reestimate(Hmm& model, const Accumulators& acc, double pseudocount,
 
 }  // namespace
 
+double mean_log_likelihood(const Hmm& model,
+                           const std::vector<ObservationSeq>& sequences,
+                           double impossible_penalty,
+                           std::size_t num_threads) {
+  if (sequences.empty()) return 0.0;
+  const HmmKernelCache cache(model);
+  WorkerPool pool(num_threads);
+  return pooled_mean_log_likelihood(model, cache, sequences,
+                                    impossible_penalty, pool);
+}
+
 TrainingReport baum_welch_train(Hmm& model,
                                 const std::vector<ObservationSeq>& sequences,
                                 const std::vector<ObservationSeq>& holdout,
@@ -112,33 +188,72 @@ TrainingReport baum_welch_train(Hmm& model,
   TrainingReport report;
   if (sequences.empty()) return report;
 
-  double best_score = holdout.empty()
-                          ? mean_log_likelihood(model, sequences)
-                          : mean_log_likelihood(model, holdout);
+  const std::size_t count = sequences.size();
+  const std::size_t n = model.num_states();
+  const std::size_t m = model.num_symbols();
+
+  WorkerPool pool(options.num_threads);
+  HmmKernelCache cache(model);
+
+  // Train-set termination starts from -infinity: its score is the E-step's
+  // mean log-likelihood of the model *entering* the iteration (free — see
+  // below), and iteration 1's score already equals the initial model's
+  // likelihood. Holdout termination keeps its pre-training baseline.
+  double best_score =
+      holdout.empty()
+          ? -std::numeric_limits<double>::infinity()
+          : pooled_mean_log_likelihood(model, cache, holdout,
+                                       options.impossible_penalty, pool);
   std::size_t stall = 0;
 
+  // Sequence s accumulates into slot s % slots; each slot is processed by
+  // exactly one worker in ascending-s order and slots merge in index order,
+  // making every accumulator sum independent of the thread count.
+  const std::size_t slots = std::min(count, kMergeSlots);
+  std::vector<Accumulators> partial(slots, Accumulators(n, m));
+  Accumulators total(n, m);
+  std::vector<double> per_sequence_ll(count);
+  std::vector<unsigned char> accepted(count);
+
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
-    Accumulators acc(model.num_states(), model.num_symbols());
-    std::size_t observed = 0;
-    std::size_t skipped = 0;
-    for (const auto& seq : sequences) {
-      if (accumulate_sequence(model, seq, acc)) {
-        ++observed;
-      } else {
-        ++skipped;
+    pool.run(slots, [&](std::size_t slot) {
+      Accumulators& acc = partial[slot];
+      acc.reset();
+      for (std::size_t s = slot; s < count; s += slots) {
+        double ll = options.impossible_penalty;
+        accepted[s] =
+            accumulate_sequence(model, cache, sequences[s], acc, ll) ? 1 : 0;
+        per_sequence_ll[s] = accepted[s] ? ll : options.impossible_penalty;
       }
+    });
+
+    std::size_t observed = 0;
+    double ll_sum = 0.0;
+    for (std::size_t s = 0; s < count; ++s) {
+      observed += accepted[s];
+      ll_sum += per_sequence_ll[s];
     }
-    report.skipped_sequences = skipped;
+    report.skipped_sequences = count - observed;
     if (observed == 0) break;  // model rejects everything; nothing to learn
 
-    reestimate(model, acc, options.pseudocount, observed);
-    report.iterations = iter + 1;
-    report.train_log_likelihood.push_back(
-        mean_log_likelihood(model, sequences));
+    total.reset();
+    for (const Accumulators& acc : partial) total.merge(acc);
 
-    const double score = holdout.empty()
-                             ? report.train_log_likelihood.back()
-                             : mean_log_likelihood(model, holdout);
+    // The E-step forward passes already produced every train-set
+    // log-likelihood; reuse them instead of a second full scoring sweep.
+    // (This is the likelihood of the model entering the iteration.)
+    const double train_mean = ll_sum / static_cast<double>(count);
+
+    reestimate(model, total, options.pseudocount, observed);
+    cache.rebuild(model);
+    report.iterations = iter + 1;
+    report.train_log_likelihood.push_back(train_mean);
+
+    const double score =
+        holdout.empty()
+            ? train_mean
+            : pooled_mean_log_likelihood(model, cache, holdout,
+                                         options.impossible_penalty, pool);
     if (!holdout.empty()) report.holdout_log_likelihood.push_back(score);
 
     if (score - best_score < options.min_improvement) {

@@ -5,6 +5,16 @@
 // it and training stops when the average held-out log-likelihood no longer
 // improves significantly. Accumulators carry a small pseudocount so that
 // training never zeroes an entire row.
+//
+// The E-step is parallel over sequences (TrainingOptions::num_threads):
+// per-sequence forward/backward passes are independent given fixed
+// parameters and the expected-count accumulators are additive. Sequences
+// are distributed round-robin over a fixed number of merge slots (16,
+// independent of the thread count), each slot is accumulated by exactly one
+// worker in ascending sequence order, and slots are merged in slot-index
+// order on the calling thread — so the trained model and the TrainingReport
+// are bit-identical for every thread count, including the sequential path.
+// docs/ALGORITHMS.md §7 has the full argument.
 #pragma once
 
 #include <cstddef>
@@ -23,25 +33,39 @@ struct TrainingOptions {
   double pseudocount = 1e-6;
   /// Consecutive non-improving iterations tolerated before stopping.
   std::size_t patience = 1;
+  /// Worker threads for the E-step and the holdout scoring pass
+  /// (0 = one per hardware core). Results are identical at any value.
+  std::size_t num_threads = 1;
+  /// Log-likelihood stand-in for sequences the current model rejects
+  /// (impossible or empty), keeping reported means finite.
+  double impossible_penalty = -1e4;
 };
 
 struct TrainingReport {
   std::size_t iterations = 0;
   bool converged = false;
-  /// Mean train log-likelihood after each iteration.
+  /// Mean train log-likelihood of the model *entering* each iteration,
+  /// reused from the E-step forward passes (no separate scoring sweep);
+  /// entry 0 is the initial model's mean train log-likelihood.
   std::vector<double> train_log_likelihood;
   /// Mean held-out log-likelihood after each iteration (empty if no
   /// held-out data was supplied).
   std::vector<double> holdout_log_likelihood;
-  /// Sequences skipped because the current model scored them impossible.
+  /// Sequences skipped because the current model scored them impossible
+  /// (or they were empty).
   std::size_t skipped_sequences = 0;
 };
 
-/// Mean per-sequence log-likelihood over a set (impossible sequences count
-/// with a large negative penalty instead of -infinity so means stay finite).
+/// Mean per-sequence log-likelihood over a set. Impossible and empty
+/// sequences count with a large negative penalty instead of -infinity/0 so
+/// means stay finite and match the training-time rejection of such
+/// sequences. Scoring fans out over `num_threads` workers (0 = one per
+/// hardware core); the mean is reduced in sequence order, so the result is
+/// identical at any thread count.
 double mean_log_likelihood(const Hmm& model,
                            const std::vector<ObservationSeq>& sequences,
-                           double impossible_penalty = -1e4);
+                           double impossible_penalty = -1e4,
+                           std::size_t num_threads = 1);
 
 /// Trains `model` in place on `sequences`; `holdout` drives termination
 /// (may be empty: then training runs until max_iterations or train-set

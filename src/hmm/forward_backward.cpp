@@ -91,6 +91,111 @@ Matrix backward_scaled(const Hmm& model,
   return beta;
 }
 
+void HmmKernelCache::rebuild(const Hmm& model) {
+  transition_t = model.transition.transposed();
+  emission_t = model.emission.transposed();
+}
+
+ForwardResult forward_scaled(const Hmm& model,
+                             std::span<const std::size_t> observations,
+                             const HmmKernelCache& cache) {
+  // Mirrors the uncached forward_scaled exactly — same operations, same
+  // summation order — so the two are bit-identical; only the memory layout
+  // of the transition/emission reads differs (contiguous rows of the
+  // transposed copies instead of strided columns).
+  const std::size_t n = model.num_states();
+  const std::size_t t_len = observations.size();
+  ForwardResult result;
+  if (t_len == 0) {
+    result.log_likelihood = 0.0;
+    return result;
+  }
+  for (std::size_t symbol : observations) {
+    if (symbol >= model.num_symbols()) {
+      throw std::out_of_range("forward_scaled: observation id out of range");
+    }
+  }
+
+  result.alpha = Matrix(t_len, n);
+  result.scales.resize(t_len, 0.0);
+
+  double scale = 0.0;
+  {
+    const auto emission_col = cache.emission_t.row(observations[0]);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = model.initial[i] * emission_col[i];
+      result.alpha(0, i) = v;
+      scale += v;
+    }
+  }
+  if (scale <= 0.0) {
+    result.impossible = true;
+    result.log_likelihood = -std::numeric_limits<double>::infinity();
+    return result;
+  }
+  result.scales[0] = scale;
+  for (std::size_t i = 0; i < n; ++i) result.alpha(0, i) /= scale;
+
+  for (std::size_t t = 1; t < t_len; ++t) {
+    scale = 0.0;
+    const auto prev_alpha = result.alpha.row(t - 1);
+    const auto emission_col = cache.emission_t.row(observations[t]);
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto into_j = cache.transition_t.row(j);
+      double sum = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        sum += prev_alpha[i] * into_j[i];
+      }
+      const double v = sum * emission_col[j];
+      result.alpha(t, j) = v;
+      scale += v;
+    }
+    if (scale <= 0.0) {
+      result.impossible = true;
+      result.log_likelihood = -std::numeric_limits<double>::infinity();
+      return result;
+    }
+    result.scales[t] = scale;
+    for (std::size_t j = 0; j < n; ++j) result.alpha(t, j) /= scale;
+  }
+
+  double log_lik = 0.0;
+  for (double c : result.scales) log_lik += std::log(c);
+  result.log_likelihood = log_lik;
+  return result;
+}
+
+Matrix backward_scaled(const Hmm& model,
+                       std::span<const std::size_t> observations,
+                       std::span<const double> scales,
+                       const HmmKernelCache& cache) {
+  // Same contract as the uncached backward_scaled, bit-identical results.
+  const std::size_t n = model.num_states();
+  const std::size_t t_len = observations.size();
+  if (scales.size() != t_len) {
+    throw std::invalid_argument("backward_scaled: scales size mismatch");
+  }
+  Matrix beta(t_len, n);
+  if (t_len == 0) return beta;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    beta(t_len - 1, i) = 1.0 / scales[t_len - 1];
+  }
+  for (std::size_t t = t_len - 1; t-- > 0;) {
+    const auto emission_col = cache.emission_t.row(observations[t + 1]);
+    const auto next_beta = beta.row(t + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto out_of_i = model.transition.row(i);
+      double sum = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        sum += out_of_i[j] * emission_col[j] * next_beta[j];
+      }
+      beta(t, i) = sum / scales[t];
+    }
+  }
+  return beta;
+}
+
 double sequence_log_likelihood(const Hmm& model,
                                std::span<const std::size_t> observations) {
   return forward_scaled(model, observations).log_likelihood;

@@ -26,11 +26,45 @@ struct ForwardResult {
 ForwardResult forward_scaled(const Hmm& model,
                              std::span<const std::size_t> observations);
 
+/// Cache-friendly companion layout for repeated forward/backward passes
+/// against one fixed model (the Baum-Welch inner loop runs thousands of
+/// passes per iteration over the same parameters):
+///   - transition_t(j, i) = transition(i, j): the forward recursion's inner
+///     sum over predecessor states i reads a contiguous row instead of
+///     striding down a column;
+///   - emission_t(k, j) = emission(j, k): the per-timestep emission column
+///     for the observed symbol k is a contiguous row.
+/// The cached kernels perform the exact same floating-point operations in
+/// the exact same order as the uncached ones — results are bit-identical
+/// (asserted by parallel_training_test). Rebuild after every parameter
+/// update.
+struct HmmKernelCache {
+  Matrix transition_t;  ///< N x N transposed transition matrix.
+  Matrix emission_t;    ///< M x N transposed emission matrix.
+
+  HmmKernelCache() = default;
+  explicit HmmKernelCache(const Hmm& model) { rebuild(model); }
+  void rebuild(const Hmm& model);
+};
+
+/// Forward pass reading the transposed layouts; bit-identical to
+/// forward_scaled(model, observations).
+ForwardResult forward_scaled(const Hmm& model,
+                             std::span<const std::size_t> observations,
+                             const HmmKernelCache& cache);
+
 /// Backward pass reusing the forward scale factors. Returns beta(t, i).
 /// Must not be called for impossible sequences.
 Matrix backward_scaled(const Hmm& model,
                        std::span<const std::size_t> observations,
                        std::span<const double> scales);
+
+/// Backward pass reading the transposed emission layout; bit-identical to
+/// backward_scaled(model, observations, scales).
+Matrix backward_scaled(const Hmm& model,
+                       std::span<const std::size_t> observations,
+                       std::span<const double> scales,
+                       const HmmKernelCache& cache);
 
 /// Convenience: log P(observations | model), -infinity when impossible.
 double sequence_log_likelihood(const Hmm& model,

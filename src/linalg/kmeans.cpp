@@ -4,9 +4,16 @@
 #include <limits>
 #include <stdexcept>
 
+#include "src/util/parallel.hpp"
+
 namespace cmarkov {
 
 namespace {
+
+/// Samples per parallel work item. Fixed (thread-count-independent) so the
+/// inertia reduction merges the same chunk partials in the same order no
+/// matter how many workers run.
+constexpr std::size_t kSampleChunk = 64;
 
 double squared_distance(std::span<const double> a, std::span<const double> b) {
   double total = 0.0;
@@ -19,7 +26,8 @@ double squared_distance(std::span<const double> a, std::span<const double> b) {
 
 /// k-means++ seeding: first centroid uniform, later centroids proportional
 /// to squared distance from the nearest chosen centroid.
-Matrix seed_centroids(const Matrix& samples, std::size_t k, Rng& rng) {
+Matrix seed_centroids(const Matrix& samples, std::size_t k, Rng& rng,
+                      WorkerPool& pool) {
   Matrix centroids(k, samples.cols());
   std::vector<std::size_t> chosen;
   chosen.push_back(rng.index(samples.rows()));
@@ -28,10 +36,14 @@ Matrix seed_centroids(const Matrix& samples, std::size_t k, Rng& rng) {
                                 std::numeric_limits<double>::max());
   while (chosen.size() < k) {
     const auto last = samples.row(chosen.back());
-    for (std::size_t i = 0; i < samples.rows(); ++i) {
-      best_dist[i] =
-          std::min(best_dist[i], squared_distance(samples.row(i), last));
-    }
+    pool.run(chunk_count(samples.rows(), kSampleChunk), [&](std::size_t c) {
+      const ChunkRange range =
+          chunk_range(samples.rows(), kSampleChunk, c);
+      for (std::size_t i = range.begin; i < range.end; ++i) {
+        best_dist[i] =
+            std::min(best_dist[i], squared_distance(samples.row(i), last));
+      }
+    });
     double total = 0.0;
     for (double d : best_dist) total += d;
     if (total <= 0.0) {
@@ -49,31 +61,44 @@ Matrix seed_centroids(const Matrix& samples, std::size_t k, Rng& rng) {
 }
 
 KMeansResult run_once(const Matrix& samples, std::size_t k, Rng& rng,
-                      const KMeansOptions& options) {
+                      const KMeansOptions& options, WorkerPool& pool) {
   KMeansResult result;
-  result.centroids = seed_centroids(samples, k, rng);
+  result.centroids = seed_centroids(samples, k, rng, pool);
   result.assignment.assign(samples.rows(), 0);
+
+  const std::size_t chunks = chunk_count(samples.rows(), kSampleChunk);
+  std::vector<unsigned char> chunk_changed(chunks);
 
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
 
-    bool changed = false;
-    for (std::size_t i = 0; i < samples.rows(); ++i) {
-      std::size_t best = 0;
-      double best_d = std::numeric_limits<double>::max();
-      for (std::size_t c = 0; c < k; ++c) {
-        const double d =
-            squared_distance(samples.row(i), result.centroids.row(c));
-        if (d < best_d) {
-          best_d = d;
-          best = c;
+    // Assignment: each sample's nearest centroid is independent (ties break
+    // toward the lowest centroid id in every schedule), so the parallel
+    // sweep matches the sequential one exactly.
+    pool.run(chunks, [&](std::size_t chunk) {
+      const ChunkRange range =
+          chunk_range(samples.rows(), kSampleChunk, chunk);
+      unsigned char any = 0;
+      for (std::size_t i = range.begin; i < range.end; ++i) {
+        std::size_t best = 0;
+        double best_d = std::numeric_limits<double>::max();
+        for (std::size_t c = 0; c < k; ++c) {
+          const double d =
+              squared_distance(samples.row(i), result.centroids.row(c));
+          if (d < best_d) {
+            best_d = d;
+            best = c;
+          }
+        }
+        if (result.assignment[i] != best) {
+          result.assignment[i] = best;
+          any = 1;
         }
       }
-      if (result.assignment[i] != best) {
-        result.assignment[i] = best;
-        changed = true;
-      }
-    }
+      chunk_changed[chunk] = any;
+    });
+    bool changed = std::any_of(chunk_changed.begin(), chunk_changed.end(),
+                               [](unsigned char c) { return c != 0; });
 
     Matrix next(k, samples.cols());
     std::vector<std::size_t> counts(k, 0);
@@ -117,11 +142,20 @@ KMeansResult run_once(const Matrix& samples, std::size_t k, Rng& rng,
     if (!changed || movement < options.movement_tolerance) break;
   }
 
+  // Inertia: per-chunk partial sums merged in chunk order, so the total has
+  // one canonical floating-point association at every thread count.
+  std::vector<double> chunk_inertia(chunks, 0.0);
+  pool.run(chunks, [&](std::size_t chunk) {
+    const ChunkRange range = chunk_range(samples.rows(), kSampleChunk, chunk);
+    double partial = 0.0;
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+      partial += squared_distance(
+          samples.row(i), result.centroids.row(result.assignment[i]));
+    }
+    chunk_inertia[chunk] = partial;
+  });
   result.inertia = 0.0;
-  for (std::size_t i = 0; i < samples.rows(); ++i) {
-    result.inertia += squared_distance(
-        samples.row(i), result.centroids.row(result.assignment[i]));
-  }
+  for (double partial : chunk_inertia) result.inertia += partial;
   return result;
 }
 
@@ -132,11 +166,12 @@ KMeansResult kmeans(const Matrix& samples, std::size_t k, Rng& rng,
   if (k == 0 || k > samples.rows()) {
     throw std::invalid_argument("kmeans: need 1 <= k <= #samples");
   }
+  WorkerPool pool(options.num_threads);
   KMeansResult best;
   bool have_best = false;
   const std::size_t restarts = std::max<std::size_t>(options.restarts, 1);
   for (std::size_t r = 0; r < restarts; ++r) {
-    KMeansResult candidate = run_once(samples, k, rng, options);
+    KMeansResult candidate = run_once(samples, k, rng, options, pool);
     if (!have_best || candidate.inertia < best.inertia) {
       best = std::move(candidate);
       have_best = true;

@@ -18,6 +18,10 @@ struct KMeansOptions {
   double movement_tolerance = 1e-9;
   /// Independent restarts; the run with lowest inertia wins.
   std::size_t restarts = 3;
+  /// Worker threads for the assignment/seeding distance sweeps (0 = one per
+  /// hardware core). Results are identical at any value: per-sample work is
+  /// independent and reductions merge fixed-size chunks in index order.
+  std::size_t num_threads = 1;
 };
 
 struct KMeansResult {

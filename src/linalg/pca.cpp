@@ -5,11 +5,15 @@
 #include <stdexcept>
 
 #include "src/linalg/eigen.hpp"
+#include "src/util/parallel.hpp"
 #include "src/util/rng.hpp"
 
 namespace cmarkov {
 
 namespace {
+
+/// Sample rows per parallel work item of the row-independent sweeps.
+constexpr std::size_t kRowChunk = 64;
 
 /// Total variance = sum of per-column variances (trace of the covariance),
 /// computable without forming the covariance matrix.
@@ -85,12 +89,18 @@ Pca Pca::fit(const Matrix& samples, const PcaOptions& options) {
     const std::size_t k = std::min<std::size_t>(
         {options.truncated_components, dims, rows});
 
+    WorkerPool pool(options.num_threads);
+    const std::size_t row_chunks = chunk_count(rows, kRowChunk);
+
     Matrix centered(rows, dims);
-    for (std::size_t r = 0; r < rows; ++r) {
-      for (std::size_t c = 0; c < dims; ++c) {
-        centered(r, c) = samples(r, c) - model.mean_[c];
+    pool.run(row_chunks, [&](std::size_t chunk) {
+      const ChunkRange range = chunk_range(rows, kRowChunk, chunk);
+      for (std::size_t r = range.begin; r < range.end; ++r) {
+        for (std::size_t c = 0; c < dims; ++c) {
+          centered(r, c) = samples(r, c) - model.mean_[c];
+        }
       }
-    }
+    });
     const double denom = static_cast<double>(rows - 1);
 
     Rng rng(options.seed);
@@ -100,31 +110,38 @@ Pca Pca::fit(const Matrix& samples, const PcaOptions& options) {
     }
     orthonormalize_rows(q, rng);
 
-    // One blocked step: next = (Xc^T (Xc q^T))^T / (rows-1).
+    // One blocked step: next = (Xc^T (Xc q^T))^T / (rows-1). Both sweeps
+    // parallelize without changing any floating-point result: y rows are
+    // written by disjoint tasks, and each output row i of the covariance
+    // accumulation sums over samples in ascending-r order exactly as the
+    // sequential loop does.
     auto covariance_step = [&](const Matrix& basis) {
       Matrix y(rows, k);  // y = Xc * basis^T
-      for (std::size_t r = 0; r < rows; ++r) {
-        for (std::size_t i = 0; i < k; ++i) {
-          double dot = 0.0;
-          for (std::size_t c = 0; c < dims; ++c) {
-            dot += centered(r, c) * basis(i, c);
+      pool.run(row_chunks, [&](std::size_t chunk) {
+        const ChunkRange range = chunk_range(rows, kRowChunk, chunk);
+        for (std::size_t r = range.begin; r < range.end; ++r) {
+          for (std::size_t i = 0; i < k; ++i) {
+            double dot = 0.0;
+            for (std::size_t c = 0; c < dims; ++c) {
+              dot += centered(r, c) * basis(i, c);
+            }
+            y(r, i) = dot;
           }
-          y(r, i) = dot;
         }
-      }
+      });
       Matrix next(k, dims);  // next = y^T * Xc
-      for (std::size_t r = 0; r < rows; ++r) {
-        for (std::size_t i = 0; i < k; ++i) {
+      pool.run(k, [&](std::size_t i) {
+        auto out = next.row(i);
+        for (std::size_t r = 0; r < rows; ++r) {
           const double w = y(r, i);
           if (w == 0.0) continue;
+          const auto src = centered.row(r);
           for (std::size_t c = 0; c < dims; ++c) {
-            next(i, c) += w * centered(r, c);
+            out[c] += w * src[c];
           }
         }
-      }
-      for (std::size_t i = 0; i < k; ++i) {
-        for (std::size_t c = 0; c < dims; ++c) next(i, c) /= denom;
-      }
+        for (std::size_t c = 0; c < dims; ++c) out[c] /= denom;
+      });
       return next;
     };
 
@@ -186,20 +203,25 @@ Pca Pca::fit(const Matrix& samples, const PcaOptions& options) {
   return model;
 }
 
-Matrix Pca::transform(const Matrix& samples) const {
+Matrix Pca::transform(const Matrix& samples, std::size_t num_threads) const {
   if (samples.cols() != mean_.size()) {
     throw std::invalid_argument("Pca::transform: dimension mismatch");
   }
   Matrix out(samples.rows(), basis_.rows());
-  for (std::size_t r = 0; r < samples.rows(); ++r) {
-    for (std::size_t k = 0; k < basis_.rows(); ++k) {
-      double dot = 0.0;
-      for (std::size_t c = 0; c < samples.cols(); ++c) {
-        dot += (samples(r, c) - mean_[c]) * basis_(k, c);
+  parallel_for(num_threads, chunk_count(samples.rows(), kRowChunk),
+               [&](std::size_t chunk) {
+    const ChunkRange range =
+        chunk_range(samples.rows(), kRowChunk, chunk);
+    for (std::size_t r = range.begin; r < range.end; ++r) {
+      for (std::size_t k = 0; k < basis_.rows(); ++k) {
+        double dot = 0.0;
+        for (std::size_t c = 0; c < samples.cols(); ++c) {
+          dot += (samples(r, c) - mean_[c]) * basis_(k, c);
+        }
+        out(r, k) = dot;
       }
-      out(r, k) = dot;
     }
-  }
+  });
   return out;
 }
 

@@ -27,6 +27,11 @@ struct PcaOptions {
   /// Orthogonal-iteration controls.
   std::size_t power_iterations = 12;
   std::uint64_t seed = 0x9ca;
+  /// Worker threads for the truncated path's covariance accumulation and
+  /// for transform() (0 = one per hardware core). Results are identical at
+  /// any value: parallel tasks write disjoint rows, and per-cell sums keep
+  /// their sequential order.
+  std::size_t num_threads = 1;
 };
 
 /// A fitted PCA model: mean vector + projection basis.
@@ -36,8 +41,10 @@ class Pca {
   static Pca fit(const Matrix& samples, const PcaOptions& options = {});
 
   /// Projects samples (rows) into the principal subspace; the result is the
-  /// paper's "post-PCA matrix", one row per call-transition vector.
-  Matrix transform(const Matrix& samples) const;
+  /// paper's "post-PCA matrix", one row per call-transition vector. Rows
+  /// project independently over `num_threads` workers (0 = one per
+  /// hardware core); the output is identical at any thread count.
+  Matrix transform(const Matrix& samples, std::size_t num_threads = 1) const;
 
   std::size_t input_dimension() const { return mean_.size(); }
   std::size_t output_dimension() const { return basis_.rows(); }

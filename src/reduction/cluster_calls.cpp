@@ -47,8 +47,10 @@ CallClustering cluster_calls(const analysis::CallTransitionMatrix& matrix,
 
   Matrix features = std::move(vectors.features);
   if (options.use_pca && features.rows() >= 2) {
-    const Pca pca = Pca::fit(features, options.pca);
-    features = pca.transform(features);
+    PcaOptions pca_options = options.pca;
+    pca_options.num_threads = options.num_threads;
+    const Pca pca = Pca::fit(features, pca_options);
+    features = pca.transform(features, options.num_threads);
     out.pca_dimensions = features.cols();
   }
 
@@ -56,6 +58,7 @@ CallClustering cluster_calls(const analysis::CallTransitionMatrix& matrix,
   // multi-restart 100-iteration Lloyd's a multi-second affair; cap the
   // search there — with PCA'd features the first run converges quickly.
   KMeansOptions kmeans_options = options.kmeans;
+  kmeans_options.num_threads = options.num_threads;
   if (n > 500) {
     kmeans_options.restarts = 1;
     kmeans_options.max_iterations =

@@ -25,6 +25,10 @@ struct ClusteringOptions {
   std::size_t min_calls_for_reduction = 800;
   /// Skip the PCA step (ablation).
   bool use_pca = true;
+  /// Worker threads for PCA and k-means (0 = one per hardware core);
+  /// authoritative — it overrides pca.num_threads / kmeans.num_threads.
+  /// Clustering results are identical at any value.
+  std::size_t num_threads = 1;
   PcaOptions pca;
   KMeansOptions kmeans;
 };

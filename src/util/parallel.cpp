@@ -1,0 +1,132 @@
+#include "src/util/parallel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cmarkov {
+
+std::size_t resolve_num_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+WorkerPool::WorkerPool(std::size_t num_threads)
+    : num_threads_(resolve_num_threads(num_threads)) {
+  threads_.reserve(num_threads_ - 1);
+  for (std::size_t t = 0; t + 1 < num_threads_; ++t) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+void WorkerPool::run(std::size_t num_items,
+                     const std::function<void(std::size_t)>& fn) {
+  if (num_items == 0) return;
+  if (threads_.empty() || num_items == 1) {
+    for (std::size_t i = 0; i < num_items; ++i) fn(i);
+    return;
+  }
+  std::uint64_t gen;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    task_ = &fn;
+    num_items_ = num_items;
+    next_index_ = 0;
+    completed_ = 0;
+    first_error_ = nullptr;
+    first_error_index_ = num_items;
+    gen = ++generation_;
+  }
+  start_cv_.notify_all();
+  drain(gen);
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return completed_ == num_items_; });
+    task_ = nullptr;
+    error = first_error_;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void WorkerPool::drain(std::uint64_t gen) {
+  while (true) {
+    std::size_t item;
+    const std::function<void(std::size_t)>* task;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // A stale wake-up (generation moved on, or the run already finished
+      // and cleared task_) claims nothing.
+      if (generation_ != gen || task_ == nullptr ||
+          next_index_ >= num_items_) {
+        break;
+      }
+      item = next_index_++;
+      task = task_;
+    }
+    std::exception_ptr error;
+    try {
+      (*task)(item);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (error && (first_error_ == nullptr || item < first_error_index_)) {
+        first_error_ = error;
+        first_error_index_ = item;
+      }
+      if (++completed_ == num_items_) done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::worker_loop() {
+  std::uint64_t seen = 0;
+  while (true) {
+    std::uint64_t gen;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock,
+                     [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = gen = generation_;
+    }
+    drain(gen);
+  }
+}
+
+void parallel_for(std::size_t num_threads, std::size_t count,
+                  const std::function<void(std::size_t)>& fn) {
+  const std::size_t threads = resolve_num_threads(num_threads);
+  if (threads <= 1 || count < 2) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  WorkerPool pool(std::min(threads, count));
+  pool.run(count, fn);
+}
+
+std::size_t chunk_count(std::size_t count, std::size_t chunk_size) {
+  if (chunk_size == 0) throw std::invalid_argument("chunk_count: size 0");
+  return (count + chunk_size - 1) / chunk_size;
+}
+
+ChunkRange chunk_range(std::size_t count, std::size_t chunk_size,
+                       std::size_t chunk_index) {
+  ChunkRange range;
+  range.begin = std::min(count, chunk_index * chunk_size);
+  range.end = std::min(count, range.begin + chunk_size);
+  return range;
+}
+
+}  // namespace cmarkov

@@ -133,6 +133,8 @@ int cmd_analyze(const Args& args) {
 
   core::PipelineConfig config;
   config.filter = filter;
+  config.num_threads =
+      static_cast<std::size_t>(std::stoul(args.get("threads", "0")));
   Rng rng(1);
   const auto result = core::run_static_pipeline(program, config, rng);
 
@@ -188,6 +190,10 @@ int cmd_train(const Args& args) {
   config.pipeline.filter = parse_filter(args.get("filter", "sys"));
   config.pipeline.context_sensitive = args.get("context", "1") != "0";
   config.target_fp = std::stod(args.get("target-fp", "0.001"));
+  const auto threads =
+      static_cast<std::size_t>(std::stoul(args.get("threads", "0")));
+  config.pipeline.num_threads = threads;
+  config.training.num_threads = threads;
 
   core::Detector detector = core::Detector::build(program, config);
   const auto traces = collect_program_traces(
@@ -220,6 +226,8 @@ int cmd_compare(const Args& args) {
   eval::ComparisonOptions options =
       eval::default_comparison_options(args.get("full", "0") == "1");
   options.seed = std::stoull(args.get("seed", "1"));
+  options.num_threads =
+      static_cast<std::size_t>(std::stoul(args.get("threads", "0")));
 
   const eval::SuiteComparison comparison =
       eval::compare_models(suite, filter, options);
@@ -342,7 +350,9 @@ int usage() {
             << "  scan <model> <trace>...           classify recorded traces\n"
             << "  monitor <model> <trace>           streaming detection demo\n"
             << "  compare <suite> [--filter sys|lib] 4-model accuracy table\n"
-            << "  gadgets <suite>                   ROP gadget census\n";
+            << "  gadgets <suite>                   ROP gadget census\n"
+            << "analyze/train/compare accept --threads N (0 = one worker per\n"
+            << "hardware core, the default); results are identical at any N.\n";
   return 1;
 }
 

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# ThreadSanitizer smoke for the cmarkovd serving layer: builds the repo with
-# CMARKOV_SANITIZE=thread and runs the concurrency-sensitive tests. Any TSan
-# report fails the run (halt_on_error). Usage:
+# ThreadSanitizer smoke for the concurrent subsystems: builds the repo with
+# CMARKOV_SANITIZE=thread and runs the concurrency-sensitive tests — the
+# cmarkovd serving layer plus the parallel training engine (worker pool,
+# multi-threaded Baum-Welch/k-means/PCA). Any TSan report fails the run
+# (halt_on_error). Usage:
 #
 #   tools/run_tsan_smoke.sh            # build into build-tsan/ and run
 #   BUILD_DIR=/tmp/tsan tools/run_tsan_smoke.sh
@@ -9,12 +11,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build-tsan}"
-TESTS='^(serve_test|logging_test)$'
+TESTS='^(serve_test|logging_test|parallel_test|parallel_training_test)$'
 
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMARKOV_SANITIZE=thread
-cmake --build "$BUILD_DIR" -j"$(nproc)" --target serve_test logging_test
+cmake --build "$BUILD_DIR" -j"$(nproc)" \
+  --target serve_test logging_test parallel_test parallel_training_test
 
 (cd "$BUILD_DIR" && \
   TSAN_OPTIONS="halt_on_error=1 abort_on_error=1" \
