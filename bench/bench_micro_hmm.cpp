@@ -8,6 +8,8 @@
 
 #include "src/core/pipeline.hpp"
 #include "src/hmm/baum_welch.hpp"
+#include "src/obs/metrics_registry.hpp"
+#include "src/obs/run_profile.hpp"
 #include "src/hmm/forward_backward.hpp"
 #include "src/hmm/random_init.hpp"
 #include "src/hmm/viterbi.hpp"
@@ -74,7 +76,7 @@ void BM_BaumWelchIterationThreads(benchmark::State& state) {
   hmm::TrainingOptions options;
   options.max_iterations = 1;
   options.min_improvement = -1.0;
-  options.num_threads = static_cast<std::size_t>(state.range(1));
+  options.exec.threads = static_cast<std::size_t>(state.range(1));
   for (auto _ : state) {
     hmm::Hmm copy = model;
     hmm::baum_welch_train(copy, data, {}, options);
@@ -96,6 +98,36 @@ BENCHMARK(BM_BaumWelchIterationThreads)
     ->Args({372, 2})
     ->Args({372, 4})
     ->Args({372, 8});
+
+void BM_BaumWelchIterationMetrics(benchmark::State& state) {
+  const auto model = model_with_states(static_cast<std::size_t>(state.range(0)));
+  std::vector<hmm::ObservationSeq> data;
+  for (int i = 0; i < 50; ++i) data.push_back(segment_for(model, 15));
+  obs::MetricsRegistry registry;
+  obs::RunProfile profile("bench");
+  hmm::TrainingOptions options;
+  options.max_iterations = 1;
+  options.min_improvement = -1.0;
+  options.exec.threads = static_cast<std::size_t>(state.range(1));
+  options.exec.metrics = &registry;
+  options.exec.profile = &profile;
+  for (auto _ : state) {
+    hmm::Hmm copy = model;
+    hmm::baum_welch_train(copy, data, {}, options);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetLabel("50 segments x 1 iteration, " +
+                 std::to_string(state.range(1)) +
+                 " threads, metrics+profile on");
+}
+// Same workload as BM_BaumWelchIterationThreads but with the observability
+// sinks attached — the delta between the two is the instrumentation
+// overhead (budget: within 3%; BENCH_obs.json records the measurement).
+BENCHMARK(BM_BaumWelchIterationMetrics)
+    ->Args({128, 1})
+    ->Args({128, 4})
+    ->Args({372, 1})
+    ->Args({372, 4});
 
 void BM_StaticPipeline(benchmark::State& state) {
   const workload::ProgramSuite suite = workload::make_bash_suite();

@@ -50,7 +50,7 @@ TrainTiming time_training(const std::string& name, const hmm::Hmm& model,
   options.max_iterations = max_iterations;
   options.min_improvement = -1.0;  // run all iterations for a stable timing
 
-  options.num_threads = 1;
+  options.exec.threads = 1;
   hmm::Hmm sequential = model;
   Stopwatch seq_watch;
   const auto seq_report =
@@ -58,7 +58,7 @@ TrainTiming time_training(const std::string& name, const hmm::Hmm& model,
   timing.sequential_ms = seq_watch.seconds() * 1e3;
   timing.iterations = seq_report.iterations;
 
-  options.num_threads = 0;  // one worker per hardware core
+  options.exec.threads = 0;  // one worker per hardware core
   hmm::Hmm parallel = model;
   Stopwatch par_watch;
   hmm::baum_welch_train(parallel, segments, {}, options);
@@ -78,7 +78,7 @@ TrainTiming time_suite_training(const std::string& name, bool full) {
       workload::collect_traces(suite, full ? 60 : 20, /*seed=*/1);
 
   eval::ModelBuildOptions build;
-  build.num_threads = 0;
+  build.exec.threads = 0;
   Rng rng(7);
   const eval::BuiltModel model = eval::build_model(
       eval::ModelKind::kCMarkov, suite, collection.traces, build, rng);

@@ -7,6 +7,7 @@
 
 #include "src/hmm/forward_backward.hpp"
 #include "src/hmm/viterbi.hpp"
+#include "src/obs/run_profile.hpp"
 
 namespace cmarkov::core {
 
@@ -74,40 +75,50 @@ hmm::ObservationSeq Detector::encode(const trace::Trace& trace) const {
 
 hmm::TrainingReport Detector::train(
     const std::vector<trace::Trace>& normal_traces) {
+  obs::RunProfile* profile = config_.training.exec.profile;
+
   // Extend the vocabulary with dynamically observed symbols first.
   const hmm::ObservationEncoding encoding =
       config_.pipeline.context_sensitive
           ? hmm::ObservationEncoding::kContextSensitive
           : hmm::ObservationEncoding::kContextFree;
   trace::SegmentSet unique_segments(config_.segments);
-  for (const auto& trace : normal_traces) {
-    unique_segments.add_trace(trace::encode_trace(
-        trace, config_.pipeline.filter, encoding, alphabet_));
-  }
-  extend_emission(hmm_, alphabet_.size());
+  std::vector<hmm::ObservationSeq> segments;
+  std::vector<hmm::ObservationSeq> holdout;
+  std::vector<hmm::ObservationSeq> train_set;
+  {
+    const obs::ScopedTimer span(profile, "segment");
+    for (const auto& trace : normal_traces) {
+      unique_segments.add_trace(trace::encode_trace(
+          trace, config_.pipeline.filter, encoding, alphabet_));
+    }
+    extend_emission(hmm_, alphabet_.size());
 
-  std::vector<hmm::ObservationSeq> segments = unique_segments.to_vector();
-  if (segments.empty()) {
-    throw std::invalid_argument("Detector::train: traces yield no segments");
-  }
-  Rng rng(config_.seed ^ 0x7e57);
-  rng.shuffle(segments);
+    segments = unique_segments.to_vector();
+    if (segments.empty()) {
+      throw std::invalid_argument(
+          "Detector::train: traces yield no segments");
+    }
+    Rng rng(config_.seed ^ 0x7e57);
+    rng.shuffle(segments);
 
-  const auto holdout_count = static_cast<std::size_t>(
-      config_.holdout_fraction * static_cast<double>(segments.size()));
-  std::vector<hmm::ObservationSeq> holdout(
-      segments.begin(),
-      segments.begin() + static_cast<std::ptrdiff_t>(holdout_count));
-  std::vector<hmm::ObservationSeq> train_set(
-      segments.begin() + static_cast<std::ptrdiff_t>(holdout_count),
-      segments.end());
-  if (train_set.empty()) train_set = segments;
+    const auto holdout_count = static_cast<std::size_t>(
+        config_.holdout_fraction * static_cast<double>(segments.size()));
+    holdout.assign(
+        segments.begin(),
+        segments.begin() + static_cast<std::ptrdiff_t>(holdout_count));
+    train_set.assign(
+        segments.begin() + static_cast<std::ptrdiff_t>(holdout_count),
+        segments.end());
+    if (train_set.empty()) train_set = segments;
+  }
 
   const hmm::TrainingReport report =
       hmm::baum_welch_train(hmm_, train_set, holdout, config_.training);
 
   // Threshold calibration on the held-out normal segments (falls back to
   // the training set when the holdout is empty).
+  const obs::ScopedTimer calibrate_span(profile, "calibrate");
   const auto& calibration = holdout.empty() ? train_set : holdout;
   std::vector<double> scores;
   scores.reserve(calibration.size());

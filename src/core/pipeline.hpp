@@ -8,6 +8,7 @@
 #include "src/hmm/static_init.hpp"
 #include "src/ir/module.hpp"
 #include "src/reduction/cluster_calls.hpp"
+#include "src/util/exec_context.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/stopwatch.hpp"
 
@@ -17,13 +18,20 @@ struct PipelineConfig {
   analysis::CallFilter filter = analysis::CallFilter::kLibcalls;
   /// false builds the STILO (context-insensitive) variant.
   bool context_sensitive = true;
-  /// Worker threads for the clustering phase (PCA + k-means; 0 = one per
-  /// hardware core); authoritative over clustering.num_threads. All
-  /// pipeline results are identical at any value.
-  std::size_t num_threads = 1;
+  /// Execution context: exec.threads drives the clustering phase (PCA +
+  /// k-means; 0 = one per hardware core) and is authoritative over
+  /// clustering.exec; exec.profile receives the analyze → reduce → init
+  /// span tree; exec.metrics the cmarkov_pipeline_* instruments. All
+  /// pipeline results are identical at any thread count.
+  ExecContext exec;
   analysis::FunctionMatrixOptions matrix;
   reduction::ClusteringOptions clustering;
   hmm::StaticInitOptions static_init;
+
+  /// Deprecated PR 2 spelling, kept one PR for compatibility.
+  [[deprecated("use exec.threads")]] void set_num_threads(std::size_t n) {
+    exec.threads = n;
+  }
 };
 
 struct StaticPipelineResult {

@@ -50,11 +50,11 @@ SuiteComparison compare_models(const workload::ProgramSuite& suite,
 
   ModelBuildOptions build = options.build;
   build.filter = filter;
-  build.num_threads = options.num_threads;
+  build.exec.adopt_runtime(options.exec);
   hmm::TrainingOptions training = options.training;
-  training.num_threads = options.num_threads;
+  training.exec.adopt_runtime(options.exec);
   CrossValidationOptions cv = options.cv;
-  cv.num_threads = options.num_threads;
+  cv.exec.adopt_runtime(options.exec);
 
   for (ModelKind kind : options.kinds) {
     Rng model_rng = rng.fork();
@@ -124,7 +124,7 @@ ComparisonOptions default_comparison_options(bool full) {
   ComparisonOptions options;
   // Training is bit-identical at any thread count (see baum_welch.hpp), so
   // the figure benches default to one worker per hardware core.
-  options.num_threads = 0;
+  options.exec.threads = 0;
   if (full) {
     options.test_cases = 200;
     options.abnormal_count = 4000;

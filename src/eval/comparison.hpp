@@ -24,15 +24,21 @@ struct ComparisonOptions {
   std::uint64_t seed = 1;
   /// Which models to run (defaults to all four).
   std::vector<ModelKind> kinds = all_model_kinds();
-  /// Worker threads for building, training, and fold materialization
+  /// Execution context for building, training, and fold materialization
   /// (0 = one per hardware core); authoritative over the nested
-  /// build/training/cv thread counts. Results are identical at any value.
-  std::size_t num_threads = 1;
+  /// build/training/cv contexts. Results are identical at any thread count.
+  ExecContext exec;
   CrossValidationOptions cv{.folds = 3,
                             .termination_fraction = 0.2,
-                            .max_train_segments = 400};
+                            .max_train_segments = 400,
+                            .exec = {}};
   hmm::TrainingOptions training;
   ModelBuildOptions build;
+
+  /// Deprecated PR 2 spelling, kept one PR for compatibility.
+  [[deprecated("use exec.threads")]] void set_num_threads(std::size_t n) {
+    exec.threads = n;
+  }
 };
 
 struct ModelEvaluation {

@@ -27,7 +27,7 @@ std::vector<FoldSplit> k_fold_splits(std::vector<hmm::ObservationSeq> segments,
   // parallel without changing the result.
   const std::size_t n = segments.size();
   std::vector<FoldSplit> splits(options.folds);
-  parallel_for(options.num_threads, options.folds, [&](std::size_t f) {
+  parallel_for(options.exec.threads, options.folds, [&](std::size_t f) {
     const std::size_t begin = f * n / options.folds;
     const std::size_t end = (f + 1) * n / options.folds;
     FoldSplit& split = splits[f];

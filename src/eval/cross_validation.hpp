@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/hmm/hmm.hpp"
+#include "src/util/exec_context.hpp"
 #include "src/util/rng.hpp"
 
 namespace cmarkov::eval {
@@ -26,11 +27,16 @@ struct CrossValidationOptions {
   /// Cap on training segments per fold after the split (0 = unlimited);
   /// quick-mode benches use this to bound Baum-Welch cost.
   std::size_t max_train_segments = 0;
-  /// Worker threads for materializing the per-fold segment copies (0 = one
-  /// per hardware core). Splits are identical at any value: the shuffle
-  /// happens once on the calling thread and each fold is built
-  /// independently from it.
-  std::size_t num_threads = 1;
+  /// Execution context: exec.threads parallelizes materializing the
+  /// per-fold segment copies (0 = one per hardware core). Splits are
+  /// identical at any value: the shuffle happens once on the calling thread
+  /// and each fold is built independently from it.
+  ExecContext exec;
+
+  /// Deprecated PR 2 spelling, kept one PR for compatibility.
+  [[deprecated("use exec.threads")]] void set_num_threads(std::size_t n) {
+    exec.threads = n;
+  }
 };
 
 /// Splits unique segments into k folds. Segments are shuffled

@@ -120,7 +120,7 @@ BuiltModel build_static_model(ModelKind kind,
   model.static_calls = program_matrix.external_indices().size();
 
   reduction::ClusteringOptions clustering_options = options.clustering;
-  clustering_options.num_threads = options.num_threads;
+  clustering_options.exec.adopt_runtime(options.exec);
   reduction::CallClustering clustering =
       kind == ModelKind::kCMarkov
           ? reduction::cluster_calls(program_matrix, rng, clustering_options)

@@ -18,6 +18,7 @@
 #include "src/hmm/static_init.hpp"
 #include "src/reduction/cluster_calls.hpp"
 #include "src/trace/event.hpp"
+#include "src/util/exec_context.hpp"
 #include "src/workload/program_suite.hpp"
 
 namespace cmarkov::eval {
@@ -53,16 +54,21 @@ const std::vector<ModelKind>& extended_model_kinds();
 
 struct ModelBuildOptions {
   analysis::CallFilter filter = analysis::CallFilter::kLibcalls;
-  /// Worker threads for the clustering phase (0 = one per hardware core);
-  /// authoritative over clustering.num_threads. Built models are identical
-  /// at any value.
-  std::size_t num_threads = 1;
+  /// Execution context: exec.threads drives the clustering phase (0 = one
+  /// per hardware core) and is authoritative over clustering.exec. Built
+  /// models are identical at any value.
+  ExecContext exec;
   /// Static-analysis controls (propagation mode, etc.).
   analysis::FunctionMatrixOptions matrix;
   /// Clustering controls for CMarkov (min_calls_for_reduction gates it).
   reduction::ClusteringOptions clustering;
   hmm::StaticInitOptions static_init;
   hmm::RandomInitOptions random_init;
+
+  /// Deprecated PR 2 spelling, kept one PR for compatibility.
+  [[deprecated("use exec.threads")]] void set_num_threads(std::size_t n) {
+    exec.threads = n;
+  }
 };
 
 /// A built (untrained) model plus everything needed to encode traces.

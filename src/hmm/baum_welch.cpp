@@ -6,7 +6,11 @@
 #include <stdexcept>
 
 #include "src/hmm/forward_backward.hpp"
+#include "src/obs/metrics_registry.hpp"
+#include "src/obs/run_profile.hpp"
+#include "src/util/logging.hpp"
 #include "src/util/parallel.hpp"
+#include "src/util/stopwatch.hpp"
 
 namespace cmarkov::hmm {
 
@@ -192,8 +196,27 @@ TrainingReport baum_welch_train(Hmm& model,
   const std::size_t n = model.num_states();
   const std::size_t m = model.num_symbols();
 
-  WorkerPool pool(options.num_threads);
+  WorkerPool pool(options.exec.threads);
   HmmKernelCache cache(model);
+
+  // Resolve instruments once; hot-loop recording is pointer-guarded.
+  obs::MetricsRegistry* metrics = options.exec.metrics;
+  obs::RunProfile* profile = options.exec.profile;
+  obs::Counter* iterations_total = nullptr;
+  obs::Histogram* estep_seconds = nullptr;
+  obs::Histogram* mstep_seconds = nullptr;
+  obs::Gauge* ll_delta_gauge = nullptr;
+  obs::Gauge* pool_utilization = nullptr;
+  if (metrics != nullptr) {
+    iterations_total = &metrics->counter("cmarkov_train_iterations_total");
+    estep_seconds = &metrics->histogram("cmarkov_train_estep_seconds",
+                                        obs::seconds_bucket_bounds());
+    mstep_seconds = &metrics->histogram("cmarkov_train_mstep_seconds",
+                                        obs::seconds_bucket_bounds());
+    ll_delta_gauge = &metrics->gauge("cmarkov_train_ll_delta");
+    pool_utilization =
+        &metrics->gauge("cmarkov_train_pool_utilization_ratio");
+  }
 
   // Train-set termination starts from -infinity: its score is the E-step's
   // mean log-likelihood of the model *entering* the iteration (free — see
@@ -215,7 +238,13 @@ TrainingReport baum_welch_train(Hmm& model,
   std::vector<double> per_sequence_ll(count);
   std::vector<unsigned char> accepted(count);
 
+  double prev_train_mean = 0.0;
+  bool have_prev_train_mean = false;
+
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Closes on every exit path out of the iteration, breaks included.
+    const obs::ScopedTimer iteration_span(profile, "train-iteration");
+    Stopwatch stage_watch;
     pool.run(slots, [&](std::size_t slot) {
       Accumulators& acc = partial[slot];
       acc.reset();
@@ -226,6 +255,9 @@ TrainingReport baum_welch_train(Hmm& model,
         per_sequence_ll[s] = accepted[s] ? ll : options.impossible_penalty;
       }
     });
+    if (pool_utilization != nullptr) {
+      pool_utilization->set(pool.last_run_stats().utilization());
+    }
 
     std::size_t observed = 0;
     double ll_sum = 0.0;
@@ -234,7 +266,13 @@ TrainingReport baum_welch_train(Hmm& model,
       ll_sum += per_sequence_ll[s];
     }
     report.skipped_sequences = count - observed;
-    if (observed == 0) break;  // model rejects everything; nothing to learn
+    if (observed == 0) {
+      // Model rejects everything; nothing to learn.
+      const double estep_s = stage_watch.seconds();
+      if (estep_seconds != nullptr) estep_seconds->record(estep_s);
+      if (profile != nullptr) profile->record("e-step", estep_s);
+      break;
+    }
 
     total.reset();
     for (const Accumulators& acc : partial) total.merge(acc);
@@ -243,18 +281,41 @@ TrainingReport baum_welch_train(Hmm& model,
     // log-likelihood; reuse them instead of a second full scoring sweep.
     // (This is the likelihood of the model entering the iteration.)
     const double train_mean = ll_sum / static_cast<double>(count);
+    {
+      const double estep_s = stage_watch.seconds();
+      if (estep_seconds != nullptr) estep_seconds->record(estep_s);
+      if (profile != nullptr) profile->record("e-step", estep_s);
+    }
 
+    stage_watch.reset();
     reestimate(model, total, options.pseudocount, observed);
     cache.rebuild(model);
+    {
+      const double mstep_s = stage_watch.seconds();
+      if (mstep_seconds != nullptr) mstep_seconds->record(mstep_s);
+      if (profile != nullptr) profile->record("m-step", mstep_s);
+    }
     report.iterations = iter + 1;
     report.train_log_likelihood.push_back(train_mean);
+    if (iterations_total != nullptr) iterations_total->add(1);
+    if (ll_delta_gauge != nullptr && have_prev_train_mean) {
+      ll_delta_gauge->set(train_mean - prev_train_mean);
+    }
+    prev_train_mean = train_mean;
+    have_prev_train_mean = true;
 
+    stage_watch.reset();
     const double score =
         holdout.empty()
             ? train_mean
             : pooled_mean_log_likelihood(model, cache, holdout,
                                          options.impossible_penalty, pool);
-    if (!holdout.empty()) report.holdout_log_likelihood.push_back(score);
+    if (!holdout.empty()) {
+      report.holdout_log_likelihood.push_back(score);
+      if (profile != nullptr) {
+        profile->record("holdout-score", stage_watch.seconds());
+      }
+    }
 
     if (score - best_score < options.min_improvement) {
       ++stall;
@@ -266,6 +327,11 @@ TrainingReport baum_welch_train(Hmm& model,
       stall = 0;
     }
     if (score > best_score) best_score = score;
+  }
+  if (options.exec.wants_log(LogLevel::kDebug)) {
+    log_debug() << "baum-welch: " << report.iterations << " iteration(s)"
+                << (report.converged ? ", converged" : "") << ", "
+                << report.skipped_sequences << " skipped";
   }
   return report;
 }

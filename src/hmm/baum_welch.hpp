@@ -6,7 +6,7 @@
 // improves significantly. Accumulators carry a small pseudocount so that
 // training never zeroes an entire row.
 //
-// The E-step is parallel over sequences (TrainingOptions::num_threads):
+// The E-step is parallel over sequences (TrainingOptions::exec.threads):
 // per-sequence forward/backward passes are independent given fixed
 // parameters and the expected-count accumulators are additive. Sequences
 // are distributed round-robin over a fixed number of merge slots (16,
@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/hmm/hmm.hpp"
+#include "src/util/exec_context.hpp"
 
 namespace cmarkov::hmm {
 
@@ -33,12 +34,18 @@ struct TrainingOptions {
   double pseudocount = 1e-6;
   /// Consecutive non-improving iterations tolerated before stopping.
   std::size_t patience = 1;
-  /// Worker threads for the E-step and the holdout scoring pass
-  /// (0 = one per hardware core). Results are identical at any value.
-  std::size_t num_threads = 1;
+  /// Execution context: exec.threads drives the E-step and holdout scoring
+  /// fan-out; exec.metrics/exec.profile receive per-iteration E/M timings,
+  /// LL deltas, and pool utilization when set.
+  ExecContext exec;
   /// Log-likelihood stand-in for sequences the current model rejects
   /// (impossible or empty), keeping reported means finite.
   double impossible_penalty = -1e4;
+
+  /// Deprecated PR 2 spelling, kept one PR for compatibility.
+  [[deprecated("use exec.threads")]] void set_num_threads(std::size_t n) {
+    exec.threads = n;
+  }
 };
 
 struct TrainingReport {

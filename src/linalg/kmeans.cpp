@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "src/obs/metrics_registry.hpp"
 #include "src/util/parallel.hpp"
 
 namespace cmarkov {
@@ -166,7 +167,7 @@ KMeansResult kmeans(const Matrix& samples, std::size_t k, Rng& rng,
   if (k == 0 || k > samples.rows()) {
     throw std::invalid_argument("kmeans: need 1 <= k <= #samples");
   }
-  WorkerPool pool(options.num_threads);
+  WorkerPool pool(options.exec.threads);
   KMeansResult best;
   bool have_best = false;
   const std::size_t restarts = std::max<std::size_t>(options.restarts, 1);
@@ -176,6 +177,12 @@ KMeansResult kmeans(const Matrix& samples, std::size_t k, Rng& rng,
       best = std::move(candidate);
       have_best = true;
     }
+  }
+  if (options.exec.metrics != nullptr) {
+    auto& m = *options.exec.metrics;
+    m.counter("cmarkov_kmeans_runs_total").add(1);
+    m.counter("cmarkov_kmeans_iterations_total").add(best.iterations);
+    m.gauge("cmarkov_kmeans_inertia").set(best.inertia);
   }
   return best;
 }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/linalg/matrix.hpp"
+#include "src/util/exec_context.hpp"
 #include "src/util/rng.hpp"
 
 namespace cmarkov {
@@ -18,10 +19,16 @@ struct KMeansOptions {
   double movement_tolerance = 1e-9;
   /// Independent restarts; the run with lowest inertia wins.
   std::size_t restarts = 3;
-  /// Worker threads for the assignment/seeding distance sweeps (0 = one per
-  /// hardware core). Results are identical at any value: per-sample work is
-  /// independent and reductions merge fixed-size chunks in index order.
-  std::size_t num_threads = 1;
+  /// Execution context: exec.threads drives the assignment/seeding distance
+  /// sweeps (0 = one per hardware core). Results are identical at any
+  /// value: per-sample work is independent and reductions merge fixed-size
+  /// chunks in index order. (The RNG stays an explicit kmeans() parameter.)
+  ExecContext exec;
+
+  /// Deprecated PR 2 spelling, kept one PR for compatibility.
+  [[deprecated("use exec.threads")]] void set_num_threads(std::size_t n) {
+    exec.threads = n;
+  }
 };
 
 struct KMeansResult {

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "src/linalg/eigen.hpp"
+#include "src/obs/metrics_registry.hpp"
 #include "src/util/parallel.hpp"
 #include "src/util/rng.hpp"
 
@@ -89,7 +90,7 @@ Pca Pca::fit(const Matrix& samples, const PcaOptions& options) {
     const std::size_t k = std::min<std::size_t>(
         {options.truncated_components, dims, rows});
 
-    WorkerPool pool(options.num_threads);
+    WorkerPool pool(options.exec.threads);
     const std::size_t row_chunks = chunk_count(rows, kRowChunk);
 
     Matrix centered(rows, dims);
@@ -103,7 +104,7 @@ Pca Pca::fit(const Matrix& samples, const PcaOptions& options) {
     });
     const double denom = static_cast<double>(rows - 1);
 
-    Rng rng(options.seed);
+    Rng rng(options.exec.seed);
     Matrix q(k, dims);  // rows are the current basis vectors
     for (std::size_t i = 0; i < k; ++i) {
       for (std::size_t c = 0; c < dims; ++c) q(i, c) = rng.gaussian();
@@ -200,6 +201,14 @@ Pca Pca::fit(const Matrix& samples, const PcaOptions& options) {
   model.explained_ratio_ =
       total_variance <= 0.0 ? 1.0
                             : std::min(captured / total_variance, 1.0);
+  if (options.exec.metrics != nullptr) {
+    auto& m = *options.exec.metrics;
+    m.counter("cmarkov_pca_fits_total").add(1);
+    m.gauge("cmarkov_pca_components")
+        .set(static_cast<double>(model.output_dimension()));
+    m.gauge("cmarkov_pca_explained_variance_ratio")
+        .set(model.explained_ratio_);
+  }
   return model;
 }
 

@@ -7,6 +7,7 @@
 #include <cstddef>
 
 #include "src/linalg/matrix.hpp"
+#include "src/util/exec_context.hpp"
 
 namespace cmarkov {
 
@@ -26,12 +27,18 @@ struct PcaOptions {
   std::size_t truncated_components = 40;
   /// Orthogonal-iteration controls.
   std::size_t power_iterations = 12;
-  std::uint64_t seed = 0x9ca;
-  /// Worker threads for the truncated path's covariance accumulation and
-  /// for transform() (0 = one per hardware core). Results are identical at
-  /// any value: parallel tasks write disjoint rows, and per-cell sums keep
-  /// their sequential order.
-  std::size_t num_threads = 1;
+  /// Execution context. exec.threads drives the truncated path's covariance
+  /// accumulation and transform() (0 = one per hardware core); results are
+  /// identical at any value: parallel tasks write disjoint rows, and
+  /// per-cell sums keep their sequential order. exec.seed seeds the
+  /// orthogonal-iteration start basis (the former `seed` field) and is
+  /// preserved by ExecContext::adopt_runtime().
+  ExecContext exec{.threads = 1, .seed = 0x9ca};
+
+  /// Deprecated PR 2 spelling, kept one PR for compatibility.
+  [[deprecated("use exec.threads")]] void set_num_threads(std::size_t n) {
+    exec.threads = n;
+  }
 };
 
 /// A fitted PCA model: mean vector + projection basis.

@@ -1,0 +1,126 @@
+#include "src/obs/export.hpp"
+
+#include <cstdio>
+#include <map>
+
+namespace cmarkov::obs {
+
+namespace {
+
+void append_span_json(const TraceSpan& span, std::string& out) {
+  out += "{\"name\":\"" + span.name + "\"";
+  out += ",\"seconds\":" + format_metric_value(span.seconds);
+  out += ",\"count\":" + std::to_string(span.count);
+  if (!span.children.empty()) {
+    out += ",\"children\":[";
+    for (std::size_t i = 0; i < span.children.size(); ++i) {
+      if (i > 0) out += ",";
+      append_span_json(span.children[i], out);
+    }
+    out += "]";
+  }
+  out += "}";
+}
+
+void append_metrics_json(const MetricsRegistry::Snapshot& snap,
+                         std::string& out) {
+  out += "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + format_metric_value(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":{\"count\":" + std::to_string(h.count) +
+           ",\"sum\":" + format_metric_value(h.sum) +
+           ",\"p50\":" + format_metric_value(h.p50) +
+           ",\"p99\":" + format_metric_value(h.p99) + "}";
+  }
+  out += "}}";
+}
+
+}  // namespace
+
+std::string format_metric_value(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+  return buffer;
+}
+
+std::string to_prometheus(const MetricsRegistry& registry) {
+  const auto snap = registry.snapshot();
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + format_metric_value(value) + "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    out += "# TYPE " + name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.buckets[i];
+      out += name + "_bucket{le=\"" + format_metric_value(h.bounds[i]) +
+             "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += name + "_sum " + format_metric_value(h.sum) + "\n";
+    out += name + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+std::string to_kv_line(const MetricsRegistry& registry) {
+  const auto snap = registry.snapshot();
+  // One flat sorted key space: histogram summary keys interleave with the
+  // scalar instruments in lexical order.
+  std::map<std::string, std::string> pairs;
+  for (const auto& [name, value] : snap.counters) {
+    pairs.emplace(name, std::to_string(value));
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    pairs.emplace(name, format_metric_value(value));
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    pairs.emplace(name + "_count", std::to_string(h.count));
+    pairs.emplace(name + "_sum", format_metric_value(h.sum));
+    pairs.emplace(name + "_p50", format_metric_value(h.p50));
+    pairs.emplace(name + "_p99", format_metric_value(h.p99));
+  }
+  std::string out = "v=" + std::to_string(kKvSchemaVersion);
+  for (const auto& [key, value] : pairs) {
+    out += " " + key + "=" + value;
+  }
+  return out;
+}
+
+std::string run_profile_json(const RunProfile& profile,
+                             const MetricsRegistry* registry) {
+  std::string out = "{\"schema\":\"cmarkov.profile.v1\"";
+  out += ",\"total_seconds\":" + format_metric_value(profile.root().seconds);
+  out += ",\"profile\":";
+  append_span_json(profile.root(), out);
+  if (registry != nullptr) {
+    out += ",\"metrics\":";
+    append_metrics_json(registry->snapshot(), out);
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace cmarkov::obs

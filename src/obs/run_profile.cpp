@@ -1,0 +1,62 @@
+#include "src/obs/run_profile.hpp"
+
+#include <stdexcept>
+
+namespace cmarkov::obs {
+
+const TraceSpan* TraceSpan::child(std::string_view child_name) const {
+  for (const auto& c : children) {
+    if (c.name == child_name) return &c;
+  }
+  return nullptr;
+}
+
+RunProfile::RunProfile(std::string root_name) {
+  root_.name = std::move(root_name);
+  root_.count = 1;
+  stack_.push_back(&root_);
+}
+
+void RunProfile::begin(std::string_view name) {
+  TraceSpan* parent = stack_.back();
+  TraceSpan* span = nullptr;
+  for (auto& c : parent->children) {
+    if (c.name == name) {
+      span = &c;
+      break;
+    }
+  }
+  if (span == nullptr) {
+    span = &parent->children.emplace_back();
+    span->name = std::string(name);
+  }
+  span->count += 1;
+  stack_.push_back(span);
+}
+
+void RunProfile::end(double seconds) {
+  if (stack_.size() <= 1) {
+    throw std::logic_error("RunProfile::end: no open span (root is closed "
+                           "via finish())");
+  }
+  stack_.back()->seconds += seconds;
+  stack_.pop_back();
+}
+
+void RunProfile::record(std::string_view name, double seconds) {
+  begin(name);
+  end(seconds);
+}
+
+void RunProfile::finish() { finish(watch_.seconds()); }
+
+void RunProfile::finish(double total_seconds) {
+  if (stack_.size() != 1) {
+    throw std::logic_error("RunProfile::finish: " +
+                           std::to_string(stack_.size() - 1) +
+                           " span(s) still open");
+  }
+  root_.seconds = total_seconds;
+}
+
+}  // namespace cmarkov::obs

@@ -1,0 +1,85 @@
+// Per-run stage tracing: a RunProfile accumulates a tree of named
+// TraceSpans (analyze → reduce → init → train-iteration → score) that
+// exporters render as the machine-readable JSON profile behind
+// `cmarkov train --profile-json`.
+//
+// Spans with the same name under the same parent merge: seconds accumulate
+// and the count ticks, so a 30-iteration training run yields ONE
+// "train-iteration" span with count=30 rather than 30 siblings. A
+// RunProfile is owned and driven by one orchestrating thread (worker
+// threads report through MetricsRegistry instead); it is not thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/stopwatch.hpp"
+
+namespace cmarkov::obs {
+
+struct TraceSpan {
+  std::string name;
+  double seconds = 0.0;
+  std::uint64_t count = 0;
+  std::vector<TraceSpan> children;
+
+  /// Child span by name, or nullptr when absent.
+  const TraceSpan* child(std::string_view child_name) const;
+};
+
+class RunProfile {
+ public:
+  explicit RunProfile(std::string root_name = "run");
+  RunProfile(const RunProfile&) = delete;
+  RunProfile& operator=(const RunProfile&) = delete;
+
+  /// Opens a span nested under the currently open one (merging with an
+  /// existing same-named sibling) and makes it current.
+  void begin(std::string_view name);
+  /// Adds `seconds` to the current span and returns to its parent. Throws
+  /// std::logic_error when only the root is open.
+  void end(double seconds);
+  /// begin() + end() in one call — a leaf stage timed externally.
+  void record(std::string_view name, double seconds);
+
+  /// Closes the root span with the wall time since construction (or with
+  /// an explicit total). Open child spans are an error.
+  void finish();
+  void finish(double total_seconds);
+
+  const TraceSpan& root() const { return root_; }
+  double elapsed_seconds() const { return watch_.seconds(); }
+  /// Number of currently open spans, root included (1 = only root open).
+  std::size_t open_depth() const { return stack_.size(); }
+
+ private:
+  TraceSpan root_;
+  // Pointers into the open root→current path. Safe against reallocation:
+  // begin() only appends to the CURRENT span's children, and no pointer to
+  // an element of that vector is on the stack (only the path above it).
+  std::vector<TraceSpan*> stack_;
+  Stopwatch watch_;
+};
+
+/// RAII span: opens `name` on construction, closes it with the scope's
+/// wall time on destruction. A null profile disables it (instrumented code
+/// paths stay unconditional).
+class ScopedTimer {
+ public:
+  ScopedTimer(RunProfile* profile, std::string_view name) : profile_(profile) {
+    if (profile_ != nullptr) profile_->begin(name);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (profile_ != nullptr) profile_->end(watch_.seconds());
+  }
+
+ private:
+  RunProfile* profile_;
+  Stopwatch watch_;
+};
+
+}  // namespace cmarkov::obs

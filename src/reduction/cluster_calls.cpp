@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics_registry.hpp"
+#include "src/obs/run_profile.hpp"
+
 namespace cmarkov::reduction {
 
 namespace {
@@ -45,12 +48,21 @@ CallClustering cluster_calls(const analysis::CallTransitionMatrix& matrix,
   CallClustering out;
   out.calls = std::move(vectors.calls);
 
+  obs::RunProfile* profile = options.exec.profile;
+
   Matrix features = std::move(vectors.features);
   if (options.use_pca && features.rows() >= 2) {
     PcaOptions pca_options = options.pca;
-    pca_options.num_threads = options.num_threads;
-    const Pca pca = Pca::fit(features, pca_options);
-    features = pca.transform(features, options.num_threads);
+    pca_options.exec.adopt_runtime(options.exec);
+    Pca pca;
+    {
+      const obs::ScopedTimer timer(profile, "pca-fit");
+      pca = Pca::fit(features, pca_options);
+    }
+    {
+      const obs::ScopedTimer timer(profile, "pca-transform");
+      features = pca.transform(features, options.exec.threads);
+    }
     out.pca_dimensions = features.cols();
   }
 
@@ -58,13 +70,17 @@ CallClustering cluster_calls(const analysis::CallTransitionMatrix& matrix,
   // multi-restart 100-iteration Lloyd's a multi-second affair; cap the
   // search there — with PCA'd features the first run converges quickly.
   KMeansOptions kmeans_options = options.kmeans;
-  kmeans_options.num_threads = options.num_threads;
+  kmeans_options.exec.adopt_runtime(options.exec);
   if (n > 500) {
     kmeans_options.restarts = 1;
     kmeans_options.max_iterations =
         std::min<std::size_t>(kmeans_options.max_iterations, 35);
   }
-  const KMeansResult result = kmeans(features, k, rng, kmeans_options);
+  KMeansResult result;
+  {
+    const obs::ScopedTimer timer(profile, "kmeans");
+    result = kmeans(features, k, rng, kmeans_options);
+  }
   out.assignment = result.assignment;
   out.clusters.resize(k);
   for (std::size_t i = 0; i < out.assignment.size(); ++i) {
@@ -82,6 +98,13 @@ CallClustering cluster_calls(const analysis::CallTransitionMatrix& matrix,
   for (auto& a : out.assignment) a = new_id[a];
   out.clusters = std::move(compact);
   out.reduced = true;
+  if (options.exec.metrics != nullptr) {
+    auto& m = *options.exec.metrics;
+    m.counter("cmarkov_reduce_runs_total").add(1);
+    m.gauge("cmarkov_reduce_input_calls").set(static_cast<double>(n));
+    m.gauge("cmarkov_reduce_clusters")
+        .set(static_cast<double>(out.clusters.size()));
+  }
   return out;
 }
 

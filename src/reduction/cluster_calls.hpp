@@ -25,12 +25,18 @@ struct ClusteringOptions {
   std::size_t min_calls_for_reduction = 800;
   /// Skip the PCA step (ablation).
   bool use_pca = true;
-  /// Worker threads for PCA and k-means (0 = one per hardware core);
-  /// authoritative — it overrides pca.num_threads / kmeans.num_threads.
-  /// Clustering results are identical at any value.
-  std::size_t num_threads = 1;
+  /// Execution context for PCA and k-means; authoritative — its runtime
+  /// (threads, metrics, profile) overrides pca.exec / kmeans.exec, while
+  /// their seeds are preserved. Clustering results are identical at any
+  /// thread count.
+  ExecContext exec;
   PcaOptions pca;
   KMeansOptions kmeans;
+
+  /// Deprecated PR 2 spelling, kept one PR for compatibility.
+  [[deprecated("use exec.threads")]] void set_num_threads(std::size_t n) {
+    exec.threads = n;
+  }
 };
 
 struct CallClustering {

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "src/obs/export.hpp"
 #include "src/util/strings.hpp"
 
 namespace cmarkov::serve {
@@ -20,7 +21,7 @@ std::vector<std::string> tokenize(std::string_view line) {
 
 std::string format_session_stats(const SessionStats& stats) {
   std::ostringstream out;
-  out << "STATS session=" << stats.id << " model=" << stats.model
+  out << "STATS v=1 session=" << stats.id << " model=" << stats.model
       << " enqueued=" << stats.enqueued << " processed=" << stats.processed
       << " dropped=" << stats.dropped << " rejected=" << stats.rejected
       << " events=" << stats.monitor.events_seen
@@ -60,7 +61,9 @@ std::string ProtocolSession::handle_line(std::string_view line) {
     }
     if (command == "METRICS") {
       manager_.drain();
-      return "METRICS " + manager_.metrics().to_line();
+      // Versioned key=value exposition generated from the metrics
+      // registry (docs/SERVING.md documents the schema).
+      return "METRICS " + obs::to_kv_line(manager_.metrics_registry());
     }
     if (command == "BYE") return handle_bye();
     return "ERR unknown command '" + command + "'";

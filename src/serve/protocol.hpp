@@ -4,8 +4,9 @@
 //   HELLO <model> [session-id]       -> OK session=<id> model=<model>
 //   EV <site> <callee> [sys|lib]     -> OK | OK dropped-oldest
 //                                       | ERR rejected queue-full
-//   STATS                            -> STATS session=... (drains first)
-//   METRICS                          -> METRICS uptime_s=... (service-wide)
+//   STATS                            -> STATS v=1 session=... (drains first)
+//   METRICS                          -> METRICS v=1 <name>=<value>...
+//                                       (service-wide, from the registry)
 //   BYE                              -> OK session=<id> alarms=<n>
 //
 // <site> is the calling context (caller function) of the event, <callee>

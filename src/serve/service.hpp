@@ -26,6 +26,12 @@ class CmarkovService {
 
   ServiceMetrics metrics() const { return sessions_.metrics(); }
 
+  /// Registry of cmarkov_serve_* instruments (gauges refreshed); render
+  /// with obs::to_kv_line or obs::to_prometheus.
+  const obs::MetricsRegistry& metrics_registry() {
+    return sessions_.metrics_registry();
+  }
+
   /// Runs one protocol conversation over a line stream (the stdio
   /// front-end): reads request lines from `in`, writes one response line
   /// per request to `out` (flushed per line). Returns after BYE or when

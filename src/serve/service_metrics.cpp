@@ -6,54 +6,16 @@
 
 namespace cmarkov::serve {
 
-const std::array<double, LatencyHistogram::kBuckets>&
-LatencyHistogram::bucket_bounds() {
-  static const std::array<double, kBuckets> bounds = {
-      1,     2,     5,     10,    20,    50,    100,
-      200,   500,   1e3,   2e3,   5e3,   1e4,   2e4,
-      5e4,   1e5,   2e5,   5e5,   1e6,   kOverflowMicros};
-  return bounds;
-}
-
-LatencyHistogram::LatencyHistogram() {
-  for (auto& count : counts_) count.store(0, std::memory_order_relaxed);
-}
-
-void LatencyHistogram::record(double micros) {
-  const auto& bounds = bucket_bounds();
-  std::size_t bucket = kBuckets - 1;
-  for (std::size_t i = 0; i + 1 < kBuckets; ++i) {
-    if (micros <= bounds[i]) {
-      bucket = i;
-      break;
-    }
-  }
-  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
-}
-
-std::uint64_t LatencyHistogram::samples() const {
-  std::uint64_t total = 0;
-  for (const auto& count : counts_) {
-    total += count.load(std::memory_order_relaxed);
-  }
-  return total;
-}
-
-double LatencyHistogram::quantile_micros(double q) const {
-  const std::uint64_t total = samples();
-  if (total == 0) return 0.0;
-  const double rank = q * static_cast<double>(total);
-  std::uint64_t cumulative = 0;
-  for (std::size_t i = 0; i < kBuckets; ++i) {
-    cumulative += counts_[i].load(std::memory_order_relaxed);
-    if (static_cast<double>(cumulative) >= rank) return bucket_bounds()[i];
-  }
-  return kOverflowMicros;
+std::span<const double> latency_bucket_bounds() {
+  static constexpr double kBounds[] = {
+      1,   2,   5,   10,  20,  50,  100, 200, 500, 1e3,
+      2e3, 5e3, 1e4, 2e4, 5e4, 1e5, 2e5, 5e5, 1e6, 2e6};
+  return kBounds;
 }
 
 std::string ServiceMetrics::to_line() const {
   std::ostringstream out;
-  out << "uptime_s=" << format_double(uptime_seconds, 3)
+  out << "v=1 uptime_s=" << format_double(uptime_seconds, 3)
       << " sessions=" << sessions_open << " enqueued=" << events_enqueued
       << " processed=" << events_processed << " dropped=" << events_dropped
       << " rejected=" << events_rejected << " windows=" << windows_scored

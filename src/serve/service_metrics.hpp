@@ -1,43 +1,22 @@
-// Service-level observability for cmarkovd: a lock-free fixed-bucket
-// latency histogram plus the point-in-time ServiceMetrics snapshot the
-// protocol's METRICS command renders. Field semantics are documented in
+// Service-level observability for cmarkovd, built on the shared obs layer
+// (src/obs/): the SessionManager keeps its counters/gauges/latency
+// histogram in an obs::MetricsRegistry, and ServiceMetrics is the
+// point-in-time snapshot struct that benches consume and the protocol's
+// STATS/METRICS verbs render. Field semantics are documented in
 // docs/SERVING.md.
 #pragma once
 
-#include <array>
-#include <atomic>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 namespace cmarkov::serve {
 
-/// Fixed-bucket histogram over microsecond latencies. Recording is a single
-/// relaxed atomic increment, safe from any number of worker threads;
-/// quantiles are approximate (they report the upper bound of the bucket in
-/// which the requested rank falls). The last bucket is open-ended and its
-/// quantile saturates at kOverflowMicros.
-class LatencyHistogram {
- public:
-  static constexpr std::size_t kBuckets = 20;
-  static constexpr double kOverflowMicros = 2e6;
-
-  /// Upper bucket bounds in microseconds (1us .. 1s, log-ish spacing); the
-  /// final entry is the open-ended overflow bucket.
-  static const std::array<double, kBuckets>& bucket_bounds();
-
-  LatencyHistogram();
-
-  void record(double micros);
-
-  std::uint64_t samples() const;
-
-  /// Approximate q-quantile for q in [0, 1]; 0 when empty.
-  double quantile_micros(double q) const;
-
- private:
-  std::array<std::atomic<std::uint64_t>, kBuckets> counts_;
-};
+/// Upper bucket bounds (microseconds) of the enqueue-to-verdict latency
+/// histogram: 1us .. 2s, log-ish spacing. Values above the last bound land
+/// in the histogram's overflow bucket and quantiles saturate at 2e6.
+std::span<const double> latency_bucket_bounds();
 
 /// Point-in-time snapshot of a SessionManager. Counters are monotonically
 /// increasing over the manager's lifetime; queue_depths is instantaneous.
@@ -59,8 +38,9 @@ struct ServiceMetrics {
   double p50_latency_micros = 0.0;
   double p99_latency_micros = 0.0;
 
-  /// Renders the snapshot as one "key=value ..." line (the body of the
-  /// protocol METRICS reply).
+  /// Renders the snapshot as one versioned "v=1 key=value ..." line (the
+  /// legacy body of the protocol STATS reply; the METRICS verb now renders
+  /// the full registry via obs::to_kv_line).
   std::string to_line() const;
 };
 

@@ -90,6 +90,28 @@ SessionManager::SessionManager(const ModelRegistry& registry,
   if (config_.queue_capacity == 0) {
     throw std::invalid_argument("SessionManager: queue_capacity must be > 0");
   }
+  if (config_.metrics != nullptr) {
+    metrics_ = config_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  enqueued_total_ = &metrics_->counter("cmarkov_serve_events_enqueued_total");
+  processed_total_ =
+      &metrics_->counter("cmarkov_serve_events_processed_total");
+  dropped_total_ = &metrics_->counter("cmarkov_serve_events_dropped_total");
+  rejected_total_ = &metrics_->counter("cmarkov_serve_events_rejected_total");
+  windows_total_ = &metrics_->counter("cmarkov_serve_windows_total");
+  alarms_total_ = &metrics_->counter("cmarkov_serve_alarms_total");
+  latency_micros_ = &metrics_->histogram("cmarkov_serve_latency_micros",
+                                         latency_bucket_bounds());
+  uptime_gauge_ = &metrics_->gauge("cmarkov_serve_uptime_seconds");
+  sessions_gauge_ = &metrics_->gauge("cmarkov_serve_sessions_open");
+  queue_depth_gauges_.reserve(config_.num_workers);
+  for (std::size_t i = 0; i < config_.num_workers; ++i) {
+    queue_depth_gauges_.push_back(&metrics_->gauge(
+        "cmarkov_serve_queue_depth_w" + std::to_string(i)));
+  }
   workers_.reserve(config_.num_workers);
   for (std::size_t i = 0; i < config_.num_workers; ++i) {
     workers_.push_back(std::make_unique<Worker>());
@@ -159,14 +181,14 @@ SubmitResult SessionManager::submit(const std::string& id,
         case BackpressurePolicy::kDropOldest: {
           Item& victim = worker.queue.front();
           victim.session->dropped.fetch_add(1, std::memory_order_relaxed);
-          total_dropped_.fetch_add(1, std::memory_order_relaxed);
+          dropped_total_->add(1);
           worker.queue.pop_front();
           result = SubmitResult::kDroppedOldest;
           break;
         }
         case BackpressurePolicy::kReject:
           session->rejected.fetch_add(1, std::memory_order_relaxed);
-          total_rejected_.fetch_add(1, std::memory_order_relaxed);
+          rejected_total_->add(1);
           return SubmitResult::kRejected;
       }
     }
@@ -175,7 +197,7 @@ SubmitResult SessionManager::submit(const std::string& id,
   }
   worker.cv_nonempty.notify_one();
   session->enqueued.fetch_add(1, std::memory_order_relaxed);
-  total_enqueued_.fetch_add(1, std::memory_order_relaxed);
+  enqueued_total_->add(1);
   return result;
 }
 
@@ -236,12 +258,12 @@ ServiceMetrics SessionManager::metrics() const {
     const std::shared_lock lock(sessions_mu_);
     m.sessions_open = sessions_.size();
   }
-  m.events_enqueued = total_enqueued_.load(std::memory_order_relaxed);
-  m.events_processed = total_processed_.load(std::memory_order_relaxed);
-  m.events_dropped = total_dropped_.load(std::memory_order_relaxed);
-  m.events_rejected = total_rejected_.load(std::memory_order_relaxed);
-  m.windows_scored = total_windows_.load(std::memory_order_relaxed);
-  m.alarms = total_alarms_.load(std::memory_order_relaxed);
+  m.events_enqueued = enqueued_total_->value();
+  m.events_processed = processed_total_->value();
+  m.events_dropped = dropped_total_->value();
+  m.events_rejected = rejected_total_->value();
+  m.windows_scored = windows_total_->value();
+  m.alarms = alarms_total_->value();
   if (m.uptime_seconds > 0.0) {
     m.events_per_second =
         static_cast<double>(m.events_processed) / m.uptime_seconds;
@@ -251,10 +273,28 @@ ServiceMetrics SessionManager::metrics() const {
     const std::lock_guard lock(worker->mu);
     m.queue_depths.push_back(worker->queue.size());
   }
-  m.latency_samples = latency_.samples();
-  m.p50_latency_micros = latency_.quantile_micros(0.50);
-  m.p99_latency_micros = latency_.quantile_micros(0.99);
+  m.latency_samples = latency_micros_->count();
+  m.p50_latency_micros = latency_micros_->quantile(0.50);
+  m.p99_latency_micros = latency_micros_->quantile(0.99);
   return m;
+}
+
+void SessionManager::refresh_gauges() {
+  uptime_gauge_->set(clock_.seconds());
+  {
+    const std::shared_lock lock(sessions_mu_);
+    sessions_gauge_->set(static_cast<double>(sessions_.size()));
+  }
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    const std::lock_guard lock(workers_[i]->mu);
+    queue_depth_gauges_[i]->set(
+        static_cast<double>(workers_[i]->queue.size()));
+  }
+}
+
+const obs::MetricsRegistry& SessionManager::metrics_registry() {
+  refresh_gauges();
+  return *metrics_;
 }
 
 std::string SessionManager::next_session_id() {
@@ -276,18 +316,18 @@ void SessionManager::process_item(Item& item) {
     update = item.session->monitor.on_event(std::move(item.event));
   }
   item.session->processed.fetch_add(1, std::memory_order_relaxed);
-  total_processed_.fetch_add(1, std::memory_order_relaxed);
+  processed_total_->add(1);
   if (update.window_complete) {
-    total_windows_.fetch_add(1, std::memory_order_relaxed);
+    windows_total_->add(1);
   }
   if (update.alarm) {
-    total_alarms_.fetch_add(1, std::memory_order_relaxed);
+    alarms_total_->add(1);
     log_debug() << "alarm session=" << item.session->id
                 << " model=" << item.session->model_name
                 << (update.unknown_symbol ? " cause=unknown-context"
                                           : " cause=low-likelihood");
   }
-  latency_.record(clock_.micros() - item.enqueue_micros);
+  latency_micros_->record(clock_.micros() - item.enqueue_micros);
   item.session.reset();
 }
 

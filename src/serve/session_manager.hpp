@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/core/online_monitor.hpp"
+#include "src/obs/metrics_registry.hpp"
 #include "src/serve/model_registry.hpp"
 #include "src/serve/service_metrics.hpp"
 #include "src/util/stopwatch.hpp"
@@ -51,6 +52,10 @@ struct ServiceConfig {
   /// accounting deterministic. (A full queue under the block policy is
   /// pumped inline instead of deadlocking.)
   bool manual_pump = false;
+  /// Registry receiving the cmarkov_serve_* instruments. Non-owning; must
+  /// outlive the manager. Null = the manager creates a private registry
+  /// (exposed via metrics_registry()).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// What happened to a submitted event.
@@ -106,6 +111,11 @@ class SessionManager {
 
   ServiceMetrics metrics() const;
 
+  /// Refreshes the instantaneous gauges (uptime, sessions, queue depths)
+  /// and returns the registry holding every cmarkov_serve_* instrument —
+  /// the METRICS verb renders this via obs::to_kv_line/to_prometheus.
+  const obs::MetricsRegistry& metrics_registry();
+
   /// Fresh collision-free id ("s1", "s2", ...) for transports whose HELLO
   /// omits one.
   std::string next_session_id();
@@ -122,6 +132,7 @@ class SessionManager {
   void pump_worker(Worker& worker);
   void worker_loop(Worker& worker);
   SessionStats snapshot(const Session& session) const;
+  void refresh_gauges();
 
   const ModelRegistry& registry_;
   ServiceConfig config_;
@@ -132,13 +143,21 @@ class SessionManager {
   std::unordered_map<std::string, std::shared_ptr<Session>> sessions_;
 
   std::atomic<std::uint64_t> next_id_{0};
-  std::atomic<std::uint64_t> total_enqueued_{0};
-  std::atomic<std::uint64_t> total_processed_{0};
-  std::atomic<std::uint64_t> total_dropped_{0};
-  std::atomic<std::uint64_t> total_rejected_{0};
-  std::atomic<std::uint64_t> total_windows_{0};
-  std::atomic<std::uint64_t> total_alarms_{0};
-  LatencyHistogram latency_;
+
+  // Service-wide instruments, resolved once in the constructor from the
+  // caller's registry (or the private owned one).
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_;
+  obs::Counter* enqueued_total_;
+  obs::Counter* processed_total_;
+  obs::Counter* dropped_total_;
+  obs::Counter* rejected_total_;
+  obs::Counter* windows_total_;
+  obs::Counter* alarms_total_;
+  obs::Histogram* latency_micros_;
+  obs::Gauge* uptime_gauge_;
+  obs::Gauge* sessions_gauge_;
+  std::vector<obs::Gauge*> queue_depth_gauges_;
 };
 
 }  // namespace cmarkov::serve

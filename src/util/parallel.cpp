@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/util/stopwatch.hpp"
+
 namespace cmarkov {
 
 std::size_t resolve_num_threads(std::size_t requested) {
@@ -31,8 +33,12 @@ WorkerPool::~WorkerPool() {
 void WorkerPool::run(std::size_t num_items,
                      const std::function<void(std::size_t)>& fn) {
   if (num_items == 0) return;
+  const Stopwatch wall;
   if (threads_.empty() || num_items == 1) {
     for (std::size_t i = 0; i < num_items; ++i) fn(i);
+    std::lock_guard<std::mutex> lock(mu_);
+    run_wall_seconds_ = run_busy_seconds_ = wall.seconds();
+    run_threads_ = 1;
     return;
   }
   std::uint64_t gen;
@@ -44,6 +50,8 @@ void WorkerPool::run(std::size_t num_items,
     completed_ = 0;
     first_error_ = nullptr;
     first_error_index_ = num_items;
+    run_busy_seconds_ = 0.0;
+    run_threads_ = num_threads_;
     gen = ++generation_;
   }
   start_cv_.notify_all();
@@ -54,11 +62,26 @@ void WorkerPool::run(std::size_t num_items,
     done_cv_.wait(lock, [this] { return completed_ == num_items_; });
     task_ = nullptr;
     error = first_error_;
+    run_wall_seconds_ = wall.seconds();
   }
   if (error) std::rethrow_exception(error);
 }
 
+PoolRunStats WorkerPool::last_run_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PoolRunStats stats;
+  stats.threads = run_threads_;
+  stats.wall_seconds = run_wall_seconds_;
+  stats.busy_seconds = run_busy_seconds_;
+  return stats;
+}
+
 void WorkerPool::drain(std::uint64_t gen) {
+  // Busy time is accumulated per item under the completion lock (with a
+  // generation check), so a worker that finishes its last item after the
+  // run's caller has already started the next run cannot credit a whole
+  // drain's elapsed time to the wrong run.
+  Stopwatch busy;
   while (true) {
     std::size_t item;
     const std::function<void(std::size_t)>* task;
@@ -81,6 +104,8 @@ void WorkerPool::drain(std::uint64_t gen) {
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (generation_ == gen) run_busy_seconds_ += busy.seconds();
+      busy.reset();
       if (error && (first_error_ == nullptr || item < first_error_index_)) {
         first_error_ = error;
         first_error_index_ = item;

@@ -29,6 +29,24 @@ namespace cmarkov {
 /// 0 means "one per hardware core" (at least 1), anything else is itself.
 std::size_t resolve_num_threads(std::size_t requested);
 
+/// Utilization accounting for the most recent WorkerPool::run(): wall time
+/// of the run and the summed per-worker time spent claiming/executing
+/// items. Diagnostic (feeds the cmarkov_*_pool_utilization_ratio gauges) —
+/// a worker that re-checks for work just after the run completes may land
+/// its last few microseconds in the next run's accumulator.
+struct PoolRunStats {
+  double wall_seconds = 0.0;
+  double busy_seconds = 0.0;
+  std::size_t threads = 1;
+  /// busy / (wall * threads), clamped to [0, 1]; 1.0 for an inline run.
+  double utilization() const {
+    const double capacity = wall_seconds * static_cast<double>(threads);
+    if (capacity <= 0.0) return 1.0;
+    const double ratio = busy_seconds / capacity;
+    return ratio > 1.0 ? 1.0 : ratio;
+  }
+};
+
 /// A fixed set of worker threads executing indexed work items.
 ///
 /// run(n, fn) invokes fn(i) exactly once for every i in [0, n); the calling
@@ -51,6 +69,10 @@ class WorkerPool {
 
   void run(std::size_t num_items, const std::function<void(std::size_t)>& fn);
 
+  /// Stats for the most recent completed run() (see PoolRunStats). Call
+  /// from the thread that called run().
+  PoolRunStats last_run_stats() const;
+
  private:
   void worker_loop();
   /// Claims and executes items of generation `gen` until none remain.
@@ -59,7 +81,7 @@ class WorkerPool {
   std::size_t num_threads_;
   std::vector<std::thread> threads_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;
   std::uint64_t generation_ = 0;
@@ -70,6 +92,9 @@ class WorkerPool {
   std::size_t completed_ = 0;
   std::exception_ptr first_error_;
   std::size_t first_error_index_ = 0;
+  double run_wall_seconds_ = 0.0;   // guarded by mu_
+  double run_busy_seconds_ = 0.0;   // guarded by mu_
+  std::size_t run_threads_ = 1;     // guarded by mu_
 };
 
 /// One-shot convenience: fn(i) for every i in [0, count) on a transient

@@ -1,0 +1,339 @@
+// Tests for the observability layer (src/obs/): exact counters under
+// concurrent writers, histogram bucketing/validation/merging, RunProfile
+// span nesting, golden-file pins for the three exporters, and an
+// end-to-end instrumented-pipeline property (stage spans sum to ~total).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "src/core/detector.hpp"
+#include "src/obs/export.hpp"
+#include "src/obs/metrics_registry.hpp"
+#include "src/obs/run_profile.hpp"
+#include "src/workload/testcase_generator.hpp"
+
+namespace cmarkov::obs {
+namespace {
+
+std::string read_golden(const std::string& name) {
+  const std::filesystem::path path =
+      std::filesystem::path(CMARKOV_TEST_GOLDEN_DIR) / name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing golden file " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(CounterTest, ExactUnderEightConcurrentWriters) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("cmarkov_test_hits_total");
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 100000;
+  std::vector<std::thread> writers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&counter] {
+      for (std::size_t i = 0; i < kPerThread; ++i) counter.add(1);
+    });
+  }
+  for (auto& w : writers) w.join();
+  // Sharded cells must merge to the exact total once writers quiesce.
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(CounterTest, DeltaAddsAccumulate) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("cmarkov_test_bytes_total");
+  counter.add(10);
+  counter.add(32);
+  counter.add();  // default +1
+  EXPECT_EQ(counter.value(), 43u);
+  // Same name resolves to the same instrument.
+  EXPECT_EQ(&registry.counter("cmarkov_test_bytes_total"), &counter);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  MetricsRegistry registry;
+  Gauge& gauge = registry.gauge("cmarkov_test_depth");
+  EXPECT_EQ(gauge.value(), 0.0);
+  gauge.set(4.5);
+  EXPECT_EQ(gauge.value(), 4.5);
+  gauge.add(-1.25);
+  EXPECT_EQ(gauge.value(), 3.25);
+}
+
+TEST(MetricNameTest, InvalidNamesAreRejected) {
+  MetricsRegistry registry;
+  EXPECT_THROW(registry.counter(""), std::invalid_argument);
+  EXPECT_THROW(registry.counter("has space"), std::invalid_argument);
+  EXPECT_THROW(registry.gauge("has-dash"), std::invalid_argument);
+  EXPECT_NO_THROW(registry.counter("ok_name:subsystem_total"));
+}
+
+TEST(HistogramTest, BucketBoundsAreValidated) {
+  // The ISSUE-4 bugfix: bad bucket layouts fail loudly at construction
+  // instead of silently mis-bucketing forever.
+  EXPECT_THROW(Histogram(std::span<const double>{}), std::invalid_argument);
+  const double unordered[] = {1.0, 3.0, 2.0};
+  EXPECT_THROW(Histogram{unordered}, std::invalid_argument);
+  const double duplicated[] = {1.0, 1.0};
+  EXPECT_THROW(Histogram{duplicated}, std::invalid_argument);
+  const double infinite[] = {1.0, std::numeric_limits<double>::infinity()};
+  EXPECT_THROW(Histogram{infinite}, std::invalid_argument);
+  const double ok[] = {0.5, 1.0, 2.0};
+  EXPECT_NO_THROW(Histogram{ok});
+}
+
+TEST(HistogramTest, ReRegistrationWithDifferentBoundsThrows) {
+  MetricsRegistry registry;
+  const double a[] = {1.0, 2.0};
+  const double b[] = {1.0, 3.0};
+  Histogram& first = registry.histogram("cmarkov_test_seconds", a);
+  EXPECT_EQ(&registry.histogram("cmarkov_test_seconds", a), &first);
+  EXPECT_THROW(registry.histogram("cmarkov_test_seconds", b),
+               std::invalid_argument);
+}
+
+TEST(HistogramTest, BucketingAndQuantiles) {
+  const double bounds[] = {1.0, 10.0, 100.0};
+  Histogram histogram(bounds);
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.quantile(0.5), 0.0);  // empty
+
+  histogram.record(1.0);    // boundary value lands in its bucket (le=1)
+  histogram.record(0.5);
+  histogram.record(5.0);
+  histogram.record(50.0);
+  histogram.record(1e6);    // overflow
+  EXPECT_EQ(histogram.count(), 5u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 1.0 + 0.5 + 5.0 + 50.0 + 1e6);
+  const auto buckets = histogram.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.4), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.6), 10.0);
+  // Quantiles landing in the overflow bucket saturate at the last bound.
+  EXPECT_DOUBLE_EQ(histogram.quantile(1.0), 100.0);
+  // q is clamped to [0, 1].
+  EXPECT_DOUBLE_EQ(histogram.quantile(7.0), 100.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(-1.0), 1.0);
+}
+
+TEST(HistogramTest, ConcurrentRecordsMergeExactly) {
+  const double bounds[] = {0.5, 1.5, 2.5};
+  MetricsRegistry registry;
+  Histogram& histogram =
+      registry.histogram("cmarkov_test_latency_seconds", bounds);
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerValue = 4000;
+  std::vector<std::thread> writers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&histogram] {
+      for (std::size_t i = 0; i < kPerValue; ++i) {
+        histogram.record(0.0);  // bucket le=0.5
+        histogram.record(1.0);  // bucket le=1.5
+        histogram.record(2.0);  // bucket le=2.5
+        histogram.record(3.0);  // overflow
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  EXPECT_EQ(histogram.count(), kThreads * kPerValue * 4);
+  const auto buckets = histogram.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  for (const auto count : buckets) EXPECT_EQ(count, kThreads * kPerValue);
+  EXPECT_DOUBLE_EQ(histogram.sum(),
+                   static_cast<double>(kThreads * kPerValue) * 6.0);
+}
+
+TEST(RunProfileTest, SpansNestMergeAndOrder) {
+  RunProfile profile("run");
+  EXPECT_EQ(profile.open_depth(), 1u);  // only the root
+
+  profile.begin("build");
+  EXPECT_EQ(profile.open_depth(), 2u);
+  profile.record("analyze", 0.5);
+  profile.record("reduce", 0.25);
+  profile.end(0.75);
+
+  // Same-named sibling merges: seconds accumulate, count ticks.
+  for (int i = 0; i < 3; ++i) profile.record("train-iteration", 0.1);
+  profile.finish(2.0);
+
+  const TraceSpan& root = profile.root();
+  EXPECT_EQ(root.name, "run");
+  EXPECT_EQ(root.count, 1u);
+  EXPECT_DOUBLE_EQ(root.seconds, 2.0);
+  ASSERT_EQ(root.children.size(), 2u);
+  // Children keep first-open order.
+  EXPECT_EQ(root.children[0].name, "build");
+  EXPECT_EQ(root.children[1].name, "train-iteration");
+
+  const TraceSpan* build = root.child("build");
+  ASSERT_NE(build, nullptr);
+  EXPECT_DOUBLE_EQ(build->seconds, 0.75);
+  EXPECT_EQ(build->count, 1u);
+  ASSERT_EQ(build->children.size(), 2u);
+  EXPECT_EQ(build->children[0].name, "analyze");
+  EXPECT_EQ(build->children[1].name, "reduce");
+
+  const TraceSpan* iteration = root.child("train-iteration");
+  ASSERT_NE(iteration, nullptr);
+  EXPECT_EQ(iteration->count, 3u);
+  EXPECT_DOUBLE_EQ(iteration->seconds, 0.1 * 3);
+  EXPECT_EQ(root.child("no-such-span"), nullptr);
+}
+
+TEST(RunProfileTest, UnbalancedUseIsLoud) {
+  RunProfile profile;
+  EXPECT_THROW(profile.end(0.0), std::logic_error);  // nothing open
+  profile.begin("open");
+  EXPECT_THROW(profile.finish(), std::logic_error);  // child still open
+  profile.end(0.1);
+  EXPECT_NO_THROW(profile.finish());
+}
+
+TEST(RunProfileTest, ScopedTimerIsNullSafeAndCloses) {
+  { const ScopedTimer noop(nullptr, "ignored"); }  // must not crash
+
+  RunProfile profile;
+  {
+    const ScopedTimer outer(&profile, "outer");
+    const ScopedTimer inner(&profile, "inner");
+    EXPECT_EQ(profile.open_depth(), 3u);
+  }
+  EXPECT_EQ(profile.open_depth(), 1u);
+  const TraceSpan* outer = profile.root().child("outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_NE(outer->child("inner"), nullptr);
+  EXPECT_GE(outer->seconds, outer->child("inner")->seconds);
+}
+
+/// Deterministic registry used by the exporter golden tests.
+void fill_exporter_registry(MetricsRegistry& registry) {
+  registry.counter("cmarkov_test_requests_total").add(3);
+  registry.counter("cmarkov_test_errors_total").add(1);
+  registry.gauge("cmarkov_test_queue_depth").set(2.5);
+  const double bounds[] = {0.001, 0.01, 0.1, 1.0};
+  Histogram& latency =
+      registry.histogram("cmarkov_test_latency_seconds", bounds);
+  latency.record(0.0005);
+  latency.record(0.005);
+  latency.record(0.005);
+  latency.record(0.05);
+  latency.record(2.0);  // overflow
+}
+
+TEST(ExportTest, PrometheusMatchesGolden) {
+  MetricsRegistry registry;
+  fill_exporter_registry(registry);
+  EXPECT_EQ(to_prometheus(registry), read_golden("metrics.prom"));
+}
+
+TEST(ExportTest, KvLineMatchesGolden) {
+  MetricsRegistry registry;
+  fill_exporter_registry(registry);
+  // to_kv_line has no trailing newline; the golden file is \n-terminated.
+  EXPECT_EQ(to_kv_line(registry) + "\n", read_golden("metrics.kv"));
+}
+
+TEST(ExportTest, ProfileJsonMatchesGolden) {
+  RunProfile profile("train");
+  profile.begin("build");
+  profile.record("analyze", 0.5);
+  profile.record("reduce", 0.25);
+  profile.end(0.75);
+  profile.record("train", 1.25);
+  profile.finish(2.0);
+  EXPECT_EQ(run_profile_json(profile, nullptr), read_golden("profile.json"));
+}
+
+TEST(ExportTest, ProfileJsonEmbedsMetricsSection) {
+  MetricsRegistry registry;
+  registry.counter("cmarkov_test_ticks_total").add(2);
+  RunProfile profile;
+  profile.finish(1.0);
+  const std::string json = run_profile_json(profile, &registry);
+  EXPECT_NE(json.find("\"schema\":\"cmarkov.profile.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\":{\"counters\":{\"cmarkov_test_ticks_total\":2}"),
+            std::string::npos)
+      << json;
+}
+
+// End-to-end: the instrumented build+train path used by
+// `cmarkov train --profile-json`, with a threaded pool sharing one
+// registry (also the TSan smoke target for the obs layer). The contiguous
+// stage spans must account for (nearly) the whole run — the acceptance
+// bound for the profile export is 5%.
+TEST(ObsIntegrationTest, InstrumentedPipelineStagesSumToTotal) {
+  const workload::ProgramSuite suite = workload::make_gzip_suite();
+  MetricsRegistry registry;
+  RunProfile profile("train");
+
+  core::DetectorConfig config;
+  config.pipeline.filter = analysis::CallFilter::kSyscalls;
+  config.training.max_iterations = 4;
+  config.pipeline.exec.threads = 4;
+  config.pipeline.exec.metrics = &registry;
+  config.pipeline.exec.profile = &profile;
+  config.training.exec.threads = 4;
+  config.training.exec.metrics = &registry;
+  config.training.exec.profile = &profile;
+
+  std::optional<core::Detector> detector;
+  {
+    const ScopedTimer span(&profile, "build");
+    detector.emplace(core::Detector::build(suite.module(), config));
+  }
+  std::vector<trace::Trace> traces;
+  {
+    const ScopedTimer span(&profile, "collect-traces");
+    traces = workload::collect_traces(suite, 20, 91).traces;
+  }
+  {
+    const ScopedTimer span(&profile, "train");
+    detector->train(traces);
+  }
+  profile.finish();
+
+  const TraceSpan& root = profile.root();
+  const TraceSpan* build = root.child("build");
+  ASSERT_NE(build, nullptr);
+  EXPECT_NE(build->child("analyze"), nullptr);
+  EXPECT_NE(build->child("init"), nullptr);
+  const TraceSpan* train = root.child("train");
+  ASSERT_NE(train, nullptr);
+  const TraceSpan* iteration = train->child("train-iteration");
+  ASSERT_NE(iteration, nullptr);
+  EXPECT_GE(iteration->count, 1u);
+  EXPECT_NE(iteration->child("e-step"), nullptr);
+  EXPECT_NE(iteration->child("m-step"), nullptr);
+
+  double stage_sum = 0.0;
+  for (const auto& child : root.children) stage_sum += child.seconds;
+  ASSERT_GT(root.seconds, 0.0);
+  EXPECT_GT(stage_sum, 0.0);
+  EXPECT_NEAR(stage_sum / root.seconds, 1.0, 0.05)
+      << "stage spans should cover the run (sum=" << stage_sum
+      << "s total=" << root.seconds << "s)";
+
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("cmarkov_pipeline_runs_total"), 1u);
+  EXPECT_GE(snap.counters.at("cmarkov_train_iterations_total"), 1u);
+  EXPECT_GE(snap.histograms.at("cmarkov_train_estep_seconds").count, 1u);
+  // The profile JSON for a real run is well-formed enough to re-export.
+  const std::string json = run_profile_json(profile, &registry);
+  EXPECT_NE(json.find("\"cmarkov_pipeline_runs_total\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cmarkov::obs

@@ -44,7 +44,7 @@ TrainRun train_with_threads(const Hmm& initial,
   TrainingOptions options;
   options.max_iterations = 6;
   options.min_improvement = -1.0;  // run every iteration
-  options.num_threads = num_threads;
+  options.exec.threads = num_threads;
   run.report = baum_welch_train(run.model, data, holdout, options);
   return run;
 }
@@ -190,11 +190,11 @@ TEST(ParallelKMeansTest, DeterministicAcrossThreadCounts) {
   const Matrix samples = random_matrix(90, 12, data_rng);
 
   KMeansOptions options;
-  options.num_threads = 1;
+  options.exec.threads = 1;
   Rng rng_a(42);
   const KMeansResult reference = kmeans(samples, 7, rng_a, options);
 
-  options.num_threads = 4;
+  options.exec.threads = 4;
   Rng rng_b(42);
   const KMeansResult threaded = kmeans(samples, 7, rng_b, options);
 
@@ -212,10 +212,10 @@ TEST(ParallelPcaTest, TruncatedPathDeterministicAcrossThreadCounts) {
 
   PcaOptions options;
   options.max_components = 8;
-  options.num_threads = 1;
+  options.exec.threads = 1;
   const Pca reference = Pca::fit(samples, options);
 
-  options.num_threads = 4;
+  options.exec.threads = 4;
   const Pca threaded = Pca::fit(samples, options);
 
   EXPECT_EQ(reference.basis(), threaded.basis());

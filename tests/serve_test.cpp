@@ -329,26 +329,29 @@ TEST(SessionManagerTest, LifecycleErrorsAreLoud) {
 }
 
 TEST(LatencyHistogramTest, QuantilesLandInTheRightBucket) {
-  LatencyHistogram histogram;
-  EXPECT_EQ(histogram.samples(), 0u);
-  EXPECT_EQ(histogram.quantile_micros(0.5), 0.0);
+  // The serve latency histogram is a plain obs::Histogram over
+  // latency_bucket_bounds(); this pins the quantile semantics the
+  // SessionManager's p50/p99 snapshot fields rely on.
+  obs::Histogram histogram(latency_bucket_bounds());
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.quantile(0.5), 0.0);
   for (int i = 0; i < 99; ++i) histogram.record(0.8);  // bucket <=1us
   histogram.record(900.0);                             // bucket <=1000us
-  EXPECT_EQ(histogram.samples(), 100u);
-  EXPECT_DOUBLE_EQ(histogram.quantile_micros(0.5), 1.0);
-  EXPECT_DOUBLE_EQ(histogram.quantile_micros(0.99), 1.0);
-  EXPECT_DOUBLE_EQ(histogram.quantile_micros(1.0), 1000.0);
-  histogram.record(1e9);  // overflow bucket saturates
-  EXPECT_DOUBLE_EQ(histogram.quantile_micros(1.0),
-                   LatencyHistogram::kOverflowMicros);
+  EXPECT_EQ(histogram.count(), 100u);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.99), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(1.0), 1000.0);
+  histogram.record(1e9);  // overflow bucket saturates at the last bound
+  EXPECT_DOUBLE_EQ(histogram.quantile(1.0), latency_bucket_bounds().back());
 }
 
-TEST(ServiceMetricsTest, RendersOneKeyValueLine) {
+TEST(ServiceMetricsTest, RendersOneVersionedKeyValueLine) {
   ServiceMetrics metrics;
   metrics.uptime_seconds = 1.5;
   metrics.events_processed = 42;
   metrics.queue_depths = {3, 0};
   const std::string line = metrics.to_line();
+  EXPECT_TRUE(line.starts_with("v=1 ")) << line;
   EXPECT_NE(line.find("uptime_s=1.500"), std::string::npos);
   EXPECT_NE(line.find("processed=42"), std::string::npos);
   EXPECT_NE(line.find("qdepth=3,0"), std::string::npos);
@@ -380,15 +383,19 @@ TEST(ProtocolTest, HappyPathHelloEvStatsBye) {
   }
   ASSERT_GT(fed, 0u);
   const std::string stats = session.handle_line("STATS");
-  EXPECT_TRUE(stats.starts_with("STATS session=watchman model=gzip"));
+  EXPECT_TRUE(stats.starts_with("STATS v=1 session=watchman model=gzip"));
   const std::string fed_str = std::to_string(fed);
   EXPECT_NE(stats.find("enqueued=" + fed_str), std::string::npos) << stats;
   EXPECT_NE(stats.find("processed=" + fed_str), std::string::npos) << stats;
   EXPECT_NE(stats.find("alarms="), std::string::npos);
 
   const std::string metrics = session.handle_line("METRICS");
-  EXPECT_TRUE(metrics.starts_with("METRICS "));
-  EXPECT_NE(metrics.find("sessions=1"), std::string::npos);
+  EXPECT_TRUE(metrics.starts_with("METRICS v=1 "));
+  EXPECT_NE(metrics.find("cmarkov_serve_sessions_open=1"), std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("cmarkov_serve_events_processed_total=" + fed_str),
+            std::string::npos)
+      << metrics;
 
   EXPECT_TRUE(session.handle_line("BYE").starts_with("OK session=watchman"));
   EXPECT_TRUE(session.closed());
@@ -472,7 +479,7 @@ TEST(ServiceTest, ServeStreamEndToEnd) {
   ASSERT_TRUE(std::getline(lines, line));
   EXPECT_EQ(line, "OK");
   ASSERT_TRUE(std::getline(lines, line));
-  EXPECT_TRUE(line.starts_with("STATS session=scripted"));
+  EXPECT_TRUE(line.starts_with("STATS v=1 session=scripted"));
   EXPECT_NE(line.find("processed=2"), std::string::npos);
   ASSERT_TRUE(std::getline(lines, line));
   EXPECT_TRUE(line.starts_with("OK session=scripted"));

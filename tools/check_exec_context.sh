@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Guards the PR-4 API redesign: thread counts flow through
+# util::ExecContext (options.exec.threads), never through raw
+# `num_threads` *fields* on option structs. Function/constructor
+# parameters named num_threads (WorkerPool, parallel_for, transform)
+# remain legitimate, so the pattern matches only field declarations with
+# a default initializer.
+#
+# Wired into CTest as `check_exec_context` (label: obs).
+set -eu
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+bad="$(grep -rnE '(std::size_t|size_t|int|unsigned)[[:space:]]+num_threads[[:space:]]*=[[:space:]]*[0-9]+[[:space:]]*;' \
+  "$repo_root/src" --include='*.hpp' --include='*.h' || true)"
+
+if [ -n "$bad" ]; then
+  echo "error: raw num_threads field(s) found; route thread counts through" >&2
+  echo "ExecContext (options.exec.threads) instead:" >&2
+  echo "$bad" >&2
+  exit 1
+fi
+echo "ok: no raw num_threads fields in src/ headers"

@@ -4,7 +4,7 @@
 //   cmarkov analyze <suite|file.minic> [--filter sys|lib]
 //   cmarkov trace   <suite|file.minic> [--count N] [--seed S] --out <dir>
 //   cmarkov train   <suite|file.minic> [--filter sys|lib] [--traces N]
-//                   [--context 0|1] --out <model.txt>
+//                   [--context 0|1] [--profile-json <path>] --out <model.txt>
 //   cmarkov scan    <model.txt> <trace.txt>...
 //   cmarkov monitor <model.txt> <trace.txt>
 //
@@ -15,6 +15,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <sstream>
 
 #include "src/cfg/cfg_builder.hpp"
@@ -24,6 +25,7 @@
 #include "src/core/pipeline.hpp"
 #include "src/eval/comparison.hpp"
 #include "src/gadget/gadget_scanner.hpp"
+#include "src/obs/export.hpp"
 #include "src/trace/interpreter.hpp"
 #include "src/trace/trace_io.hpp"
 #include "src/util/strings.hpp"
@@ -133,7 +135,7 @@ int cmd_analyze(const Args& args) {
 
   core::PipelineConfig config;
   config.filter = filter;
-  config.num_threads =
+  config.exec.threads =
       static_cast<std::size_t>(std::stoul(args.get("threads", "0")));
   Rng rng(1);
   const auto result = core::run_static_pipeline(program, config, rng);
@@ -183,7 +185,16 @@ int cmd_train(const Args& args) {
   if (args.positional.empty()) {
     throw std::runtime_error("train: need a suite name or .minic file");
   }
+  // --profile-json: instrument the whole run (stage spans + metrics) and
+  // dump the machine-readable profile document on exit.
+  const std::string profile_path = args.get("profile-json", "");
+  obs::MetricsRegistry registry;
+  obs::RunProfile run_profile("train");
+  obs::RunProfile* profile = profile_path.empty() ? nullptr : &run_profile;
+
+  Stopwatch stage;
   const ir::ProgramModule program = load_program(args.positional[0]);
+  if (profile != nullptr) profile->record("load-program", stage.seconds());
   const std::string out = args.get("out", program.name() + ".model");
 
   core::DetectorConfig config;
@@ -192,23 +203,54 @@ int cmd_train(const Args& args) {
   config.target_fp = std::stod(args.get("target-fp", "0.001"));
   const auto threads =
       static_cast<std::size_t>(std::stoul(args.get("threads", "0")));
-  config.pipeline.num_threads = threads;
-  config.training.num_threads = threads;
+  config.pipeline.exec.threads = threads;
+  config.training.exec.threads = threads;
+  if (profile != nullptr) {
+    config.pipeline.exec.metrics = &registry;
+    config.pipeline.exec.profile = profile;
+    config.training.exec.metrics = &registry;
+    config.training.exec.profile = profile;
+  }
 
-  core::Detector detector = core::Detector::build(program, config);
-  const auto traces = collect_program_traces(
-      program, static_cast<std::size_t>(std::stoul(args.get("traces", "60"))),
-      std::stoull(args.get("seed", "42")));
-  const auto report = detector.train(traces);
+  std::optional<core::Detector> detector;
+  {
+    const obs::ScopedTimer span(profile, "build");
+    detector.emplace(core::Detector::build(program, config));
+  }
+  std::vector<trace::Trace> traces;
+  {
+    const obs::ScopedTimer span(profile, "collect-traces");
+    traces = collect_program_traces(
+        program, static_cast<std::size_t>(std::stoul(args.get("traces", "60"))),
+        std::stoull(args.get("seed", "42")));
+  }
+  std::size_t iterations = 0;
+  {
+    const obs::ScopedTimer span(profile, "train");
+    iterations = detector->train(traces).iterations;
+  }
+  {
+    const obs::ScopedTimer span(profile, "save-model");
+    core::save_detector_file(out, *detector);
+  }
 
-  core::save_detector_file(out, detector);
   std::cout << "trained " << (config.pipeline.context_sensitive
                                   ? "context-sensitive"
                                   : "context-insensitive")
             << " model on " << traces.size() << " traces ("
-            << report.iterations << " iterations), threshold "
-            << format_double(detector.threshold(), 3) << "\n";
+            << iterations << " iterations), threshold "
+            << format_double(detector->threshold(), 3) << "\n";
   std::cout << "saved to " << out << "\n";
+
+  if (profile != nullptr) {
+    profile->finish();
+    std::ofstream json(profile_path);
+    if (!json) {
+      throw std::runtime_error("cannot write profile to " + profile_path);
+    }
+    json << obs::run_profile_json(*profile, &registry);
+    std::cout << "profile written to " << profile_path << "\n";
+  }
   return 0;
 }
 
@@ -226,7 +268,7 @@ int cmd_compare(const Args& args) {
   eval::ComparisonOptions options =
       eval::default_comparison_options(args.get("full", "0") == "1");
   options.seed = std::stoull(args.get("seed", "1"));
-  options.num_threads =
+  options.exec.threads =
       static_cast<std::size_t>(std::stoul(args.get("threads", "0")));
 
   const eval::SuiteComparison comparison =

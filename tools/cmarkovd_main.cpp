@@ -24,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/obs/export.hpp"
 #include "src/serve/service.hpp"
 #include "src/trace/trace_io.hpp"
 #include "src/util/logging.hpp"
@@ -204,7 +205,8 @@ int main(int argc, char** argv) {
       for (const auto& [model, path] : options.replays) {
         replay_trace(service, model, path);
       }
-      std::cout << "METRICS " << service.metrics().to_line() << "\n";
+      std::cout << "METRICS " << obs::to_kv_line(service.metrics_registry())
+                << "\n";
       return 0;
     }
     if (options.tcp_port > 0) {

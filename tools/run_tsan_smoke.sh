@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # ThreadSanitizer smoke for the concurrent subsystems: builds the repo with
 # CMARKOV_SANITIZE=thread and runs the concurrency-sensitive tests — the
-# cmarkovd serving layer plus the parallel training engine (worker pool,
-# multi-threaded Baum-Welch/k-means/PCA). Any TSan report fails the run
+# cmarkovd serving layer, the parallel training engine (worker pool,
+# multi-threaded Baum-Welch/k-means/PCA), and the obs layer (sharded
+# counters/histograms under concurrent writers plus the threaded
+# pipeline-with-metrics smoke in obs_test). Any TSan report fails the run
 # (halt_on_error). Usage:
 #
 #   tools/run_tsan_smoke.sh            # build into build-tsan/ and run
@@ -11,13 +13,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build-tsan}"
-TESTS='^(serve_test|logging_test|parallel_test|parallel_training_test)$'
+TESTS='^(serve_test|logging_test|parallel_test|parallel_training_test|obs_test)$'
 
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMARKOV_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target serve_test logging_test parallel_test parallel_training_test
+  --target serve_test logging_test parallel_test parallel_training_test \
+  --target obs_test
 
 (cd "$BUILD_DIR" && \
   TSAN_OPTIONS="halt_on_error=1 abort_on_error=1" \
