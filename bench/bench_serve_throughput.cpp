@@ -5,10 +5,17 @@
 //
 //   bench_serve_throughput [--sessions K] [--events-per-session N]
 //                          [--workers W] [--queue C]
-//                          [--policy block|drop-oldest|reject] [--full]
+//                          [--policy block|drop-oldest|reject]
+//                          [--trace off|sample|sample-periodic|always]
+//                          [--full]
 //
 // Acceptance target (ISSUE 1): >= 100k events/sec aggregate across >= 8
 // concurrent sessions under the block policy (nothing dropped).
+//
+// --trace measures the event-tracing overhead (ISSUE 5, BENCH_obs.json):
+// `off` leaves the tracer and decision audit disabled, `sample` records
+// 1-in-100 windows/spans, `always` records every window and span. The
+// always-on configuration must stay within 3% of `off`.
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -90,11 +97,37 @@ int main(int argc, char** argv) {
   }
   config.policy = *policy;
 
+  // Tracing runs with the production-shaped bounded sinks (default span
+  // log and decision log capacities, drop-accounted): the measured cost is
+  // the sampling guard + record assembly, not an unbounded keep-everything
+  // buffer.
+  // `sample` is the production configuration: 1-in-100 plus a record for
+  // every flagged window/alarm. `sample-periodic` switches the always-on
+  // flagged path off to isolate the sampling mechanism's cost — this feed
+  // cycles unrelated traces, so ~14% of its windows are genuinely flagged
+  // seams and the audit-trail guarantee records all of them (a cost that
+  // scales with the anomaly rate, not the event rate).
+  const std::string trace_mode = arg_value(argc, argv, "--trace", "off");
+  if (trace_mode == "sample" || trace_mode == "sample-periodic" ||
+      trace_mode == "always") {
+    const std::size_t every = trace_mode == "always" ? 1 : 100;
+    config.tracing.enabled = true;
+    config.tracing.sample_every = every;
+    config.monitor.decisions.enabled = true;
+    config.monitor.decisions.sample_every = every;
+    config.monitor.decisions.always_on_flagged =
+        trace_mode != "sample-periodic";
+  } else if (trace_mode != "off") {
+    std::cerr
+        << "unknown --trace mode (off|sample|sample-periodic|always)\n";
+    return 1;
+  }
+
   std::cout << "cmarkovd load generator: " << sessions << " sessions x "
             << events_per_session << " events, " << config.num_workers
             << " workers, queue=" << config.queue_capacity
             << ", policy=" << serve::backpressure_policy_name(config.policy)
-            << "\n";
+            << ", trace=" << trace_mode << "\n";
 
   const workload::ProgramSuite gzip = workload::make_gzip_suite();
   const workload::ProgramSuite sed = workload::make_sed_suite();
@@ -153,6 +186,12 @@ int main(int argc, char** argv) {
   std::cout << "dropped=" << metrics.events_dropped
             << " rejected=" << metrics.events_rejected
             << " alarms=" << metrics.alarms << "\n";
+  if (trace_mode != "off") {
+    std::cout << "tracing: spans=" << manager.tracer().recorded()
+              << " (+" << manager.tracer().dropped() << " dropped)"
+              << " decisions=" << manager.decision_log().appended()
+              << " (+" << manager.decision_log().dropped() << " dropped)\n";
+  }
   std::cout << "target " << format_double(kTargetEventsPerSecond, 0)
             << " events/sec: "
             << (events_per_second >= kTargetEventsPerSecond ? "PASS" : "FAIL")

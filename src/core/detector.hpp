@@ -17,6 +17,8 @@
 
 #include "src/core/pipeline.hpp"
 #include "src/hmm/baum_welch.hpp"
+#include "src/hmm/forward_backward.hpp"
+#include "src/obs/trace/decision_record.hpp"
 #include "src/trace/event.hpp"
 #include "src/trace/segmenter.hpp"
 
@@ -69,6 +71,23 @@ class Detector {
 
   /// Scores one segment (alphabet-frozen encoding).
   SegmentVerdict score_segment(const hmm::ObservationSeq& segment) const;
+
+  /// Scores one segment and exposes the forward pass (for decision
+  /// tracing). Same cost as the plain overload — the likelihood already
+  /// requires the full forward recursion. For segments with unknown
+  /// observations (which the forward pass cannot consume) `forward` comes
+  /// back empty with impossible=true and log_likelihood=-infinity.
+  SegmentVerdict score_segment(const hmm::ObservationSeq& segment,
+                               hmm::ForwardResult* forward) const;
+
+  /// Assembles the `cmarkov.decision.v1` audit record for a segment scored
+  /// via the forward-exposing overload: per-symbol log c_t contributions
+  /// (summing exactly to verdict.log_likelihood), argmax hidden states,
+  /// unknown-call marks, and the threshold margin. session / trace_id /
+  /// window_index / alarm / sampled are left for the caller to fill.
+  obs::DecisionRecord make_decision_record(
+      const hmm::ObservationSeq& segment, const SegmentVerdict& verdict,
+      const hmm::ForwardResult& forward) const;
 
   /// Viterbi attribution: the most likely hidden-state path for a segment,
   /// rendered with the static state labels ("read@fill_window",

@@ -57,7 +57,12 @@ MonitorUpdate OnlineMonitor::on_event(trace::CallEvent event) {
 
   update.window_complete = true;
   const hmm::ObservationSeq segment(window_.begin(), window_.end());
-  const SegmentVerdict verdict = detector_.score_segment(segment);
+  const bool tracing =
+      options_.decisions.enabled && options_.decisions.ring_capacity > 0;
+  hmm::ForwardResult forward;
+  const SegmentVerdict verdict =
+      tracing ? detector_.score_segment(segment, &forward)
+              : detector_.score_segment(segment);
   update.log_likelihood = verdict.log_likelihood;
   update.flagged = verdict.flagged;
   update.unknown_symbol = verdict.unknown_symbol;
@@ -78,6 +83,26 @@ MonitorUpdate OnlineMonitor::on_event(trace::CallEvent event) {
     }
   } else {
     consecutive_flagged_ = 0;
+  }
+
+  if (tracing) {
+    const bool sampled =
+        options_.decisions.sample_every > 0 &&
+        stats_.windows_scored % options_.decisions.sample_every == 0;
+    const bool forced = options_.decisions.always_on_flagged &&
+                        (verdict.flagged || update.alarm);
+    if (sampled || forced) {
+      obs::DecisionRecord record =
+          detector_.make_decision_record(segment, verdict, forward);
+      record.window_index = stats_.windows_scored;
+      record.alarm = update.alarm;
+      record.sampled = sampled;
+      decisions_.push_back(std::move(record));
+      while (decisions_.size() > options_.decisions.ring_capacity) {
+        decisions_.pop_front();
+      }
+      update.decision = &decisions_.back();
+    }
   }
   return update;
 }

@@ -32,6 +32,28 @@ namespace cmarkov::core {
 //     `windows_to_alarm` flagged windows, then one alarm every
 //     `cooldown_events` events (or every `windows_to_alarm` windows when
 //     the cooldown is 0).
+/// Decision-audit sampling (docs/OBSERVABILITY.md). When enabled, scored
+/// windows selected by the guard get a full `cmarkov.decision.v1`
+/// DecisionRecord (per-symbol forward contributions, argmax states,
+/// unknown-call marks, threshold margin) kept in a bounded ring:
+///   - every `sample_every`-th scored window is recorded (0 disables the
+///     periodic sample);
+///   - flagged windows and alarms are always recorded when
+///     `always_on_flagged` is set, regardless of the period.
+/// Detailed scoring reuses the forward pass the verdict already needs, so
+/// the steady-state overhead is the sampling branch plus record assembly
+/// for admitted windows only.
+struct DecisionTraceOptions {
+  bool enabled = false;
+  /// Record every Nth scored window (1 = all, 0 = only flagged/alarms).
+  std::size_t sample_every = 0;
+  /// Always record flagged windows and alarms (the audit-trail guarantee:
+  /// no anomaly verdict without its explanation).
+  bool always_on_flagged = true;
+  /// Records retained per monitor; older records are evicted.
+  std::size_t ring_capacity = 32;
+};
+
 struct MonitorOptions {
   /// Consecutive flagged windows required before an alarm fires.
   std::size_t windows_to_alarm = 1;
@@ -42,6 +64,8 @@ struct MonitorOptions {
   /// cmarkovd session manager leaves this null and counts service-wide
   /// instead, to avoid double counting across per-session monitors.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Per-window decision audit records (off by default).
+  DecisionTraceOptions decisions;
 };
 
 /// Per-event monitoring outcome.
@@ -56,6 +80,10 @@ struct MonitorUpdate {
   bool unknown_symbol = false;
   /// Alarm fired on this event (hysteresis + cooldown applied).
   bool alarm = false;
+  /// Audit record for this window when decision tracing admitted it; null
+  /// otherwise. Points into the monitor's ring — valid until the next
+  /// on_event / reset_window call on the same monitor.
+  const obs::DecisionRecord* decision = nullptr;
 };
 
 struct MonitorStats {
@@ -85,6 +113,19 @@ class OnlineMonitor {
 
   const MonitorStats& stats() const { return stats_; }
 
+  /// Retained decision records, oldest first (empty unless decision
+  /// tracing is enabled). Bounded by DecisionTraceOptions::ring_capacity.
+  const std::deque<obs::DecisionRecord>& recent_decisions() const {
+    return decisions_;
+  }
+
+  /// Newest retained decision record, mutable (null when none). The
+  /// serving tier stamps session / trace ids into it right after the
+  /// on_event call that produced it.
+  obs::DecisionRecord* last_decision() {
+    return decisions_.empty() ? nullptr : &decisions_.back();
+  }
+
   /// Clears the window and hysteresis state (e.g. on process restart), but
   /// keeps cumulative stats.
   void reset_window();
@@ -94,6 +135,7 @@ class OnlineMonitor {
   const trace::Symbolizer* symbolizer_;
   MonitorOptions options_;
   std::deque<std::size_t> window_;  // encoded observation ids
+  std::deque<obs::DecisionRecord> decisions_;  // bounded audit ring
   std::size_t consecutive_flagged_ = 0;
   std::size_t cooldown_remaining_ = 0;
   MonitorStats stats_;

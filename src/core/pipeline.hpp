@@ -27,11 +27,6 @@ struct PipelineConfig {
   analysis::FunctionMatrixOptions matrix;
   reduction::ClusteringOptions clustering;
   hmm::StaticInitOptions static_init;
-
-  /// Deprecated PR 2 spelling, kept one PR for compatibility.
-  [[deprecated("use exec.threads")]] void set_num_threads(std::size_t n) {
-    exec.threads = n;
-  }
 };
 
 struct StaticPipelineResult {

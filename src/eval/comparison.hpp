@@ -34,11 +34,6 @@ struct ComparisonOptions {
                             .exec = {}};
   hmm::TrainingOptions training;
   ModelBuildOptions build;
-
-  /// Deprecated PR 2 spelling, kept one PR for compatibility.
-  [[deprecated("use exec.threads")]] void set_num_threads(std::size_t n) {
-    exec.threads = n;
-  }
 };
 
 struct ModelEvaluation {

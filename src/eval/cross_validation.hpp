@@ -32,11 +32,6 @@ struct CrossValidationOptions {
   /// identical at any value: the shuffle happens once on the calling thread
   /// and each fold is built independently from it.
   ExecContext exec;
-
-  /// Deprecated PR 2 spelling, kept one PR for compatibility.
-  [[deprecated("use exec.threads")]] void set_num_threads(std::size_t n) {
-    exec.threads = n;
-  }
 };
 
 /// Splits unique segments into k folds. Segments are shuffled

@@ -64,11 +64,6 @@ struct ModelBuildOptions {
   reduction::ClusteringOptions clustering;
   hmm::StaticInitOptions static_init;
   hmm::RandomInitOptions random_init;
-
-  /// Deprecated PR 2 spelling, kept one PR for compatibility.
-  [[deprecated("use exec.threads")]] void set_num_threads(std::size_t n) {
-    exec.threads = n;
-  }
 };
 
 /// A built (untrained) model plus everything needed to encode traces.

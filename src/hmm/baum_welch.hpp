@@ -41,11 +41,6 @@ struct TrainingOptions {
   /// Log-likelihood stand-in for sequences the current model rejects
   /// (impossible or empty), keeping reported means finite.
   double impossible_penalty = -1e4;
-
-  /// Deprecated PR 2 spelling, kept one PR for compatibility.
-  [[deprecated("use exec.threads")]] void set_num_threads(std::size_t n) {
-    exec.threads = n;
-  }
 };
 
 struct TrainingReport {

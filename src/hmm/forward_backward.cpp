@@ -196,6 +196,43 @@ Matrix backward_scaled(const Hmm& model,
   return beta;
 }
 
+std::vector<double> per_symbol_log_contributions(const ForwardResult& result) {
+  std::vector<double> contributions(result.scales.size(), 0.0);
+  bool dead = false;
+  for (std::size_t t = 0; t < result.scales.size(); ++t) {
+    if (dead) continue;
+    const double c = result.scales[t];
+    if (c <= 0.0) {
+      // forward_scaled stops at the first zero-probability prefix; that
+      // step absorbs the whole -infinity and later steps contribute 0 so
+      // the sum still equals log_likelihood.
+      contributions[t] = -std::numeric_limits<double>::infinity();
+      dead = true;
+    } else {
+      contributions[t] = std::log(c);
+    }
+  }
+  return contributions;
+}
+
+std::vector<std::size_t> per_symbol_argmax_states(const ForwardResult& result) {
+  const std::size_t t_len = result.alpha.rows();
+  const std::size_t n = result.alpha.cols();
+  std::vector<std::size_t> states(t_len, 0);
+  for (std::size_t t = 0; t < t_len; ++t) {
+    std::size_t best = 0;
+    double best_value = n > 0 ? result.alpha(t, 0) : 0.0;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (result.alpha(t, i) > best_value) {
+        best_value = result.alpha(t, i);
+        best = i;
+      }
+    }
+    states[t] = best;
+  }
+  return states;
+}
+
 double sequence_log_likelihood(const Hmm& model,
                                std::span<const std::size_t> observations) {
   return forward_scaled(model, observations).log_likelihood;

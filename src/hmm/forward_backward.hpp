@@ -66,6 +66,19 @@ Matrix backward_scaled(const Hmm& model,
                        std::span<const double> scales,
                        const HmmKernelCache& cache);
 
+/// Additive per-symbol decomposition of the log-likelihood: entry t is
+/// log(c_t), the log-probability of symbol t given the (scaled) state
+/// distribution after t symbols, and the entries sum to
+/// `result.log_likelihood` exactly (same values, same summation order).
+/// For impossible sequences the first zero-scale step contributes
+/// -infinity and every later step 0 — the sum is still -infinity.
+std::vector<double> per_symbol_log_contributions(const ForwardResult& result);
+
+/// Most likely hidden state after each symbol: argmax over the scaled
+/// alpha row (ties break to the lowest state id). For impossible
+/// sequences, steps at and after the zero-scale point report state 0.
+std::vector<std::size_t> per_symbol_argmax_states(const ForwardResult& result);
+
 /// Convenience: log P(observations | model), -infinity when impossible.
 double sequence_log_likelihood(const Hmm& model,
                                std::span<const std::size_t> observations);

@@ -24,11 +24,6 @@ struct KMeansOptions {
   /// value: per-sample work is independent and reductions merge fixed-size
   /// chunks in index order. (The RNG stays an explicit kmeans() parameter.)
   ExecContext exec;
-
-  /// Deprecated PR 2 spelling, kept one PR for compatibility.
-  [[deprecated("use exec.threads")]] void set_num_threads(std::size_t n) {
-    exec.threads = n;
-  }
 };
 
 struct KMeansResult {

@@ -34,11 +34,6 @@ struct PcaOptions {
   /// orthogonal-iteration start basis (the former `seed` field) and is
   /// preserved by ExecContext::adopt_runtime().
   ExecContext exec{.threads = 1, .seed = 0x9ca};
-
-  /// Deprecated PR 2 spelling, kept one PR for compatibility.
-  [[deprecated("use exec.threads")]] void set_num_threads(std::size_t n) {
-    exec.threads = n;
-  }
 };
 
 /// A fitted PCA model: mean vector + projection basis.

@@ -18,6 +18,7 @@ RunProfile::RunProfile(std::string root_name) {
 }
 
 void RunProfile::begin(std::string_view name) {
+  assert_owner();
   TraceSpan* parent = stack_.back();
   TraceSpan* span = nullptr;
   for (auto& c : parent->children) {
@@ -35,6 +36,7 @@ void RunProfile::begin(std::string_view name) {
 }
 
 void RunProfile::end(double seconds) {
+  assert_owner();
   if (stack_.size() <= 1) {
     throw std::logic_error("RunProfile::end: no open span (root is closed "
                            "via finish())");
@@ -51,6 +53,7 @@ void RunProfile::record(std::string_view name, double seconds) {
 void RunProfile::finish() { finish(watch_.seconds()); }
 
 void RunProfile::finish(double total_seconds) {
+  assert_owner();
   if (stack_.size() != 1) {
     throw std::logic_error("RunProfile::finish: " +
                            std::to_string(stack_.size() - 1) +

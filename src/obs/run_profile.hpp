@@ -10,9 +10,11 @@
 // threads report through MetricsRegistry instead); it is not thread-safe.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "src/util/stopwatch.hpp"
@@ -55,12 +57,21 @@ class RunProfile {
   std::size_t open_depth() const { return stack_.size(); }
 
  private:
+  // Single-owner contract guard: debug builds assert that every mutation
+  // happens on the constructing thread (release builds compile this away).
+  void assert_owner() const {
+    assert(std::this_thread::get_id() == owner_ &&
+           "RunProfile is single-owner: mutate it only from the thread "
+           "that constructed it (workers report via MetricsRegistry)");
+  }
+
   TraceSpan root_;
   // Pointers into the open root→current path. Safe against reallocation:
   // begin() only appends to the CURRENT span's children, and no pointer to
   // an element of that vector is on the stack (only the path above it).
   std::vector<TraceSpan*> stack_;
   Stopwatch watch_;
+  std::thread::id owner_ = std::this_thread::get_id();
 };
 
 /// RAII span: opens `name` on construction, closes it with the scope's

@@ -1,0 +1,99 @@
+// BoundedLog<T> — the lock-free bounded event sink shared by the decision
+// JSONL log and the span Tracer (ISSUE 5). Writers claim a slot with one
+// relaxed fetch_add and publish it with one release store; there is no
+// mutex anywhere on the append path, so serving workers never contend.
+//
+// The log is a flight recorder, not a ring: once `capacity` records have
+// been claimed, further appends are DROPPED and counted (drop accounting is
+// part of the contract — loss is observable, never silent). Snapshot order
+// is claim order, which makes output deterministic whenever production is
+// deterministic (single producer, or the manual-pump test harness).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace cmarkov::obs {
+
+template <typename T>
+class BoundedLog {
+ public:
+  explicit BoundedLog(std::size_t capacity) : capacity_(capacity) {
+    if (capacity_ > 0) slots_ = std::make_unique<Slot[]>(capacity_);
+  }
+  BoundedLog(const BoundedLog&) = delete;
+  BoundedLog& operator=(const BoundedLog&) = delete;
+
+  /// Appends `value` if a slot is free; returns false (and counts a drop)
+  /// once the log is full. Wait-free: one fetch_add + one release store.
+  bool append(T value) {
+    const std::uint64_t index =
+        next_.fetch_add(1, std::memory_order_relaxed);
+    if (index >= capacity_) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    Slot& slot = slots_[index];
+    slot.value = std::move(value);
+    slot.ready.store(true, std::memory_order_release);
+    return true;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// True once every slot has been claimed. Monotonic (slots are never
+  /// reclaimed), so callers may use it as a fast path to skip building a
+  /// record that append() would only drop — provided they still call
+  /// drop() to keep the accounting complete.
+  bool full() const {
+    return next_.load(std::memory_order_relaxed) >= capacity_;
+  }
+
+  /// Counts `n` drops without claiming slots: the caller observed full()
+  /// and skipped constructing the record(s).
+  void drop(std::uint64_t n = 1) {
+    dropped_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Records appended successfully so far (published or being published).
+  std::uint64_t appended() const {
+    const std::uint64_t claimed = next_.load(std::memory_order_relaxed);
+    return claimed < capacity_ ? claimed : capacity_;
+  }
+
+  /// Appends refused because the log was full.
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Copies every published record in claim order. Slots claimed but not
+  /// yet published by a concurrent writer are skipped (quiesced producers
+  /// => complete snapshot).
+  std::vector<T> snapshot() const {
+    std::vector<T> out;
+    const std::uint64_t limit = appended();
+    out.reserve(limit);
+    for (std::uint64_t i = 0; i < limit; ++i) {
+      if (slots_[i].ready.load(std::memory_order_acquire)) {
+        out.push_back(slots_[i].value);
+      }
+    }
+    return out;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<bool> ready{false};
+    T value{};
+  };
+
+  const std::size_t capacity_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> next_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace cmarkov::obs

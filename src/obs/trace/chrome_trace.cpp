@@ -1,0 +1,57 @@
+#include "src/obs/trace/chrome_trace.hpp"
+
+#include "src/obs/export.hpp"
+
+namespace cmarkov::obs {
+
+namespace {
+
+std::string micros(double seconds) {
+  return format_metric_value(seconds * 1e6);
+}
+
+void append_profile_span(const TraceSpan& span, double start_seconds,
+                         bool& first, std::string& out) {
+  if (!first) out += ",\n";
+  first = false;
+  out += "{\"name\":\"" + span.name + "\",\"ph\":\"X\",\"ts\":" +
+         micros(start_seconds) + ",\"dur\":" + micros(span.seconds) +
+         ",\"pid\":1,\"tid\":1,\"args\":{\"count\":" +
+         std::to_string(span.count) + "}}";
+  // Children are contiguous by construction: lay them out sequentially
+  // from this span's start.
+  double child_start = start_seconds;
+  for (const TraceSpan& child : span.children) {
+    append_profile_span(child, child_start, first, out);
+    child_start += child.seconds;
+  }
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const RunProfile& profile) {
+  std::string out = "[\n";
+  bool first = true;
+  append_profile_span(profile.root(), 0.0, first, out);
+  out += "\n]\n";
+  return out;
+}
+
+std::string chrome_trace_json(std::span<const SpanRecord> spans) {
+  std::string out = "[\n";
+  bool first = true;
+  for (const SpanRecord& span : spans) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\":\"" + span.name + "\",\"ph\":\"X\",\"ts\":" +
+           format_metric_value(span.start_micros) +
+           ",\"dur\":" + format_metric_value(span.duration_micros) +
+           ",\"pid\":1,\"tid\":" + std::to_string(span.thread) +
+           ",\"args\":{\"session\":\"" + span.session + "\",\"tid\":\"" +
+           span.trace_id + "\",\"seq\":" + std::to_string(span.seq) + "}}";
+  }
+  out += "\n]\n";
+  return out;
+}
+
+}  // namespace cmarkov::obs

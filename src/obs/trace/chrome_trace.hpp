@@ -1,0 +1,29 @@
+// Chrome-trace exporters (the JSON array format chrome://tracing and
+// Perfetto load): one for RunProfile span trees (`cmarkov train
+// --chrome-trace`) and one for the serving tier's per-event SpanRecords
+// (`cmarkovd --chrome-trace`). Both emit complete events ("ph":"X") with
+// microsecond timestamps, fixed key order and locale-independent numbers,
+// so output is byte-deterministic for deterministic input.
+//
+// A RunProfile stores durations but not start offsets; the exporter lays
+// siblings out sequentially from their parent's start, which is exact for
+// cmarkov's contiguous stage spans (docs/OBSERVABILITY.md).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "src/obs/run_profile.hpp"
+#include "src/obs/trace/tracer.hpp"
+
+namespace cmarkov::obs {
+
+/// Chrome-trace array for a profile's span tree (pid 1, tid 1); each
+/// span's `args` carries its merge count.
+std::string chrome_trace_json(const RunProfile& profile);
+
+/// Chrome-trace array for per-event spans: tid is the recording worker
+/// shard, `args` carries session / trace id / event sequence.
+std::string chrome_trace_json(std::span<const SpanRecord> spans);
+
+}  // namespace cmarkov::obs

@@ -1,0 +1,14 @@
+#include "src/obs/trace/decision_log.hpp"
+
+namespace cmarkov::obs {
+
+std::string DecisionLog::to_jsonl() const {
+  std::string out;
+  for (const DecisionRecord& record : log_.snapshot()) {
+    out += decision_record_json(record);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace cmarkov::obs

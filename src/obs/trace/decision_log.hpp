@@ -1,0 +1,43 @@
+// DecisionLog — the service-wide JSONL sink for DecisionRecords: a
+// lock-free BoundedLog plus the `cmarkov.decision.v1` rendering. cmarkovd
+// appends every recorded decision here (scoring workers, wait-free) and
+// dumps the log as one JSON line per record on demand (--decision-log,
+// tests). Output is byte-deterministic for a deterministic append order.
+#pragma once
+
+#include <string>
+
+#include "src/obs/trace/bounded_log.hpp"
+#include "src/obs/trace/decision_record.hpp"
+
+namespace cmarkov::obs {
+
+class DecisionLog {
+ public:
+  explicit DecisionLog(std::size_t capacity) : log_(capacity) {}
+
+  /// Wait-free append; false (and a counted drop) once full.
+  bool append(DecisionRecord record) { return log_.append(std::move(record)); }
+
+  std::uint64_t appended() const { return log_.appended(); }
+  std::uint64_t dropped() const { return log_.dropped(); }
+  std::size_t capacity() const { return log_.capacity(); }
+
+  /// True once the log can never accept another record; hot-path callers
+  /// may skip the record copy and call drop() instead.
+  bool full() const { return log_.full(); }
+
+  /// Drop accounting for records skipped via the full() fast path.
+  void drop(std::uint64_t n = 1) { log_.drop(n); }
+
+  std::vector<DecisionRecord> snapshot() const { return log_.snapshot(); }
+
+  /// All published records, one `cmarkov.decision.v1` JSON line each
+  /// (trailing newline per line).
+  std::string to_jsonl() const;
+
+ private:
+  BoundedLog<DecisionRecord> log_;
+};
+
+}  // namespace cmarkov::obs

@@ -1,0 +1,100 @@
+#include "src/obs/trace/decision_record.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace cmarkov::obs {
+
+namespace {
+
+/// Minimal JSON string escaping (labels are call@caller identifiers, but
+/// trace ids arrive over the wire and may contain anything printable).
+void append_json_string(std::string_view text, std::string& out) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+const char* bool_name(bool value) { return value ? "true" : "false"; }
+
+}  // namespace
+
+double DecisionRecord::contribution_sum() const {
+  double sum = 0.0;
+  for (const auto& symbol : symbols) sum += symbol.log_prob;
+  return sum;
+}
+
+std::string format_decision_value(double value) {
+  if (std::isnan(value)) return "\"nan\"";
+  if (std::isinf(value)) return value > 0 ? "\"inf\"" : "\"-inf\"";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+  return buffer;
+}
+
+std::string decision_record_json(const DecisionRecord& record) {
+  std::string out = "{\"schema\":\"";
+  out += kDecisionSchema;
+  out += "\",\"session\":";
+  append_json_string(record.session, out);
+  out += ",\"tid\":";
+  append_json_string(record.trace_id, out);
+  out += ",\"window\":" + std::to_string(record.window_index);
+  out += ",\"ll\":" + format_decision_value(record.log_likelihood);
+  out += ",\"threshold\":" + format_decision_value(record.threshold);
+  out += ",\"margin\":" + format_decision_value(record.margin);
+  out += ",\"flagged\":";
+  out += bool_name(record.flagged);
+  out += ",\"unknown\":";
+  out += bool_name(record.unknown_symbol);
+  out += ",\"alarm\":";
+  out += bool_name(record.alarm);
+  out += ",\"sampled\":";
+  out += bool_name(record.sampled);
+  out += ",\"symbols\":[";
+  for (std::size_t i = 0; i < record.symbols.size(); ++i) {
+    const SymbolContribution& symbol = record.symbols[i];
+    if (i > 0) out += ',';
+    out += "{\"i\":" + std::to_string(symbol.position);
+    out += ",\"sym\":" + std::to_string(symbol.symbol);
+    out += ",\"label\":";
+    append_json_string(symbol.label, out);
+    out += ",\"logp\":" + format_decision_value(symbol.log_prob);
+    out += ",\"state\":" + std::to_string(symbol.state);
+    out += ",\"unknown\":";
+    out += bool_name(symbol.unknown);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace cmarkov::obs

@@ -32,11 +32,6 @@ struct ClusteringOptions {
   ExecContext exec;
   PcaOptions pca;
   KMeansOptions kmeans;
-
-  /// Deprecated PR 2 spelling, kept one PR for compatibility.
-  [[deprecated("use exec.threads")]] void set_num_threads(std::size_t n) {
-    exec.threads = n;
-  }
 };
 
 struct CallClustering {

@@ -17,6 +17,17 @@ std::vector<std::string> tokenize(std::string_view line) {
   return words;
 }
 
+/// Detaches a trailing "tid=<id>" token. Returns false (leaving `words`
+/// untouched) when the last token is not a tid; the id may not be empty —
+/// that surfaces as a usage error in the caller's arity check, since the
+/// token is consumed with an empty value.
+bool take_trace_id(std::vector<std::string>& words, std::string& tid) {
+  if (words.size() < 2 || words.back().rfind("tid=", 0) != 0) return false;
+  tid = words.back().substr(4);
+  words.pop_back();
+  return true;
+}
+
 }  // namespace
 
 std::string format_session_stats(const SessionStats& stats) {
@@ -65,6 +76,7 @@ std::string ProtocolSession::handle_line(std::string_view line) {
       // registry (docs/SERVING.md documents the schema).
       return "METRICS " + obs::to_kv_line(manager_.metrics_registry());
     }
+    if (command == "TRACE") return handle_trace(words);
     if (command == "BYE") return handle_bye();
     return "ERR unknown command '" + command + "'";
   } catch (const std::exception& e) {
@@ -72,27 +84,32 @@ std::string ProtocolSession::handle_line(std::string_view line) {
   }
 }
 
-std::string ProtocolSession::handle_hello(
-    const std::vector<std::string>& words) {
+std::string ProtocolSession::handle_hello(std::vector<std::string> words) {
   if (!session_id_.empty()) {
     return "ERR session already bound to '" + session_id_ + "'";
   }
-  if (words.size() < 2 || words.size() > 3) {
-    return "ERR usage: HELLO <model> [session-id]";
+  std::string tid;
+  const bool has_tid = take_trace_id(words, tid);
+  if (words.size() < 2 || words.size() > 3 || (has_tid && tid.empty())) {
+    return "ERR usage: HELLO <model> [session-id] [tid=<id>]";
   }
   const std::string& model = words[1];
   const std::string id =
       words.size() == 3 ? words[2] : manager_.next_session_id();
   manager_.open_session(id, model);
   session_id_ = id;
-  return "OK session=" + id + " model=" + model;
+  default_trace_id_ = tid;
+  std::string reply = "OK session=" + id + " model=" + model;
+  if (has_tid) reply += " tid=" + tid;
+  return reply;
 }
 
-std::string ProtocolSession::handle_event(
-    const std::vector<std::string>& words) {
+std::string ProtocolSession::handle_event(std::vector<std::string> words) {
   if (session_id_.empty()) return "ERR no session (send HELLO first)";
-  if (words.size() < 3 || words.size() > 4) {
-    return "ERR usage: EV <site> <callee> [sys|lib]";
+  std::string tid;
+  const bool has_tid = take_trace_id(words, tid);
+  if (words.size() < 3 || words.size() > 4 || (has_tid && tid.empty())) {
+    return "ERR usage: EV <site> <callee> [sys|lib] [tid=<id>]";
   }
   trace::CallEvent event;
   event.caller = words[1];
@@ -106,17 +123,66 @@ std::string ProtocolSession::handle_event(
       return "ERR unknown call kind '" + words[3] + "' (sys|lib)";
     }
   }
-  switch (manager_.submit(session_id_, std::move(event))) {
+  const std::string& trace_id = has_tid ? tid : default_trace_id_;
+  const std::string suffix = has_tid ? " tid=" + tid : std::string();
+  // A non-empty trace id bypasses sampling, so the submit outcome below is
+  // the only thing deciding whether a reply span exists for this event.
+  const bool traced = manager_.tracer().enabled() && !trace_id.empty();
+  const double reply_start = traced ? manager_.now_micros() : 0.0;
+  std::uint64_t seq = 0;
+  const SubmitResult result =
+      manager_.submit(session_id_, std::move(event), trace_id, &seq);
+  std::string reply;
+  switch (result) {
     case SubmitResult::kAccepted:
-      return "OK";
+      reply = "OK" + suffix;
+      break;
     case SubmitResult::kDroppedOldest:
-      return "OK dropped-oldest";
+      reply = "OK dropped-oldest" + suffix;
+      break;
     case SubmitResult::kRejected:
       return "ERR rejected queue-full";
     case SubmitResult::kUnknownSession:
       return "ERR session vanished";
   }
-  return "ERR unreachable";
+  if (traced) {
+    obs::SpanRecord span;
+    span.name = "reply";
+    span.session = session_id_;
+    span.trace_id = trace_id;
+    span.seq = seq;
+    span.start_micros = reply_start;
+    span.duration_micros = manager_.now_micros() - reply_start;
+    span.thread = 0;  // transport side; worker spans use the shard id
+    manager_.record_span(std::move(span));
+  }
+  return reply;
+}
+
+std::string ProtocolSession::handle_trace(
+    const std::vector<std::string>& words) {
+  if (session_id_.empty()) return "ERR no session (send HELLO first)";
+  if (words.size() > 2) return "ERR usage: TRACE [n]";
+  std::size_t n = 16;
+  if (words.size() == 2) {
+    const std::string& arg = words[1];
+    if (arg.empty() ||
+        arg.find_first_not_of("0123456789") != std::string::npos) {
+      return "ERR usage: TRACE [n]";
+    }
+    n = static_cast<std::size_t>(std::stoull(arg));
+    if (n == 0) return "ERR usage: TRACE [n] (n must be > 0)";
+  }
+  manager_.drain();  // decisions are recorded by workers; settle first
+  const std::vector<obs::DecisionRecord> records =
+      manager_.recent_decisions(session_id_, n);
+  std::string reply = "TRACE v=1 session=" + session_id_ +
+                      " n=" + std::to_string(records.size());
+  for (const obs::DecisionRecord& record : records) {
+    reply += '\n';
+    reply += obs::decision_record_json(record);
+  }
+  return reply;
 }
 
 std::string ProtocolSession::handle_bye() {

@@ -1,19 +1,25 @@
 // cmarkovd's transport-agnostic line protocol. One transport connection is
 // one protocol conversation, which is one monitored session:
 //
-//   HELLO <model> [session-id]       -> OK session=<id> model=<model>
-//   EV <site> <callee> [sys|lib]     -> OK | OK dropped-oldest
+//   HELLO <model> [session-id] [tid=<id>] -> OK session=<id> model=<model>
+//   EV <site> <callee> [sys|lib] [tid=<id>]
+//                                    -> OK | OK dropped-oldest
 //                                       | ERR rejected queue-full
 //   STATS                            -> STATS v=1 session=... (drains first)
 //   METRICS                          -> METRICS v=1 <name>=<value>...
 //                                       (service-wide, from the registry)
+//   TRACE [n]                        -> TRACE v=1 session=... n=<k> plus
+//                                       k decision-record JSON lines
 //   BYE                              -> OK session=<id> alarms=<n>
 //
 // <site> is the calling context (caller function) of the event, <callee>
 // the called function — mirroring the paper's context-sensitive
-// observations. Blank lines and "#" comment lines produce no response.
-// Errors never throw out of handle_line; they render as "ERR <reason>".
-// Full grammar and examples: docs/SERVING.md.
+// observations. An optional trailing tid=<id> names a trace id: on HELLO
+// it becomes the session default, on EV it overrides per event. Events
+// carrying a trace id are always traced (sampling bypassed) and their
+// replies echo the id (`OK tid=<id>`). Blank lines and "#" comment lines
+// produce no response. Errors never throw out of handle_line; they render
+// as "ERR <reason>". Full grammar and examples: docs/SERVING.md.
 #pragma once
 
 #include <string>
@@ -47,12 +53,15 @@ class ProtocolSession {
   const std::string& session_id() const { return session_id_; }
 
  private:
-  std::string handle_hello(const std::vector<std::string>& words);
-  std::string handle_event(const std::vector<std::string>& words);
+  std::string handle_hello(std::vector<std::string> words);
+  std::string handle_event(std::vector<std::string> words);
+  std::string handle_trace(const std::vector<std::string>& words);
   std::string handle_bye();
 
   SessionManager& manager_;
   std::string session_id_;
+  /// HELLO's tid= value; applied to events without their own.
+  std::string default_trace_id_;
   bool closed_ = false;
 };
 

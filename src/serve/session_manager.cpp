@@ -1,5 +1,6 @@
 #include "src/serve/session_manager.hpp"
 
+#include <algorithm>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -68,6 +69,12 @@ struct SessionManager::Item {
   std::shared_ptr<Session> session;
   trace::CallEvent event;
   double enqueue_micros = 0.0;
+  /// Protocol tid= value; stamped into any decision record produced.
+  std::string trace_id;
+  /// Admitted by the tracer's sampling guard at submit time.
+  bool traced = false;
+  /// Correlates this event's queue/score/reply spans.
+  std::uint64_t seq = 0;
 };
 
 struct SessionManager::Worker {
@@ -109,9 +116,17 @@ SessionManager::SessionManager(const ModelRegistry& registry,
   sessions_gauge_ = &metrics_->gauge("cmarkov_serve_sessions_open");
   queue_depth_gauges_.reserve(config_.num_workers);
   for (std::size_t i = 0; i < config_.num_workers; ++i) {
-    queue_depth_gauges_.push_back(&metrics_->gauge(
-        "cmarkov_serve_queue_depth_w" + std::to_string(i)));
+    queue_depth_gauges_.push_back(
+        &metrics_->gauge("cmarkov_serve_queue_depth_w" + std::to_string(i)));
   }
+  tracer_ = std::make_unique<obs::Tracer>(config_.tracing);
+  decision_log_ =
+      std::make_unique<obs::DecisionLog>(config_.decision_log_capacity);
+  spans_total_ = &metrics_->counter("cmarkov_trace_spans_total");
+  spans_dropped_total_ = &metrics_->counter("cmarkov_trace_spans_dropped_total");
+  decisions_total_ = &metrics_->counter("cmarkov_trace_decisions_total");
+  decisions_dropped_total_ =
+      &metrics_->counter("cmarkov_trace_decisions_dropped_total");
   workers_.reserve(config_.num_workers);
   for (std::size_t i = 0; i < config_.num_workers; ++i) {
     workers_.push_back(std::make_unique<Worker>());
@@ -155,8 +170,27 @@ void SessionManager::open_session(const std::string& id,
 
 SubmitResult SessionManager::submit(const std::string& id,
                                     trace::CallEvent event) {
+  return submit(id, std::move(event), std::string());
+}
+
+SubmitResult SessionManager::submit(const std::string& id,
+                                    trace::CallEvent event,
+                                    const std::string& trace_id,
+                                    std::uint64_t* seq_out) {
   const std::shared_ptr<Session> session = find_session(id);
   if (!session) return SubmitResult::kUnknownSession;
+
+  // One sampling decision per event, taken before the queue so the queue
+  // span covers the full wait; explicit trace ids always trace.
+  bool traced = false;
+  std::uint64_t seq = 0;
+  if (tracer_->enabled()) {
+    traced = tracer_->sample(!trace_id.empty());
+    if (traced) {
+      seq = tracer_->next_seq();
+      if (seq_out != nullptr) *seq_out = seq;
+    }
+  }
 
   Worker& worker = *workers_[session->shard];
   SubmitResult result = SubmitResult::kAccepted;
@@ -192,8 +226,8 @@ SubmitResult SessionManager::submit(const std::string& id,
           return SubmitResult::kRejected;
       }
     }
-    worker.queue.push_back(
-        Item{session, std::move(event), clock_.micros()});
+    worker.queue.push_back(Item{session, std::move(event), clock_.micros(),
+                                trace_id, traced, seq});
   }
   worker.cv_nonempty.notify_one();
   session->enqueued.fetch_add(1, std::memory_order_relaxed);
@@ -310,10 +344,36 @@ std::shared_ptr<SessionManager::Session> SessionManager::find_session(
 }
 
 void SessionManager::process_item(Item& item) {
+  const double dequeue_micros = clock_.micros();
   core::MonitorUpdate update;
+  obs::DecisionRecord decision;
+  bool has_decision = false;
   {
     const std::lock_guard lock(item.session->monitor_mu);
     update = item.session->monitor.on_event(std::move(item.event));
+    if (update.decision != nullptr) {
+      // Stamp ids into the monitor's ring copy (served by TRACE) and take
+      // a copy for the service-wide JSONL log while still under the lock.
+      // Once the flight-recorder log is full the copy would only be
+      // dropped, so skip it and count the drop instead.
+      obs::DecisionRecord* record = item.session->monitor.last_decision();
+      record->session = item.session->id;
+      record->trace_id = item.trace_id;
+      if (decision_log_->full()) {
+        decision_log_->drop();
+        decisions_dropped_total_->add(1);
+      } else {
+        decision = *record;
+        has_decision = true;
+      }
+    }
+  }
+  if (has_decision) {
+    if (decision_log_->append(std::move(decision))) {
+      decisions_total_->add(1);
+    } else {
+      decisions_dropped_total_->add(1);
+    }
   }
   item.session->processed.fetch_add(1, std::memory_order_relaxed);
   processed_total_->add(1);
@@ -327,8 +387,58 @@ void SessionManager::process_item(Item& item) {
                 << (update.unknown_symbol ? " cause=unknown-context"
                                           : " cause=low-likelihood");
   }
-  latency_micros_->record(clock_.micros() - item.enqueue_micros);
+  const double done_micros = clock_.micros();
+  latency_micros_->record(done_micros - item.enqueue_micros);
+  if (item.traced) {
+    if (tracer_->full()) {
+      // Flight recorder exhausted: skip span construction, keep the drop
+      // accounting exact (one queue + one score span per traced event).
+      tracer_->drop(2);
+      spans_dropped_total_->add(2);
+      item.session.reset();
+      return;
+    }
+    const auto make_span = [&](const char* name, double start, double end) {
+      obs::SpanRecord span;
+      span.name = name;
+      span.session = item.session->id;
+      span.trace_id = item.trace_id;
+      span.seq = item.seq;
+      span.start_micros = start;
+      span.duration_micros = end - start;
+      span.thread = item.session->shard;
+      return span;
+    };
+    record_span(make_span("queue", item.enqueue_micros, dequeue_micros));
+    record_span(make_span("score", dequeue_micros, done_micros));
+  }
   item.session.reset();
+}
+
+void SessionManager::record_span(obs::SpanRecord span) {
+  if (tracer_->record(std::move(span))) {
+    spans_total_->add(1);
+  } else {
+    spans_dropped_total_->add(1);
+  }
+}
+
+std::vector<obs::DecisionRecord> SessionManager::recent_decisions(
+    const std::string& id, std::size_t n) const {
+  const auto session = find_session(id);
+  if (!session) {
+    throw std::invalid_argument("SessionManager: no session '" + id + "'");
+  }
+  std::vector<obs::DecisionRecord> out;
+  const std::lock_guard lock(session->monitor_mu);
+  const auto& ring = session->monitor.recent_decisions();
+  const std::size_t count = std::min(n, ring.size());
+  out.reserve(count);
+  for (std::size_t i = ring.size() - count; i < ring.size(); ++i) {
+    out.push_back(ring[i]);
+    out.back().session = session->id;
+  }
+  return out;
 }
 
 void SessionManager::pump_worker(Worker& worker) {

@@ -27,6 +27,8 @@
 
 #include "src/core/online_monitor.hpp"
 #include "src/obs/metrics_registry.hpp"
+#include "src/obs/trace/decision_log.hpp"
+#include "src/obs/trace/tracer.hpp"
 #include "src/serve/model_registry.hpp"
 #include "src/serve/service_metrics.hpp"
 #include "src/util/stopwatch.hpp"
@@ -56,6 +58,15 @@ struct ServiceConfig {
   /// outlive the manager. Null = the manager creates a private registry
   /// (exposed via metrics_registry()).
   obs::MetricsRegistry* metrics = nullptr;
+  /// Per-event span tracing (queue/score/reply); off by default. The
+  /// sampling decision is taken once per event at submit time; events
+  /// carrying an explicit protocol trace id (tid=) are always traced.
+  /// Decision-record sampling is configured separately via
+  /// monitor.decisions (cmarkovd's --trace-sample sets both).
+  obs::TracerOptions tracing;
+  /// Capacity of the service-wide JSONL decision log (appends beyond it
+  /// are dropped and counted — flight-recorder semantics).
+  std::size_t decision_log_capacity = 4096;
 };
 
 /// What happened to a submitted event.
@@ -95,6 +106,16 @@ class SessionManager {
   /// the shard queue is full. Safe from any thread.
   SubmitResult submit(const std::string& id, trace::CallEvent event);
 
+  /// Same, threading a protocol trace id through the worker queue into the
+  /// scoring path. A non-empty `trace_id` forces span tracing for this
+  /// event (sampling bypassed) and is stamped into any decision record the
+  /// event produces. When the event is admitted for tracing, `seq_out` (if
+  /// non-null) receives its span sequence number so the caller can record
+  /// correlated spans (the protocol layer's "reply" span).
+  SubmitResult submit(const std::string& id, trace::CallEvent event,
+                      const std::string& trace_id,
+                      std::uint64_t* seq_out = nullptr);
+
   bool has_session(const std::string& id) const;
 
   /// Live counters (no drain; may lag concurrent processing).
@@ -119,6 +140,29 @@ class SessionManager {
   /// Fresh collision-free id ("s1", "s2", ...) for transports whose HELLO
   /// omits one.
   std::string next_session_id();
+
+  /// The service's span tracer (always present; disabled unless
+  /// config.tracing.enabled). Exposed for the reply-span instrumentation
+  /// in the protocol layer and for exporters.
+  obs::Tracer& tracer() { return *tracer_; }
+  const obs::Tracer& tracer() const { return *tracer_; }
+
+  /// Records a span through the tracer with cmarkov_trace_spans_* counter
+  /// accounting (the path every span — worker- or transport-side — takes).
+  void record_span(obs::SpanRecord span);
+
+  /// Service-wide decision log (JSONL sink; --decision-log dumps it).
+  const obs::DecisionLog& decision_log() const { return *decision_log_; }
+
+  /// Microseconds on the service clock that timestamps every span (so
+  /// transport-side spans line up with worker-side ones).
+  double now_micros() const { return clock_.micros(); }
+
+  /// Up to `n` most recent decision records of a session, oldest first
+  /// (the TRACE verb). Empty unless the session's monitor has decision
+  /// tracing enabled. Throws std::invalid_argument for unknown ids.
+  std::vector<obs::DecisionRecord> recent_decisions(const std::string& id,
+                                                    std::size_t n) const;
 
   const ServiceConfig& config() const { return config_; }
 
@@ -158,6 +202,14 @@ class SessionManager {
   obs::Gauge* uptime_gauge_;
   obs::Gauge* sessions_gauge_;
   std::vector<obs::Gauge*> queue_depth_gauges_;
+
+  // Tracing sinks (always constructed; zero-capacity / disabled when off).
+  std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::DecisionLog> decision_log_;
+  obs::Counter* spans_total_;
+  obs::Counter* spans_dropped_total_;
+  obs::Counter* decisions_total_;
+  obs::Counter* decisions_dropped_total_;
 };
 
 }  // namespace cmarkov::serve

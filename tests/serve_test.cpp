@@ -1,11 +1,15 @@
 // Tests for the cmarkovd serving subsystem: model registry, sharded
 // session manager (including the multi-session sequential-equivalence
-// guarantee and backpressure accounting), latency metrics, and the line
-// protocol over the in-memory transport.
+// guarantee and backpressure accounting), latency metrics, the line
+// protocol over the in-memory transport, and the decision audit trail
+// (tid= threading, TRACE verb, METRICS golden exposition).
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <thread>
 
@@ -16,6 +20,22 @@
 
 namespace cmarkov::serve {
 namespace {
+
+void compare_golden(const std::string& name, const std::string& actual) {
+  const std::filesystem::path path =
+      std::filesystem::path(CMARKOV_TEST_GOLDEN_DIR) / name;
+  if (std::getenv("CMARKOV_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    out << actual;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.is_open()) << "missing golden " << path
+                            << " (regenerate with CMARKOV_UPDATE_GOLDEN=1)";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), actual);
+}
 
 core::Detector train_detector(const workload::ProgramSuite& suite,
                               std::uint64_t seed) {
@@ -452,6 +472,145 @@ TEST(ProtocolTest, DisconnectWithoutByeClosesSession) {
     EXPECT_TRUE(manager.has_session("dangling"));
   }
   EXPECT_FALSE(manager.has_session("dangling"));
+}
+
+TEST(ProtocolTest, TraceUsageErrorsAreLoud) {
+  SessionManager manager(fixture().registry, protocol_config());
+  ProtocolSession session(manager);
+  EXPECT_TRUE(session.handle_line("TRACE").starts_with("ERR no session"));
+  session.handle_line("HELLO gzip");
+  EXPECT_TRUE(session.handle_line("TRACE abc").starts_with("ERR usage"));
+  EXPECT_TRUE(session.handle_line("TRACE 0").starts_with("ERR usage"));
+  EXPECT_TRUE(session.handle_line("TRACE 4 5").starts_with("ERR usage"));
+  EXPECT_TRUE(session.handle_line("EV main read tid=").starts_with("ERR usage"));
+  // No decision tracing configured: the verb answers, with zero records.
+  EXPECT_EQ(session.handle_line("TRACE 4"), "TRACE v=1 session=s1 n=0");
+}
+
+TEST(ProtocolTest, ExplicitTidIsEchoedAndSessionTidIsNot) {
+  ServiceConfig config = protocol_config();
+  config.tracing.enabled = true;
+  config.tracing.sample_every = 0;  // only explicit trace ids trace
+  SessionManager manager(fixture().registry, config);
+  ProtocolSession session(manager);
+  EXPECT_EQ(session.handle_line("HELLO gzip audit tid=t-1"),
+            "OK session=audit model=gzip tid=t-1");
+  // Session-default tid: traced, but replies stay terse.
+  EXPECT_EQ(session.handle_line("EV main read"), "OK");
+  // Per-event override: echoed back.
+  EXPECT_EQ(session.handle_line("EV main read tid=ev-7"), "OK tid=ev-7");
+  manager.drain();
+  // Both events were force-traced: queue + score spans each, plus reply
+  // spans recorded on the transport side.
+  const auto spans = manager.tracer().snapshot();
+  std::size_t queue = 0, score = 0, reply = 0;
+  for (const auto& span : spans) {
+    if (span.name == "queue") ++queue;
+    if (span.name == "score") ++score;
+    if (span.name == "reply") ++reply;
+    EXPECT_EQ(span.session, "audit");
+  }
+  EXPECT_EQ(queue, 2u);
+  EXPECT_EQ(score, 2u);
+  EXPECT_EQ(reply, 2u);
+}
+
+// The PR-5 acceptance path: a flagged window produces a DecisionRecord
+// whose per-symbol contributions sum (within 1e-9) to the window
+// log-likelihood, retrievable over the wire via TRACE.
+TEST(DecisionAuditTest, FlaggedWindowExplainsItsLogLikelihood) {
+  // A detector that flags everything: same gzip model, +inf threshold.
+  core::Detector strict = *fixture().gzip_model;
+  strict.set_threshold(std::numeric_limits<double>::infinity());
+  ModelRegistry registry;
+  registry.add("strict", std::move(strict));
+
+  ServiceConfig config = protocol_config();
+  config.tracing.enabled = true;
+  config.tracing.sample_every = 0;
+  config.monitor.decisions.enabled = true;
+  config.monitor.decisions.sample_every = 0;  // only flagged/alarm windows
+  SessionManager manager(registry, config);
+  ProtocolSession session(manager);
+  EXPECT_EQ(session.handle_line("HELLO strict audit tid=t-1"),
+            "OK session=audit model=strict tid=t-1");
+
+  // Benign events from the training seed: symbols the model knows, so the
+  // flagged windows carry FINITE log-likelihoods to decompose.
+  const std::size_t window =
+      fixture().gzip_model->config().segments.length;
+  std::size_t fed = 0;
+  for (const auto& event : fixture().events_for(fixture().gzip, 91, 2)) {
+    if (event.kind != ir::CallKind::kSyscall) continue;
+    EXPECT_EQ(session.handle_line("EV " + event.caller + " " + event.name),
+              "OK");
+    if (++fed >= window + 5) break;
+  }
+  ASSERT_EQ(fed, window + 5);  // 6 complete windows, all flagged
+  manager.drain();  // manual_pump: scoring happens on drain
+
+  const std::vector<obs::DecisionRecord> records =
+      manager.recent_decisions("audit", 4);
+  ASSERT_EQ(records.size(), 4u);
+  for (const obs::DecisionRecord& record : records) {
+    EXPECT_EQ(record.session, "audit");
+    EXPECT_EQ(record.trace_id, "t-1");
+    EXPECT_TRUE(record.flagged);
+    EXPECT_FALSE(record.unknown_symbol);
+    EXPECT_EQ(record.symbols.size(), window);
+    ASSERT_TRUE(std::isfinite(record.log_likelihood));
+    EXPECT_NEAR(record.contribution_sum(), record.log_likelihood, 1e-9);
+  }
+
+  // The same records, as the wire-format TRACE reply.
+  const std::string reply = session.handle_line("TRACE 4");
+  EXPECT_TRUE(reply.starts_with("TRACE v=1 session=audit n=4")) << reply;
+  std::istringstream lines(reply);
+  std::string line;
+  std::getline(lines, line);  // header
+  for (const obs::DecisionRecord& record : records) {
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_EQ(line, obs::decision_record_json(record));
+    EXPECT_NE(line.find("\"schema\":\"cmarkov.decision.v1\""),
+              std::string::npos);
+  }
+  EXPECT_FALSE(std::getline(lines, line));
+
+  // The service-wide JSONL log captured every flagged window.
+  EXPECT_EQ(manager.decision_log().appended(), 6u);
+  EXPECT_EQ(manager.decision_log().dropped(), 0u);
+}
+
+TEST(MetricsGoldenTest, ScriptedSessionExposition) {
+  // Deterministic script under manual_pump: 20 unknown-symbol events into
+  // a capacity-8 drop-oldest queue (12 evicted), STATS drains (8 scored),
+  // 12 more events (8 kept, 4 evicted), METRICS drains again — 16 scored
+  // events = 2 windows of 15, both flagged and alarming.
+  ServiceConfig config = protocol_config();
+  config.queue_capacity = 8;
+  config.policy = BackpressurePolicy::kDropOldest;
+  SessionManager manager(fixture().registry, config);
+  ProtocolSession session(manager);
+  session.handle_line("HELLO gzip scripted");
+  for (int i = 0; i < 20; ++i) session.handle_line("EV bogus read");
+  session.handle_line("STATS");
+  for (int i = 0; i < 12; ++i) session.handle_line("EV bogus read");
+  std::string metrics = session.handle_line("METRICS");
+  ASSERT_TRUE(metrics.starts_with("METRICS v=1 ")) << metrics;
+
+  // Wall-clock-dependent values can't be golden-pinned: scrub them.
+  for (const char* key : {"cmarkov_serve_uptime_seconds=",
+                          "cmarkov_serve_latency_micros_sum=",
+                          "cmarkov_serve_latency_micros_p50=",
+                          "cmarkov_serve_latency_micros_p99="}) {
+    const std::size_t pos = metrics.find(key);
+    ASSERT_NE(pos, std::string::npos) << key;
+    const std::size_t start = pos + std::strlen(key);
+    std::size_t end = metrics.find(' ', start);
+    if (end == std::string::npos) end = metrics.size();
+    metrics.replace(start, end - start, "X");
+  }
+  compare_golden("serve_metrics.kv", metrics + "\n");
 }
 
 TEST(ServiceTest, ServeStreamEndToEnd) {

@@ -20,4 +20,17 @@ if [ -n "$bad" ]; then
   echo "$bad" >&2
   exit 1
 fi
-echo "ok: no raw num_threads fields in src/ headers"
+
+# The deprecated PR-4 compatibility aliases were removed in PR 5; they must
+# not come back in any form (declaration, definition, or call).
+aliases="$(grep -rn 'set_num_threads' \
+  "$repo_root/src" "$repo_root/tests" "$repo_root/tools" "$repo_root/bench" \
+  --include='*.hpp' --include='*.h' --include='*.cpp' || true)"
+
+if [ -n "$aliases" ]; then
+  echo "error: set_num_threads is a removed deprecated alias; use" >&2
+  echo "ExecContext (options.exec.threads) instead:" >&2
+  echo "$aliases" >&2
+  exit 1
+fi
+echo "ok: no raw num_threads fields in src/ headers, no set_num_threads aliases"

@@ -1,0 +1,57 @@
+#!/usr/bin/env sh
+# Lints every metric registered in src/ against the naming convention
+# documented in docs/OBSERVABILITY.md:
+#   - names start with "cmarkov_" and use only [a-zA-Z0-9_:];
+#   - counters end in "_total";
+#   - histograms end in a unit suffix (_seconds, _micros, _bytes);
+#   - gauges end in a unit suffix or one of the allowlisted dimensionless
+#     kinds (_ratio, _open, _calls, _states, _clusters, _components,
+#     _inertia, _delta) or the per-worker "_w<i>" index suffix.
+#
+# The check is a line-based grep over registration call sites, so the
+# instrument name literal must sit on the same line as its
+# counter(/gauge(/histogram( call.
+#
+# Wired into CTest as `check_metric_names` (label: obs).
+set -eu
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+matches="$(grep -rnoE '(counter|gauge|histogram)\([[:space:]]*"[^"]*"' \
+  "$repo_root/src" --include='*.cpp' --include='*.hpp' || true)"
+
+if [ -z "$matches" ]; then
+  echo "error: no metric registrations found; the grep pattern has rotted" >&2
+  exit 1
+fi
+
+printf '%s\n' "$matches" | awk '
+{
+  if (!match($0, /(counter|gauge|histogram)\([[:space:]]*"[^"]*"/)) next;
+  call = substr($0, RSTART, RLENGTH);
+  loc = substr($0, 1, RSTART - 1);
+  sub(/:$/, "", loc);
+  kind = substr(call, 1, index(call, "(") - 1);
+  q = index(call, "\"");
+  name = substr(call, q + 1, length(call) - q - 1);
+  total += 1;
+
+  if (name !~ /^cmarkov_[a-zA-Z0-9_:]+$/) {
+    print loc ": " kind " \"" name "\" must start with cmarkov_ and use only [a-zA-Z0-9_:]";
+    bad += 1;
+  } else if (kind == "counter" && name !~ /_total$/) {
+    print loc ": counter \"" name "\" must end in _total";
+    bad += 1;
+  } else if (kind == "histogram" && name !~ /(_seconds|_micros|_bytes)$/) {
+    print loc ": histogram \"" name "\" must end in a unit suffix (_seconds|_micros|_bytes)";
+    bad += 1;
+  } else if (kind == "gauge" && name !~ /(_seconds|_micros|_bytes|_ratio|_open|_calls|_states|_clusters|_components|_inertia|_delta|_w[0-9]*)$/) {
+    print loc ": gauge \"" name "\" must end in a unit or allowlisted kind suffix";
+    bad += 1;
+  }
+}
+END {
+  if (bad > 0) exit 1;
+  print "ok: " total " metric name(s) follow the naming convention";
+}
+'

@@ -7,6 +7,8 @@
 //                   [--context 0|1] [--profile-json <path>] --out <model.txt>
 //   cmarkov scan    <model.txt> <trace.txt>...
 //   cmarkov monitor <model.txt> <trace.txt>
+//   cmarkov explain --model <model.txt> --trace <trace.txt>
+//                   [--top N] [--json]
 //
 // `suite` is one of the built-in program analogues (gzip, bash, ...); a
 // path ending in .minic is parsed as MiniC source.
@@ -26,6 +28,8 @@
 #include "src/eval/comparison.hpp"
 #include "src/gadget/gadget_scanner.hpp"
 #include "src/obs/export.hpp"
+#include "src/obs/trace/chrome_trace.hpp"
+#include "src/obs/trace/decision_record.hpp"
 #include "src/trace/interpreter.hpp"
 #include "src/trace/trace_io.hpp"
 #include "src/util/strings.hpp"
@@ -187,10 +191,14 @@ int cmd_train(const Args& args) {
   }
   // --profile-json: instrument the whole run (stage spans + metrics) and
   // dump the machine-readable profile document on exit.
+  // --chrome-trace: same instrumentation, exported as a Chrome-trace JSON
+  // array loadable in chrome://tracing or Perfetto.
   const std::string profile_path = args.get("profile-json", "");
+  const std::string chrome_path = args.get("chrome-trace", "");
   obs::MetricsRegistry registry;
   obs::RunProfile run_profile("train");
-  obs::RunProfile* profile = profile_path.empty() ? nullptr : &run_profile;
+  obs::RunProfile* profile =
+      profile_path.empty() && chrome_path.empty() ? nullptr : &run_profile;
 
   Stopwatch stage;
   const ir::ProgramModule program = load_program(args.positional[0]);
@@ -244,12 +252,23 @@ int cmd_train(const Args& args) {
 
   if (profile != nullptr) {
     profile->finish();
-    std::ofstream json(profile_path);
-    if (!json) {
-      throw std::runtime_error("cannot write profile to " + profile_path);
+    if (!profile_path.empty()) {
+      std::ofstream json(profile_path);
+      if (!json) {
+        throw std::runtime_error("cannot write profile to " + profile_path);
+      }
+      json << obs::run_profile_json(*profile, &registry);
+      std::cout << "profile written to " << profile_path << "\n";
     }
-    json << obs::run_profile_json(*profile, &registry);
-    std::cout << "profile written to " << profile_path << "\n";
+    if (!chrome_path.empty()) {
+      std::ofstream json(chrome_path);
+      if (!json) {
+        throw std::runtime_error("cannot write chrome trace to " +
+                                 chrome_path);
+      }
+      json << obs::chrome_trace_json(*profile);
+      std::cout << "chrome trace written to " << chrome_path << "\n";
+    }
   }
   return 0;
 }
@@ -381,16 +400,120 @@ int cmd_monitor(const Args& args) {
   return stats.alarms > 0 ? 2 : 0;
 }
 
+// Replays a recorded trace through an OnlineMonitor with decision tracing
+// set to record every scored window, then aggregates the per-symbol forward
+// contributions into transitions `prev_label -> label` (the first window
+// symbol is charged to `(start) -> label`). The table ranks transitions by
+// total log-probability ascending, so the entries that cost the model the
+// most likelihood — the explanation for an alarm — come first. Unknown
+// call@caller pairs carry -inf and therefore always rank at the top.
+int cmd_explain(const Args& args) {
+  const std::string model_path = args.get(
+      "model", args.positional.empty() ? "" : args.positional[0]);
+  const std::string trace_path = args.get(
+      "trace", args.positional.size() < 2 ? "" : args.positional[1]);
+  if (model_path.empty() || trace_path.empty()) {
+    throw std::runtime_error(
+        "explain: need --model <model.txt> --trace <trace.txt>");
+  }
+  const core::Detector detector = core::load_detector_file(model_path);
+  const trace::Trace trace = trace::read_trace_file(trace_path);
+
+  core::MonitorOptions options;
+  options.windows_to_alarm = static_cast<std::size_t>(
+      std::stoul(args.get("windows-to-alarm", "1")));
+  options.decisions.enabled = true;
+  options.decisions.sample_every = 1;  // audit every scored window
+  options.decisions.ring_capacity = trace.events.size() + 1;
+  core::OnlineMonitor monitor(detector, nullptr, options);
+  for (const auto& event : trace.events) monitor.on_event(event);
+
+  const auto& records = monitor.recent_decisions();
+  if (args.get("json", "0") == "1") {
+    for (const auto& record : records) {
+      std::cout << obs::decision_record_json(record) << "\n";
+    }
+    return monitor.stats().windows_flagged > 0 ? 2 : 0;
+  }
+
+  struct Transition {
+    double total = 0.0;
+    double worst = 0.0;
+    std::size_t count = 0;
+    bool unknown = false;
+  };
+  std::map<std::string, Transition> transitions;
+  const obs::DecisionRecord* worst_window = nullptr;
+  for (const auto& record : records) {
+    if (worst_window == nullptr ||
+        record.log_likelihood < worst_window->log_likelihood) {
+      worst_window = &record;
+    }
+    std::string prev = "(start)";
+    for (const auto& sym : record.symbols) {
+      std::string key = prev;
+      key += " -> ";
+      key += sym.label;
+      Transition& t = transitions[key];
+      t.total += sym.log_prob;
+      t.worst = std::min(t.worst, sym.log_prob);
+      t.count += 1;
+      t.unknown = t.unknown || sym.unknown;
+      prev.assign(sym.label);
+    }
+  }
+
+  const auto& stats = monitor.stats();
+  std::cout << "trace:   " << trace_path << " (" << stats.events_seen
+            << " events, " << stats.events_observed << " on-stream)\n";
+  std::cout << "windows: " << stats.windows_scored << " scored, "
+            << stats.windows_flagged << " flagged, " << stats.alarms
+            << " alarms (threshold "
+            << format_double(detector.threshold(), 3) << ")\n";
+  if (worst_window != nullptr) {
+    std::cout << "worst:   window " << worst_window->window_index
+              << " log-likelihood "
+              << format_double(worst_window->log_likelihood, 3)
+              << " (margin " << format_double(worst_window->margin, 3)
+              << ")\n";
+  }
+
+  std::vector<std::pair<std::string, Transition>> ranked(transitions.begin(),
+                                                         transitions.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second.total != b.second.total) {
+      return a.second.total < b.second.total;
+    }
+    return a.first < b.first;  // deterministic tie-break
+  });
+  const auto top = static_cast<std::size_t>(
+      std::stoul(args.get("top", "10")));
+  if (ranked.size() > top) ranked.resize(top);
+
+  TablePrinter table({"Transition", "Count", "Total log-p", "Worst log-p",
+                      "Unknown"});
+  for (const auto& [name, t] : ranked) {
+    table.add_row({name, std::to_string(t.count),
+                   format_double(t.total, 3), format_double(t.worst, 3),
+                   t.unknown ? "yes" : ""});
+  }
+  table.print();
+  return stats.windows_flagged > 0 ? 2 : 0;  // grep-style exit code
+}
+
 int usage() {
   std::cerr << "usage: cmarkov "
-               "<list|analyze|trace|train|scan|monitor|compare> ...\n"
+               "<list|analyze|trace|train|scan|monitor|explain|compare> ...\n"
             << "  list                              built-in program suites\n"
             << "  analyze <prog> [--filter sys|lib] static-analysis summary\n"
             << "  trace <prog> [--count N] [--seed S] [--out DIR]\n"
             << "  train <prog> [--filter sys|lib] [--context 0|1]\n"
             << "        [--traces N] [--target-fp P] [--out FILE]\n"
+            << "        [--profile-json FILE] [--chrome-trace FILE]\n"
             << "  scan <model> <trace>...           classify recorded traces\n"
             << "  monitor <model> <trace>           streaming detection demo\n"
+            << "  explain --model FILE --trace FILE [--top N] [--json 1]\n"
+            << "        ranked audit of the transitions behind each verdict\n"
             << "  compare <suite> [--filter sys|lib] 4-model accuracy table\n"
             << "  gadgets <suite>                   ROP gadget census\n"
             << "analyze/train/compare accept --threads N (0 = one worker per\n"
@@ -411,6 +534,7 @@ int main(int argc, char** argv) {
     if (command == "train") return cmd_train(args);
     if (command == "scan") return cmd_scan(args);
     if (command == "monitor") return cmd_monitor(args);
+    if (command == "explain") return cmd_explain(args);
     if (command == "compare") return cmd_compare(args);
     if (command == "gadgets") return cmd_gadgets(args);
     return usage();

@@ -4,14 +4,23 @@
 //   cmarkovd --model <name>=<path> [--model ...] [--models-dir DIR]
 //            [--workers N] [--queue N] [--policy block|drop-oldest|reject]
 //            [--windows-to-alarm N] [--cooldown N]
+//            [--trace-sample N] [--decision-log PATH] [--chrome-trace PATH]
 //            [--replay <model>:<trace-file>]...   replay mode (batch)
 //            [--tcp PORT]                         TCP front-end
 //
 // With no --replay/--tcp the daemon speaks the line protocol on
-// stdin/stdout (HELLO/EV/STATS/METRICS/BYE — one response line per
+// stdin/stdout (HELLO/EV/STATS/METRICS/TRACE/BYE — one response line per
 // request). --replay pushes a recorded trace file through a full protocol
 // session (HELLO, one EV per event, STATS, BYE) and prints the dialogue's
 // verdict lines; repeat the flag to replay several sessions.
+//
+// Tracing (docs/OBSERVABILITY.md): --trace-sample N enables the span
+// tracer and decision audit at 1-in-N (1 = every window, 0 = only flagged
+// windows/alarms, which are always recorded). --decision-log writes the
+// service-wide `cmarkov.decision.v1` JSONL on exit; --chrome-trace writes
+// the recorded queue/score/reply spans as a Chrome-trace JSON array. Both
+// sinks flush when replay or stdin mode finishes (the TCP loop never
+// returns, so they require one of the batch modes).
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -19,12 +28,14 @@
 
 #include <csignal>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/obs/export.hpp"
+#include "src/obs/trace/chrome_trace.hpp"
 #include "src/serve/service.hpp"
 #include "src/trace/trace_io.hpp"
 #include "src/util/logging.hpp"
@@ -39,6 +50,8 @@ struct DaemonOptions {
   std::string models_dir;
   std::vector<std::pair<std::string, std::string>> replays;  // model -> trace
   int tcp_port = 0;
+  std::string decision_log_path;
+  std::string chrome_trace_path;
   serve::ServiceConfig service;
 };
 
@@ -48,10 +61,12 @@ int usage() {
          "                [--models-dir DIR] [--workers N] [--queue N]\n"
          "                [--policy block|drop-oldest|reject]\n"
          "                [--windows-to-alarm N] [--cooldown N]\n"
+         "                [--trace-sample N] [--decision-log PATH]\n"
+         "                [--chrome-trace PATH]\n"
          "                [--replay <model>:<trace-file>]... [--tcp PORT]\n"
          "With neither --replay nor --tcp, serves the line protocol on\n"
-         "stdin/stdout: HELLO <model> [id] | EV <site> <callee> [sys|lib]\n"
-         "| STATS | METRICS | BYE\n";
+         "stdin/stdout: HELLO <model> [id] [tid=T] | EV <site> <callee>\n"
+         "[sys|lib] [tid=T] | STATS | METRICS | TRACE [n] | BYE\n";
   return 1;
 }
 
@@ -98,6 +113,20 @@ DaemonOptions parse_options(int argc, char** argv) {
       options.service.monitor.windows_to_alarm = std::stoul(value);
     } else if (flag == "--cooldown") {
       options.service.monitor.cooldown_events = std::stoul(value);
+    } else if (flag == "--trace-sample") {
+      options.service.tracing.enabled = true;
+      options.service.tracing.sample_every = std::stoul(value);
+      options.service.monitor.decisions.enabled = true;
+      options.service.monitor.decisions.sample_every = std::stoul(value);
+    } else if (flag == "--decision-log") {
+      options.decision_log_path = value;
+      // The sink is useless without the audit; flagged windows and alarms
+      // are always recorded once decisions are on.
+      options.service.monitor.decisions.enabled = true;
+      options.service.tracing.enabled = true;
+    } else if (flag == "--chrome-trace") {
+      options.chrome_trace_path = value;
+      options.service.tracing.enabled = true;
     } else {
       throw std::runtime_error("unknown flag '" + flag + "'");
     }
@@ -181,6 +210,40 @@ int serve_tcp(serve::CmarkovService& service, int port) {
   }
 }
 
+/// Writes the --decision-log / --chrome-trace sinks once a batch mode
+/// (replay or stdin) has finished. Drains first so every queued event's
+/// record and spans are included.
+void flush_trace_sinks(serve::CmarkovService& service,
+                       const DaemonOptions& options) {
+  if (options.decision_log_path.empty() && options.chrome_trace_path.empty()) {
+    return;
+  }
+  service.sessions().drain();
+  if (!options.decision_log_path.empty()) {
+    std::ofstream out(options.decision_log_path);
+    if (!out) {
+      throw std::runtime_error("cannot write decision log to " +
+                               options.decision_log_path);
+    }
+    const auto& log = service.sessions().decision_log();
+    out << log.to_jsonl();
+    log_info() << "cmarkovd: " << log.appended() << " decision record(s) ("
+               << log.dropped() << " dropped) -> "
+               << options.decision_log_path;
+  }
+  if (!options.chrome_trace_path.empty()) {
+    std::ofstream out(options.chrome_trace_path);
+    if (!out) {
+      throw std::runtime_error("cannot write chrome trace to " +
+                               options.chrome_trace_path);
+    }
+    const auto spans = service.sessions().tracer().snapshot();
+    out << obs::chrome_trace_json(spans);
+    log_info() << "cmarkovd: " << spans.size() << " span(s) -> "
+               << options.chrome_trace_path;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -207,6 +270,7 @@ int main(int argc, char** argv) {
       }
       std::cout << "METRICS " << obs::to_kv_line(service.metrics_registry())
                 << "\n";
+      flush_trace_sinks(service, options);
       return 0;
     }
     if (options.tcp_port > 0) {
@@ -214,6 +278,7 @@ int main(int argc, char** argv) {
       return serve_tcp(service, options.tcp_port);
     }
     service.serve_stream(std::cin, std::cout);
+    flush_trace_sinks(service, options);
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "cmarkovd: " << e.what() << "\n";
