@@ -1,6 +1,7 @@
 #include "src/core/online_monitor.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "src/obs/metrics_registry.hpp"
 
@@ -8,14 +9,25 @@ namespace cmarkov::core {
 
 OnlineMonitor::OnlineMonitor(const Detector& detector,
                              const trace::Symbolizer* symbolizer,
-                             MonitorOptions options)
-    : detector_(detector), symbolizer_(symbolizer), options_(options) {
+                             MonitorOptions options, MonitorStorage storage)
+    : detector_(&detector),
+      symbolizer_(symbolizer),
+      options_(options),
+      window_(std::move(storage.window)),
+      segment_(std::move(storage.segment)) {
   if (!detector.trained()) {
     throw std::invalid_argument("OnlineMonitor: detector is not trained");
+  }
+  if (detector.config().segments.length == 0) {
+    throw std::invalid_argument("OnlineMonitor: segment length must be > 0");
   }
   if (options_.windows_to_alarm == 0) {
     throw std::invalid_argument("OnlineMonitor: windows_to_alarm must be >0");
   }
+  const std::size_t length = detector.config().segments.length;
+  window_.assign(length, 0);  // reuses donated capacity when large enough
+  segment_.clear();
+  segment_.reserve(length);
   if (options_.metrics != nullptr) {
     events_counter_ = &options_.metrics->counter("cmarkov_monitor_events_total");
     windows_counter_ =
@@ -32,7 +44,7 @@ MonitorUpdate OnlineMonitor::on_event(trace::CallEvent event) {
   if (events_counter_ != nullptr) events_counter_->add(1);
   if (cooldown_remaining_ > 0) --cooldown_remaining_;
 
-  const auto& config = detector_.config();
+  const auto& config = detector_->config();
   if (!analysis::filter_matches(config.pipeline.filter, event.kind)) {
     return update;
   }
@@ -48,21 +60,30 @@ MonitorUpdate OnlineMonitor::on_event(trace::CallEvent event) {
       config.pipeline.context_sensitive
           ? hmm::ObservationEncoding::kContextSensitive
           : hmm::ObservationEncoding::kContextFree);
-  const std::size_t id = detector_.alphabet()
+  const std::size_t id = detector_->alphabet()
                              .find(observation)
-                             .value_or(detector_.alphabet().size());
-  window_.push_back(id);
-  if (window_.size() > config.segments.length) window_.pop_front();
-  if (window_.size() < config.segments.length) return update;
+                             .value_or(detector_->alphabet().size());
+  const std::size_t length = config.segments.length;
+  if (window_count_ < length) {
+    window_[(window_head_ + window_count_) % length] = id;
+    window_count_ += 1;
+  } else {
+    window_[window_head_] = id;  // overwrite the id sliding out
+    window_head_ = (window_head_ + 1) % length;
+  }
+  if (window_count_ < length) return update;
 
   update.window_complete = true;
-  const hmm::ObservationSeq segment(window_.begin(), window_.end());
+  segment_.clear();
+  for (std::size_t i = 0; i < length; ++i) {
+    segment_.push_back(window_[(window_head_ + i) % length]);
+  }
   const bool tracing =
       options_.decisions.enabled && options_.decisions.ring_capacity > 0;
   hmm::ForwardResult forward;
   const SegmentVerdict verdict =
-      tracing ? detector_.score_segment(segment, &forward)
-              : detector_.score_segment(segment);
+      tracing ? detector_->score_segment(segment_, &forward)
+              : detector_->score_segment(segment_);
   update.log_likelihood = verdict.log_likelihood;
   update.flagged = verdict.flagged;
   update.unknown_symbol = verdict.unknown_symbol;
@@ -93,7 +114,7 @@ MonitorUpdate OnlineMonitor::on_event(trace::CallEvent event) {
                         (verdict.flagged || update.alarm);
     if (sampled || forced) {
       obs::DecisionRecord record =
-          detector_.make_decision_record(segment, verdict, forward);
+          detector_->make_decision_record(segment_, verdict, forward);
       record.window_index = stats_.windows_scored;
       record.alarm = update.alarm;
       record.sampled = sampled;
@@ -116,9 +137,74 @@ std::size_t OnlineMonitor::on_trace(const trace::Trace& trace) {
 }
 
 void OnlineMonitor::reset_window() {
-  window_.clear();
+  window_head_ = 0;
+  window_count_ = 0;
   consecutive_flagged_ = 0;
   cooldown_remaining_ = 0;
+}
+
+MonitorSnapshot OnlineMonitor::snapshot() const {
+  MonitorSnapshot snap;
+  const std::size_t length = detector_->config().segments.length;
+  snap.window.reserve(window_count_);
+  for (std::size_t i = 0; i < window_count_; ++i) {
+    snap.window.push_back(window_[(window_head_ + i) % length]);
+  }
+  snap.consecutive_flagged = consecutive_flagged_;
+  snap.cooldown_remaining = cooldown_remaining_;
+  snap.stats = stats_;
+  return snap;
+}
+
+void OnlineMonitor::restore(const MonitorSnapshot& snapshot) {
+  const std::size_t length = detector_->config().segments.length;
+  if (snapshot.window.size() > length) {
+    throw std::invalid_argument(
+        "OnlineMonitor: snapshot window of " +
+        std::to_string(snapshot.window.size()) +
+        " ids does not fit segment length " + std::to_string(length));
+  }
+  window_head_ = 0;
+  window_count_ = snapshot.window.size();
+  for (std::size_t i = 0; i < window_count_; ++i) {
+    window_[i] = snapshot.window[i];
+  }
+  consecutive_flagged_ = snapshot.consecutive_flagged;
+  cooldown_remaining_ = snapshot.cooldown_remaining;
+  stats_ = snapshot.stats;
+}
+
+void OnlineMonitor::rebind(const Detector& detector) {
+  if (!detector.trained()) {
+    throw std::invalid_argument("OnlineMonitor: rebind detector not trained");
+  }
+  if (detector.config().segments.length == 0) {
+    throw std::invalid_argument("OnlineMonitor: segment length must be > 0");
+  }
+  detector_ = &detector;
+  const std::size_t length = detector.config().segments.length;
+  window_.assign(length, 0);
+  segment_.clear();
+  segment_.reserve(length);
+  window_head_ = 0;
+  window_count_ = 0;
+  consecutive_flagged_ = 0;  // streak evidence was against the old model
+}
+
+std::size_t OnlineMonitor::state_bytes() const {
+  return sizeof(OnlineMonitor) +
+         (window_.capacity() + segment_.capacity()) * sizeof(std::size_t);
+}
+
+MonitorStorage OnlineMonitor::release_storage() {
+  MonitorStorage storage;
+  storage.window = std::move(window_);
+  storage.segment = std::move(segment_);
+  window_.clear();
+  segment_.clear();
+  window_head_ = 0;
+  window_count_ = 0;
+  return storage;
 }
 
 }  // namespace cmarkov::core

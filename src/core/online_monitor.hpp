@@ -7,6 +7,7 @@
 #pragma once
 
 #include <deque>
+#include <vector>
 
 #include "src/core/detector.hpp"
 #include "src/trace/symbolizer.hpp"
@@ -54,6 +55,40 @@ struct DecisionTraceOptions {
   std::size_t ring_capacity = 32;
 };
 
+struct MonitorStats {
+  std::size_t events_seen = 0;
+  std::size_t events_observed = 0;  ///< events matching the model's stream
+  std::size_t windows_scored = 0;
+  std::size_t windows_flagged = 0;
+  std::size_t alarms = 0;
+};
+
+/// Recyclable heap buffers backing a monitor's sliding window and scoring
+/// scratch — the dominant per-session allocation of the serving tier. The
+/// session manager pools these across session open/evict cycles so a
+/// million-session churn does not hammer the allocator; a default-built
+/// value is an ordinary cold start.
+struct MonitorStorage {
+  std::vector<std::size_t> window;
+  hmm::ObservationSeq segment;
+};
+
+/// Complete scoring state of a monitor, linearized. All fields are exact
+/// integers, so a snapshot -> restore round trip is bit-identical: a
+/// restored monitor produces the same verdicts, scores, and decision
+/// records as one that was never interrupted (asserted by
+/// online_monitor_test and serve_net_test). The decision-audit ring is
+/// deliberately NOT part of the snapshot — it is a flight recorder, not
+/// scoring state.
+struct MonitorSnapshot {
+  /// Encoded window observation ids, oldest first (alphabet indices of the
+  /// model the monitor was bound to; meaningless under a different model).
+  std::vector<std::size_t> window;
+  std::size_t consecutive_flagged = 0;
+  std::size_t cooldown_remaining = 0;
+  MonitorStats stats;
+};
+
 struct MonitorOptions {
   /// Consecutive flagged windows required before an alarm fires.
   std::size_t windows_to_alarm = 1;
@@ -86,22 +121,17 @@ struct MonitorUpdate {
   const obs::DecisionRecord* decision = nullptr;
 };
 
-struct MonitorStats {
-  std::size_t events_seen = 0;
-  std::size_t events_observed = 0;  ///< events matching the model's stream
-  std::size_t windows_scored = 0;
-  std::size_t windows_flagged = 0;
-  std::size_t alarms = 0;
-};
-
 class OnlineMonitor {
  public:
-  /// `detector` must be trained and must outlive the monitor. `symbolizer`
-  /// may be null when events arrive pre-symbolized; otherwise raw site
-  /// addresses are resolved on the fly (cached-addr2line deployment).
+  /// `detector` must be trained and must outlive the monitor (or be
+  /// replaced via rebind before it dies). `symbolizer` may be null when
+  /// events arrive pre-symbolized; otherwise raw site addresses are
+  /// resolved on the fly (cached-addr2line deployment). `storage` donates
+  /// recycled buffers (see MonitorStorage); the window ring is sized to
+  /// the detector's segment length either way.
   OnlineMonitor(const Detector& detector,
                 const trace::Symbolizer* symbolizer = nullptr,
-                MonitorOptions options = {});
+                MonitorOptions options = {}, MonitorStorage storage = {});
 
   /// Feeds one event; returns what happened. Events outside the model's
   /// call stream (e.g. libcalls on a syscall model) are counted but
@@ -130,11 +160,41 @@ class OnlineMonitor {
   /// keeps cumulative stats.
   void reset_window();
 
+  /// Linearized copy of the complete scoring state (window contents,
+  /// hysteresis, cumulative stats). restore() on a monitor bound to the
+  /// same model resumes bit-identically, as if never interrupted.
+  MonitorSnapshot snapshot() const;
+
+  /// Reinstates a snapshot taken from a monitor bound to the same model.
+  /// Throws std::invalid_argument when the snapshot's window exceeds this
+  /// detector's segment length (a different-model snapshot).
+  void restore(const MonitorSnapshot& snapshot);
+
+  /// Swaps the detector under a live monitor (hot model reload). The
+  /// window and flagged-streak reset — window ids encode the OLD model's
+  /// alphabet and cannot be rescored — while cumulative stats and any
+  /// pending alarm cooldown carry over. The new detector must be trained;
+  /// the window ring is resized to its segment length.
+  void rebind(const Detector& detector);
+
+  /// Heap bytes held by this monitor's scoring state (the per-session
+  /// memory bill the serving tier budgets): the object itself plus window
+  /// ring and scoring scratch capacity. Excludes the decision-audit ring,
+  /// a debug facility that is empty in production configurations.
+  std::size_t state_bytes() const;
+
+  /// Moves the window/scratch buffers out for pool recycling. The monitor
+  /// must not be fed afterwards; destroy it.
+  MonitorStorage release_storage();
+
  private:
-  const Detector& detector_;
+  const Detector* detector_;
   const trace::Symbolizer* symbolizer_;
   MonitorOptions options_;
-  std::deque<std::size_t> window_;  // encoded observation ids
+  std::vector<std::size_t> window_;  // ring of encoded observation ids
+  std::size_t window_head_ = 0;      // index of the oldest id
+  std::size_t window_count_ = 0;
+  hmm::ObservationSeq segment_;      // scoring scratch, reused per window
   std::deque<obs::DecisionRecord> decisions_;  // bounded audit ring
   std::size_t consecutive_flagged_ = 0;
   std::size_t cooldown_remaining_ = 0;

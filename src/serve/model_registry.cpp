@@ -1,13 +1,35 @@
 #include "src/serve/model_registry.hpp"
 
 #include <filesystem>
+#include <functional>
 #include <mutex>
+#include <sstream>
 #include <stdexcept>
 
 #include "src/core/model_io.hpp"
 #include "src/util/logging.hpp"
 
 namespace cmarkov::serve {
+
+namespace {
+
+/// Content identity of a detector: a hash over its serialized form, stable
+/// across processes (model_io's text format is deterministic). Computed
+/// once per add — the reload path, never the scoring path.
+std::uint64_t fingerprint_detector(const core::Detector& detector) {
+  std::ostringstream out;
+  core::save_detector(out, detector);
+  const std::string text = out.str();
+  // FNV-1a, fixed parameters — std::hash is not stable across libraries.
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const unsigned char c : text) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+}  // namespace
 
 void ModelRegistry::add(const std::string& name, core::Detector detector) {
   add_shared(name,
@@ -25,8 +47,21 @@ void ModelRegistry::add_shared(
     throw std::invalid_argument("ModelRegistry: detector '" + name +
                                 "' is not trained");
   }
+  const std::uint64_t fingerprint = fingerprint_detector(*detector);
   const std::unique_lock lock(mu_);
-  models_[name] = std::move(detector);
+  Entry& entry = models_[name];
+  if (entry.detector != nullptr) {
+    // Hot swap: retire the outgoing reference under the pre-bump epoch so
+    // reclaim_retired can tell late readers of the old version apart from
+    // readers that resolved after the swap.
+    retired_.push_back(
+        {std::move(entry.detector),
+         reload_epoch_.load(std::memory_order_relaxed)});
+  }
+  entry.detector = std::move(detector);
+  entry.version += 1;
+  entry.fingerprint = fingerprint;
+  reload_epoch_.fetch_add(1, std::memory_order_release);
 }
 
 void ModelRegistry::load_file(const std::string& name,
@@ -51,7 +86,7 @@ std::shared_ptr<const core::Detector> ModelRegistry::get(
     const std::string& name) const {
   const std::shared_lock lock(mu_);
   const auto it = models_.find(name);
-  return it == models_.end() ? nullptr : it->second;
+  return it == models_.end() ? nullptr : it->second.detector;
 }
 
 std::shared_ptr<const core::Detector> ModelRegistry::require(
@@ -64,17 +99,54 @@ std::shared_ptr<const core::Detector> ModelRegistry::require(
   return detector;
 }
 
+VersionedModel ModelRegistry::get_versioned(const std::string& name) const {
+  const std::shared_lock lock(mu_);
+  const auto it = models_.find(name);
+  if (it == models_.end()) return {};
+  return {it->second.detector, it->second.version, it->second.fingerprint};
+}
+
+VersionedModel ModelRegistry::require_versioned(
+    const std::string& name) const {
+  VersionedModel model = get_versioned(name);
+  if (!model.detector) {
+    throw std::invalid_argument("ModelRegistry: no model named '" + name +
+                                "'");
+  }
+  return model;
+}
+
 std::vector<std::string> ModelRegistry::names() const {
   const std::shared_lock lock(mu_);
   std::vector<std::string> out;
   out.reserve(models_.size());
-  for (const auto& [name, detector] : models_) out.push_back(name);
+  for (const auto& [name, entry] : models_) out.push_back(name);
   return out;
 }
 
 std::size_t ModelRegistry::size() const {
   const std::shared_lock lock(mu_);
   return models_.size();
+}
+
+std::size_t ModelRegistry::reclaim_retired(std::uint64_t min_active_epoch) {
+  const std::unique_lock lock(mu_);
+  std::size_t reclaimed = 0;
+  for (std::size_t i = 0; i < retired_.size();) {
+    if (retired_[i].epoch < min_active_epoch) {
+      retired_[i] = std::move(retired_.back());
+      retired_.pop_back();
+      ++reclaimed;
+    } else {
+      ++i;
+    }
+  }
+  return reclaimed;
+}
+
+std::size_t ModelRegistry::retired_count() const {
+  const std::shared_lock lock(mu_);
+  return retired_.size();
 }
 
 }  // namespace cmarkov::serve

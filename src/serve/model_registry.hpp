@@ -1,9 +1,20 @@
 // Thread-safe store of trained detectors, shared immutably across every
-// session of the serving layer. Models are reference-counted: replacing a
-// name (hot swap) leaves sessions opened against the old model untouched —
-// they keep their shared_ptr until they close.
+// session of the serving layer. Models are reference-counted and versioned:
+// replacing a name (hot swap) atomically publishes a new version, moves the
+// old detector onto a retired list, and bumps the registry's reload epoch.
+//
+// Reclamation is two-layered. Sessions pin the exact detector they score
+// with via shared_ptr, so an in-flight forward pass can never read freed
+// memory. On top of that, the retired list + epoch counter implement
+// epoch-based reclamation for the registry's own reference: workers stamp
+// the epoch they entered before scoring a batch (SessionManager), and
+// reclaim_retired(min_active_epoch) drops retired entries no active epoch
+// can still observe — so a hot swap's memory is returned promptly instead
+// of lingering until the last long-lived session closes.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <shared_mutex>
@@ -13,6 +24,17 @@
 #include "src/core/detector.hpp"
 
 namespace cmarkov::serve {
+
+/// A model lookup with its registry identity: the instance `version` is
+/// monotonic per name within this process (bumped by every swap), while
+/// `fingerprint` hashes the detector's serialized content and is stable
+/// across processes — session snapshots store it so a restore after a
+/// daemon restart can tell "same model bytes" from "retrained model".
+struct VersionedModel {
+  std::shared_ptr<const core::Detector> detector;
+  std::uint64_t version = 0;
+  std::uint64_t fingerprint = 0;
+};
 
 class ModelRegistry {
  public:
@@ -42,12 +64,47 @@ class ModelRegistry {
   /// Throws std::invalid_argument when the name is unknown.
   std::shared_ptr<const core::Detector> require(const std::string& name) const;
 
+  /// Lookup with version + fingerprint; detector is null when unknown.
+  VersionedModel get_versioned(const std::string& name) const;
+
+  /// Like get_versioned but throws std::invalid_argument when unknown.
+  VersionedModel require_versioned(const std::string& name) const;
+
   std::vector<std::string> names() const;
   std::size_t size() const;
 
+  /// Monotonic epoch, bumped by every add/swap. Readers that must not see
+  /// a freed model stamp this value before touching a detector and clear
+  /// it after; see reclaim_retired.
+  std::uint64_t reload_epoch() const {
+    return reload_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Frees retired (hot-swapped-out) registry references whose retirement
+  /// epoch precedes `min_active_epoch` — i.e. every reader active at or
+  /// after that epoch can only have resolved the replacement. Passing the
+  /// sentinel UINT64_MAX (no active readers) frees everything retired.
+  /// Returns the number of entries reclaimed.
+  std::size_t reclaim_retired(std::uint64_t min_active_epoch);
+
+  /// Retired entries awaiting reclamation (tests and METRICS).
+  std::size_t retired_count() const;
+
  private:
+  struct Entry {
+    std::shared_ptr<const core::Detector> detector;
+    std::uint64_t version = 0;
+    std::uint64_t fingerprint = 0;
+  };
+  struct Retired {
+    std::shared_ptr<const core::Detector> detector;
+    std::uint64_t epoch = 0;  ///< reload epoch at retirement time
+  };
+
   mutable std::shared_mutex mu_;
-  std::map<std::string, std::shared_ptr<const core::Detector>> models_;
+  std::map<std::string, Entry> models_;
+  std::vector<Retired> retired_;
+  std::atomic<std::uint64_t> reload_epoch_{1};
 };
 
 }  // namespace cmarkov::serve

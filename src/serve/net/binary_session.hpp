@@ -1,0 +1,58 @@
+// Frame-protocol counterpart of ProtocolSession: one BinarySession is one
+// CMKB conversation, which is one monitored session. It owns the session
+// it opens (destroying the object without BYE closes it — transport
+// disconnect semantics identical to the text protocol).
+//
+// Error handling is two-tier, matching the frame spec:
+//   - application errors (unknown model, no HELLO yet, queue-full reject)
+//     answer a kReply frame carrying the same "ERR ..." line the text
+//     protocol produces, and the conversation continues;
+//   - protocol violations (malformed payload, unknown op) answer one
+//     kError frame and ask the server to drop the connection — a client
+//     that misframes once is desynchronized for good.
+#pragma once
+
+#include <string>
+
+#include "src/serve/net/frame.hpp"
+#include "src/serve/session_manager.hpp"
+
+namespace cmarkov::serve::net {
+
+class BinarySession {
+ public:
+  explicit BinarySession(SessionManager& manager);
+  ~BinarySession();
+  BinarySession(const BinarySession&) = delete;
+  BinarySession& operator=(const BinarySession&) = delete;
+
+  struct Output {
+    /// Encoded response frame(s) to send; may be empty (kFlagNoReply).
+    std::string bytes;
+    /// The connection must be closed once `bytes` is flushed.
+    bool close = false;
+  };
+
+  /// Dispatches one decoded frame. Never throws.
+  Output handle_frame(const Frame& frame);
+
+  /// Empty until HELLO succeeds.
+  const std::string& session_id() const { return session_id_; }
+
+  /// True once BYE was processed (the session is closed and released).
+  bool closed() const { return closed_; }
+
+ private:
+  Output reply(std::string line) const;
+  Output protocol_error(std::string reason) const;
+  Output handle_hello(const Frame& frame);
+  Output handle_event_batch(const Frame& frame);
+
+  SessionManager& manager_;
+  std::string session_id_;
+  /// HELLO's trace id; applied to every event of the conversation.
+  std::string trace_id_;
+  bool closed_ = false;
+};
+
+}  // namespace cmarkov::serve::net

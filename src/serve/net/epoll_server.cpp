@@ -1,0 +1,439 @@
+#include "src/serve/net/epoll_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "src/serve/net/binary_session.hpp"
+#include "src/serve/net/frame.hpp"
+#include "src/serve/protocol.hpp"
+#include "src/util/logging.hpp"
+
+namespace cmarkov::serve::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error("EpollServer: " + what + ": " +
+                           std::strerror(errno));
+}
+
+void set_nonblocking_checks(int fd) {
+  // Sockets are created with SOCK_NONBLOCK; this exists for accepted fds
+  // on platforms without accept4 — not our case, but cheap to keep exact.
+  (void)fd;
+}
+
+int make_eventfd() {
+  const int fd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (fd < 0) throw_errno("eventfd");
+  return fd;
+}
+
+void ring_eventfd(int fd) {
+  const std::uint64_t one = 1;
+  // A full eventfd counter still wakes the reader; ignore short writes.
+  [[maybe_unused]] const ssize_t n = write(fd, &one, sizeof(one));
+}
+
+void drain_eventfd(int fd) {
+  std::uint64_t value = 0;
+  [[maybe_unused]] const ssize_t n = read(fd, &value, sizeof(value));
+}
+
+}  // namespace
+
+/// Per-connection state. Owned by exactly one event loop; never locked.
+struct EpollServer::Conn {
+  explicit Conn(int fd) : fd(fd) {}
+
+  int fd;
+  enum class Mode { kUnknown, kText, kBinary } mode = Mode::kUnknown;
+  /// Unknown mode: the sniff prefix. Text mode: the partial-line buffer.
+  std::string inbuf;
+  FrameParser parser;
+  std::unique_ptr<ProtocolSession> text;
+  std::unique_ptr<BinarySession> binary;
+  std::string outbuf;
+  std::size_t outpos = 0;
+  bool want_write = false;  // EPOLLOUT currently armed
+  bool want_close = false;  // close once outbuf is flushed
+};
+
+struct EpollServer::Loop {
+  int epoll_fd = -1;
+  int wake_fd = -1;
+  std::thread thread;
+  std::mutex pending_mu;
+  std::vector<int> pending;  // accepted fds awaiting adoption
+  std::unordered_map<int, std::unique_ptr<Conn>> conns;
+};
+
+EpollServer::EpollServer(SessionManager& manager, NetOptions options)
+    : manager_(manager), options_(std::move(options)) {
+  if (options_.num_loops == 0) {
+    throw std::invalid_argument("EpollServer: num_loops must be > 0");
+  }
+  obs::MetricsRegistry& metrics = manager_.instruments();
+  connections_total_ = &metrics.counter("cmarkov_net_connections_total");
+  frames_total_ = &metrics.counter("cmarkov_net_frames_total");
+  frame_errors_total_ = &metrics.counter("cmarkov_net_frame_errors_total");
+  text_lines_total_ = &metrics.counter("cmarkov_net_text_lines_total");
+  bytes_read_total_ = &metrics.counter("cmarkov_net_bytes_read_total");
+  bytes_written_total_ = &metrics.counter("cmarkov_net_bytes_written_total");
+  connections_open_ = &metrics.gauge("cmarkov_net_connections_open");
+}
+
+EpollServer::~EpollServer() { stop(); }
+
+void EpollServer::start() {
+  if (running_.load(std::memory_order_acquire)) return;
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  const int enable = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("EpollServer: bad bind address '" +
+                             options_.bind_address + "'");
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int saved = errno;
+    close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    throw_errno("bind " + options_.bind_address + ":" +
+                std::to_string(options_.port));
+  }
+  if (listen(listen_fd_, SOMAXCONN) < 0) throw_errno("listen");
+  socklen_t len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+
+  stopping_.store(false, std::memory_order_release);
+  acceptor_wake_fd_ = make_eventfd();
+  loops_.clear();
+  for (std::size_t i = 0; i < options_.num_loops; ++i) {
+    auto loop = std::make_unique<Loop>();
+    loop->epoll_fd = epoll_create1(EPOLL_CLOEXEC);
+    if (loop->epoll_fd < 0) throw_errno("epoll_create1");
+    loop->wake_fd = make_eventfd();
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = loop->wake_fd;
+    if (epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, loop->wake_fd, &ev) < 0) {
+      throw_errno("epoll_ctl wake fd");
+    }
+    loops_.push_back(std::move(loop));
+  }
+  running_.store(true, std::memory_order_release);
+  for (auto& loop : loops_) {
+    loop->thread = std::thread([this, l = loop.get()] { loop_main(*l); });
+  }
+  acceptor_ = std::thread([this] { acceptor_main(); });
+  log_info() << "net: listening on " << options_.bind_address << ":" << port_
+             << " (" << options_.num_loops << " event loop(s))";
+}
+
+void EpollServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  ring_eventfd(acceptor_wake_fd_);
+  for (auto& loop : loops_) ring_eventfd(loop->wake_fd);
+  if (acceptor_.joinable()) acceptor_.join();
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) loop->thread.join();
+  }
+  for (auto& loop : loops_) {
+    // Loop threads exited without touching their maps again; closing the
+    // conversation objects here releases any sessions still open.
+    for (auto& [fd, conn] : loop->conns) {
+      conn->text.reset();
+      conn->binary.reset();
+      close(fd);
+    }
+    loop->conns.clear();
+    {
+      const std::lock_guard lock(loop->pending_mu);
+      for (const int fd : loop->pending) close(fd);
+      loop->pending.clear();
+    }
+    close(loop->wake_fd);
+    close(loop->epoll_fd);
+  }
+  loops_.clear();
+  close(acceptor_wake_fd_);
+  acceptor_wake_fd_ = -1;
+  if (listen_fd_ >= 0) close(listen_fd_);
+  listen_fd_ = -1;
+  connections_open_->set(0.0);
+}
+
+void EpollServer::acceptor_main() {
+  const int epoll_fd = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd < 0) {
+    log_error() << "net: acceptor epoll_create1: " << std::strerror(errno);
+    return;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  epoll_ctl(epoll_fd, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = acceptor_wake_fd_;
+  epoll_ctl(epoll_fd, EPOLL_CTL_ADD, acceptor_wake_fd_, &ev);
+
+  while (!stopping_.load(std::memory_order_acquire)) {
+    epoll_event events[16];
+    const int n = epoll_wait(epoll_fd, events, 16, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    bool accept_ready = false;
+    for (int i = 0; i < n; ++i) {
+      if (events[i].data.fd == acceptor_wake_fd_) {
+        drain_eventfd(acceptor_wake_fd_);
+      } else {
+        accept_ready = true;
+      }
+    }
+    if (!accept_ready) continue;
+    for (;;) {
+      const int fd = accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        log_error() << "net: accept: " << std::strerror(errno);
+        break;
+      }
+      set_nonblocking_checks(fd);
+      const int nodelay = 1;
+      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+      Loop& loop = *loops_[next_loop_];
+      next_loop_ = (next_loop_ + 1) % loops_.size();
+      {
+        const std::lock_guard lock(loop.pending_mu);
+        loop.pending.push_back(fd);
+      }
+      ring_eventfd(loop.wake_fd);
+      connections_total_->add(1);
+    }
+  }
+  close(epoll_fd);
+}
+
+void EpollServer::adopt_pending(Loop& loop) {
+  std::vector<int> fds;
+  {
+    const std::lock_guard lock(loop.pending_mu);
+    fds.swap(loop.pending);
+  }
+  for (const int fd : fds) {
+    auto conn = std::make_unique<Conn>(fd);
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLRDHUP | EPOLLET;
+    ev.data.fd = fd;
+    if (epoll_ctl(loop.epoll_fd, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      log_error() << "net: epoll_ctl add: " << std::strerror(errno);
+      close(fd);
+      continue;
+    }
+    loop.conns.emplace(fd, std::move(conn));
+    connections_open_->add(1.0);
+  }
+}
+
+void EpollServer::loop_main(Loop& loop) {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int n = epoll_wait(loop.epoll_fd, events, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      log_error() << "net: epoll_wait: " << std::strerror(errno);
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == loop.wake_fd) {
+        drain_eventfd(loop.wake_fd);
+        adopt_pending(loop);
+        continue;
+      }
+      const auto it = loop.conns.find(fd);
+      if (it == loop.conns.end()) continue;  // closed earlier this batch
+      Conn& conn = *it->second;
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        close_conn(loop, conn);
+        continue;
+      }
+      if (events[i].events & EPOLLOUT) flush_writes(loop, conn);
+      if (loop.conns.find(fd) == loop.conns.end()) continue;
+      if (events[i].events & (EPOLLIN | EPOLLRDHUP)) {
+        handle_readable(loop, conn);
+      }
+    }
+  }
+}
+
+void EpollServer::handle_readable(Loop& loop, Conn& conn) {
+  // Edge-triggered: must read to EAGAIN or the event is lost.
+  char buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = read(conn.fd, buf, sizeof(buf));
+    if (n > 0) {
+      bytes_read_total_->add(static_cast<std::uint64_t>(n));
+      process_input(conn, buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {  // peer closed
+      close_conn(loop, conn);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close_conn(loop, conn);
+    return;
+  }
+  flush_writes(loop, conn);
+}
+
+void EpollServer::process_input(Conn& conn, const char* data,
+                                std::size_t size) {
+  if (conn.mode == Conn::Mode::kUnknown) {
+    conn.inbuf.append(data, size);
+    static const char kMagicBytes[4] = {'C', 'M', 'K', 'B'};
+    const std::size_t check = std::min<std::size_t>(conn.inbuf.size(), 4);
+    if (std::memcmp(conn.inbuf.data(), kMagicBytes, check) != 0) {
+      conn.mode = Conn::Mode::kText;
+      conn.text = std::make_unique<ProtocolSession>(manager_);
+    } else if (conn.inbuf.size() >= 4) {
+      conn.mode = Conn::Mode::kBinary;
+      conn.binary = std::make_unique<BinarySession>(manager_);
+      conn.parser.feed(conn.inbuf.data(), conn.inbuf.size());
+      conn.inbuf.clear();
+      process_frames(conn);
+      return;
+    } else {
+      return;  // fewer than 4 bytes, all matching the magic prefix: wait
+    }
+    process_text(conn);
+    return;
+  }
+  if (conn.mode == Conn::Mode::kText) {
+    conn.inbuf.append(data, size);
+    process_text(conn);
+  } else {
+    conn.parser.feed(data, size);
+    process_frames(conn);
+  }
+}
+
+void EpollServer::process_text(Conn& conn) {
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t nl = conn.inbuf.find('\n', start);
+    if (nl == std::string::npos) break;
+    std::string_view line(conn.inbuf.data() + start, nl - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    text_lines_total_->add(1);
+    const std::string response = conn.text->handle_line(line);
+    if (!response.empty()) {
+      conn.outbuf += response;
+      conn.outbuf += '\n';
+    }
+    start = nl + 1;
+    if (conn.text->closed()) {
+      conn.want_close = true;
+      break;
+    }
+  }
+  conn.inbuf.erase(0, start);
+}
+
+void EpollServer::process_frames(Conn& conn) {
+  while (auto frame = conn.parser.next()) {
+    frames_total_->add(1);
+    const BinarySession::Output out = conn.binary->handle_frame(*frame);
+    conn.outbuf += out.bytes;
+    if (out.close) {
+      conn.want_close = true;
+      return;
+    }
+  }
+  if (!conn.parser.error().empty() && !conn.want_close) {
+    frame_errors_total_->add(1);
+    log_debug() << "net: framing violation: " << conn.parser.error();
+    conn.outbuf += encode_frame(FrameOp::kError, 0, conn.parser.error());
+    conn.want_close = true;
+  }
+}
+
+void EpollServer::flush_writes(Loop& loop, Conn& conn) {
+  while (conn.outpos < conn.outbuf.size()) {
+    const ssize_t n = write(conn.fd, conn.outbuf.data() + conn.outpos,
+                            conn.outbuf.size() - conn.outpos);
+    if (n > 0) {
+      bytes_written_total_->add(static_cast<std::uint64_t>(n));
+      conn.outpos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    close_conn(loop, conn);  // peer gone mid-write
+    return;
+  }
+  if (conn.outpos == conn.outbuf.size()) {
+    conn.outbuf.clear();
+    conn.outpos = 0;
+    if (conn.want_close) {
+      close_conn(loop, conn);
+      return;
+    }
+  }
+  update_interest(loop, conn);
+}
+
+void EpollServer::update_interest(Loop& loop, Conn& conn) {
+  const bool needs_write = conn.outpos < conn.outbuf.size();
+  if (needs_write == conn.want_write) return;
+  conn.want_write = needs_write;
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLRDHUP | EPOLLET;
+  if (needs_write) ev.events |= EPOLLOUT;
+  ev.data.fd = conn.fd;
+  if (epoll_ctl(loop.epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev) < 0) {
+    log_error() << "net: epoll_ctl mod: " << std::strerror(errno);
+  }
+}
+
+void EpollServer::close_conn(Loop& loop, Conn& conn) {
+  const int fd = conn.fd;
+  epoll_ctl(loop.epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+  // Destroying the conversation object closes its session (drains first),
+  // matching the text transport's disconnect semantics.
+  loop.conns.erase(fd);
+  close(fd);
+  connections_open_->add(-1.0);
+}
+
+}  // namespace cmarkov::serve::net

@@ -1,7 +1,9 @@
 #include "src/serve/protocol.hpp"
 
+#include <memory>
 #include <sstream>
 
+#include "src/core/model_io.hpp"
 #include "src/obs/export.hpp"
 #include "src/util/strings.hpp"
 
@@ -35,6 +37,7 @@ std::string format_session_stats(const SessionStats& stats) {
   out << "STATS v=1 session=" << stats.id << " model=" << stats.model
       << " enqueued=" << stats.enqueued << " processed=" << stats.processed
       << " dropped=" << stats.dropped << " rejected=" << stats.rejected
+      << " evicted_dropped=" << stats.evicted_dropped
       << " events=" << stats.monitor.events_seen
       << " observed=" << stats.monitor.events_observed
       << " windows=" << stats.monitor.windows_scored
@@ -77,6 +80,8 @@ std::string ProtocolSession::handle_line(std::string_view line) {
       return "METRICS " + obs::to_kv_line(manager_.metrics_registry());
     }
     if (command == "TRACE") return handle_trace(words);
+    if (command == "EVICT") return handle_evict();
+    if (command == "RELOAD") return handle_reload(words);
     if (command == "BYE") return handle_bye();
     return "ERR unknown command '" + command + "'";
   } catch (const std::exception& e) {
@@ -183,6 +188,28 @@ std::string ProtocolSession::handle_trace(
     reply += obs::decision_record_json(record);
   }
   return reply;
+}
+
+std::string ProtocolSession::handle_evict() {
+  if (session_id_.empty()) return "ERR no session (send HELLO first)";
+  if (!manager_.evict_session(session_id_)) {
+    // Already frozen (an earlier EVICT, or the residency budget beat us).
+    return "OK session=" + session_id_ + " evicted_dropped=" +
+           std::to_string(manager_.session_stats(session_id_).evicted_dropped);
+  }
+  const SessionStats stats = manager_.session_stats(session_id_);
+  return "OK session=" + session_id_ +
+         " evicted_dropped=" + std::to_string(stats.evicted_dropped);
+}
+
+std::string ProtocolSession::handle_reload(
+    const std::vector<std::string>& words) {
+  if (words.size() != 3) return "ERR usage: RELOAD <model> <path>";
+  const ReloadReport report =
+      manager_.reload_model(words[1], std::make_shared<const core::Detector>(
+                                          core::load_detector_file(words[2])));
+  return "OK model=" + words[1] + " version=" + std::to_string(report.version) +
+         " rebound=" + std::to_string(report.sessions_rebound);
 }
 
 std::string ProtocolSession::handle_bye() {

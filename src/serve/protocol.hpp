@@ -10,6 +10,16 @@
 //                                       (service-wide, from the registry)
 //   TRACE [n]                        -> TRACE v=1 session=... n=<k> plus
 //                                       k decision-record JSON lines
+//   EVICT                            -> OK session=<id> evicted_dropped=<n>
+//                                       (session frozen into the snapshot
+//                                       store; queued events discarded and
+//                                       counted; the next EV transparently
+//                                       restores it)
+//   RELOAD <model> <path>            -> OK model=<m> version=<v>
+//                                       rebound=<k> (hot model swap; live
+//                                       sessions rebind at a window
+//                                       boundary, zero accepted events
+//                                       lost)
 //   BYE                              -> OK session=<id> alarms=<n>
 //
 // <site> is the calling context (caller function) of the event, <callee>
@@ -56,6 +66,8 @@ class ProtocolSession {
   std::string handle_hello(std::vector<std::string> words);
   std::string handle_event(std::vector<std::string> words);
   std::string handle_trace(const std::vector<std::string>& words);
+  std::string handle_evict();
+  std::string handle_reload(const std::vector<std::string>& words);
   std::string handle_bye();
 
   SessionManager& manager_;

@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -15,6 +16,15 @@ namespace cmarkov::serve {
 namespace {
 /// Items a worker moves out of its queue per lock acquisition.
 constexpr std::size_t kBatchSize = 64;
+/// Worker epoch stamp meaning "not inside a scoring batch" — such a worker
+/// holds no registry-derived detector reference of its own, so it never
+/// constrains retired-model reclamation.
+constexpr std::uint64_t kEpochIdle = std::numeric_limits<std::uint64_t>::max();
+/// Resident sessions probed per eviction round. Redis-style approximate
+/// LRU: with more residents than this we sample instead of scanning, and
+/// with at most this many the scan is exhaustive (exact LRU — what the
+/// lifecycle tests rely on).
+constexpr std::size_t kEvictionProbes = 8;
 }  // namespace
 
 const char* backpressure_policy_name(BackpressurePolicy policy) {
@@ -38,30 +48,55 @@ std::optional<BackpressurePolicy> parse_backpressure_policy(
 }
 
 struct SessionManager::Session {
-  Session(std::string id, std::string model_name,
-          std::shared_ptr<const core::Detector> detector_ptr,
-          std::size_t shard, core::MonitorOptions options)
+  Session(std::string id, std::string model_name, VersionedModel model,
+          std::size_t shard, core::MonitorOptions options,
+          core::MonitorStorage storage)
       : id(std::move(id)),
         model_name(std::move(model_name)),
-        detector(std::move(detector_ptr)),
         shard(shard),
-        monitor(*detector, nullptr, options) {}
+        options(options),
+        detector(std::move(model.detector)),
+        model_version(model.version),
+        model_fingerprint(model.fingerprint),
+        monitor(*detector, nullptr, options, std::move(storage)) {}
 
   const std::string id;
   const std::string model_name;
-  /// Keeps the detector alive even if the registry hot-swaps the name.
-  const std::shared_ptr<const core::Detector> detector;
   const std::size_t shard;
+  const core::MonitorOptions options;
 
   std::atomic<std::uint64_t> enqueued{0};
   std::atomic<std::uint64_t> processed{0};
   std::atomic<std::uint64_t> dropped{0};
   std::atomic<std::uint64_t> rejected{0};
+  /// Queued events discarded because the session was evicted.
+  std::atomic<std::uint64_t> evicted_dropped{0};
+  /// Events queued or scoring right now. Eviction waits for zero before
+  /// freezing the monitor, so no event ever races a snapshot.
+  std::atomic<std::uint64_t> pending{0};
+  /// Activity tick of the last submit (LRU ordering for eviction).
+  std::atomic<std::uint64_t> last_active{0};
 
-  /// Guards `monitor`: held by the owning worker while scoring and by stats
-  /// readers while snapshotting (uncontended in steady state — one worker
-  /// owns the session's shard).
+  /// Set under the shard worker's mu when the session is evicted. A
+  /// producer that still holds this (stale) object re-resolves through the
+  /// snapshot store instead of queueing into a frozen session.
+  bool evicted = false;
+
+  /// Position in SessionManager::session_list_ (guarded by sessions_mu_).
+  std::size_t list_index = 0;
+  /// monitor.state_bytes() as last accounted into state_bytes_sum_
+  /// (mutated under lifecycle_mu_ only).
+  std::size_t state_bytes = 0;
+
+  /// Guards `monitor` and the model binding below: held by the owning
+  /// worker while scoring, by stats readers while snapshotting, and by
+  /// reload_model while rebinding (uncontended in steady state — one
+  /// worker owns the session's shard).
   mutable std::mutex monitor_mu;
+  /// Current binding; keeps the detector alive across registry hot-swaps.
+  std::shared_ptr<const core::Detector> detector;
+  std::uint64_t model_version;
+  std::uint64_t model_fingerprint;
   core::OnlineMonitor monitor;
 };
 
@@ -85,12 +120,17 @@ struct SessionManager::Worker {
   std::deque<Item> queue;
   std::size_t in_flight = 0;  // items popped but not yet processed
   bool stop = false;
+  /// Registry reload epoch observed when the current scoring batch began;
+  /// kEpochIdle between batches. reload_model takes the minimum across
+  /// workers to prove no one can still be reading a retired model.
+  std::atomic<std::uint64_t> active_epoch{kEpochIdle};
   std::thread thread;
 };
 
-SessionManager::SessionManager(const ModelRegistry& registry,
-                               ServiceConfig config)
-    : registry_(registry), config_(config) {
+SessionManager::SessionManager(ModelRegistry& registry, ServiceConfig config)
+    : registry_(registry),
+      config_(config),
+      snapshots_(config.snapshot_dir) {
   if (config_.num_workers == 0) {
     throw std::invalid_argument("SessionManager: num_workers must be > 0");
   }
@@ -110,10 +150,21 @@ SessionManager::SessionManager(const ModelRegistry& registry,
   rejected_total_ = &metrics_->counter("cmarkov_serve_events_rejected_total");
   windows_total_ = &metrics_->counter("cmarkov_serve_windows_total");
   alarms_total_ = &metrics_->counter("cmarkov_serve_alarms_total");
+  sessions_evicted_total_ =
+      &metrics_->counter("cmarkov_serve_sessions_evicted_total");
+  sessions_restored_total_ =
+      &metrics_->counter("cmarkov_serve_sessions_restored_total");
+  evicted_dropped_total_ =
+      &metrics_->counter("cmarkov_serve_events_dropped_evicted_total");
+  model_reloads_total_ =
+      &metrics_->counter("cmarkov_serve_model_reloads_total");
+  reload_micros_ = &metrics_->histogram("cmarkov_serve_model_reload_micros",
+                                        latency_bucket_bounds());
   latency_micros_ = &metrics_->histogram("cmarkov_serve_latency_micros",
                                          latency_bucket_bounds());
   uptime_gauge_ = &metrics_->gauge("cmarkov_serve_uptime_seconds");
   sessions_gauge_ = &metrics_->gauge("cmarkov_serve_sessions_open");
+  state_bytes_gauge_ = &metrics_->gauge("cmarkov_serve_session_state_bytes");
   queue_depth_gauges_.reserve(config_.num_workers);
   for (std::size_t i = 0; i < config_.num_workers; ++i) {
     queue_depth_gauges_.push_back(
@@ -155,17 +206,36 @@ SessionManager::~SessionManager() {
 void SessionManager::open_session(const std::string& id,
                                   const std::string& model,
                                   std::optional<core::MonitorOptions> options) {
-  auto detector = registry_.require(model);
-  const std::size_t shard =
-      std::hash<std::string>{}(id) % workers_.size();
-  auto session = std::make_shared<Session>(
-      id, model, std::move(detector), shard,
-      options.value_or(config_.monitor));
-  const std::unique_lock lock(sessions_mu_);
-  if (!sessions_.emplace(id, std::move(session)).second) {
-    throw std::invalid_argument("SessionManager: session '" + id +
-                                "' is already open");
+  const std::lock_guard lifecycle(lifecycle_mu_);
+  {
+    const std::shared_lock lock(sessions_mu_);
+    if (sessions_.find(id) != sessions_.end()) {
+      throw std::invalid_argument("SessionManager: session '" + id +
+                                  "' is already open");
+    }
   }
+  if (snapshots_.contains(id)) {
+    // HELLO for an evicted session: resume it. The snapshot's hysteresis
+    // settings win over `options` — they are the session's own history.
+    auto snapshot = snapshots_.peek(id);
+    if (snapshot->model != model) {
+      throw std::invalid_argument(
+          "SessionManager: session '" + id + "' has a pending snapshot for "
+          "model '" + snapshot->model + "', not '" + model + "'");
+    }
+    restore_locked(std::move(*snapshots_.take(id)));
+    return;
+  }
+  VersionedModel versioned = registry_.require_versioned(model);
+  const std::size_t shard = std::hash<std::string>{}(id) % workers_.size();
+  auto session = std::make_shared<Session>(
+      id, model, std::move(versioned), shard,
+      options.value_or(config_.monitor), pool_.acquire());
+  session->last_active.store(
+      activity_clock_.fetch_add(1, std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  insert_resident(session);
+  enforce_residency_locked(session.get());
 }
 
 SubmitResult SessionManager::submit(const std::string& id,
@@ -177,74 +247,95 @@ SubmitResult SessionManager::submit(const std::string& id,
                                     trace::CallEvent event,
                                     const std::string& trace_id,
                                     std::uint64_t* seq_out) {
-  const std::shared_ptr<Session> session = find_session(id);
-  if (!session) return SubmitResult::kUnknownSession;
-
   // One sampling decision per event, taken before the queue so the queue
-  // span covers the full wait; explicit trace ids always trace.
+  // span covers the full wait; explicit trace ids always trace. Taken once
+  // even if the enqueue below has to retry across an eviction.
   bool traced = false;
   std::uint64_t seq = 0;
-  if (tracer_->enabled()) {
-    traced = tracer_->sample(!trace_id.empty());
-    if (traced) {
-      seq = tracer_->next_seq();
-      if (seq_out != nullptr) *seq_out = seq;
-    }
-  }
+  bool sampled = false;
 
-  Worker& worker = *workers_[session->shard];
-  SubmitResult result = SubmitResult::kAccepted;
-  {
-    std::unique_lock lock(worker.mu);
-    if (worker.queue.size() >= config_.queue_capacity) {
-      switch (config_.policy) {
-        case BackpressurePolicy::kBlock:
-          if (config_.manual_pump) {
-            // No worker thread will ever make room: pump inline instead.
-            lock.unlock();
-            pump_worker(worker);
-            lock.lock();
-          } else {
-            worker.cv_space.wait(lock, [&] {
-              return worker.queue.size() < config_.queue_capacity ||
-                     worker.stop;
-            });
-            if (worker.stop) return SubmitResult::kRejected;
-          }
-          break;
-        case BackpressurePolicy::kDropOldest: {
-          Item& victim = worker.queue.front();
-          victim.session->dropped.fetch_add(1, std::memory_order_relaxed);
-          dropped_total_->add(1);
-          worker.queue.pop_front();
-          result = SubmitResult::kDroppedOldest;
-          break;
-        }
-        case BackpressurePolicy::kReject:
-          session->rejected.fetch_add(1, std::memory_order_relaxed);
-          rejected_total_->add(1);
-          return SubmitResult::kRejected;
+  for (;;) {
+    std::shared_ptr<Session> session = find_session(id);
+    if (!session) {
+      // Not resident: transparently restore from the snapshot store (the
+      // session may have been evicted — possibly by a previous daemon run).
+      session = try_restore(id);
+      if (!session) return SubmitResult::kUnknownSession;
+    }
+
+    if (!sampled && tracer_->enabled()) {
+      sampled = true;
+      traced = tracer_->sample(!trace_id.empty());
+      if (traced) {
+        seq = tracer_->next_seq();
+        if (seq_out != nullptr) *seq_out = seq;
       }
     }
-    worker.queue.push_back(Item{session, std::move(event), clock_.micros(),
-                                trace_id, traced, seq});
+
+    Worker& worker = *workers_[session->shard];
+    SubmitResult result = SubmitResult::kAccepted;
+    bool stale = false;
+    {
+      std::unique_lock lock(worker.mu);
+      if (session->evicted) {
+        stale = true;  // evicted between find and lock: re-resolve
+      } else if (worker.queue.size() >= config_.queue_capacity) {
+        switch (config_.policy) {
+          case BackpressurePolicy::kBlock:
+            if (config_.manual_pump) {
+              // No worker thread will ever make room: pump inline instead.
+              lock.unlock();
+              pump_worker(worker);
+              lock.lock();
+            } else {
+              worker.cv_space.wait(lock, [&] {
+                return worker.queue.size() < config_.queue_capacity ||
+                       worker.stop || session->evicted;
+              });
+              if (worker.stop) return SubmitResult::kRejected;
+            }
+            if (session->evicted) stale = true;
+            break;
+          case BackpressurePolicy::kDropOldest: {
+            Item& victim = worker.queue.front();
+            victim.session->dropped.fetch_add(1, std::memory_order_relaxed);
+            victim.session->pending.fetch_sub(1, std::memory_order_release);
+            dropped_total_->add(1);
+            worker.queue.pop_front();
+            result = SubmitResult::kDroppedOldest;
+            break;
+          }
+          case BackpressurePolicy::kReject:
+            session->rejected.fetch_add(1, std::memory_order_relaxed);
+            rejected_total_->add(1);
+            return SubmitResult::kRejected;
+        }
+      }
+      if (!stale) {
+        session->pending.fetch_add(1, std::memory_order_relaxed);
+        worker.queue.push_back(Item{session, std::move(event),
+                                    clock_.micros(), trace_id, traced, seq});
+      }
+    }
+    if (stale) continue;
+    worker.cv_nonempty.notify_one();
+    session->last_active.store(
+        activity_clock_.fetch_add(1, std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    session->enqueued.fetch_add(1, std::memory_order_relaxed);
+    enqueued_total_->add(1);
+    return result;
   }
-  worker.cv_nonempty.notify_one();
-  session->enqueued.fetch_add(1, std::memory_order_relaxed);
-  enqueued_total_->add(1);
-  return result;
 }
 
 bool SessionManager::has_session(const std::string& id) const {
-  return find_session(id) != nullptr;
+  return find_session(id) != nullptr || snapshots_.contains(id);
 }
 
 SessionStats SessionManager::session_stats(const std::string& id) const {
-  const auto session = find_session(id);
-  if (!session) {
-    throw std::invalid_argument("SessionManager: no session '" + id + "'");
-  }
-  return snapshot(*session);
+  if (const auto session = find_session(id)) return snapshot(*session);
+  if (const auto snap = snapshots_.peek(id)) return stats_from_snapshot(*snap);
+  throw std::invalid_argument("SessionManager: no session '" + id + "'");
 }
 
 std::vector<SessionStats> SessionManager::all_session_stats() const {
@@ -261,15 +352,105 @@ std::vector<SessionStats> SessionManager::all_session_stats() const {
 }
 
 SessionStats SessionManager::close_session(const std::string& id) {
-  const auto session = find_session(id);
-  if (!session) {
-    throw std::invalid_argument("SessionManager: no session '" + id + "'");
+  if (find_session(id) != nullptr) {
+    drain();
+    const std::lock_guard lifecycle(lifecycle_mu_);
+    // Re-resolve under the lifecycle lock: the session may have been
+    // evicted between the check and here (falls through to the store).
+    if (const auto session = find_session(id)) {
+      Worker& worker = *workers_[session->shard];
+      while (session->pending.load(std::memory_order_acquire) != 0) {
+        if (config_.manual_pump) pump_worker(worker);
+        std::this_thread::yield();
+      }
+      SessionStats stats = snapshot(*session);
+      {
+        const std::unique_lock lock(sessions_mu_);
+        sessions_.erase(session->id);
+        const std::size_t index = session->list_index;
+        if (index + 1 != session_list_.size()) {
+          session_list_[index] = std::move(session_list_.back());
+          session_list_[index]->list_index = index;
+        }
+        session_list_.pop_back();
+      }
+      state_bytes_sum_.fetch_sub(session->state_bytes,
+                                 std::memory_order_relaxed);
+      const std::lock_guard monitor_lock(session->monitor_mu);
+      pool_.release(session->monitor.release_storage());
+      return stats;
+    }
   }
-  drain();
-  SessionStats stats = snapshot(*session);
-  const std::unique_lock lock(sessions_mu_);
-  sessions_.erase(id);
-  return stats;
+  if (auto snap = snapshots_.take(id)) return stats_from_snapshot(*snap);
+  throw std::invalid_argument("SessionManager: no session '" + id + "'");
+}
+
+bool SessionManager::evict_session(const std::string& id) {
+  const std::lock_guard lifecycle(lifecycle_mu_);
+  const auto session = find_session(id);
+  if (!session) return false;
+  evict_locked(session);
+  return true;
+}
+
+std::size_t SessionManager::resident_sessions() const {
+  const std::shared_lock lock(sessions_mu_);
+  return sessions_.size();
+}
+
+ReloadReport SessionManager::reload_model(
+    const std::string& name, std::shared_ptr<const core::Detector> detector) {
+  const double start_micros = clock_.micros();
+  registry_.add_shared(name, std::move(detector));
+  const VersionedModel versioned = registry_.require_versioned(name);
+
+  ReloadReport report;
+  report.version = versioned.version;
+  report.fingerprint = versioned.fingerprint;
+
+  const std::lock_guard lifecycle(lifecycle_mu_);
+  std::vector<std::shared_ptr<Session>> affected;
+  {
+    const std::shared_lock lock(sessions_mu_);
+    for (const auto& session : session_list_) {
+      if (session->model_name == name) affected.push_back(session);
+    }
+  }
+  for (const auto& session : affected) {
+    // monitor_mu serializes against the owning worker: an event scoring
+    // right now finishes against the old model; the next one sees the new
+    // binding. Nothing queued is dropped.
+    const std::lock_guard lock(session->monitor_mu);
+    session->detector = versioned.detector;
+    session->model_version = versioned.version;
+    session->model_fingerprint = versioned.fingerprint;
+    session->monitor.rebind(*session->detector);
+    const std::size_t bytes = session->monitor.state_bytes();
+    state_bytes_sum_.fetch_add(bytes - session->state_bytes,
+                               std::memory_order_relaxed);
+    session->state_bytes = bytes;
+    ++report.sessions_rebound;
+  }
+
+  // Epoch-based reclamation: a worker mid-batch advertises the reload
+  // epoch it started under; one that is idle resolves any future model
+  // through the registry and sees the new version. The minimum across
+  // busy workers bounds which retired references can still be observed.
+  std::uint64_t min_active = registry_.reload_epoch();
+  for (const auto& worker : workers_) {
+    const std::uint64_t epoch =
+        worker->active_epoch.load(std::memory_order_acquire);
+    if (epoch < min_active) min_active = epoch;
+  }
+  report.retired_reclaimed = registry_.reclaim_retired(min_active);
+
+  report.micros = clock_.micros() - start_micros;
+  model_reloads_total_->add(1);
+  reload_micros_->record(report.micros);
+  log_info() << "reload: model '" << name << "' -> v" << report.version
+             << " (" << report.sessions_rebound << " session(s) rebound, "
+             << report.retired_reclaimed << " retired model(s) reclaimed)";
+  return report;
 }
 
 void SessionManager::drain() {
@@ -315,10 +496,19 @@ ServiceMetrics SessionManager::metrics() const {
 
 void SessionManager::refresh_gauges() {
   uptime_gauge_->set(clock_.seconds());
+  std::size_t resident = 0;
   {
     const std::shared_lock lock(sessions_mu_);
-    sessions_gauge_->set(static_cast<double>(sessions_.size()));
+    resident = sessions_.size();
   }
+  sessions_gauge_->set(static_cast<double>(resident));
+  // Average per-resident-session scoring-state footprint — the number the
+  // sessions-per-gigabyte budget in docs/SERVING.md is written against.
+  const std::uint64_t bytes = state_bytes_sum_.load(std::memory_order_relaxed);
+  state_bytes_gauge_->set(
+      resident == 0 ? 0.0
+                    : static_cast<double>(bytes) /
+                          static_cast<double>(resident));
   for (std::size_t i = 0; i < workers_.size(); ++i) {
     const std::lock_guard lock(workers_[i]->mu);
     queue_depth_gauges_[i]->set(
@@ -341,6 +531,170 @@ std::shared_ptr<SessionManager::Session> SessionManager::find_session(
   const std::shared_lock lock(sessions_mu_);
   const auto it = sessions_.find(id);
   return it == sessions_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<SessionManager::Session> SessionManager::try_restore(
+    const std::string& id) {
+  const std::lock_guard lifecycle(lifecycle_mu_);
+  // Another producer may have restored it while we waited for the lock.
+  if (auto session = find_session(id)) return session;
+  auto snapshot = snapshots_.take(id);
+  if (!snapshot) return nullptr;
+  return restore_locked(std::move(*snapshot));
+}
+
+std::shared_ptr<SessionManager::Session> SessionManager::restore_locked(
+    SessionSnapshot snap) {
+  VersionedModel versioned = registry_.require_versioned(snap.model);
+  core::MonitorOptions options = config_.monitor;
+  options.windows_to_alarm = static_cast<std::size_t>(snap.windows_to_alarm);
+  options.cooldown_events = static_cast<std::size_t>(snap.cooldown_events);
+  const std::size_t shard = std::hash<std::string>{}(snap.id) % workers_.size();
+  auto session = std::make_shared<Session>(snap.id, snap.model,
+                                           std::move(versioned), shard,
+                                           options, pool_.acquire());
+  session->enqueued.store(snap.enqueued, std::memory_order_relaxed);
+  session->processed.store(snap.processed, std::memory_order_relaxed);
+  session->dropped.store(snap.dropped, std::memory_order_relaxed);
+  session->rejected.store(snap.rejected, std::memory_order_relaxed);
+  session->evicted_dropped.store(snap.evicted_dropped,
+                                 std::memory_order_relaxed);
+  core::MonitorSnapshot monitor = std::move(snap.monitor);
+  if (session->model_fingerprint != snap.model_fingerprint) {
+    // The model changed while the session was frozen: the window ids index
+    // a dead alphabet. Keep the cumulative stats and any pending cooldown,
+    // start a fresh window (same contract as a live rebind).
+    monitor.window.clear();
+    monitor.consecutive_flagged = 0;
+  }
+  session->monitor.restore(monitor);
+  session->last_active.store(
+      activity_clock_.fetch_add(1, std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  insert_resident(session);
+  sessions_restored_total_->add(1);
+  enforce_residency_locked(session.get());
+  return session;
+}
+
+void SessionManager::insert_resident(std::shared_ptr<Session> session) {
+  Session* raw = session.get();
+  {
+    const std::unique_lock lock(sessions_mu_);
+    if (!sessions_.emplace(raw->id, session).second) {
+      throw std::invalid_argument("SessionManager: session '" + raw->id +
+                                  "' is already open");
+    }
+    raw->list_index = session_list_.size();
+    session_list_.push_back(std::move(session));
+  }
+  raw->state_bytes = raw->monitor.state_bytes();
+  state_bytes_sum_.fetch_add(raw->state_bytes, std::memory_order_relaxed);
+}
+
+void SessionManager::evict_locked(const std::shared_ptr<Session>& session) {
+  Worker& worker = *workers_[session->shard];
+  std::size_t purged = 0;
+  {
+    const std::lock_guard lock(worker.mu);
+    session->evicted = true;
+    auto& queue = worker.queue;
+    const auto keep_end =
+        std::remove_if(queue.begin(), queue.end(), [&](const Item& item) {
+          return item.session.get() == session.get();
+        });
+    purged = static_cast<std::size_t>(queue.end() - keep_end);
+    queue.erase(keep_end, queue.end());
+  }
+  if (purged > 0) {
+    // Lifecycle loss, not backpressure: accounted on its own counter
+    // (events_dropped_total would misattribute it to queue pressure).
+    session->pending.fetch_sub(purged, std::memory_order_release);
+    session->evicted_dropped.fetch_add(purged, std::memory_order_relaxed);
+    evicted_dropped_total_->add(purged);
+  }
+  // Blocked producers of this session must re-resolve it (their wait
+  // predicate checks the evicted flag), so wake them even if no queued
+  // item was purged.
+  worker.cv_space.notify_all();
+  // An item popped into a worker batch is not in the queue but still
+  // pending; let the score finish so the snapshot sees its effect.
+  while (session->pending.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+  {
+    const std::unique_lock lock(sessions_mu_);
+    sessions_.erase(session->id);
+    const std::size_t index = session->list_index;
+    if (index + 1 != session_list_.size()) {
+      session_list_[index] = std::move(session_list_.back());
+      session_list_[index]->list_index = index;
+    }
+    session_list_.pop_back();
+  }
+  state_bytes_sum_.fetch_sub(session->state_bytes, std::memory_order_relaxed);
+  SessionSnapshot snap;
+  {
+    const std::lock_guard lock(session->monitor_mu);
+    snap = freeze(*session);
+    pool_.release(session->monitor.release_storage());
+  }
+  snapshots_.put(std::move(snap));
+  sessions_evicted_total_->add(1);
+}
+
+void SessionManager::enforce_residency_locked(const Session* keep) {
+  if (config_.max_resident_sessions == 0) return;
+  // Bounded rounds: when every sampled candidate is busy (pending > 0) we
+  // tolerate a temporary overshoot rather than spinning — the next open or
+  // restore tries again.
+  for (std::size_t round = 0; round < 4 * kEvictionProbes; ++round) {
+    std::shared_ptr<Session> victim;
+    {
+      const std::shared_lock lock(sessions_mu_);
+      if (session_list_.size() <= config_.max_resident_sessions) return;
+      std::uint64_t best_tick = std::numeric_limits<std::uint64_t>::max();
+      const auto consider = [&](const std::shared_ptr<Session>& candidate) {
+        if (candidate.get() == keep) return;
+        if (candidate->pending.load(std::memory_order_acquire) != 0) return;
+        const std::uint64_t tick =
+            candidate->last_active.load(std::memory_order_relaxed);
+        if (tick < best_tick) {
+          best_tick = tick;
+          victim = candidate;
+        }
+      };
+      if (session_list_.size() <= kEvictionProbes) {
+        for (const auto& candidate : session_list_) consider(candidate);
+      } else {
+        for (std::size_t probe = 0; probe < kEvictionProbes; ++probe) {
+          // xorshift-free LCG; only the high bits are used.
+          evict_rng_state_ =
+              evict_rng_state_ * 6364136223846793005ull +
+              1442695040888963407ull;
+          const std::size_t index = static_cast<std::size_t>(
+              (evict_rng_state_ >> 33) % session_list_.size());
+          consider(session_list_[index]);
+        }
+      }
+    }
+    if (!victim) return;  // all sampled candidates busy
+    evict_locked(victim);
+  }
+}
+
+SessionStats SessionManager::stats_from_snapshot(
+    const SessionSnapshot& snap) const {
+  SessionStats stats;
+  stats.id = snap.id;
+  stats.model = snap.model;
+  stats.enqueued = snap.enqueued;
+  stats.processed = snap.processed;
+  stats.dropped = snap.dropped;
+  stats.rejected = snap.rejected;
+  stats.evicted_dropped = snap.evicted_dropped;
+  stats.monitor = snap.monitor.stats;
+  return stats;
 }
 
 void SessionManager::process_item(Item& item) {
@@ -395,6 +749,7 @@ void SessionManager::process_item(Item& item) {
       // accounting exact (one queue + one score span per traced event).
       tracer_->drop(2);
       spans_dropped_total_->add(2);
+      item.session->pending.fetch_sub(1, std::memory_order_release);
       item.session.reset();
       return;
     }
@@ -412,6 +767,7 @@ void SessionManager::process_item(Item& item) {
     record_span(make_span("queue", item.enqueue_micros, dequeue_micros));
     record_span(make_span("score", dequeue_micros, done_micros));
   }
+  item.session->pending.fetch_sub(1, std::memory_order_release);
   item.session.reset();
 }
 
@@ -427,6 +783,7 @@ std::vector<obs::DecisionRecord> SessionManager::recent_decisions(
     const std::string& id, std::size_t n) const {
   const auto session = find_session(id);
   if (!session) {
+    if (snapshots_.contains(id)) return {};  // ring not snapshotted
     throw std::invalid_argument("SessionManager: no session '" + id + "'");
   }
   std::vector<obs::DecisionRecord> out;
@@ -470,7 +827,10 @@ void SessionManager::worker_loop(Worker& worker) {
       worker.in_flight = batch.size();
     }
     worker.cv_space.notify_all();
+    worker.active_epoch.store(registry_.reload_epoch(),
+                              std::memory_order_release);
     for (Item& item : batch) process_item(item);
+    worker.active_epoch.store(kEpochIdle, std::memory_order_release);
     batch.clear();
     {
       const std::lock_guard lock(worker.mu);
@@ -488,11 +848,32 @@ SessionStats SessionManager::snapshot(const Session& session) const {
   stats.processed = session.processed.load(std::memory_order_relaxed);
   stats.dropped = session.dropped.load(std::memory_order_relaxed);
   stats.rejected = session.rejected.load(std::memory_order_relaxed);
+  stats.evicted_dropped =
+      session.evicted_dropped.load(std::memory_order_relaxed);
   {
     const std::lock_guard lock(session.monitor_mu);
     stats.monitor = session.monitor.stats();
   }
   return stats;
+}
+
+SessionSnapshot SessionManager::freeze(Session& session) const {
+  // Caller holds monitor_mu and has proven pending == 0.
+  SessionSnapshot snap;
+  snap.id = session.id;
+  snap.model = session.model_name;
+  snap.model_version = session.model_version;
+  snap.model_fingerprint = session.model_fingerprint;
+  snap.enqueued = session.enqueued.load(std::memory_order_relaxed);
+  snap.processed = session.processed.load(std::memory_order_relaxed);
+  snap.dropped = session.dropped.load(std::memory_order_relaxed);
+  snap.rejected = session.rejected.load(std::memory_order_relaxed);
+  snap.evicted_dropped =
+      session.evicted_dropped.load(std::memory_order_relaxed);
+  snap.windows_to_alarm = session.options.windows_to_alarm;
+  snap.cooldown_events = session.options.cooldown_events;
+  snap.monitor = session.monitor.snapshot();
+  return snap;
 }
 
 }  // namespace cmarkov::serve

@@ -10,6 +10,16 @@
 //     evict the oldest queued event (counted against the evicted event's
 //     session), or reject the new event (counted against the submitter).
 //
+// Session lifecycle (new in the 1M-session PR): resident sessions hold a
+// pool-allocated monitor; when max_resident_sessions is exceeded, the
+// least-recently-active idle session is snapshotted into the SnapshotStore
+// and released. A later submit (or HELLO) for that id transparently
+// restores it — bit-identically when the model version is unchanged. Hot
+// model reload (reload_model) atomically publishes a new version in the
+// ModelRegistry and rebinds every affected session at a window boundary;
+// epoch-based reclamation returns the retired model's registry reference
+// once no worker can still observe it.
+//
 // Per-session verdicts are bit-identical to feeding the same events through
 // a standalone core::OnlineMonitor, provided each session has one producer
 // and no events are dropped (block policy) — serve_test asserts this.
@@ -18,6 +28,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <string>
@@ -31,6 +42,8 @@
 #include "src/obs/trace/tracer.hpp"
 #include "src/serve/model_registry.hpp"
 #include "src/serve/service_metrics.hpp"
+#include "src/serve/session_snapshot.hpp"
+#include "src/serve/state_pool.hpp"
 #include "src/util/stopwatch.hpp"
 
 namespace cmarkov::serve {
@@ -49,6 +62,14 @@ struct ServiceConfig {
   BackpressurePolicy policy = BackpressurePolicy::kBlock;
   /// Monitor options for sessions opened without explicit options.
   core::MonitorOptions monitor;
+  /// Resident-session budget: opening or restoring a session beyond this
+  /// count evicts the least-recently-active idle session into the snapshot
+  /// store (approximate LRU, Redis-style sampling). 0 = unlimited.
+  std::size_t max_resident_sessions = 0;
+  /// Directory persisting evicted-session snapshots ("" = memory only).
+  /// With a directory, sessions survive daemon restarts
+  /// (snapshot_store().load_directory() at boot).
+  std::string snapshot_dir;
   /// Test hook: spawn no worker threads; queued events are processed
   /// synchronously by drain() on the calling thread. Makes backpressure
   /// accounting deterministic. (A full queue under the block policy is
@@ -86,24 +107,43 @@ struct SessionStats {
   std::uint64_t processed = 0;
   std::uint64_t dropped = 0;   ///< this session's events evicted from a queue
   std::uint64_t rejected = 0;  ///< this session's submissions refused
+  /// Queued events discarded because the session itself was evicted
+  /// (lifecycle loss, accounted separately from backpressure `dropped`).
+  std::uint64_t evicted_dropped = 0;
   /// Cumulative monitor counters (alarms live in monitor.alarms).
   core::MonitorStats monitor;
 };
 
+/// Outcome of a hot model reload (reload_model).
+struct ReloadReport {
+  std::uint64_t version = 0;
+  std::uint64_t fingerprint = 0;
+  /// Live sessions rebound to the new version.
+  std::size_t sessions_rebound = 0;
+  /// Retired registry references reclaimed via the epoch check.
+  std::size_t retired_reclaimed = 0;
+  double micros = 0.0;
+};
+
 class SessionManager {
  public:
-  SessionManager(const ModelRegistry& registry, ServiceConfig config = {});
+  SessionManager(ModelRegistry& registry, ServiceConfig config = {});
   ~SessionManager();
   SessionManager(const SessionManager&) = delete;
   SessionManager& operator=(const SessionManager&) = delete;
 
-  /// Opens a session scoring against `model`. Throws std::invalid_argument
-  /// on duplicate id, unknown model, or invalid monitor options.
+  /// Opens a session scoring against `model`. If a snapshot for `id` is
+  /// pending in the store (evicted earlier, or persisted by a previous
+  /// daemon run), the session is restored from it instead — `model` must
+  /// then match the snapshot's model. Throws std::invalid_argument on
+  /// duplicate id, unknown model, snapshot/model mismatch, or invalid
+  /// monitor options.
   void open_session(const std::string& id, const std::string& model,
                     std::optional<core::MonitorOptions> options = std::nullopt);
 
   /// Queues one event for the session; applies the backpressure policy when
-  /// the shard queue is full. Safe from any thread.
+  /// the shard queue is full. Safe from any thread. Sessions evicted to the
+  /// snapshot store are transparently restored first.
   SubmitResult submit(const std::string& id, trace::CallEvent event);
 
   /// Same, threading a protocol trace id through the worker queue into the
@@ -116,15 +156,38 @@ class SessionManager {
                       const std::string& trace_id,
                       std::uint64_t* seq_out = nullptr);
 
+  /// True for resident sessions and for sessions evicted to the store.
   bool has_session(const std::string& id) const;
 
-  /// Live counters (no drain; may lag concurrent processing).
+  /// Live counters (no drain; may lag concurrent processing). Works for
+  /// resident and evicted sessions alike.
   SessionStats session_stats(const std::string& id) const;
   std::vector<SessionStats> all_session_stats() const;
 
   /// Drains outstanding events, then removes the session and returns its
-  /// final stats. Throws std::invalid_argument for unknown ids.
+  /// final stats (an evicted session's snapshot is consumed and reported).
+  /// Throws std::invalid_argument for unknown ids.
   SessionStats close_session(const std::string& id);
+
+  /// Snapshot-evicts one resident session into the store: queued events
+  /// are discarded (counted as evicted_dropped, NOT backpressure drops),
+  /// in-flight scoring finishes first, and the monitor buffers return to
+  /// the state pool. Returns false for unknown/non-resident ids.
+  bool evict_session(const std::string& id);
+
+  /// Resident (in-memory) session count; evicted sessions don't count.
+  std::size_t resident_sessions() const;
+
+  /// Hot model reload: atomically publishes `detector` as the new version
+  /// of `name` in the registry, rebinds every live session of that model
+  /// at a window boundary (cumulative stats and cooldown carry over; the
+  /// partial window resets — its ids encode the old alphabet), and
+  /// reclaims retired registry references no worker can still observe.
+  /// Zero-loss: events already queued are not discarded — an event scoring
+  /// when the rebind lands finishes against the old version, everything
+  /// behind it scores against the new one.
+  ReloadReport reload_model(const std::string& name,
+                            std::shared_ptr<const core::Detector> detector);
 
   /// Blocks until every event submitted before the call has been processed.
   /// Quiescent only if no producer submits concurrently.
@@ -132,10 +195,14 @@ class SessionManager {
 
   ServiceMetrics metrics() const;
 
-  /// Refreshes the instantaneous gauges (uptime, sessions, queue depths)
-  /// and returns the registry holding every cmarkov_serve_* instrument —
-  /// the METRICS verb renders this via obs::to_kv_line/to_prometheus.
+  /// Refreshes the instantaneous gauges (uptime, sessions, queue depths,
+  /// bytes/session) and returns the registry holding every cmarkov_serve_*
+  /// instrument — the METRICS verb renders this via obs::to_kv_line.
   const obs::MetricsRegistry& metrics_registry();
+
+  /// The mutable instrument registry (transports register their
+  /// cmarkov_net_* instruments here so METRICS exposes one surface).
+  obs::MetricsRegistry& instruments() { return *metrics_; }
 
   /// Fresh collision-free id ("s1", "s2", ...) for transports whose HELLO
   /// omits one.
@@ -160,11 +227,21 @@ class SessionManager {
 
   /// Up to `n` most recent decision records of a session, oldest first
   /// (the TRACE verb). Empty unless the session's monitor has decision
-  /// tracing enabled. Throws std::invalid_argument for unknown ids.
+  /// tracing enabled (and empty again right after a restore — the audit
+  /// ring is a flight recorder, not snapshotted state). Throws
+  /// std::invalid_argument for unknown ids.
   std::vector<obs::DecisionRecord> recent_decisions(const std::string& id,
                                                     std::size_t n) const;
 
+  /// Store holding evicted-session snapshots (daemon boot calls
+  /// load_directory(); tests inspect it).
+  SnapshotStore& snapshot_store() { return snapshots_; }
+  const SnapshotStore& snapshot_store() const { return snapshots_; }
+
+  const StatePool& state_pool() const { return pool_; }
+
   const ServiceConfig& config() const { return config_; }
+  const ModelRegistry& registry() const { return registry_; }
 
  private:
   struct Session;
@@ -172,19 +249,51 @@ class SessionManager {
   struct Worker;
 
   std::shared_ptr<Session> find_session(const std::string& id) const;
+  /// Restores an evicted session (lifecycle lock held inside). Returns the
+  /// resident session, or null when no snapshot exists either.
+  std::shared_ptr<Session> try_restore(const std::string& id);
+  /// Builds a resident session from a snapshot. Caller holds lifecycle_mu_.
+  std::shared_ptr<Session> restore_locked(SessionSnapshot snapshot);
+  /// Inserts a session into the resident map/list. Caller holds
+  /// lifecycle_mu_; takes sessions_mu_ itself.
+  void insert_resident(std::shared_ptr<Session> session);
+  /// Evicts `session` (must be resident). Caller holds lifecycle_mu_.
+  void evict_locked(const std::shared_ptr<Session>& session);
+  /// Enforces max_resident_sessions by evicting sampled-LRU idle sessions.
+  /// Caller holds lifecycle_mu_. `keep` is never evicted.
+  void enforce_residency_locked(const Session* keep);
+  SessionStats stats_from_snapshot(const SessionSnapshot& snapshot) const;
   void process_item(Item& item);
   void pump_worker(Worker& worker);
   void worker_loop(Worker& worker);
   SessionStats snapshot(const Session& session) const;
+  SessionSnapshot freeze(Session& session) const;
   void refresh_gauges();
 
-  const ModelRegistry& registry_;
+  ModelRegistry& registry_;
   ServiceConfig config_;
   Stopwatch clock_;
   std::vector<std::unique_ptr<Worker>> workers_;
 
+  /// Serializes lifecycle transitions (open, evict, restore, close) so a
+  /// session is always either resident or in the snapshot store — never
+  /// both, never neither. The submit hot path takes it only on a resident
+  /// miss. Ordering: lifecycle_mu_ > sessions_mu_ > worker.mu/monitor_mu.
+  std::mutex lifecycle_mu_;
+
   mutable std::shared_mutex sessions_mu_;
   std::unordered_map<std::string, std::shared_ptr<Session>> sessions_;
+  /// Dense view of resident sessions for O(1) eviction sampling
+  /// (Session::list_index tracks positions; swap-pop removal).
+  std::vector<std::shared_ptr<Session>> session_list_;
+
+  SnapshotStore snapshots_;
+  StatePool pool_;
+  /// Monotonic activity tick; stamped per submit for LRU ordering.
+  std::atomic<std::uint64_t> activity_clock_{1};
+  /// Resident-session state bytes (sum) feeding the bytes/session gauge.
+  std::atomic<std::uint64_t> state_bytes_sum_{0};
+  std::uint64_t evict_rng_state_ = 0x9e3779b97f4a7c15ull;
 
   std::atomic<std::uint64_t> next_id_{0};
 
@@ -198,9 +307,15 @@ class SessionManager {
   obs::Counter* rejected_total_;
   obs::Counter* windows_total_;
   obs::Counter* alarms_total_;
+  obs::Counter* sessions_evicted_total_;
+  obs::Counter* sessions_restored_total_;
+  obs::Counter* evicted_dropped_total_;
+  obs::Counter* model_reloads_total_;
+  obs::Histogram* reload_micros_;
   obs::Histogram* latency_micros_;
   obs::Gauge* uptime_gauge_;
   obs::Gauge* sessions_gauge_;
+  obs::Gauge* state_bytes_gauge_;
   std::vector<obs::Gauge*> queue_depth_gauges_;
 
   // Tracing sinks (always constructed; zero-capacity / disabled when off).

@@ -1,0 +1,251 @@
+#include "src/serve/session_snapshot.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/util/logging.hpp"
+
+namespace cmarkov::serve {
+
+namespace {
+
+constexpr const char* kMagic = "cmarkov-session";
+constexpr int kVersion = 1;
+
+std::uint64_t read_u64(std::istream& in, const char* key) {
+  std::uint64_t value = 0;
+  if (!(in >> value)) {
+    throw std::runtime_error(std::string("session_snapshot: malformed '") +
+                             key + "' value");
+  }
+  return value;
+}
+
+void expect_key(std::istream& in, const char* key) {
+  std::string seen;
+  if (!(in >> seen) || seen != key) {
+    throw std::runtime_error(
+        std::string("session_snapshot: expected key '") + key + "'");
+  }
+}
+
+std::string read_token(std::istream& in, const char* key) {
+  std::string value;
+  if (!(in >> value)) {
+    throw std::runtime_error(std::string("session_snapshot: malformed '") +
+                             key + "' value");
+  }
+  return value;
+}
+
+/// Session ids come from the wire; keep the on-disk name filesystem-safe.
+std::string sanitize_for_filename(const std::string& id) {
+  std::string out;
+  out.reserve(id.size());
+  for (const char c : id) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                      c == '.';
+    if (safe) {
+      out.push_back(c);
+    } else {
+      static const char* hex = "0123456789abcdef";
+      out.push_back('%');
+      out.push_back(hex[static_cast<unsigned char>(c) >> 4]);
+      out.push_back(hex[static_cast<unsigned char>(c) & 0xf]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string encode_session_snapshot(const SessionSnapshot& snapshot) {
+  std::ostringstream out;
+  out << kMagic << " " << kVersion << "\n";
+  out << "id " << snapshot.id << "\n";
+  out << "model " << snapshot.model << "\n";
+  out << "model_version " << snapshot.model_version << "\n";
+  out << "model_fingerprint " << snapshot.model_fingerprint << "\n";
+  out << "enqueued " << snapshot.enqueued << "\n";
+  out << "processed " << snapshot.processed << "\n";
+  out << "dropped " << snapshot.dropped << "\n";
+  out << "rejected " << snapshot.rejected << "\n";
+  out << "evicted_dropped " << snapshot.evicted_dropped << "\n";
+  out << "windows_to_alarm " << snapshot.windows_to_alarm << "\n";
+  out << "cooldown_events " << snapshot.cooldown_events << "\n";
+  out << "consecutive_flagged " << snapshot.monitor.consecutive_flagged
+      << "\n";
+  out << "cooldown_remaining " << snapshot.monitor.cooldown_remaining << "\n";
+  out << "events_seen " << snapshot.monitor.stats.events_seen << "\n";
+  out << "events_observed " << snapshot.monitor.stats.events_observed << "\n";
+  out << "windows_scored " << snapshot.monitor.stats.windows_scored << "\n";
+  out << "windows_flagged " << snapshot.monitor.stats.windows_flagged << "\n";
+  out << "alarms " << snapshot.monitor.stats.alarms << "\n";
+  out << "window " << snapshot.monitor.window.size();
+  for (const std::size_t id : snapshot.monitor.window) out << " " << id;
+  out << "\n";
+  return out.str();
+}
+
+SessionSnapshot decode_session_snapshot(const std::string& text) {
+  std::istringstream in(text);
+  std::string magic;
+  if (!(in >> magic) || magic != kMagic) {
+    throw std::runtime_error(
+        "session_snapshot: not a cmarkov session snapshot");
+  }
+  int version = 0;
+  if (!(in >> version)) {
+    throw std::runtime_error("session_snapshot: malformed version");
+  }
+  if (version != kVersion) {
+    throw std::runtime_error("session_snapshot: unsupported version " +
+                             std::to_string(version));
+  }
+  SessionSnapshot snapshot;
+  expect_key(in, "id");
+  snapshot.id = read_token(in, "id");
+  expect_key(in, "model");
+  snapshot.model = read_token(in, "model");
+  expect_key(in, "model_version");
+  snapshot.model_version = read_u64(in, "model_version");
+  expect_key(in, "model_fingerprint");
+  snapshot.model_fingerprint = read_u64(in, "model_fingerprint");
+  expect_key(in, "enqueued");
+  snapshot.enqueued = read_u64(in, "enqueued");
+  expect_key(in, "processed");
+  snapshot.processed = read_u64(in, "processed");
+  expect_key(in, "dropped");
+  snapshot.dropped = read_u64(in, "dropped");
+  expect_key(in, "rejected");
+  snapshot.rejected = read_u64(in, "rejected");
+  expect_key(in, "evicted_dropped");
+  snapshot.evicted_dropped = read_u64(in, "evicted_dropped");
+  expect_key(in, "windows_to_alarm");
+  snapshot.windows_to_alarm = read_u64(in, "windows_to_alarm");
+  expect_key(in, "cooldown_events");
+  snapshot.cooldown_events = read_u64(in, "cooldown_events");
+  expect_key(in, "consecutive_flagged");
+  snapshot.monitor.consecutive_flagged =
+      static_cast<std::size_t>(read_u64(in, "consecutive_flagged"));
+  expect_key(in, "cooldown_remaining");
+  snapshot.monitor.cooldown_remaining =
+      static_cast<std::size_t>(read_u64(in, "cooldown_remaining"));
+  expect_key(in, "events_seen");
+  snapshot.monitor.stats.events_seen =
+      static_cast<std::size_t>(read_u64(in, "events_seen"));
+  expect_key(in, "events_observed");
+  snapshot.monitor.stats.events_observed =
+      static_cast<std::size_t>(read_u64(in, "events_observed"));
+  expect_key(in, "windows_scored");
+  snapshot.monitor.stats.windows_scored =
+      static_cast<std::size_t>(read_u64(in, "windows_scored"));
+  expect_key(in, "windows_flagged");
+  snapshot.monitor.stats.windows_flagged =
+      static_cast<std::size_t>(read_u64(in, "windows_flagged"));
+  expect_key(in, "alarms");
+  snapshot.monitor.stats.alarms =
+      static_cast<std::size_t>(read_u64(in, "alarms"));
+  expect_key(in, "window");
+  const std::uint64_t count = read_u64(in, "window");
+  snapshot.monitor.window.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::size_t id = 0;
+    if (!(in >> id)) {
+      throw std::runtime_error(
+          "session_snapshot: truncated window at entry " + std::to_string(i));
+    }
+    snapshot.monitor.window.push_back(id);
+  }
+  return snapshot;
+}
+
+SnapshotStore::SnapshotStore(std::string dir) : dir_(std::move(dir)) {
+  if (dir_.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    throw std::runtime_error("SnapshotStore: cannot create directory '" +
+                             dir_ + "': " + ec.message());
+  }
+}
+
+std::string SnapshotStore::file_path(const std::string& id) const {
+  return dir_ + "/" + sanitize_for_filename(id) + ".session";
+}
+
+void SnapshotStore::put(SessionSnapshot snapshot) {
+  const std::lock_guard lock(mu_);
+  if (!dir_.empty()) {
+    const std::string path = file_path(snapshot.id);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("SnapshotStore: cannot write '" + path + "'");
+    }
+    out << encode_session_snapshot(snapshot);
+  }
+  snapshots_[snapshot.id] = std::move(snapshot);
+}
+
+std::optional<SessionSnapshot> SnapshotStore::take(const std::string& id) {
+  const std::lock_guard lock(mu_);
+  const auto it = snapshots_.find(id);
+  if (it == snapshots_.end()) return std::nullopt;
+  SessionSnapshot snapshot = std::move(it->second);
+  snapshots_.erase(it);
+  if (!dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove(file_path(id), ec);  // best effort
+  }
+  return snapshot;
+}
+
+std::optional<SessionSnapshot> SnapshotStore::peek(
+    const std::string& id) const {
+  const std::lock_guard lock(mu_);
+  const auto it = snapshots_.find(id);
+  if (it == snapshots_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool SnapshotStore::contains(const std::string& id) const {
+  const std::lock_guard lock(mu_);
+  return snapshots_.find(id) != snapshots_.end();
+}
+
+std::size_t SnapshotStore::size() const {
+  const std::lock_guard lock(mu_);
+  return snapshots_.size();
+}
+
+std::size_t SnapshotStore::load_directory() {
+  if (dir_.empty()) return 0;
+  const std::lock_guard lock(mu_);
+  std::size_t loaded = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".session") {
+      continue;
+    }
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    try {
+      SessionSnapshot snapshot = decode_session_snapshot(buffer.str());
+      snapshots_[snapshot.id] = std::move(snapshot);
+    } catch (const std::exception& e) {
+      throw std::runtime_error("SnapshotStore: " + entry.path().string() +
+                               ": " + e.what());
+    }
+    ++loaded;
+  }
+  if (loaded > 0) {
+    log_info() << "snapshot store: restored " << loaded
+               << " session snapshot(s) from " << dir_;
+  }
+  return loaded;
+}
+
+}  // namespace cmarkov::serve

@@ -1,0 +1,92 @@
+// Serialized session state for idle-session eviction and daemon restarts.
+//
+// A SessionSnapshot captures everything an evicted session needs to resume
+// exactly where it stopped: the monitor's scoring state (window ids,
+// hysteresis, cumulative stats — all exact integers, so the round trip is
+// bit-identical) plus the per-session queue counters and the identity of
+// the model the window ids were encoded against. The SnapshotStore keeps
+// snapshots in memory and, when given a directory, mirrors each one to a
+// "<id>.session" file in the `cmarkov-session v1` text format — sessions
+// then survive daemon restarts (load_directory at boot).
+//
+// Model identity is two numbers: the in-process registry `model_version`
+// (cheap staleness check for evict/restore within one daemon) and the
+// content `model_fingerprint` (stable across restarts). A restore whose
+// fingerprint no longer matches the registry keeps the counters but starts
+// a fresh window — the old window ids index a dead alphabet.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "src/core/online_monitor.hpp"
+
+namespace cmarkov::serve {
+
+struct SessionSnapshot {
+  std::string id;
+  std::string model;
+  std::uint64_t model_version = 0;
+  std::uint64_t model_fingerprint = 0;
+  std::uint64_t enqueued = 0;
+  std::uint64_t processed = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t rejected = 0;
+  /// Queued events discarded when this session was evicted (satellite
+  /// accounting: eviction losses are not backpressure losses).
+  std::uint64_t evicted_dropped = 0;
+  /// Hysteresis configuration the session was opened with, so a restore
+  /// alarms exactly like the uninterrupted session would have.
+  std::uint64_t windows_to_alarm = 1;
+  std::uint64_t cooldown_events = 0;
+  core::MonitorSnapshot monitor;
+};
+
+/// Renders the `cmarkov-session v1` text form (exact integer fields only —
+/// decode(encode(s)) == s).
+std::string encode_session_snapshot(const SessionSnapshot& snapshot);
+
+/// Parses the text form. Throws std::runtime_error naming the offending
+/// key or value on malformed input (model_io error style).
+SessionSnapshot decode_session_snapshot(const std::string& text);
+
+/// Thread-safe id-keyed snapshot store. With an empty directory snapshots
+/// live in memory only (evict/restore within one daemon); with a directory
+/// every put/erase is mirrored to disk so sessions survive restarts.
+class SnapshotStore {
+ public:
+  /// Creates `dir` (recursively) when non-empty. Throws std::runtime_error
+  /// when the directory cannot be created.
+  explicit SnapshotStore(std::string dir = "");
+
+  void put(SessionSnapshot snapshot);
+
+  /// Removes and returns the snapshot, or nullopt when absent.
+  std::optional<SessionSnapshot> take(const std::string& id);
+
+  /// A copy of the snapshot without consuming it (stats of an evicted
+  /// session), or nullopt when absent.
+  std::optional<SessionSnapshot> peek(const std::string& id) const;
+
+  bool contains(const std::string& id) const;
+  std::size_t size() const;
+
+  /// Loads every "*.session" file of the store directory into memory
+  /// (daemon boot). Malformed files throw std::runtime_error naming the
+  /// file. Returns the number of snapshots loaded. No-op without a dir.
+  std::size_t load_directory();
+
+  const std::string& directory() const { return dir_; }
+
+ private:
+  std::string file_path(const std::string& id) const;
+
+  mutable std::mutex mu_;
+  std::string dir_;
+  std::map<std::string, SessionSnapshot> snapshots_;
+};
+
+}  // namespace cmarkov::serve

@@ -1,0 +1,49 @@
+// Free-list of per-session monitor buffers (window ring + scoring
+// scratch). At the million-session scale the serving tier targets, session
+// churn (open/evict/restore) would otherwise allocate and free two small
+// vectors per transition; recycling them keeps the allocator out of the
+// lifecycle path and makes the bytes/session bill stable. Bounded so a
+// burst of closures cannot hoard memory forever.
+#pragma once
+
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "src/core/online_monitor.hpp"
+
+namespace cmarkov::serve {
+
+class StatePool {
+ public:
+  explicit StatePool(std::size_t max_entries = 4096)
+      : max_entries_(max_entries) {}
+
+  /// A recycled buffer pair, or a default (empty) one when the pool is dry.
+  core::MonitorStorage acquire() {
+    const std::lock_guard lock(mu_);
+    if (free_.empty()) return {};
+    core::MonitorStorage storage = std::move(free_.back());
+    free_.pop_back();
+    return storage;
+  }
+
+  /// Returns buffers to the pool; silently discards beyond the bound.
+  void release(core::MonitorStorage storage) {
+    const std::lock_guard lock(mu_);
+    if (free_.size() >= max_entries_) return;
+    free_.push_back(std::move(storage));
+  }
+
+  std::size_t size() const {
+    const std::lock_guard lock(mu_);
+    return free_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t max_entries_;
+  std::vector<core::MonitorStorage> free_;
+};
+
+}  // namespace cmarkov::serve

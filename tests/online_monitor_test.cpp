@@ -244,5 +244,108 @@ TEST(OnlineMonitorTest, OffStreamEventsAreIgnoredButCounted) {
   EXPECT_EQ(monitor.stats().events_observed, 0u);
 }
 
+std::vector<trace::CallEvent> benign_events(std::uint64_t seed,
+                                            std::size_t runs = 3) {
+  std::vector<trace::CallEvent> events;
+  for (const auto& trace :
+       workload::collect_traces(fixture().suite, runs, seed).traces) {
+    events.insert(events.end(), trace.events.begin(), trace.events.end());
+  }
+  return events;
+}
+
+TEST(OnlineMonitorTest, SnapshotRestoreResumesBitIdentically) {
+  MonitorOptions options;
+  options.windows_to_alarm = 2;
+  options.cooldown_events = 5;
+  const std::vector<trace::CallEvent> events = benign_events(13);
+  ASSERT_GT(events.size(), 20u);
+  const std::size_t cut = events.size() / 2 + 1;  // mid-window on purpose
+
+  OnlineMonitor straight(fixture().detector, nullptr, options);
+  OnlineMonitor interrupted(fixture().detector, nullptr, options);
+  for (std::size_t i = 0; i < cut; ++i) {
+    straight.on_event(events[i]);
+    interrupted.on_event(events[i]);
+  }
+
+  // Freeze, destroy, resume on a brand-new monitor: every per-event update
+  // (score, flagged, alarm, window_complete) must match the monitor that
+  // was never interrupted.
+  const MonitorSnapshot frozen = interrupted.snapshot();
+  OnlineMonitor resumed(fixture().detector, nullptr, options);
+  resumed.restore(frozen);
+  for (std::size_t i = cut; i < events.size(); ++i) {
+    const MonitorUpdate a = straight.on_event(events[i]);
+    const MonitorUpdate b = resumed.on_event(events[i]);
+    EXPECT_EQ(a.window_complete, b.window_complete) << i;
+    EXPECT_EQ(a.log_likelihood, b.log_likelihood) << i;  // exact, not near
+    EXPECT_EQ(a.flagged, b.flagged) << i;
+    EXPECT_EQ(a.alarm, b.alarm) << i;
+  }
+  const MonitorSnapshot end_a = straight.snapshot();
+  const MonitorSnapshot end_b = resumed.snapshot();
+  EXPECT_EQ(end_a.window, end_b.window);
+  EXPECT_EQ(end_a.consecutive_flagged, end_b.consecutive_flagged);
+  EXPECT_EQ(end_a.cooldown_remaining, end_b.cooldown_remaining);
+  EXPECT_EQ(end_a.stats.events_seen, end_b.stats.events_seen);
+  EXPECT_EQ(end_a.stats.windows_scored, end_b.stats.windows_scored);
+  EXPECT_EQ(end_a.stats.windows_flagged, end_b.stats.windows_flagged);
+  EXPECT_EQ(end_a.stats.alarms, end_b.stats.alarms);
+}
+
+TEST(OnlineMonitorTest, RestoreRejectsForeignWindow) {
+  OnlineMonitor monitor(fixture().detector);
+  MonitorSnapshot foreign;
+  // A window longer than this detector's segment length can only have come
+  // from a different model.
+  foreign.window.assign(
+      fixture().detector.config().segments.length + 1, 0);
+  EXPECT_THROW(monitor.restore(foreign), std::invalid_argument);
+}
+
+TEST(OnlineMonitorTest, RebindKeepsStatsAndCooldownResetsWindow) {
+  MonitorOptions options;
+  options.windows_to_alarm = 1;
+  options.cooldown_events = 10000;
+  OnlineMonitor monitor(fixture().detector, nullptr, options);
+  // Drive to an alarm so a cooldown is pending.
+  const auto attacks = attack::build_attack_traces(
+      fixture().suite, attack::gzip_payloads(), 5);
+  for (const auto& attack : attacks) {
+    if (monitor.stats().alarms > 0) break;
+    monitor.on_trace(attack.trace);
+  }
+  ASSERT_GT(monitor.stats().alarms, 0u);
+  const MonitorStats before = monitor.stats();
+  const std::size_t cooldown_before = monitor.snapshot().cooldown_remaining;
+  ASSERT_GT(cooldown_before, 0u);
+
+  monitor.rebind(fixture().detector);
+  const MonitorSnapshot after = monitor.snapshot();
+  EXPECT_TRUE(after.window.empty());            // old alphabet is dead
+  EXPECT_EQ(after.consecutive_flagged, 0u);
+  EXPECT_EQ(after.cooldown_remaining, cooldown_before);  // carries over
+  EXPECT_EQ(after.stats.events_seen, before.events_seen);
+  EXPECT_EQ(after.stats.alarms, before.alarms);
+}
+
+TEST(OnlineMonitorTest, StateBytesAndStorageRecycling) {
+  OnlineMonitor monitor(fixture().detector);
+  const std::size_t bytes = monitor.state_bytes();
+  EXPECT_GE(bytes, sizeof(OnlineMonitor));
+  for (const auto& event : benign_events(19, 1)) monitor.on_event(event);
+  // Scoring may grow the scratch buffers, never shrink them.
+  EXPECT_GE(monitor.state_bytes(), bytes);
+
+  MonitorStorage recycled = monitor.release_storage();
+  EXPECT_GE(recycled.window.capacity(),
+            fixture().detector.config().segments.length);
+  // A monitor built from recycled storage behaves like a cold one.
+  OnlineMonitor fresh(fixture().detector, nullptr, {}, std::move(recycled));
+  EXPECT_EQ(fresh.stats().events_seen, 0u);
+  EXPECT_TRUE(fresh.snapshot().window.empty());
+}
+
 }  // namespace
 }  // namespace cmarkov::core

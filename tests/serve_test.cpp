@@ -595,14 +595,36 @@ TEST(MetricsGoldenTest, ScriptedSessionExposition) {
   for (int i = 0; i < 20; ++i) session.handle_line("EV bogus read");
   session.handle_line("STATS");
   for (int i = 0; i < 12; ++i) session.handle_line("EV bogus read");
+  manager.drain();
+
+  // Exercise the lifecycle + reload instruments with pinned counts: a
+  // second session with 5 queued events is evicted (5 evicted-drops, NOT
+  // backpressure drops), transparently restored by the next submit, and
+  // one hot reload rebinds both live gzip sessions.
+  manager.open_session("aux", "gzip");
+  trace::CallEvent aux_event;
+  aux_event.caller = "bogus";
+  aux_event.name = "read";
+  for (int i = 0; i < 5; ++i) manager.submit("aux", aux_event);
+  ASSERT_TRUE(manager.evict_session("aux"));
+  ASSERT_EQ(manager.submit("aux", aux_event), SubmitResult::kAccepted);
+  manager.reload_model(
+      "gzip", std::make_shared<const core::Detector>(*fixture().gzip_model));
+
   std::string metrics = session.handle_line("METRICS");
   ASSERT_TRUE(metrics.starts_with("METRICS v=1 ")) << metrics;
 
-  // Wall-clock-dependent values can't be golden-pinned: scrub them.
+  // Wall-clock-dependent values can't be golden-pinned: scrub them. The
+  // state-bytes gauge depends on sizeof(OnlineMonitor) and allocator
+  // capacities, so it is scrubbed too (its presence is what's pinned).
   for (const char* key : {"cmarkov_serve_uptime_seconds=",
                           "cmarkov_serve_latency_micros_sum=",
                           "cmarkov_serve_latency_micros_p50=",
-                          "cmarkov_serve_latency_micros_p99="}) {
+                          "cmarkov_serve_latency_micros_p99=",
+                          "cmarkov_serve_model_reload_micros_sum=",
+                          "cmarkov_serve_model_reload_micros_p50=",
+                          "cmarkov_serve_model_reload_micros_p99=",
+                          "cmarkov_serve_session_state_bytes="}) {
     const std::size_t pos = metrics.find(key);
     ASSERT_NE(pos, std::string::npos) << key;
     const std::size_t start = pos + std::strlen(key);

@@ -4,9 +4,10 @@
 //   cmarkovd --model <name>=<path> [--model ...] [--models-dir DIR]
 //            [--workers N] [--queue N] [--policy block|drop-oldest|reject]
 //            [--windows-to-alarm N] [--cooldown N]
+//            [--max-sessions N] [--snapshot-dir DIR]
 //            [--trace-sample N] [--decision-log PATH] [--chrome-trace PATH]
 //            [--replay <model>:<trace-file>]...   replay mode (batch)
-//            [--tcp PORT]                         TCP front-end
+//            [--tcp PORT] [--net-loops N]         epoll TCP front-end
 //
 // With no --replay/--tcp the daemon speaks the line protocol on
 // stdin/stdout (HELLO/EV/STATS/METRICS/TRACE/BYE — one response line per
@@ -14,18 +15,25 @@
 // session (HELLO, one EV per event, STATS, BYE) and prints the dialogue's
 // verdict lines; repeat the flag to replay several sessions.
 //
+// --tcp runs the edge-triggered epoll front-end (src/serve/net): each
+// connection speaks either the CMKB binary frame protocol or the text line
+// protocol (auto-detected). --max-sessions bounds resident sessions (LRU
+// eviction into the snapshot store); --snapshot-dir persists evicted
+// sessions across restarts (reloaded at boot).
+//
 // Tracing (docs/OBSERVABILITY.md): --trace-sample N enables the span
 // tracer and decision audit at 1-in-N (1 = every window, 0 = only flagged
 // windows/alarms, which are always recorded). --decision-log writes the
 // service-wide `cmarkov.decision.v1` JSONL on exit; --chrome-trace writes
-// the recorded queue/score/reply spans as a Chrome-trace JSON array. Both
-// sinks flush when replay or stdin mode finishes (the TCP loop never
-// returns, so they require one of the batch modes).
+// the recorded queue/score/reply spans as a Chrome-trace JSON array. The
+// sinks flush when replay or stdin mode finishes, or on SIGINT/SIGTERM in
+// TCP mode.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <csignal>
 #include <cstring>
 #include <fstream>
@@ -36,6 +44,7 @@
 
 #include "src/obs/export.hpp"
 #include "src/obs/trace/chrome_trace.hpp"
+#include "src/serve/net/epoll_server.hpp"
 #include "src/serve/service.hpp"
 #include "src/trace/trace_io.hpp"
 #include "src/util/logging.hpp"
@@ -50,6 +59,7 @@ struct DaemonOptions {
   std::string models_dir;
   std::vector<std::pair<std::string, std::string>> replays;  // model -> trace
   int tcp_port = 0;
+  std::size_t net_loops = 1;
   std::string decision_log_path;
   std::string chrome_trace_path;
   serve::ServiceConfig service;
@@ -61,9 +71,11 @@ int usage() {
          "                [--models-dir DIR] [--workers N] [--queue N]\n"
          "                [--policy block|drop-oldest|reject]\n"
          "                [--windows-to-alarm N] [--cooldown N]\n"
+         "                [--max-sessions N] [--snapshot-dir DIR]\n"
          "                [--trace-sample N] [--decision-log PATH]\n"
          "                [--chrome-trace PATH]\n"
-         "                [--replay <model>:<trace-file>]... [--tcp PORT]\n"
+         "                [--replay <model>:<trace-file>]...\n"
+         "                [--tcp PORT] [--net-loops N]\n"
          "With neither --replay nor --tcp, serves the line protocol on\n"
          "stdin/stdout: HELLO <model> [id] [tid=T] | EV <site> <callee>\n"
          "[sys|lib] [tid=T] | STATS | METRICS | TRACE [n] | BYE\n";
@@ -98,6 +110,12 @@ DaemonOptions parse_options(int argc, char** argv) {
                                    value.substr(colon + 1));
     } else if (flag == "--tcp") {
       options.tcp_port = std::stoi(value);
+    } else if (flag == "--net-loops") {
+      options.net_loops = std::stoul(value);
+    } else if (flag == "--max-sessions") {
+      options.service.max_resident_sessions = std::stoul(value);
+    } else if (flag == "--snapshot-dir") {
+      options.service.snapshot_dir = value;
     } else if (flag == "--workers") {
       options.service.num_workers = std::stoul(value);
     } else if (flag == "--queue") {
@@ -157,57 +175,24 @@ void replay_trace(serve::CmarkovService& service, const std::string& model,
   std::cout << session.handle_line("BYE") << "\n";
 }
 
-/// Minimal line-framing TCP front-end: one thread and one protocol session
-/// per connection.
-void serve_connection(serve::SessionManager& manager, int fd) {
-  serve::ProtocolSession session(manager);
-  std::string buffer;
-  char chunk[4096];
-  while (!session.closed()) {
-    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
-    if (n <= 0) break;
-    buffer.append(chunk, static_cast<std::size_t>(n));
-    std::size_t start = 0;
-    for (std::size_t nl = buffer.find('\n', start);
-         nl != std::string::npos && !session.closed();
-         nl = buffer.find('\n', start)) {
-      const std::string response =
-          session.handle_line(buffer.substr(start, nl - start));
-      start = nl + 1;
-      if (!response.empty()) {
-        const std::string line = response + "\n";
-        if (::write(fd, line.data(), line.size()) < 0) break;
-      }
-    }
-    buffer.erase(0, start);
+/// The epoll TCP front-end: edge-triggered event loops over both the CMKB
+/// binary frame protocol and the text line protocol (auto-detected per
+/// connection). Blocks until SIGINT/SIGTERM.
+int serve_tcp(serve::CmarkovService& service, const DaemonOptions& options) {
+  static volatile std::sig_atomic_t g_stop = 0;
+  std::signal(SIGINT, [](int) { g_stop = 1; });
+  std::signal(SIGTERM, [](int) { g_stop = 1; });
+  serve::net::NetOptions net;
+  net.port = static_cast<std::uint16_t>(options.tcp_port);
+  net.num_loops = options.net_loops;
+  serve::net::EpollServer server(service.sessions(), net);
+  server.start();
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
   }
-  ::close(fd);
-}
-
-int serve_tcp(serve::CmarkovService& service, int port) {
-  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listener < 0) {
-    std::cerr << "cmarkovd: socket: " << std::strerror(errno) << "\n";
-    return 1;
-  }
-  const int enable = 1;
-  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
-      ::listen(listener, 64) < 0) {
-    std::cerr << "cmarkovd: bind/listen: " << std::strerror(errno) << "\n";
-    ::close(listener);
-    return 1;
-  }
-  log_info() << "cmarkovd: listening on 127.0.0.1:" << port;
-  for (;;) {
-    const int fd = ::accept(listener, nullptr, nullptr);
-    if (fd < 0) continue;
-    std::thread(serve_connection, std::ref(service.sessions()), fd).detach();
-  }
+  log_info() << "cmarkovd: shutting down";
+  server.stop();
+  return 0;
 }
 
 /// Writes the --decision-log / --chrome-trace sinks once a batch mode
@@ -263,6 +248,10 @@ int main(int argc, char** argv) {
     log_info() << "cmarkovd: " << service.registry().size() << " model(s), "
                << options.service.num_workers << " worker(s), policy="
                << serve::backpressure_policy_name(options.service.policy);
+    if (!options.service.snapshot_dir.empty()) {
+      // Sessions evicted by a previous run resume transparently.
+      service.sessions().snapshot_store().load_directory();
+    }
 
     if (!options.replays.empty()) {
       for (const auto& [model, path] : options.replays) {
@@ -275,7 +264,9 @@ int main(int argc, char** argv) {
     }
     if (options.tcp_port > 0) {
       ::signal(SIGPIPE, SIG_IGN);
-      return serve_tcp(service, options.tcp_port);
+      const int status = serve_tcp(service, options);
+      flush_trace_sinks(service, options);
+      return status;
     }
     service.serve_stream(std::cin, std::cout);
     flush_trace_sinks(service, options);

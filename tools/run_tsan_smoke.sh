@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # ThreadSanitizer smoke for the concurrent subsystems: builds the repo with
 # CMARKOV_SANITIZE=thread and runs the concurrency-sensitive tests — the
-# cmarkovd serving layer, the parallel training engine (worker pool,
-# multi-threaded Baum-Welch/k-means/PCA), and the obs layer (sharded
-# counters/histograms under concurrent writers plus the threaded
+# cmarkovd serving layer, the epoll TCP front-end (serve_net_test drives
+# concurrent connects across event loops, session eviction/restore, and hot
+# model reload under live producer traffic), the parallel training engine
+# (worker pool, multi-threaded Baum-Welch/k-means/PCA), and the obs layer
+# (sharded counters/histograms under concurrent writers plus the threaded
 # pipeline-with-metrics smoke in obs_test). Any TSan report fails the run
 # (halt_on_error). Usage:
 #
@@ -13,14 +15,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build-tsan}"
-TESTS='^(serve_test|logging_test|parallel_test|parallel_training_test|obs_test)$'
+TESTS='^(serve_test|serve_net_test|logging_test|parallel_test|parallel_training_test|obs_test)$'
 
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMARKOV_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target serve_test logging_test parallel_test parallel_training_test \
-  --target obs_test
+  --target serve_test serve_net_test logging_test parallel_test \
+  --target parallel_training_test obs_test
 
 (cd "$BUILD_DIR" && \
   TSAN_OPTIONS="halt_on_error=1 abort_on_error=1" \
