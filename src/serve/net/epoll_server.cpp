@@ -67,8 +67,12 @@ struct EpollServer::Conn {
   std::unique_ptr<BinarySession> binary;
   std::string outbuf;
   std::size_t outpos = 0;
-  bool want_write = false;  // EPOLLOUT currently armed
-  bool want_close = false;  // close once outbuf is flushed
+  bool want_write = false;   // EPOLLOUT currently armed
+  bool want_close = false;   // close once outbuf is flushed
+  bool read_paused = false;  // input on hold until the backlog drains
+
+  /// Unflushed reply bytes parked on this connection.
+  std::size_t backlog() const { return outbuf.size() - outpos; }
 };
 
 struct EpollServer::Loop {
@@ -84,6 +88,9 @@ EpollServer::EpollServer(SessionManager& manager, NetOptions options)
     : manager_(manager), options_(std::move(options)) {
   if (options_.num_loops == 0) {
     throw std::invalid_argument("EpollServer: num_loops must be > 0");
+  }
+  if (options_.outbuf_high_water == 0) {
+    throw std::invalid_argument("EpollServer: outbuf_high_water must be > 0");
   }
   obs::MetricsRegistry& metrics = manager_.instruments();
   connections_total_ = &metrics.counter("cmarkov_net_connections_total");
@@ -286,7 +293,11 @@ void EpollServer::loop_main(Loop& loop) {
         close_conn(loop, conn);
         continue;
       }
-      if (events[i].events & EPOLLOUT) flush_writes(loop, conn);
+      if (events[i].events & EPOLLOUT) {
+        flush_writes(loop, conn);
+        if (loop.conns.find(fd) == loop.conns.end()) continue;
+        resume_reads(loop, conn);
+      }
       if (loop.conns.find(fd) == loop.conns.end()) continue;
       if (events[i].events & (EPOLLIN | EPOLLRDHUP)) {
         handle_readable(loop, conn);
@@ -296,25 +307,51 @@ void EpollServer::loop_main(Loop& loop) {
 }
 
 void EpollServer::handle_readable(Loop& loop, Conn& conn) {
-  // Edge-triggered: must read to EAGAIN or the event is lost.
+  // Edge-triggered: must read to EAGAIN or the event is lost — unless the
+  // write backlog hits the high-water mark, in which case reads pause and
+  // resume_reads() (off the EPOLLOUT drain) re-enters this path.
+  const int fd = conn.fd;
   char buf[64 * 1024];
   for (;;) {
-    const ssize_t n = read(conn.fd, buf, sizeof(buf));
-    if (n > 0) {
-      bytes_read_total_->add(static_cast<std::uint64_t>(n));
-      process_input(conn, buf, static_cast<std::size_t>(n));
-      continue;
-    }
-    if (n == 0) {  // peer closed
+    bool paused = false;
+    for (;;) {
+      if (conn.backlog() >= options_.outbuf_high_water) {
+        conn.read_paused = true;
+        paused = true;
+        break;
+      }
+      const ssize_t n = read(conn.fd, buf, sizeof(buf));
+      if (n > 0) {
+        bytes_read_total_->add(static_cast<std::uint64_t>(n));
+        process_input(conn, buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n == 0) {  // peer closed
+        close_conn(loop, conn);
+        return;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
       close_conn(loop, conn);
       return;
     }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    if (errno == EINTR) continue;
-    close_conn(loop, conn);
+    flush_writes(loop, conn);
+    if (loop.conns.find(fd) == loop.conns.end()) return;  // closed in flush
+    if (!paused) return;  // read to EAGAIN
+    if (conn.backlog() >= options_.outbuf_high_water / 4) return;
+    // The flush drained the backlog synchronously: keep reading, or bytes
+    // already in the kernel buffer would wait for an edge that never fires.
+    conn.read_paused = false;
+  }
+}
+
+void EpollServer::resume_reads(Loop& loop, Conn& conn) {
+  if (!conn.read_paused ||
+      conn.backlog() >= options_.outbuf_high_water / 4) {
     return;
   }
-  flush_writes(loop, conn);
+  conn.read_paused = false;
+  handle_readable(loop, conn);
 }
 
 void EpollServer::process_input(Conn& conn, const char* data,
@@ -409,6 +446,11 @@ void EpollServer::flush_writes(Loop& loop, Conn& conn) {
       close_conn(loop, conn);
       return;
     }
+  } else if (conn.outpos >= 64 * 1024) {
+    // Partial flush: drop the already-written prefix so a slowly-read
+    // connection holds only its live backlog, not every byte ever sent.
+    conn.outbuf.erase(0, conn.outpos);
+    conn.outpos = 0;
   }
   update_interest(loop, conn);
 }

@@ -14,8 +14,11 @@
 // line protocol; the server sniffs the first bytes (frames start with
 // "CMKB", no text verb does) and binds the matching conversation object.
 // Writes that would block park the residue in a per-connection buffer and
-// arm EPOLLOUT; a connection whose parser reports a framing violation gets
-// one kError frame and is closed.
+// arm EPOLLOUT; once that backlog exceeds NetOptions::outbuf_high_water
+// the connection's reads are paused until it drains (slow-reader
+// protection — TCP flow control pushes back on the client). A connection
+// whose parser reports a framing violation gets one kError frame and is
+// closed.
 //
 // Backpressure: the block submit policy intentionally blocks the loop
 // thread (and thus every connection on that loop) when a worker queue is
@@ -42,6 +45,12 @@ struct NetOptions {
   /// Event-loop threads. One loop handles thousands of idle connections;
   /// add loops when parse/enqueue work saturates a core.
   std::size_t num_loops = 1;
+  /// Per-connection write-backlog cap: once the unflushed reply bytes
+  /// exceed this, the connection's reads are paused (its kernel receive
+  /// buffer fills and TCP flow control pushes back on the client) until
+  /// the backlog drains below a quarter of the cap. Bounds the memory a
+  /// pipelining client that never reads its socket can pin. Must be > 0.
+  std::size_t outbuf_high_water = 4 * 1024 * 1024;
 };
 
 class EpollServer {
@@ -74,6 +83,9 @@ class EpollServer {
   void loop_main(Loop& loop);
   void adopt_pending(Loop& loop);
   void handle_readable(Loop& loop, Conn& conn);
+  /// Re-enters the read path of a connection whose reads were paused by
+  /// the write-backlog cap, once the backlog has drained far enough.
+  void resume_reads(Loop& loop, Conn& conn);
   void flush_writes(Loop& loop, Conn& conn);
   void update_interest(Loop& loop, Conn& conn);
   void close_conn(Loop& loop, Conn& conn);

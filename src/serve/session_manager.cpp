@@ -359,6 +359,16 @@ SessionStats SessionManager::close_session(const std::string& id) {
     // evicted between the check and here (falls through to the store).
     if (const auto session = find_session(id)) {
       Worker& worker = *workers_[session->shard];
+      {
+        // Mirror evict_locked: a producer that resolved this session
+        // before the erase below must observe the close under worker.mu
+        // and re-resolve (submit's stale-retry loop), not enqueue after
+        // the pending==0 wait into a monitor whose storage was released.
+        const std::lock_guard lock(worker.mu);
+        session->evicted = true;
+      }
+      // Blocked producers re-check the evicted flag in their predicate.
+      worker.cv_space.notify_all();
       while (session->pending.load(std::memory_order_acquire) != 0) {
         if (config_.manual_pump) pump_worker(worker);
         std::this_thread::yield();

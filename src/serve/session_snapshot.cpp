@@ -13,6 +13,10 @@ namespace {
 
 constexpr const char* kMagic = "cmarkov-session";
 constexpr int kVersion = 1;
+/// Sanity bound for the length-prefixed string fields (id/model). Far
+/// above anything the wire protocol admits; guards the decoder against
+/// allocating ahead of a lying length in a corrupted file.
+constexpr std::uint64_t kMaxStringField = 1 << 20;
 
 std::uint64_t read_u64(std::istream& in, const char* key) {
   std::uint64_t value = 0;
@@ -31,10 +35,25 @@ void expect_key(std::istream& in, const char* key) {
   }
 }
 
-std::string read_token(std::istream& in, const char* key) {
-  std::string value;
-  if (!(in >> value)) {
+/// Reads a length-prefixed string field: "<len> <len bytes>". The CMKB
+/// HELLO admits arbitrary bytes in session/model names (spaces, newlines),
+/// so these fields cannot be whitespace-tokenized.
+std::string read_sized_string(std::istream& in, const char* key) {
+  const std::uint64_t length = read_u64(in, key);
+  if (length > kMaxStringField) {
+    throw std::runtime_error(std::string("session_snapshot: '") + key +
+                             "' length " + std::to_string(length) +
+                             " exceeds the " +
+                             std::to_string(kMaxStringField) + " byte cap");
+  }
+  if (in.get() != ' ') {
     throw std::runtime_error(std::string("session_snapshot: malformed '") +
+                             key + "' value");
+  }
+  std::string value(static_cast<std::size_t>(length), '\0');
+  if (length > 0 &&
+      !in.read(value.data(), static_cast<std::streamsize>(length))) {
+    throw std::runtime_error(std::string("session_snapshot: truncated '") +
                              key + "' value");
   }
   return value;
@@ -65,8 +84,9 @@ std::string sanitize_for_filename(const std::string& id) {
 std::string encode_session_snapshot(const SessionSnapshot& snapshot) {
   std::ostringstream out;
   out << kMagic << " " << kVersion << "\n";
-  out << "id " << snapshot.id << "\n";
-  out << "model " << snapshot.model << "\n";
+  // id/model are length-prefixed: the wire allows arbitrary bytes in them.
+  out << "id " << snapshot.id.size() << " " << snapshot.id << "\n";
+  out << "model " << snapshot.model.size() << " " << snapshot.model << "\n";
   out << "model_version " << snapshot.model_version << "\n";
   out << "model_fingerprint " << snapshot.model_fingerprint << "\n";
   out << "enqueued " << snapshot.enqueued << "\n";
@@ -107,9 +127,9 @@ SessionSnapshot decode_session_snapshot(const std::string& text) {
   }
   SessionSnapshot snapshot;
   expect_key(in, "id");
-  snapshot.id = read_token(in, "id");
+  snapshot.id = read_sized_string(in, "id");
   expect_key(in, "model");
-  snapshot.model = read_token(in, "model");
+  snapshot.model = read_sized_string(in, "model");
   expect_key(in, "model_version");
   snapshot.model_version = read_u64(in, "model_version");
   expect_key(in, "model_fingerprint");
@@ -178,15 +198,25 @@ std::string SnapshotStore::file_path(const std::string& id) const {
 }
 
 void SnapshotStore::put(SessionSnapshot snapshot) {
-  const std::lock_guard lock(mu_);
+  // Disk mirroring happens outside mu_ so stats readers (peek/contains)
+  // never queue behind file I/O; put/take themselves are serialized by the
+  // manager's lifecycle lock. An I/O failure degrades this snapshot to
+  // memory-only with a logged error — put() is called from the eviction
+  // path, and throwing there would surface as a protocol violation to
+  // whichever client's submit() triggered the eviction.
   if (!dir_.empty()) {
     const std::string path = file_path(snapshot.id);
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      throw std::runtime_error("SnapshotStore: cannot write '" + path + "'");
+    if (out) {
+      out << encode_session_snapshot(snapshot);
+      out.flush();
     }
-    out << encode_session_snapshot(snapshot);
+    if (!out) {
+      log_error() << "snapshot store: cannot write '" << path
+                  << "'; keeping session snapshot in memory only";
+    }
   }
+  const std::lock_guard lock(mu_);
   snapshots_[snapshot.id] = std::move(snapshot);
 }
 
@@ -236,8 +266,11 @@ std::size_t SnapshotStore::load_directory() {
       SessionSnapshot snapshot = decode_session_snapshot(buffer.str());
       snapshots_[snapshot.id] = std::move(snapshot);
     } catch (const std::exception& e) {
-      throw std::runtime_error("SnapshotStore: " + entry.path().string() +
-                               ": " + e.what());
+      // One corrupt (or adversarial) file must not abort daemon startup:
+      // skip it, keep every healthy session.
+      log_error() << "snapshot store: skipping malformed " << entry.path()
+                  << ": " << e.what();
+      continue;
     }
     ++loaded;
   }

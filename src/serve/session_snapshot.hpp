@@ -45,8 +45,9 @@ struct SessionSnapshot {
   core::MonitorSnapshot monitor;
 };
 
-/// Renders the `cmarkov-session v1` text form (exact integer fields only —
-/// decode(encode(s)) == s).
+/// Renders the `cmarkov-session v1` text form (exact integer fields; the
+/// id/model strings are length-prefixed, so any bytes the wire admits —
+/// spaces and newlines included — survive: decode(encode(s)) == s).
 std::string encode_session_snapshot(const SessionSnapshot& snapshot);
 
 /// Parses the text form. Throws std::runtime_error naming the offending
@@ -62,6 +63,9 @@ class SnapshotStore {
   /// when the directory cannot be created.
   explicit SnapshotStore(std::string dir = "");
 
+  /// Stores (and, with a directory, mirrors to disk) one snapshot. A disk
+  /// write failure is logged and degrades that snapshot to memory-only —
+  /// eviction never throws I/O errors into the serving path.
   void put(SessionSnapshot snapshot);
 
   /// Removes and returns the snapshot, or nullopt when absent.
@@ -75,8 +79,9 @@ class SnapshotStore {
   std::size_t size() const;
 
   /// Loads every "*.session" file of the store directory into memory
-  /// (daemon boot). Malformed files throw std::runtime_error naming the
-  /// file. Returns the number of snapshots loaded. No-op without a dir.
+  /// (daemon boot). Malformed files are logged and skipped — one corrupt
+  /// file must not abort startup. Returns the number of snapshots loaded.
+  /// No-op without a dir.
   std::size_t load_directory();
 
   const std::string& directory() const { return dir_; }

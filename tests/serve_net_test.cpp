@@ -17,6 +17,7 @@
 #include <chrono>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -445,6 +446,100 @@ TEST(SessionLifecycleTest, EvictRestoreIsBitIdentical) {
   EXPECT_EQ(reparsed.model_fingerprint, a->model_fingerprint);
 }
 
+/// The CMKB HELLO admits arbitrary bytes in session and model names; the
+/// snapshot text format length-prefixes those fields so whitespace (which
+/// would derail a tokenizing reader) survives the round trip.
+TEST(SessionSnapshotTest, WhitespaceIdAndModelSurviveTheRoundTrip) {
+  SessionSnapshot snap;
+  snap.id = "a b\nc\td ";
+  snap.model = " gzip v2\n";
+  snap.model_version = 3;
+  snap.model_fingerprint = 0x1234;
+  snap.enqueued = 17;
+  snap.processed = 16;
+  snap.windows_to_alarm = 2;
+  snap.cooldown_events = 5;
+  snap.monitor.window = {4, 7, 0};
+  snap.monitor.consecutive_flagged = 1;
+  snap.monitor.stats.events_seen = 16;
+
+  const SessionSnapshot reparsed =
+      decode_session_snapshot(encode_session_snapshot(snap));
+  EXPECT_EQ(reparsed.id, snap.id);
+  EXPECT_EQ(reparsed.model, snap.model);
+  EXPECT_EQ(reparsed.model_version, snap.model_version);
+  EXPECT_EQ(reparsed.enqueued, snap.enqueued);
+  EXPECT_EQ(reparsed.processed, snap.processed);
+  expect_same_frozen_state(reparsed, snap);
+
+  // An empty id is legal too (the daemon names such sessions itself, but
+  // the codec must not choke on the zero-length prefix).
+  SessionSnapshot empty;
+  empty.model = "m";
+  const SessionSnapshot empty_back =
+      decode_session_snapshot(encode_session_snapshot(empty));
+  EXPECT_EQ(empty_back.id, "");
+  EXPECT_EQ(empty_back.model, "m");
+}
+
+/// One corrupt .session file must not abort daemon startup: load skips it
+/// (logged) and every healthy snapshot — including one whose id carries
+/// whitespace straight off the wire — still comes back.
+TEST(SessionLifecycleTest, BootLoadSkipsMalformedSnapshotFiles) {
+  const std::string dir = ::testing::TempDir() + "/cmarkov_net_snap_corrupt";
+  std::filesystem::remove_all(dir);
+  const std::vector<trace::CallEvent> events = fixture().events_for(53, 1);
+  const std::string spaced_id = "fleet host-7 pid 4242";
+
+  auto registry = make_registry();
+  ServiceConfig config = pump_config();
+  config.snapshot_dir = dir;
+  {
+    SessionManager first(*registry, config);
+    first.open_session(spaced_id, "gzip");
+    feed(first, spaced_id, events, 0, 6);
+    ASSERT_TRUE(first.evict_session(spaced_id));
+  }
+  {
+    std::ofstream junk(dir + "/junk.session", std::ios::binary);
+    junk << "cmarkov-session 1\nid 4 oops\nmodel";  // truncated mid-stream
+  }
+  {
+    std::ofstream noise(dir + "/noise.session", std::ios::binary);
+    noise << "not a snapshot at all";
+  }
+
+  SessionManager second(*registry, config);
+  EXPECT_EQ(second.snapshot_store().load_directory(), 1u);
+  EXPECT_TRUE(second.has_session(spaced_id));
+  feed(second, spaced_id, events, 6, events.size());
+  const SessionStats stats = second.session_stats(spaced_id);
+  EXPECT_EQ(stats.processed, events.size());
+  std::filesystem::remove_all(dir);
+}
+
+/// A disk-write failure during eviction degrades the snapshot to
+/// memory-only instead of throwing into the serving path.
+TEST(SessionSnapshotTest, PutDegradesToMemoryOnlyWhenDiskWriteFails) {
+  const std::string dir = ::testing::TempDir() + "/cmarkov_net_snap_degrade";
+  std::filesystem::remove_all(dir);
+  SnapshotStore store(dir);
+  // Occupy the target path with a directory so the ofstream open fails
+  // (permission tricks don't bite when the tests run as root).
+  std::filesystem::create_directories(dir + "/blocked.session");
+
+  SessionSnapshot snap;
+  snap.id = "blocked";
+  snap.model = "gzip";
+  snap.processed = 9;
+  EXPECT_NO_THROW(store.put(std::move(snap)));
+  EXPECT_TRUE(store.contains("blocked"));
+  const auto taken = store.take("blocked");
+  ASSERT_TRUE(taken.has_value());
+  EXPECT_EQ(taken->processed, 9u);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(SessionLifecycleTest, SnapshotsPersistAcrossManagerInstances) {
   const std::string dir = ::testing::TempDir() + "/cmarkov_net_snapshots";
   std::filesystem::remove_all(dir);
@@ -610,12 +705,18 @@ TEST(SessionLifecycleTest, HotReloadUnderLiveTrafficLosesNothing) {
 /// server bug fails the test instead of hanging it.
 class TcpClient {
  public:
-  explicit TcpClient(std::uint16_t port) {
+  /// `rcvbuf` > 0 shrinks SO_RCVBUF before connecting (set then so the
+  /// advertised TCP window honors it) — the slow-reader test uses it to
+  /// fill the server's send path with little data.
+  explicit TcpClient(std::uint16_t port, int rcvbuf = 0) {
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     EXPECT_GE(fd_, 0);
     timeval timeout{};
     timeout.tv_sec = 5;
     ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    if (rcvbuf > 0) {
+      ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+    }
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(port);
@@ -652,16 +753,20 @@ class TcpClient {
     }
   }
 
-  /// One complete CMKB frame (empty optional on EOF/timeout).
+  /// One complete CMKB frame (empty optional on EOF/timeout). The parser
+  /// persists across calls so pipelined replies — several frames landing
+  /// in one recv — are handed out one at a time, none dropped.
   std::optional<Frame> read_frame() {
-    FrameParser parser;
     while (true) {
-      parser.feed(buffer_.data(), buffer_.size());
-      buffer_.clear();
-      if (auto frame = parser.next()) return frame;
-      if (!parser.error().empty()) {
-        ADD_FAILURE() << "client-side framing error: " << parser.error();
+      if (auto frame = parser_.next()) return frame;
+      if (!parser_.error().empty()) {
+        ADD_FAILURE() << "client-side framing error: " << parser_.error();
         return std::nullopt;
+      }
+      if (!buffer_.empty()) {
+        parser_.feed(buffer_.data(), buffer_.size());
+        buffer_.clear();
+        continue;
       }
       if (!fill()) return std::nullopt;
     }
@@ -684,6 +789,7 @@ class TcpClient {
 
   int fd_ = -1;
   std::string buffer_;
+  FrameParser parser_;
 };
 
 struct ServerHarness {
@@ -691,13 +797,15 @@ struct ServerHarness {
   std::unique_ptr<SessionManager> manager;
   std::unique_ptr<EpollServer> server;
 
-  explicit ServerHarness(std::size_t num_loops = 2) {
+  explicit ServerHarness(std::size_t num_loops = 2,
+                         std::size_t outbuf_high_water = 4 * 1024 * 1024) {
     ServiceConfig config;
     config.num_workers = 2;
     manager = std::make_unique<SessionManager>(*registry, config);
     NetOptions net;
     net.port = 0;  // ephemeral
     net.num_loops = num_loops;
+    net.outbuf_high_water = outbuf_high_water;
     server = std::make_unique<EpollServer>(*manager, net);
     server->start();
   }
@@ -787,6 +895,43 @@ TEST(EpollServerTest, NoReplyBatchesAreAccountedWithoutAcks) {
                 "processed=" + std::to_string(3 * events.size())),
             std::string::npos)
       << stats->payload;
+}
+
+/// A client that pipelines requests without reading its socket must not
+/// grow the server's reply buffer without bound: reads pause at the
+/// high-water mark and resume as the backlog drains, and once the client
+/// finally reads, every reply arrives intact.
+TEST(EpollServerTest, SlowReaderBacklogPausesAndResumesWithoutLoss) {
+  ServerHarness harness(/*num_loops=*/1, /*outbuf_high_water=*/8 * 1024);
+  TcpClient client(harness.server->port(), /*rcvbuf=*/4096);
+  client.send_all(encode_frame(
+      FrameOp::kHello, 0, encode_hello_payload("gzip", "slow", "")));
+  auto hello = client.read_frame();
+  ASSERT_TRUE(hello.has_value());
+
+  // ~2000 STATS replies (~100 bytes each) dwarf the 8 KiB high-water mark
+  // many times over while the client refuses to read.
+  constexpr int kRequests = 2000;
+  std::string burst;
+  for (int i = 0; i < kRequests; ++i) {
+    burst += encode_frame(FrameOp::kStats, 0, "");
+  }
+  client.send_all(burst);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // Now drain: the pause must lift as the backlog empties, and all
+  // replies must come through in order, none lost, none mangled.
+  for (int i = 0; i < kRequests; ++i) {
+    auto reply = client.read_frame();
+    ASSERT_TRUE(reply.has_value()) << "reply " << i;
+    EXPECT_EQ(reply->op, FrameOp::kReply) << i;
+    EXPECT_TRUE(starts_with(reply->payload, "STATS v=1 session=slow"))
+        << reply->payload;
+  }
+  client.send_all(encode_frame(FrameOp::kBye, 0, ""));
+  auto bye = client.read_frame();
+  ASSERT_TRUE(bye.has_value());
+  EXPECT_TRUE(starts_with(bye->payload, "OK session=slow"));
 }
 
 TEST(EpollServerTest, HostileFrameGetsErrorFrameThenClose) {
