@@ -1,0 +1,261 @@
+// Microbenchmark for the compiled ScoringKernel (ISSUE 7, BENCH_score.json):
+// the serve hot path's per-window cost, kernel vs the reference forward
+// pass, on a small-alphabet syscall model and a large-alphabet
+// context-sensitive libcall model.
+//
+//   bench_score [--repeat R] [--full]
+//
+// Three scoring configurations per model:
+//   reference — Detector::score_segment (ForwardResult matrix + scales
+//               allocation per window, the pre-kernel serve path);
+//   kernel    — ScoringKernel::score_window, exact mode (flat two-row
+//               scratch, bit-identical doubles);
+//   pruned    — opt-in top-K kernel (never enabled implicitly in serving).
+//
+// The bench also verifies, over every window it times, that the exact
+// kernel's log-likelihoods are BIT-IDENTICAL to the reference, and
+// characterizes the opt-in pruned kernel empirically: pruning can only
+// remove path probability, so LL_pruned <= LL_exact always, but there is
+// NO unconditional deficit bound (see ScoringKernel::max_dropped_mass) —
+// the numbers that matter are the worst observed deficit and how many
+// window verdicts flip on a representative feed. Finally it reports the
+// monitor-level event rate (OnlineMonitor::on_event with the kernel, no
+// serve layer) — the ceiling a single worker thread can reach before
+// queueing costs.
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/core/online_monitor.hpp"
+#include "src/core/scoring_kernel.hpp"
+#include "src/util/stopwatch.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/table_printer.hpp"
+#include "src/workload/testcase_generator.hpp"
+
+using namespace cmarkov;
+
+namespace {
+
+core::Detector train_detector(const workload::ProgramSuite& suite,
+                              analysis::CallFilter filter,
+                              std::uint64_t seed) {
+  core::DetectorConfig config;
+  config.pipeline.filter = filter;
+  config.training.max_iterations = 6;
+  core::Detector detector = core::Detector::build(suite.module(), config);
+  detector.train(workload::collect_traces(suite, 30, seed).traces);
+  return detector;
+}
+
+/// Every complete sliding window of the suite's benign traces, encoded to
+/// observation ids exactly as OnlineMonitor would (unknowns included — both
+/// paths must agree on them too).
+std::vector<hmm::ObservationSeq> build_windows(
+    const core::Detector& detector, const workload::ProgramSuite& suite,
+    std::uint64_t seed) {
+  const auto& config = detector.config();
+  const std::size_t length = config.segments.length;
+  const auto encoding = config.pipeline.context_sensitive
+                            ? hmm::ObservationEncoding::kContextSensitive
+                            : hmm::ObservationEncoding::kContextFree;
+  std::vector<hmm::ObservationSeq> windows;
+  for (const auto& trace : workload::collect_traces(suite, 5, seed).traces) {
+    hmm::ObservationSeq ids;
+    for (const auto& event : trace.events) {
+      if (!analysis::filter_matches(config.pipeline.filter, event.kind)) {
+        continue;
+      }
+      const std::string obs =
+          hmm::encode_observation(event.name, event.caller, encoding);
+      ids.push_back(
+          detector.alphabet().find(obs).value_or(detector.alphabet().size()));
+    }
+    for (std::size_t start = 0; start + length <= ids.size(); ++start) {
+      windows.emplace_back(ids.begin() + start, ids.begin() + start + length);
+    }
+  }
+  return windows;
+}
+
+double bits_equal(double a, double b) {
+  std::uint64_t ua = 0;
+  std::uint64_t ub = 0;
+  std::memcpy(&ua, &a, sizeof(a));
+  std::memcpy(&ub, &b, sizeof(b));
+  return ua == ub;
+}
+
+struct ModelReport {
+  std::string name;
+  std::size_t states = 0;
+  std::size_t symbols = 0;
+  std::size_t windows = 0;
+  double reference_ns = 0.0;
+  double kernel_ns = 0.0;
+  double pruned_ns = 0.0;
+  bool bit_identical = true;
+  std::size_t pruned_entries = 0;
+  double pruned_dropped_mass = 0.0;  ///< max dropped incoming mass D
+  double pruned_worst = 0.0;         ///< worst observed LL deficit
+  std::size_t pruned_flips = 0;      ///< windows whose verdict changed
+  bool pruned_monotone = true;       ///< LL_pruned <= LL_exact everywhere
+  double monitor_events_per_sec = 0.0;
+  std::size_t kernel_image_bytes = 0;
+};
+
+ModelReport run_model(const std::string& name, const core::Detector& detector,
+                      const workload::ProgramSuite& suite, std::size_t repeat,
+                      std::uint64_t seed) {
+  ModelReport report;
+  report.name = name;
+  report.states = detector.model().num_states();
+  report.symbols = detector.model().num_symbols();
+
+  const std::vector<hmm::ObservationSeq> windows =
+      build_windows(detector, suite, seed);
+  report.windows = windows.size();
+
+  const auto kernel = core::ScoringKernel::compile(detector);
+  core::KernelOptions prune_options;
+  prune_options.prune = true;
+  prune_options.prune_epsilon = 1e-4;
+  const auto pruned = core::ScoringKernel::compile(detector, prune_options);
+  report.kernel_image_bytes = kernel->image_bytes();
+  report.pruned_entries = pruned->pruned_entries();
+  report.pruned_dropped_mass = pruned->max_dropped_mass();
+
+  // Timed loops accumulate the summed LL so the work cannot be elided; the
+  // sums also cross-check that repeats scored identical values.
+  double reference_sum = 0.0;
+  {
+    Stopwatch watch;
+    for (std::size_t r = 0; r < repeat; ++r) {
+      for (const auto& window : windows) {
+        reference_sum += detector.score_segment(window).log_likelihood;
+      }
+    }
+    report.reference_ns =
+        watch.micros() * 1e3 / static_cast<double>(repeat * windows.size());
+  }
+  double kernel_sum = 0.0;
+  core::KernelScratch scratch;
+  {
+    Stopwatch watch;
+    for (std::size_t r = 0; r < repeat; ++r) {
+      for (const auto& window : windows) {
+        kernel_sum += kernel->score_window(window, scratch).log_likelihood;
+      }
+    }
+    report.kernel_ns =
+        watch.micros() * 1e3 / static_cast<double>(repeat * windows.size());
+  }
+  double pruned_sum = 0.0;
+  {
+    Stopwatch watch;
+    for (std::size_t r = 0; r < repeat; ++r) {
+      for (const auto& window : windows) {
+        pruned_sum += pruned->score_window(window, scratch).log_likelihood;
+      }
+    }
+    report.pruned_ns =
+        watch.micros() * 1e3 / static_cast<double>(repeat * windows.size());
+  }
+  static_cast<void>(reference_sum + kernel_sum + pruned_sum);
+
+  for (const auto& window : windows) {
+    const core::SegmentVerdict ref = detector.score_segment(window);
+    const core::SegmentVerdict fast = kernel->score_window(window, scratch);
+    if (!bits_equal(ref.log_likelihood, fast.log_likelihood) ||
+        ref.flagged != fast.flagged ||
+        ref.unknown_symbol != fast.unknown_symbol) {
+      report.bit_identical = false;
+    }
+    const core::SegmentVerdict approx = pruned->score_window(window, scratch);
+    if (approx.flagged != ref.flagged) ++report.pruned_flips;
+    if (std::isfinite(ref.log_likelihood)) {
+      const double deficit = ref.log_likelihood - approx.log_likelihood;
+      if (deficit > report.pruned_worst) report.pruned_worst = deficit;
+      if (deficit < -1e-12) report.pruned_monotone = false;
+    }
+  }
+
+  // Monitor-level rate: the full per-event hot path (filter, piecewise
+  // intern, window slide, kernel score) on one thread.
+  {
+    std::vector<trace::CallEvent> feed;
+    for (const auto& trace :
+         workload::collect_traces(suite, 5, seed + 1).traces) {
+      feed.insert(feed.end(), trace.events.begin(), trace.events.end());
+    }
+    core::OnlineMonitor monitor(detector, nullptr, {}, {}, kernel);
+    Stopwatch watch;
+    std::size_t events = 0;
+    for (std::size_t r = 0; r < repeat; ++r) {
+      for (const auto& event : feed) {
+        monitor.on_event(event);
+        ++events;
+      }
+    }
+    report.monitor_events_per_sec =
+        static_cast<double>(events) / watch.seconds();
+  }
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = [&] {
+    for (int i = 1; i < argc; ++i) {
+      if (std::string(argv[i]) == "--full") return true;
+    }
+    return std::getenv("CMARKOV_FULL") != nullptr;
+  }();
+  std::size_t repeat = full ? 40 : 10;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--repeat") repeat = std::stoul(argv[i + 1]);
+  }
+
+  const workload::ProgramSuite gzip = workload::make_gzip_suite();
+  const workload::ProgramSuite vim = workload::make_vim_suite();
+  const core::Detector small =
+      train_detector(gzip, analysis::CallFilter::kSyscalls, 91);
+  const core::Detector large =
+      train_detector(vim, analysis::CallFilter::kLibcalls, 23);
+
+  std::vector<ModelReport> reports;
+  reports.push_back(run_model("gzip-syscall", small, gzip, repeat, 7));
+  reports.push_back(run_model("vim-libcall", large, vim, repeat, 7));
+
+  TablePrinter table({"Model", "N", "M", "Windows", "Ref ns/win",
+                      "Kernel ns/win", "Speedup", "Pruned ns/win",
+                      "Bit-identical", "Monitor ev/s"});
+  for (const auto& r : reports) {
+    table.add_row({r.name, std::to_string(r.states), std::to_string(r.symbols),
+                   std::to_string(r.windows), format_double(r.reference_ns, 0),
+                   format_double(r.kernel_ns, 0),
+                   format_double(r.reference_ns / r.kernel_ns, 2) + "x",
+                   format_double(r.pruned_ns, 0),
+                   r.bit_identical ? "yes" : "NO",
+                   format_double(r.monitor_events_per_sec, 0)});
+  }
+  table.print();
+
+  bool pass = true;
+  for (const auto& r : reports) {
+    std::cout << r.name << ": image=" << r.kernel_image_bytes
+              << "B pruned_entries=" << r.pruned_entries
+              << " dropped_mass=" << format_double(r.pruned_dropped_mass, 6)
+              << " worst_deficit=" << format_double(r.pruned_worst, 4)
+              << " verdict_flips=" << r.pruned_flips << "/" << r.windows
+              << (r.pruned_monotone ? "" : " (MONOTONICITY VIOLATED)") << "\n";
+    pass = pass && r.bit_identical && r.pruned_monotone;
+  }
+  std::cout << "exact kernel bit-compatibility + pruned monotonicity: "
+            << (pass ? "PASS" : "FAIL") << "\n";
+  return pass ? 0 : 1;
+}

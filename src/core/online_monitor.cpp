@@ -9,10 +9,12 @@ namespace cmarkov::core {
 
 OnlineMonitor::OnlineMonitor(const Detector& detector,
                              const trace::Symbolizer* symbolizer,
-                             MonitorOptions options, MonitorStorage storage)
+                             MonitorOptions options, MonitorStorage storage,
+                             std::shared_ptr<const ScoringKernel> kernel)
     : detector_(&detector),
       symbolizer_(symbolizer),
       options_(options),
+      kernel_(std::move(kernel)),
       window_(std::move(storage.window)),
       segment_(std::move(storage.segment)) {
   if (!detector.trained()) {
@@ -24,6 +26,9 @@ OnlineMonitor::OnlineMonitor(const Detector& detector,
   if (options_.windows_to_alarm == 0) {
     throw std::invalid_argument("OnlineMonitor: windows_to_alarm must be >0");
   }
+  if (kernel_ == nullptr) kernel_ = ScoringKernel::compile(detector);
+  scratch_.alpha = std::move(storage.scratch);
+  scratch_.alpha.clear();
   const std::size_t length = detector.config().segments.length;
   window_.assign(length, 0);  // reuses donated capacity when large enough
   segment_.clear();
@@ -55,35 +60,48 @@ MonitorUpdate OnlineMonitor::on_event(trace::CallEvent event) {
                        .value_or(trace::kUnknownCaller);
   }
 
-  const std::string observation = hmm::encode_observation(
-      event.name, event.caller,
-      config.pipeline.context_sensitive
-          ? hmm::ObservationEncoding::kContextSensitive
-          : hmm::ObservationEncoding::kContextFree);
-  const std::size_t id = detector_->alphabet()
-                             .find(observation)
-                             .value_or(detector_->alphabet().size());
+  // Hot path: the kernel interns name[@caller] in place — same id and
+  // unknown sentinel as Alphabet::find(encode_observation(...)), without
+  // building the observation string or walking a node-based map.
+  const std::size_t id = kernel_->find_observation(event.name, event.caller);
+  // Ring arithmetic via conditional subtraction: `length` is the segment
+  // length (15 in the paper's setup), not a power of two, so a `%` here
+  // would cost an integer division per event — and 15 more per window in
+  // the copy-out loop below.
   const std::size_t length = config.segments.length;
   if (window_count_ < length) {
-    window_[(window_head_ + window_count_) % length] = id;
+    std::size_t at = window_head_ + window_count_;
+    if (at >= length) at -= length;
+    window_[at] = id;
     window_count_ += 1;
   } else {
     window_[window_head_] = id;  // overwrite the id sliding out
-    window_head_ = (window_head_ + 1) % length;
+    window_head_ += 1;
+    if (window_head_ == length) window_head_ = 0;
   }
   if (window_count_ < length) return update;
 
   update.window_complete = true;
   segment_.clear();
+  std::size_t at = window_head_;
   for (std::size_t i = 0; i < length; ++i) {
-    segment_.push_back(window_[(window_head_ + i) % length]);
+    segment_.push_back(window_[at]);
+    at += 1;
+    if (at == length) at = 0;
   }
+  // Decision tracing needs the full alpha matrix for the audit record, so
+  // it keeps the reference recursion; everything else scores through the
+  // compiled kernel with flat scratch (bit-identical in exact mode).
   const bool tracing =
       options_.decisions.enabled && options_.decisions.ring_capacity > 0;
   hmm::ForwardResult forward;
-  const SegmentVerdict verdict =
-      tracing ? detector_->score_segment(segment_, &forward)
-              : detector_->score_segment(segment_);
+  SegmentVerdict verdict;
+  if (tracing) {
+    verdict = detector_->score_segment(segment_, &forward);
+  } else {
+    verdict = kernel_->score_window(segment_, scratch_);
+    update.scored_by_kernel = true;
+  }
   update.log_likelihood = verdict.log_likelihood;
   update.flagged = verdict.flagged;
   update.unknown_symbol = verdict.unknown_symbol;
@@ -174,7 +192,8 @@ void OnlineMonitor::restore(const MonitorSnapshot& snapshot) {
   stats_ = snapshot.stats;
 }
 
-void OnlineMonitor::rebind(const Detector& detector) {
+void OnlineMonitor::rebind(const Detector& detector,
+                           std::shared_ptr<const ScoringKernel> kernel) {
   if (!detector.trained()) {
     throw std::invalid_argument("OnlineMonitor: rebind detector not trained");
   }
@@ -182,6 +201,8 @@ void OnlineMonitor::rebind(const Detector& detector) {
     throw std::invalid_argument("OnlineMonitor: segment length must be > 0");
   }
   detector_ = &detector;
+  kernel_ = kernel != nullptr ? std::move(kernel)
+                              : ScoringKernel::compile(detector);
   const std::size_t length = detector.config().segments.length;
   window_.assign(length, 0);
   segment_.clear();
@@ -193,15 +214,18 @@ void OnlineMonitor::rebind(const Detector& detector) {
 
 std::size_t OnlineMonitor::state_bytes() const {
   return sizeof(OnlineMonitor) +
-         (window_.capacity() + segment_.capacity()) * sizeof(std::size_t);
+         (window_.capacity() + segment_.capacity()) * sizeof(std::size_t) +
+         scratch_.capacity_bytes();
 }
 
 MonitorStorage OnlineMonitor::release_storage() {
   MonitorStorage storage;
   storage.window = std::move(window_);
   storage.segment = std::move(segment_);
+  storage.scratch = std::move(scratch_.alpha);
   window_.clear();
   segment_.clear();
+  scratch_.alpha.clear();
   window_head_ = 0;
   window_count_ = 0;
   return storage;

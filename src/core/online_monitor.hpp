@@ -7,9 +7,11 @@
 #pragma once
 
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "src/core/detector.hpp"
+#include "src/core/scoring_kernel.hpp"
 #include "src/trace/symbolizer.hpp"
 
 namespace cmarkov::obs {
@@ -71,6 +73,8 @@ struct MonitorStats {
 struct MonitorStorage {
   std::vector<std::size_t> window;
   hmm::ObservationSeq segment;
+  /// Flat forward scratch for the kernel path (two alpha rows).
+  std::vector<double> scratch;
 };
 
 /// Complete scoring state of a monitor, linearized. All fields are exact
@@ -115,6 +119,11 @@ struct MonitorUpdate {
   bool unknown_symbol = false;
   /// Alarm fired on this event (hysteresis + cooldown applied).
   bool alarm = false;
+  /// Window scored through the compiled ScoringKernel (the fast path).
+  /// False for windows scored via the reference forward pass — the
+  /// decision-audit path, which needs the full alpha matrix. Both paths
+  /// produce bit-identical verdicts in exact-kernel mode.
+  bool scored_by_kernel = false;
   /// Audit record for this window when decision tracing admitted it; null
   /// otherwise. Points into the monitor's ring — valid until the next
   /// on_event / reset_window call on the same monitor.
@@ -128,10 +137,14 @@ class OnlineMonitor {
   /// events arrive pre-symbolized; otherwise raw site addresses are
   /// resolved on the fly (cached-addr2line deployment). `storage` donates
   /// recycled buffers (see MonitorStorage); the window ring is sized to
-  /// the detector's segment length either way.
+  /// the detector's segment length either way. `kernel` is the compiled
+  /// scoring image to share (the serve tier passes the ModelRegistry's
+  /// per-version kernel so a million monitors hold one image); when null,
+  /// the monitor compiles its own — correct but wasteful at scale.
   OnlineMonitor(const Detector& detector,
                 const trace::Symbolizer* symbolizer = nullptr,
-                MonitorOptions options = {}, MonitorStorage storage = {});
+                MonitorOptions options = {}, MonitorStorage storage = {},
+                std::shared_ptr<const ScoringKernel> kernel = nullptr);
 
   /// Feeds one event; returns what happened. Events outside the model's
   /// call stream (e.g. libcalls on a syscall model) are counted but
@@ -174,13 +187,24 @@ class OnlineMonitor {
   /// window and flagged-streak reset — window ids encode the OLD model's
   /// alphabet and cannot be rescored — while cumulative stats and any
   /// pending alarm cooldown carry over. The new detector must be trained;
-  /// the window ring is resized to its segment length.
-  void rebind(const Detector& detector);
+  /// the window ring is resized to its segment length. `kernel` must be
+  /// compiled from `detector` (the serve tier passes the new registry
+  /// version's shared image); when null a private kernel is compiled.
+  void rebind(const Detector& detector,
+              std::shared_ptr<const ScoringKernel> kernel = nullptr);
+
+  /// The compiled scoring image this monitor scores through (shared,
+  /// read-only; never null after construction).
+  const std::shared_ptr<const ScoringKernel>& kernel() const {
+    return kernel_;
+  }
 
   /// Heap bytes held by this monitor's scoring state (the per-session
   /// memory bill the serving tier budgets): the object itself plus window
-  /// ring and scoring scratch capacity. Excludes the decision-audit ring,
-  /// a debug facility that is empty in production configurations.
+  /// ring, segment scratch, and the kernel's flat forward scratch.
+  /// Excludes the decision-audit ring (a debug facility that is empty in
+  /// production configurations) and the shared kernel image, which is
+  /// per-model-version, not per-session (ScoringKernel::image_bytes).
   std::size_t state_bytes() const;
 
   /// Moves the window/scratch buffers out for pool recycling. The monitor
@@ -191,6 +215,9 @@ class OnlineMonitor {
   const Detector* detector_;
   const trace::Symbolizer* symbolizer_;
   MonitorOptions options_;
+  /// Shared compiled model image; scores every non-audited window.
+  std::shared_ptr<const ScoringKernel> kernel_;
+  KernelScratch scratch_;            // flat forward rows, pool-recycled
   std::vector<std::size_t> window_;  // ring of encoded observation ids
   std::size_t window_head_ = 0;      // index of the oldest id
   std::size_t window_count_ = 0;

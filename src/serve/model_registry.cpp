@@ -48,17 +48,22 @@ void ModelRegistry::add_shared(
                                 "' is not trained");
   }
   const std::uint64_t fingerprint = fingerprint_detector(*detector);
+  // Compile the scoring image outside the lock — kernel compilation walks
+  // the full model, and readers must never block on it.
+  auto kernel = core::ScoringKernel::compile(*detector);
   const std::unique_lock lock(mu_);
   Entry& entry = models_[name];
   if (entry.detector != nullptr) {
-    // Hot swap: retire the outgoing reference under the pre-bump epoch so
+    // Hot swap: retire the outgoing references under the pre-bump epoch so
     // reclaim_retired can tell late readers of the old version apart from
-    // readers that resolved after the swap.
+    // readers that resolved after the swap. The kernel rides along: it is
+    // only ever reached through the version that owns it.
     retired_.push_back(
-        {std::move(entry.detector),
+        {std::move(entry.detector), std::move(entry.kernel),
          reload_epoch_.load(std::memory_order_relaxed)});
   }
   entry.detector = std::move(detector);
+  entry.kernel = std::move(kernel);
   entry.version += 1;
   entry.fingerprint = fingerprint;
   reload_epoch_.fetch_add(1, std::memory_order_release);
@@ -103,7 +108,8 @@ VersionedModel ModelRegistry::get_versioned(const std::string& name) const {
   const std::shared_lock lock(mu_);
   const auto it = models_.find(name);
   if (it == models_.end()) return {};
-  return {it->second.detector, it->second.version, it->second.fingerprint};
+  return {it->second.detector, it->second.kernel, it->second.version,
+          it->second.fingerprint};
 }
 
 VersionedModel ModelRegistry::require_versioned(
@@ -147,6 +153,15 @@ std::size_t ModelRegistry::reclaim_retired(std::uint64_t min_active_epoch) {
 std::size_t ModelRegistry::retired_count() const {
   const std::shared_lock lock(mu_);
   return retired_.size();
+}
+
+std::size_t ModelRegistry::kernel_image_bytes() const {
+  const std::shared_lock lock(mu_);
+  std::size_t total = 0;
+  for (const auto& [name, entry] : models_) {
+    if (entry.kernel != nullptr) total += entry.kernel->image_bytes();
+  }
+  return total;
 }
 
 }  // namespace cmarkov::serve

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/core/detector.hpp"
+#include "src/core/scoring_kernel.hpp"
 
 namespace cmarkov::serve {
 
@@ -30,8 +31,13 @@ namespace cmarkov::serve {
 /// `fingerprint` hashes the detector's serialized content and is stable
 /// across processes — session snapshots store it so a restore after a
 /// daemon restart can tell "same model bytes" from "retrained model".
+/// `kernel` is the compiled ScoringKernel image for this exact detector
+/// version, compiled once at add/swap time and shared read-only by every
+/// session bound to the version; it retires and reclaims in lockstep with
+/// the detector under the same epoch scheme.
 struct VersionedModel {
   std::shared_ptr<const core::Detector> detector;
+  std::shared_ptr<const core::ScoringKernel> kernel;
   std::uint64_t version = 0;
   std::uint64_t fingerprint = 0;
 };
@@ -90,14 +96,21 @@ class ModelRegistry {
   /// Retired entries awaiting reclamation (tests and METRICS).
   std::size_t retired_count() const;
 
+  /// Total arena bytes of the live (non-retired) compiled kernel images —
+  /// the per-model-version memory bill the cmarkov_serve_kernel_image_bytes
+  /// gauge reports.
+  std::size_t kernel_image_bytes() const;
+
  private:
   struct Entry {
     std::shared_ptr<const core::Detector> detector;
+    std::shared_ptr<const core::ScoringKernel> kernel;
     std::uint64_t version = 0;
     std::uint64_t fingerprint = 0;
   };
   struct Retired {
     std::shared_ptr<const core::Detector> detector;
+    std::shared_ptr<const core::ScoringKernel> kernel;
     std::uint64_t epoch = 0;  ///< reload epoch at retirement time
   };
 

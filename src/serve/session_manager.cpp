@@ -58,7 +58,8 @@ struct SessionManager::Session {
         detector(std::move(model.detector)),
         model_version(model.version),
         model_fingerprint(model.fingerprint),
-        monitor(*detector, nullptr, options, std::move(storage)) {}
+        monitor(*detector, nullptr, options, std::move(storage),
+                std::move(model.kernel)) {}
 
   const std::string id;
   const std::string model_name;
@@ -94,6 +95,8 @@ struct SessionManager::Session {
   /// worker owns the session's shard).
   mutable std::mutex monitor_mu;
   /// Current binding; keeps the detector alive across registry hot-swaps.
+  /// The compiled ScoringKernel is pinned by the monitor itself
+  /// (monitor.kernel()) — one shared image per model version.
   std::shared_ptr<const core::Detector> detector;
   std::uint64_t model_version;
   std::uint64_t model_fingerprint;
@@ -149,6 +152,8 @@ SessionManager::SessionManager(ModelRegistry& registry, ServiceConfig config)
   dropped_total_ = &metrics_->counter("cmarkov_serve_events_dropped_total");
   rejected_total_ = &metrics_->counter("cmarkov_serve_events_rejected_total");
   windows_total_ = &metrics_->counter("cmarkov_serve_windows_total");
+  kernel_windows_total_ =
+      &metrics_->counter("cmarkov_serve_kernel_windows_total");
   alarms_total_ = &metrics_->counter("cmarkov_serve_alarms_total");
   sessions_evicted_total_ =
       &metrics_->counter("cmarkov_serve_sessions_evicted_total");
@@ -158,13 +163,19 @@ SessionManager::SessionManager(ModelRegistry& registry, ServiceConfig config)
       &metrics_->counter("cmarkov_serve_events_dropped_evicted_total");
   model_reloads_total_ =
       &metrics_->counter("cmarkov_serve_model_reloads_total");
+  kernel_builds_total_ =
+      &metrics_->counter("cmarkov_serve_kernel_builds_total");
   reload_micros_ = &metrics_->histogram("cmarkov_serve_model_reload_micros",
                                         latency_bucket_bounds());
+  kernel_build_micros_ = &metrics_->histogram(
+      "cmarkov_serve_kernel_build_micros", latency_bucket_bounds());
   latency_micros_ = &metrics_->histogram("cmarkov_serve_latency_micros",
                                          latency_bucket_bounds());
   uptime_gauge_ = &metrics_->gauge("cmarkov_serve_uptime_seconds");
   sessions_gauge_ = &metrics_->gauge("cmarkov_serve_sessions_open");
   state_bytes_gauge_ = &metrics_->gauge("cmarkov_serve_session_state_bytes");
+  kernel_image_bytes_gauge_ =
+      &metrics_->gauge("cmarkov_serve_kernel_image_bytes");
   queue_depth_gauges_.reserve(config_.num_workers);
   for (std::size_t i = 0; i < config_.num_workers; ++i) {
     queue_depth_gauges_.push_back(
@@ -413,6 +424,10 @@ ReloadReport SessionManager::reload_model(
   const double start_micros = clock_.micros();
   registry_.add_shared(name, std::move(detector));
   const VersionedModel versioned = registry_.require_versioned(name);
+  // add_shared compiled a fresh kernel image for the new version; account
+  // the build the service just paid for.
+  kernel_builds_total_->add(1);
+  kernel_build_micros_->record(versioned.kernel->build_micros());
 
   ReloadReport report;
   report.version = versioned.version;
@@ -434,7 +449,7 @@ ReloadReport SessionManager::reload_model(
     session->detector = versioned.detector;
     session->model_version = versioned.version;
     session->model_fingerprint = versioned.fingerprint;
-    session->monitor.rebind(*session->detector);
+    session->monitor.rebind(*session->detector, versioned.kernel);
     const std::size_t bytes = session->monitor.state_bytes();
     state_bytes_sum_.fetch_add(bytes - session->state_bytes,
                                std::memory_order_relaxed);
@@ -519,6 +534,10 @@ void SessionManager::refresh_gauges() {
       resident == 0 ? 0.0
                     : static_cast<double>(bytes) /
                           static_cast<double>(resident));
+  // Shared per-model-version footprint, reported separately from the
+  // per-session bytes above so the 16 KiB/session budget stays honest.
+  kernel_image_bytes_gauge_->set(
+      static_cast<double>(registry_.kernel_image_bytes()));
   for (std::size_t i = 0; i < workers_.size(); ++i) {
     const std::lock_guard lock(workers_[i]->mu);
     queue_depth_gauges_[i]->set(
@@ -707,8 +726,10 @@ SessionStats SessionManager::stats_from_snapshot(
   return stats;
 }
 
-void SessionManager::process_item(Item& item) {
-  const double dequeue_micros = clock_.micros();
+void SessionManager::process_item(Item& item, BatchCounters& batch) {
+  // The dequeue timestamp only feeds the queue/score span pair, so only
+  // traced events pay the clock read (latency spans enqueue -> done).
+  const double dequeue_micros = item.traced ? clock_.micros() : 0.0;
   core::MonitorUpdate update;
   obs::DecisionRecord decision;
   bool has_decision = false;
@@ -740,9 +761,10 @@ void SessionManager::process_item(Item& item) {
     }
   }
   item.session->processed.fetch_add(1, std::memory_order_relaxed);
-  processed_total_->add(1);
+  batch.processed += 1;
   if (update.window_complete) {
-    windows_total_->add(1);
+    batch.windows += 1;
+    if (update.scored_by_kernel) batch.kernel_windows += 1;
   }
   if (update.alarm) {
     alarms_total_->add(1);
@@ -781,6 +803,14 @@ void SessionManager::process_item(Item& item) {
   item.session.reset();
 }
 
+void SessionManager::flush_batch(const BatchCounters& batch) {
+  if (batch.processed > 0) processed_total_->add(batch.processed);
+  if (batch.windows > 0) windows_total_->add(batch.windows);
+  if (batch.kernel_windows > 0) {
+    kernel_windows_total_->add(batch.kernel_windows);
+  }
+}
+
 void SessionManager::record_span(obs::SpanRecord span) {
   if (tracer_->record(std::move(span))) {
     spans_total_->add(1);
@@ -809,15 +839,19 @@ std::vector<obs::DecisionRecord> SessionManager::recent_decisions(
 }
 
 void SessionManager::pump_worker(Worker& worker) {
+  BatchCounters counters;
   for (;;) {
     Item item;
     {
       const std::lock_guard lock(worker.mu);
-      if (worker.queue.empty()) return;
+      if (worker.queue.empty()) {
+        flush_batch(counters);
+        return;
+      }
       item = std::move(worker.queue.front());
       worker.queue.pop_front();
     }
-    process_item(item);
+    process_item(item, counters);
   }
 }
 
@@ -839,7 +873,11 @@ void SessionManager::worker_loop(Worker& worker) {
     worker.cv_space.notify_all();
     worker.active_epoch.store(registry_.reload_epoch(),
                               std::memory_order_release);
-    for (Item& item : batch) process_item(item);
+    BatchCounters counters;
+    for (Item& item : batch) process_item(item, counters);
+    // Flushed before in_flight drops to zero, so drain() implies the
+    // service-wide counters already cover everything processed.
+    flush_batch(counters);
     worker.active_epoch.store(kEpochIdle, std::memory_order_release);
     batch.clear();
     {

@@ -247,6 +247,15 @@ class SessionManager {
   struct Session;
   struct Item;
   struct Worker;
+  /// Service-wide counter deltas a worker accumulates across one batch and
+  /// flushes with a single atomic add each — the per-event hot path touches
+  /// only per-session atomics (ISSUE 7: the serve overhead around the
+  /// kernel is part of the single-core budget).
+  struct BatchCounters {
+    std::uint64_t processed = 0;
+    std::uint64_t windows = 0;
+    std::uint64_t kernel_windows = 0;
+  };
 
   std::shared_ptr<Session> find_session(const std::string& id) const;
   /// Restores an evicted session (lifecycle lock held inside). Returns the
@@ -263,7 +272,8 @@ class SessionManager {
   /// Caller holds lifecycle_mu_. `keep` is never evicted.
   void enforce_residency_locked(const Session* keep);
   SessionStats stats_from_snapshot(const SessionSnapshot& snapshot) const;
-  void process_item(Item& item);
+  void process_item(Item& item, BatchCounters& batch);
+  void flush_batch(const BatchCounters& batch);
   void pump_worker(Worker& worker);
   void worker_loop(Worker& worker);
   SessionStats snapshot(const Session& session) const;
@@ -306,16 +316,20 @@ class SessionManager {
   obs::Counter* dropped_total_;
   obs::Counter* rejected_total_;
   obs::Counter* windows_total_;
+  obs::Counter* kernel_windows_total_;
   obs::Counter* alarms_total_;
   obs::Counter* sessions_evicted_total_;
   obs::Counter* sessions_restored_total_;
   obs::Counter* evicted_dropped_total_;
   obs::Counter* model_reloads_total_;
+  obs::Counter* kernel_builds_total_;
   obs::Histogram* reload_micros_;
+  obs::Histogram* kernel_build_micros_;
   obs::Histogram* latency_micros_;
   obs::Gauge* uptime_gauge_;
   obs::Gauge* sessions_gauge_;
   obs::Gauge* state_bytes_gauge_;
+  obs::Gauge* kernel_image_bytes_gauge_;
   std::vector<obs::Gauge*> queue_depth_gauges_;
 
   // Tracing sinks (always constructed; zero-capacity / disabled when off).

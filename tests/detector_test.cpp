@@ -6,6 +6,7 @@
 
 #include "src/attack/exploit_driver.hpp"
 #include "src/core/detector.hpp"
+#include "src/core/scoring_kernel.hpp"
 #include "src/workload/testcase_generator.hpp"
 
 namespace cmarkov::core {
@@ -162,6 +163,145 @@ TEST(DetectorTest, TrainOnEmptyTracesThrows) {
   Detector detector =
       Detector::build(fixture().suite.module(), quick_config());
   EXPECT_THROW(detector.train({}), std::invalid_argument);
+}
+
+/// Every complete sliding window of the given traces, encoded through the
+/// detector's alphabet exactly as the serving tier would (unknowns map to
+/// alphabet().size(), the shared sentinel).
+std::vector<hmm::ObservationSeq> sliding_windows(
+    const Detector& detector, const workload::TraceCollection& collection) {
+  const auto& config = detector.config();
+  const auto encoding = config.pipeline.context_sensitive
+                            ? hmm::ObservationEncoding::kContextSensitive
+                            : hmm::ObservationEncoding::kContextFree;
+  const std::size_t length = config.segments.length;
+  std::vector<hmm::ObservationSeq> windows;
+  for (const auto& trace : collection.traces) {
+    hmm::ObservationSeq ids;
+    for (const auto& event : trace.events) {
+      if (!analysis::filter_matches(config.pipeline.filter, event.kind)) {
+        continue;
+      }
+      const std::string obs =
+          hmm::encode_observation(event.name, event.caller, encoding);
+      ids.push_back(
+          detector.alphabet().find(obs).value_or(detector.alphabet().size()));
+    }
+    for (std::size_t start = 0; start + length <= ids.size(); ++start) {
+      windows.emplace_back(ids.begin() + start, ids.begin() + start + length);
+    }
+  }
+  return windows;
+}
+
+TEST(DetectorTest, ScoringKernelBitIdenticalToReferenceForward) {
+  // The compiled kernel performs the same floating-point operations in the
+  // same order as hmm::forward_scaled, so its window log-likelihoods must
+  // be EXACTLY equal to Detector::score_segment — for context-sensitive
+  // and context-free models, and for windows holding the unknown sentinel.
+  for (const bool context_sensitive : {true, false}) {
+    DetectorConfig config = quick_config();
+    config.pipeline.context_sensitive = context_sensitive;
+    Detector detector = Detector::build(fixture().suite.module(), config);
+    detector.train(fixture().collection.traces);
+    const auto kernel = ScoringKernel::compile(detector);
+    EXPECT_EQ(kernel->num_states(), detector.model().num_states());
+    EXPECT_EQ(kernel->num_symbols(), detector.model().num_symbols());
+    EXPECT_EQ(kernel->threshold(), detector.threshold());
+    EXPECT_EQ(kernel->context_sensitive(), context_sensitive);
+    EXPECT_FALSE(kernel->pruned());  // pruning is never implicit
+
+    auto windows = sliding_windows(
+        detector, workload::collect_traces(fixture().suite, 5, 501));
+    ASSERT_GT(windows.size(), 20u);
+    // Force the -inf branch into the comparison set too.
+    windows.push_back(windows.front());
+    windows.back()[7] = detector.alphabet().size();
+
+    KernelScratch scratch;
+    for (const auto& window : windows) {
+      const SegmentVerdict ref = detector.score_segment(window);
+      const SegmentVerdict fast = kernel->score_window(window, scratch);
+      EXPECT_EQ(ref.log_likelihood, fast.log_likelihood);  // exact bits
+      EXPECT_EQ(ref.flagged, fast.flagged);
+      EXPECT_EQ(ref.unknown_symbol, fast.unknown_symbol);
+    }
+  }
+}
+
+TEST(DetectorTest, ScoringKernelInternsLikeTheAlphabet) {
+  Detector detector =
+      Detector::build(fixture().suite.module(), quick_config());
+  detector.train(fixture().collection.traces);
+  const auto kernel = ScoringKernel::compile(detector);
+  EXPECT_EQ(kernel->unknown_id(), detector.alphabet().size());
+  // Piecewise name/caller hashing must agree with the alphabet lookup of
+  // the rendered observation string for every event — including calls the
+  // model never saw (both sides return the unknown sentinel).
+  auto fresh = workload::collect_traces(fixture().suite, 3, 313);
+  trace::CallEvent unseen;
+  unseen.kind = ir::CallKind::kSyscall;
+  unseen.name = "__not_in_any_profile__";
+  unseen.caller = "nowhere";
+  fresh.traces.front().events.push_back(unseen);
+  for (const auto& trace : fresh.traces) {
+    for (const auto& event : trace.events) {
+      const std::string obs = hmm::encode_observation(
+          event.name, event.caller,
+          hmm::ObservationEncoding::kContextSensitive);
+      const std::size_t expected =
+          detector.alphabet().find(obs).value_or(detector.alphabet().size());
+      EXPECT_EQ(kernel->find_observation(event.name, event.caller), expected);
+      EXPECT_EQ(kernel->find_symbol(obs), expected);
+    }
+  }
+}
+
+TEST(DetectorTest, PrunedKernelIsMonotoneAndGuarded) {
+  Detector detector =
+      Detector::build(fixture().suite.module(), quick_config());
+  detector.train(fixture().collection.traces);
+  const auto exact = ScoringKernel::compile(detector);
+  KernelOptions options;
+  options.prune = true;
+  options.prune_epsilon = 1e-4;
+  options.top_k = 8;
+  const auto pruned = ScoringKernel::compile(detector, options);
+  EXPECT_TRUE(pruned->pruned());
+  EXPECT_GT(pruned->pruned_entries(), 0u);
+  EXPECT_GT(pruned->max_dropped_mass(), 0.0);
+  EXPECT_LT(pruned->image_bytes(), 2 * exact->image_bytes());
+
+  // Pruning only removes path probability, so LL_pruned <= LL_exact holds
+  // unconditionally (there is no unconditional LOWER bound on the deficit;
+  // see ScoringKernel::max_dropped_mass and DESIGN.md).
+  const auto windows = sliding_windows(
+      detector, workload::collect_traces(fixture().suite, 4, 99));
+  ASSERT_GT(windows.size(), 20u);
+  KernelScratch scratch;
+  for (const auto& window : windows) {
+    const double ll_exact = exact->score_window(window, scratch).log_likelihood;
+    const double ll_pruned =
+        pruned->score_window(window, scratch).log_likelihood;
+    EXPECT_LE(ll_pruned, ll_exact);
+  }
+
+  // Degenerate configurations are rejected at compile time, not at score
+  // time: pruning away every transition, and negative epsilons.
+  KernelOptions absurd;
+  absurd.prune = true;
+  absurd.prune_epsilon = 1.0;
+  EXPECT_THROW(ScoringKernel::compile(detector, absurd),
+               std::invalid_argument);
+  KernelOptions negative;
+  negative.prune = true;
+  negative.prune_epsilon = -1.0;
+  EXPECT_THROW(ScoringKernel::compile(detector, negative),
+               std::invalid_argument);
+  // And the serve tier never compiles against an untrained detector.
+  const Detector untrained =
+      Detector::build(fixture().suite.module(), quick_config());
+  EXPECT_THROW(ScoringKernel::compile(untrained), std::invalid_argument);
 }
 
 TEST(DetectorTest, DynamicOnlySymbolsExtendEmission) {

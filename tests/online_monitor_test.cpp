@@ -335,16 +335,108 @@ TEST(OnlineMonitorTest, StateBytesAndStorageRecycling) {
   const std::size_t bytes = monitor.state_bytes();
   EXPECT_GE(bytes, sizeof(OnlineMonitor));
   for (const auto& event : benign_events(19, 1)) monitor.on_event(event);
-  // Scoring may grow the scratch buffers, never shrink them.
-  EXPECT_GE(monitor.state_bytes(), bytes);
+  // Scoring may grow the scratch buffers, never shrink them — and once a
+  // window has been scored, the kernel's two alpha rows must be part of
+  // the per-session bill (the shared kernel image must NOT be).
+  ASSERT_GT(monitor.stats().windows_scored, 0u);
+  const std::size_t states = fixture().detector.model().num_states();
+  EXPECT_GE(monitor.state_bytes(), bytes + 2 * states * sizeof(double));
+  EXPECT_LT(monitor.state_bytes(), monitor.kernel()->image_bytes());
 
   MonitorStorage recycled = monitor.release_storage();
   EXPECT_GE(recycled.window.capacity(),
             fixture().detector.config().segments.length);
+  EXPECT_GE(recycled.scratch.capacity(), 2 * states);
   // A monitor built from recycled storage behaves like a cold one.
   OnlineMonitor fresh(fixture().detector, nullptr, {}, std::move(recycled));
   EXPECT_EQ(fresh.stats().events_seen, 0u);
   EXPECT_TRUE(fresh.snapshot().window.empty());
+}
+
+std::vector<trace::CallEvent> mixed_stream() {
+  // Benign traffic, then attack traffic, with a call the model has never
+  // seen in any context sprinkled in — exercising the healthy, flagged,
+  // and unknown-symbol (-inf) scoring branches of both paths.
+  std::vector<trace::CallEvent> events = benign_events(29, 2);
+  for (const auto& attack : attack::build_attack_traces(
+           fixture().suite, attack::gzip_payloads(), 2)) {
+    events.insert(events.end(), attack.trace.events.begin(),
+                  attack.trace.events.end());
+  }
+  trace::CallEvent unseen;
+  unseen.kind = ir::CallKind::kSyscall;
+  unseen.name = "__not_in_any_profile__";
+  unseen.caller = "nowhere";
+  for (std::size_t i = 40; i < events.size(); i += 97) {
+    events.insert(events.begin() + static_cast<std::ptrdiff_t>(i), unseen);
+  }
+  return events;
+}
+
+TEST(OnlineMonitorTest, KernelPathBitIdenticalToReferencePath) {
+  // Decision tracing keeps the reference forward recursion (it needs the
+  // full alpha matrix for the audit record); every other window goes
+  // through the compiled ScoringKernel. Over the same stream the two paths
+  // must agree EXACTLY — same double bits, not approximately.
+  MonitorOptions audited;
+  audited.decisions.enabled = true;
+  audited.decisions.ring_capacity = 4;
+  audited.decisions.sample_every = 0;
+  OnlineMonitor reference(fixture().detector, nullptr, audited);
+  OnlineMonitor fast(fixture().detector);
+
+  std::size_t windows = 0;
+  std::size_t unknown_windows = 0;
+  std::size_t flagged_windows = 0;
+  for (const auto& event : mixed_stream()) {
+    const MonitorUpdate a = reference.on_event(event);
+    const MonitorUpdate b = fast.on_event(event);
+    ASSERT_EQ(a.window_complete, b.window_complete);
+    if (!a.window_complete) continue;
+    ++windows;
+    unknown_windows += a.unknown_symbol;
+    flagged_windows += a.flagged;
+    EXPECT_FALSE(a.scored_by_kernel);
+    EXPECT_TRUE(b.scored_by_kernel);
+    EXPECT_EQ(a.log_likelihood, b.log_likelihood);  // exact, not near
+    EXPECT_EQ(a.flagged, b.flagged);
+    EXPECT_EQ(a.unknown_symbol, b.unknown_symbol);
+    EXPECT_EQ(a.alarm, b.alarm);
+  }
+  // All three scoring branches must actually have been compared.
+  ASSERT_GT(windows, 100u);
+  ASSERT_GT(unknown_windows, 0u);
+  ASSERT_GT(flagged_windows, unknown_windows);
+}
+
+TEST(OnlineMonitorTest, SnapshotRestoresIdenticallyOnBothScoringPaths) {
+  // Window ids are interchangeable between the kernel and the reference
+  // path (the kernel interns to the same ids and unknown sentinel as the
+  // alphabet), so a snapshot from a kernel-scoring monitor must rescore
+  // identically whether restored into a kernel or an audited monitor.
+  const std::vector<trace::CallEvent> events = mixed_stream();
+  const std::size_t cut = events.size() / 2 + 3;  // mid-window on purpose
+  OnlineMonitor source(fixture().detector);
+  for (std::size_t i = 0; i < cut; ++i) source.on_event(events[i]);
+  const MonitorSnapshot frozen = source.snapshot();
+
+  MonitorOptions audited;
+  audited.decisions.enabled = true;
+  audited.decisions.ring_capacity = 4;
+  OnlineMonitor kernel_resumed(fixture().detector);
+  OnlineMonitor reference_resumed(fixture().detector, nullptr, audited);
+  kernel_resumed.restore(frozen);
+  reference_resumed.restore(frozen);
+  for (std::size_t i = cut; i < events.size(); ++i) {
+    const MonitorUpdate a = reference_resumed.on_event(events[i]);
+    const MonitorUpdate b = kernel_resumed.on_event(events[i]);
+    ASSERT_EQ(a.window_complete, b.window_complete) << i;
+    EXPECT_EQ(a.log_likelihood, b.log_likelihood) << i;
+    EXPECT_EQ(a.flagged, b.flagged) << i;
+    EXPECT_EQ(a.unknown_symbol, b.unknown_symbol) << i;
+  }
+  ASSERT_GT(kernel_resumed.stats().windows_scored,
+            frozen.stats.windows_scored);
 }
 
 }  // namespace

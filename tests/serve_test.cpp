@@ -5,6 +5,8 @@
 // (tid= threading, TRACE verb, METRICS golden exposition).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -241,6 +243,70 @@ TEST(SessionManagerTest, ConcurrentProducersMatchSequential) {
     expect_matches_sequential(
         manager.session_stats(ids[i]),
         sequential_stats(*detectors[i], feeds[i], config.monitor));
+  }
+}
+
+// TSan-covered via tools/run_tsan_smoke.sh: shard workers keep scoring
+// through the registry's shared ScoringKernel image while RELOAD hot-swaps
+// model + kernel underneath them (epoch reclamation keeps retired images
+// alive until no worker can still observe them).
+TEST(SessionManagerTest, LiveReloadSwapsSharedKernelUnderTraffic) {
+  ServiceConfig config;
+  config.num_workers = 2;
+  config.queue_capacity = 256;
+  config.policy = BackpressurePolicy::kBlock;
+  ModelRegistry registry;
+  registry.add_shared("m", fixture().gzip_model);
+  const VersionedModel v1 = registry.require_versioned("m");
+  ASSERT_NE(v1.kernel, nullptr);
+  // One compiled image per model version, shared by every reader.
+  EXPECT_EQ(registry.require_versioned("m").kernel, v1.kernel);
+  EXPECT_GE(registry.kernel_image_bytes(), v1.kernel->image_bytes());
+
+  SessionManager manager(registry, config);
+  for (int s = 0; s < 6; ++s) {
+    manager.open_session("k" + std::to_string(s), "m");
+  }
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 3; ++p) {
+    producers.emplace_back([&manager, p, &stop] {
+      const auto feed = fixture().events_for(fixture().gzip, 400 + p, 1);
+      std::size_t i = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        manager.submit("k" + std::to_string(p * 2), feed[i % feed.size()]);
+        manager.submit("k" + std::to_string(p * 2 + 1),
+                       feed[i % feed.size()]);
+        ++i;
+      }
+    });
+  }
+
+  // Hot swaps while producers hammer the shard queues: every swap must
+  // publish a fresh kernel image and rebind all six live sessions.
+  std::shared_ptr<const core::ScoringKernel> last = v1.kernel;
+  for (int r = 0; r < 4; ++r) {
+    const auto& model =
+        r % 2 == 0 ? fixture().sed_model : fixture().gzip_model;
+    const ReloadReport report = manager.reload_model("m", model);
+    EXPECT_EQ(report.sessions_rebound, 6u);
+    const VersionedModel current = registry.require_versioned("m");
+    EXPECT_NE(current.kernel, last);
+    EXPECT_GT(current.version, v1.version);
+    last = current.kernel;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& producer : producers) producer.join();
+  manager.drain();
+
+  const ServiceMetrics metrics = manager.metrics();
+  EXPECT_EQ(metrics.events_processed, metrics.events_enqueued);
+  for (int s = 0; s < 6; ++s) {
+    const SessionStats stats = manager.session_stats("k" + std::to_string(s));
+    EXPECT_EQ(stats.model, "m");
+    EXPECT_EQ(stats.processed, stats.enqueued);
+    EXPECT_EQ(stats.dropped, 0u);
   }
 }
 
@@ -615,8 +681,9 @@ TEST(MetricsGoldenTest, ScriptedSessionExposition) {
   ASSERT_TRUE(metrics.starts_with("METRICS v=1 ")) << metrics;
 
   // Wall-clock-dependent values can't be golden-pinned: scrub them. The
-  // state-bytes gauge depends on sizeof(OnlineMonitor) and allocator
-  // capacities, so it is scrubbed too (its presence is what's pinned).
+  // state-bytes and kernel-image gauges depend on sizeof(OnlineMonitor) /
+  // arena layout and allocator capacities, so they are scrubbed too (their
+  // presence is what's pinned).
   for (const char* key : {"cmarkov_serve_uptime_seconds=",
                           "cmarkov_serve_latency_micros_sum=",
                           "cmarkov_serve_latency_micros_p50=",
@@ -624,6 +691,10 @@ TEST(MetricsGoldenTest, ScriptedSessionExposition) {
                           "cmarkov_serve_model_reload_micros_sum=",
                           "cmarkov_serve_model_reload_micros_p50=",
                           "cmarkov_serve_model_reload_micros_p99=",
+                          "cmarkov_serve_kernel_build_micros_sum=",
+                          "cmarkov_serve_kernel_build_micros_p50=",
+                          "cmarkov_serve_kernel_build_micros_p99=",
+                          "cmarkov_serve_kernel_image_bytes=",
                           "cmarkov_serve_session_state_bytes="}) {
     const std::size_t pos = metrics.find(key);
     ASSERT_NE(pos, std::string::npos) << key;

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # ThreadSanitizer smoke for the concurrent subsystems: builds the repo with
 # CMARKOV_SANITIZE=thread and runs the concurrency-sensitive tests — the
-# cmarkovd serving layer, the epoll TCP front-end (serve_net_test drives
-# concurrent connects across event loops, session eviction/restore, and hot
-# model reload under live producer traffic), the parallel training engine
+# cmarkovd serving layer (serve_test's LiveReloadSwapsSharedKernelUnderTraffic
+# drives concurrent shard workers scoring through one shared ScoringKernel
+# image while RELOAD hot-swaps model + kernel under the epoch-reclamation
+# scheme), the epoll TCP front-end (serve_net_test drives concurrent
+# connects across event loops, session eviction/restore, and hot model
+# reload under live producer traffic), the parallel training engine
 # (worker pool, multi-threaded Baum-Welch/k-means/PCA), and the obs layer
 # (sharded counters/histograms under concurrent writers plus the threaded
 # pipeline-with-metrics smoke in obs_test). Any TSan report fails the run
