@@ -7,6 +7,7 @@
 //                          [--workers W] [--queue C]
 //                          [--policy block|drop-oldest|reject]
 //                          [--trace off|sample|sample-periodic|always]
+//                          [--failpoints disabled|armed]
 //                          [--full]
 //
 // Acceptance target (ISSUE 1): >= 100k events/sec aggregate across >= 8
@@ -16,6 +17,16 @@
 // `off` leaves the tracer and decision audit disabled, `sample` records
 // 1-in-100 windows/spans, `always` records every window and span. The
 // always-on configuration must stay within 3% of `off`.
+//
+// --failpoints measures the chaos harness overhead (ISSUE 8,
+// BENCH_serve.json): `disabled` is the production steady state (every
+// CMARKOV_FAILPOINT site pays one relaxed load of the process-wide armed
+// counter), `armed` arms snapshot.write_torn with a trigger ordinal this
+// workload never reaches, so every site — including serve.admit_full on
+// each submit — takes the registry-backed policy evaluation without any
+// fault actually firing. Interleave disabled/armed runs on the same host
+// to bound both costs; the disabled case must stay within 1% of the
+// pre-failpoint binary.
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -23,6 +34,7 @@
 #include <vector>
 
 #include "src/serve/session_manager.hpp"
+#include "src/util/failpoint.hpp"
 #include "src/util/stopwatch.hpp"
 #include "src/util/strings.hpp"
 #include "src/util/table_printer.hpp"
@@ -123,11 +135,27 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  const std::string failpoints =
+      arg_value(argc, argv, "--failpoints", "disabled");
+  if (failpoints == "armed") {
+    // An armed point anywhere flips the global fast-path gate: every site
+    // now evaluates its policy per pass. after:N with an unreachable N
+    // keeps the run fault-free while exercising that full slow path.
+    util::FailpointRegistry::instance().arm(
+        "snapshot.write_torn",
+        util::FailpointSpec{util::FailpointMode::kAfterN,
+                            std::uint64_t{1} << 62});
+  } else if (failpoints != "disabled") {
+    std::cerr << "unknown --failpoints mode (disabled|armed)\n";
+    return 1;
+  }
+
   std::cout << "cmarkovd load generator: " << sessions << " sessions x "
             << events_per_session << " events, " << config.num_workers
             << " workers, queue=" << config.queue_capacity
             << ", policy=" << serve::backpressure_policy_name(config.policy)
-            << ", trace=" << trace_mode << "\n";
+            << ", trace=" << trace_mode << ", failpoints=" << failpoints
+            << "\n";
 
   const workload::ProgramSuite gzip = workload::make_gzip_suite();
   const workload::ProgramSuite sed = workload::make_sed_suite();

@@ -18,6 +18,7 @@
 #include "src/serve/net/binary_session.hpp"
 #include "src/serve/net/frame.hpp"
 #include "src/serve/protocol.hpp"
+#include "src/util/failpoint.hpp"
 #include "src/util/logging.hpp"
 
 namespace cmarkov::serve::net {
@@ -70,6 +71,11 @@ struct EpollServer::Conn {
   bool want_write = false;   // EPOLLOUT currently armed
   bool want_close = false;   // close once outbuf is flushed
   bool read_paused = false;  // input on hold until the backlog drains
+  /// First full protocol unit (text line / binary frame) handled — the
+  /// handshake reaper skips the connection from then on.
+  bool handshake_done = false;
+  /// Service-clock stamp at adoption (handshake deadline base).
+  double accepted_micros = 0.0;
 
   /// Unflushed reply bytes parked on this connection.
   std::size_t backlog() const { return outbuf.size() - outpos; }
@@ -82,6 +88,8 @@ struct EpollServer::Loop {
   std::mutex pending_mu;
   std::vector<int> pending;  // accepted fds awaiting adoption
   std::unordered_map<int, std::unique_ptr<Conn>> conns;
+  /// Next handshake-reaper sweep (service clock); rate-limits the scan.
+  double next_sweep_micros = 0.0;
 };
 
 EpollServer::EpollServer(SessionManager& manager, NetOptions options)
@@ -99,6 +107,8 @@ EpollServer::EpollServer(SessionManager& manager, NetOptions options)
   text_lines_total_ = &metrics.counter("cmarkov_net_text_lines_total");
   bytes_read_total_ = &metrics.counter("cmarkov_net_bytes_read_total");
   bytes_written_total_ = &metrics.counter("cmarkov_net_bytes_written_total");
+  handshake_timeouts_total_ =
+      &metrics.counter("cmarkov_net_handshake_timeouts_total");
   connections_open_ = &metrics.gauge("cmarkov_net_connections_open");
 }
 
@@ -232,6 +242,13 @@ void EpollServer::acceptor_main() {
         log_error() << "net: accept: " << std::strerror(errno);
         break;
       }
+      if (CMARKOV_FAILPOINT("net.accept_fail")) {
+        // Model post-accept setup failure (fd limits, abrupt RST): the
+        // connection is dropped, the accept loop keeps running.
+        log_error() << "net: accept failed (failpoint net.accept_fail)";
+        close(fd);
+        continue;
+      }
       set_nonblocking_checks(fd);
       const int nodelay = 1;
       setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
@@ -256,6 +273,7 @@ void EpollServer::adopt_pending(Loop& loop) {
   }
   for (const int fd : fds) {
     auto conn = std::make_unique<Conn>(fd);
+    conn->accepted_micros = manager_.now_micros();
     epoll_event ev{};
     ev.events = EPOLLIN | EPOLLRDHUP | EPOLLET;
     ev.data.fd = fd;
@@ -272,13 +290,22 @@ void EpollServer::adopt_pending(Loop& loop) {
 void EpollServer::loop_main(Loop& loop) {
   constexpr int kMaxEvents = 64;
   epoll_event events[kMaxEvents];
+  // With the handshake reaper on, epoll_wait must return periodically even
+  // on a silent loop — half the timeout, clamped to [1ms, 1s].
+  int wait_ms = -1;
+  if (options_.handshake_timeout_micros > 0) {
+    wait_ms = static_cast<int>(std::max<std::uint64_t>(
+        1, std::min<std::uint64_t>(options_.handshake_timeout_micros / 2000,
+                                   1000)));
+  }
   while (!stopping_.load(std::memory_order_acquire)) {
-    const int n = epoll_wait(loop.epoll_fd, events, kMaxEvents, -1);
+    const int n = epoll_wait(loop.epoll_fd, events, kMaxEvents, wait_ms);
     if (n < 0) {
       if (errno == EINTR) continue;
       log_error() << "net: epoll_wait: " << std::strerror(errno);
       break;
     }
+    if (options_.handshake_timeout_micros > 0) reap_stalled_handshakes(loop);
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
       if (fd == loop.wake_fd) {
@@ -312,6 +339,14 @@ void EpollServer::handle_readable(Loop& loop, Conn& conn) {
   // resume_reads() (off the EPOLLOUT drain) re-enters this path.
   const int fd = conn.fd;
   char buf[64 * 1024];
+  if (CMARKOV_FAILPOINT("net.read_fail")) {
+    // Model a hard socket read error (ECONNRESET mid-stream): the
+    // connection closes, its session winds down through the conversation
+    // object, and the rest of the loop is untouched.
+    log_error() << "net: read failed (failpoint net.read_fail)";
+    close_conn(loop, conn);
+    return;
+  }
   for (;;) {
     bool paused = false;
     for (;;) {
@@ -393,6 +428,7 @@ void EpollServer::process_text(Conn& conn) {
     std::string_view line(conn.inbuf.data() + start, nl - start);
     if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
     text_lines_total_->add(1);
+    conn.handshake_done = true;
     const std::string response = conn.text->handle_line(line);
     if (!response.empty()) {
       conn.outbuf += response;
@@ -410,6 +446,7 @@ void EpollServer::process_text(Conn& conn) {
 void EpollServer::process_frames(Conn& conn) {
   while (auto frame = conn.parser.next()) {
     frames_total_->add(1);
+    conn.handshake_done = true;
     const BinarySession::Output out = conn.binary->handle_frame(*frame);
     conn.outbuf += out.bytes;
     if (out.close) {
@@ -427,11 +464,23 @@ void EpollServer::process_frames(Conn& conn) {
 
 void EpollServer::flush_writes(Loop& loop, Conn& conn) {
   while (conn.outpos < conn.outbuf.size()) {
-    const ssize_t n = write(conn.fd, conn.outbuf.data() + conn.outpos,
-                            conn.outbuf.size() - conn.outpos);
+    std::size_t len = conn.outbuf.size() - conn.outpos;
+    // Model a kernel short write (tiny send buffer): one byte goes out,
+    // the residue parks in outbuf and EPOLLOUT finishes the job — the
+    // exact partial-flush machinery a slow reader exercises.
+    const bool shortened = CMARKOV_FAILPOINT("net.write_short");
+    if (shortened) len = 1;
+    const ssize_t n = write(conn.fd, conn.outbuf.data() + conn.outpos, len);
     if (n > 0) {
       bytes_written_total_->add(static_cast<std::uint64_t>(n));
       conn.outpos += static_cast<std::size_t>(n);
+      if (shortened) {
+        // Force update_interest to re-MOD the fd: with edge-triggered
+        // epoll the socket never actually lost writability, so only a MOD
+        // makes the next EPOLLOUT fire and the drain progress.
+        conn.want_write = false;
+        break;
+      }
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -465,6 +514,31 @@ void EpollServer::update_interest(Loop& loop, Conn& conn) {
   ev.data.fd = conn.fd;
   if (epoll_ctl(loop.epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev) < 0) {
     log_error() << "net: epoll_ctl mod: " << std::strerror(errno);
+  }
+}
+
+void EpollServer::reap_stalled_handshakes(Loop& loop) {
+  const double now = manager_.now_micros();
+  if (now < loop.next_sweep_micros) return;
+  const double timeout =
+      static_cast<double>(options_.handshake_timeout_micros);
+  // Sweep at most twice per timeout window: lateness is bounded by half a
+  // window, and thousands of healthy connections aren't rescanned per tick.
+  loop.next_sweep_micros = now + timeout / 2.0;
+  std::vector<int> stalled;
+  for (const auto& [fd, conn] : loop.conns) {
+    if (!conn->handshake_done && now - conn->accepted_micros >= timeout) {
+      stalled.push_back(fd);
+    }
+  }
+  for (const int fd : stalled) {
+    const auto it = loop.conns.find(fd);
+    if (it == loop.conns.end()) continue;
+    log_info() << "net: closing connection fd=" << fd
+               << ": no handshake within "
+               << options_.handshake_timeout_micros / 1000 << "ms";
+    handshake_timeouts_total_->add(1);
+    close_conn(loop, *it->second);
   }
 }
 

@@ -51,6 +51,13 @@ struct NetOptions {
   /// the backlog drains below a quarter of the cap. Bounds the memory a
   /// pipelining client that never reads its socket can pin. Must be > 0.
   std::size_t outbuf_high_water = 4 * 1024 * 1024;
+  /// Handshake idle timeout: a connection that has not completed its first
+  /// protocol unit (text line or binary frame) within this window is
+  /// closed and counted on cmarkov_net_handshake_timeouts_total — half-open
+  /// scanners and silent clients cannot pin fds forever. 0 disables the
+  /// reaper (event loops then block indefinitely in epoll_wait, exactly
+  /// the pre-timeout behavior).
+  std::uint64_t handshake_timeout_micros = 30'000'000;
 };
 
 class EpollServer {
@@ -89,6 +96,9 @@ class EpollServer {
   void flush_writes(Loop& loop, Conn& conn);
   void update_interest(Loop& loop, Conn& conn);
   void close_conn(Loop& loop, Conn& conn);
+  /// Closes connections whose handshake deadline passed (rate-limited
+  /// per-loop sweep off the periodic epoll_wait timeout).
+  void reap_stalled_handshakes(Loop& loop);
   void process_input(Conn& conn, const char* data, std::size_t size);
   void process_text(Conn& conn);
   void process_frames(Conn& conn);
@@ -110,6 +120,7 @@ class EpollServer {
   obs::Counter* text_lines_total_;
   obs::Counter* bytes_read_total_;
   obs::Counter* bytes_written_total_;
+  obs::Counter* handshake_timeouts_total_;
   obs::Gauge* connections_open_;
 };
 

@@ -1,0 +1,88 @@
+#include "src/serve/overload_governor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cmarkov::serve {
+
+const char* overload_level_name(OverloadLevel level) {
+  switch (level) {
+    case OverloadLevel::kNormal:
+      return "normal";
+    case OverloadLevel::kShedTraces:
+      return "shed-traces";
+    case OverloadLevel::kShedHellos:
+      return "shed-hellos";
+    case OverloadLevel::kShedIdle:
+      return "shed-idle";
+  }
+  return "?";
+}
+
+OverloadGovernor::OverloadGovernor(OverloadOptions options)
+    : options_(options) {
+  if (options_.high_water_ratio <= options_.low_water_ratio) {
+    throw std::invalid_argument(
+        "OverloadGovernor: high_water_ratio must exceed low_water_ratio");
+  }
+  if (options_.shed_resident_fraction <= 0.0 ||
+      options_.shed_resident_fraction > 1.0) {
+    throw std::invalid_argument(
+        "OverloadGovernor: shed_resident_fraction must be in (0, 1]");
+  }
+}
+
+double OverloadGovernor::pressure(std::size_t queued, std::size_t capacity,
+                                  double est_service_micros) const {
+  double p = capacity == 0 ? 0.0
+                           : static_cast<double>(queued) /
+                                 static_cast<double>(capacity);
+  if (options_.event_deadline_micros > 0.0 && est_service_micros > 0.0) {
+    const double est_delay =
+        static_cast<double>(queued) * est_service_micros;
+    p = std::max(p, est_delay / options_.event_deadline_micros);
+  }
+  return p;
+}
+
+OverloadGovernor::Update OverloadGovernor::update(double now_micros,
+                                                  std::size_t queued,
+                                                  std::size_t capacity,
+                                                  double est_service_micros) {
+  Update result;
+  if (!options_.enabled) return result;
+  const double p = pressure(queued, capacity, est_service_micros);
+  const std::lock_guard lock(mu_);
+  int level = level_.load(std::memory_order_relaxed);
+  if (p >= options_.high_water_ratio) {
+    relief_since_ = -1.0;
+    if (breach_since_ < 0.0) breach_since_ = now_micros;
+    if (level < static_cast<int>(OverloadLevel::kShedIdle) &&
+        now_micros - breach_since_ >= options_.sustain_micros) {
+      ++level;
+      ++result.transitions;
+      breach_since_ = now_micros;  // the next rung needs its own sustain
+    }
+  } else if (p <= options_.low_water_ratio) {
+    breach_since_ = -1.0;
+    if (level > 0) {
+      if (relief_since_ < 0.0) relief_since_ = now_micros;
+      if (now_micros - relief_since_ >= options_.sustain_micros) {
+        --level;
+        ++result.transitions;
+        relief_since_ = now_micros;  // recovery is one rung at a time too
+      }
+    } else {
+      relief_since_ = -1.0;
+    }
+  } else {
+    // Hysteresis hold band: neither timer runs, the ladder stays put.
+    breach_since_ = -1.0;
+    relief_since_ = -1.0;
+  }
+  level_.store(level, std::memory_order_relaxed);
+  result.level = static_cast<OverloadLevel>(level);
+  return result;
+}
+
+}  // namespace cmarkov::serve

@@ -5,6 +5,7 @@
 
 #include "src/core/model_io.hpp"
 #include "src/obs/export.hpp"
+#include "src/util/failpoint.hpp"
 #include "src/util/strings.hpp"
 
 namespace cmarkov::serve {
@@ -82,6 +83,7 @@ std::string ProtocolSession::handle_line(std::string_view line) {
     if (command == "TRACE") return handle_trace(words);
     if (command == "EVICT") return handle_evict();
     if (command == "RELOAD") return handle_reload(words);
+    if (command == "FAILPOINT") return handle_failpoint(words);
     if (command == "BYE") return handle_bye();
     return "ERR unknown command '" + command + "'";
   } catch (const std::exception& e) {
@@ -210,6 +212,33 @@ std::string ProtocolSession::handle_reload(
                                           core::load_detector_file(words[2])));
   return "OK model=" + words[1] + " version=" + std::to_string(report.version) +
          " rebound=" + std::to_string(report.sessions_rebound);
+}
+
+std::string ProtocolSession::handle_failpoint(
+    const std::vector<std::string>& words) {
+  auto& registry = util::FailpointRegistry::instance();
+  if (words.size() == 1) {
+    const std::vector<util::FailpointInfo> points = registry.snapshot();
+    std::string reply =
+        "FAILPOINT v=1 n=" + std::to_string(points.size());
+    for (const util::FailpointInfo& info : points) {
+      reply += '\n';
+      reply += info.name + " " + util::failpoint_spec_name(info.spec) +
+               " hits=" + std::to_string(info.hits);
+    }
+    return reply;
+  }
+  if (words.size() != 3) {
+    return "ERR usage: FAILPOINT [<name> <off|always|once|every:N|after:N>]";
+  }
+  const auto spec = util::parse_failpoint_spec(words[2]);
+  if (!spec) {
+    return "ERR bad failpoint spec '" + words[2] +
+           "' (off|always|once|every:N|after:N)";
+  }
+  registry.arm(words[1], *spec);
+  return "OK failpoint=" + words[1] +
+         " spec=" + util::failpoint_spec_name(*spec);
 }
 
 std::string ProtocolSession::handle_bye() {

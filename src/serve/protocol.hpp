@@ -21,6 +21,13 @@
 //                                       boundary, zero accepted events
 //                                       lost)
 //   BYE                              -> OK session=<id> alarms=<n>
+//   FAILPOINT                        -> FAILPOINT v=1 n=<k> plus one
+//                                       "<name> <spec> hits=<n>" line per
+//                                       known failpoint (admin/chaos verb)
+//   FAILPOINT <name> <spec>          -> OK failpoint=<name> spec=<spec>
+//                                       (spec: off|always|once|every:N|
+//                                       after:N; arms or disarms the
+//                                       named fault-injection site)
 //
 // <site> is the calling context (caller function) of the event, <callee>
 // the called function — mirroring the paper's context-sensitive
@@ -68,6 +75,7 @@ class ProtocolSession {
   std::string handle_trace(const std::vector<std::string>& words);
   std::string handle_evict();
   std::string handle_reload(const std::vector<std::string>& words);
+  std::string handle_failpoint(const std::vector<std::string>& words);
   std::string handle_bye();
 
   SessionManager& manager_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <cstring>
 #include <deque>
 #include <functional>
 #include <limits>
@@ -9,6 +10,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "src/util/failpoint.hpp"
 #include "src/util/logging.hpp"
 
 namespace cmarkov::serve {
@@ -133,7 +135,8 @@ struct SessionManager::Worker {
 SessionManager::SessionManager(ModelRegistry& registry, ServiceConfig config)
     : registry_(registry),
       config_(config),
-      snapshots_(config.snapshot_dir) {
+      snapshots_(config.snapshot_dir),
+      governor_(config.overload) {
   if (config_.num_workers == 0) {
     throw std::invalid_argument("SessionManager: num_workers must be > 0");
   }
@@ -165,6 +168,14 @@ SessionManager::SessionManager(ModelRegistry& registry, ServiceConfig config)
       &metrics_->counter("cmarkov_serve_model_reloads_total");
   kernel_builds_total_ =
       &metrics_->counter("cmarkov_serve_kernel_builds_total");
+  overload_transitions_total_ =
+      &metrics_->counter("cmarkov_serve_overload_transitions_total");
+  overload_shed_traces_total_ =
+      &metrics_->counter("cmarkov_serve_overload_shed_traces_total");
+  overload_shed_hellos_total_ =
+      &metrics_->counter("cmarkov_serve_overload_shed_hellos_total");
+  overload_early_evicted_total_ =
+      &metrics_->counter("cmarkov_serve_overload_early_evicted_total");
   reload_micros_ = &metrics_->histogram("cmarkov_serve_model_reload_micros",
                                         latency_bucket_bounds());
   kernel_build_micros_ = &metrics_->histogram(
@@ -176,6 +187,8 @@ SessionManager::SessionManager(ModelRegistry& registry, ServiceConfig config)
   state_bytes_gauge_ = &metrics_->gauge("cmarkov_serve_session_state_bytes");
   kernel_image_bytes_gauge_ =
       &metrics_->gauge("cmarkov_serve_kernel_image_bytes");
+  overload_level_gauge_ = &metrics_->gauge("cmarkov_serve_overload_level");
+  snapshots_.bind_instruments(*metrics_);
   queue_depth_gauges_.reserve(config_.num_workers);
   for (std::size_t i = 0; i < config_.num_workers; ++i) {
     queue_depth_gauges_.push_back(
@@ -237,6 +250,14 @@ void SessionManager::open_session(const std::string& id,
     restore_locked(std::move(*snapshots_.take(id)));
     return;
   }
+  if (governor_.enabled() && governor_.shed_new_sessions()) {
+    // Ladder level 2: genuinely NEW sessions are refused with a retry
+    // hint. Restores (handled above) stay admitted — submit() would
+    // transparently restore those sessions anyway, so refusing their
+    // HELLO here would shed nothing.
+    overload_shed_hellos_total_->add(1);
+    throw OverloadedError(governor_.retry_after_ms());
+  }
   VersionedModel versioned = registry_.require_versioned(model);
   const std::size_t shard = std::hash<std::string>{}(id) % workers_.size();
   auto session = std::make_shared<Session>(
@@ -276,21 +297,31 @@ SubmitResult SessionManager::submit(const std::string& id,
 
     if (!sampled && tracer_->enabled()) {
       sampled = true;
-      traced = tracer_->sample(!trace_id.empty());
-      if (traced) {
-        seq = tracer_->next_seq();
-        if (seq_out != nullptr) *seq_out = seq;
+      const bool forced = !trace_id.empty();
+      if (!forced && governor_.shed_trace_sampling()) {
+        // Ladder level 1: suspend sampled tracing (the cheapest shed —
+        // pure observability, zero scoring impact). Explicit tid= traces
+        // are debugging requests and stay honored.
+        overload_shed_traces_total_->add(1);
+      } else {
+        traced = tracer_->sample(forced);
+        if (traced) {
+          seq = tracer_->next_seq();
+          if (seq_out != nullptr) *seq_out = seq;
+        }
       }
     }
 
     Worker& worker = *workers_[session->shard];
     SubmitResult result = SubmitResult::kAccepted;
     bool stale = false;
+    bool rejected = false;
     {
       std::unique_lock lock(worker.mu);
       if (session->evicted) {
         stale = true;  // evicted between find and lock: re-resolve
-      } else if (worker.queue.size() >= config_.queue_capacity) {
+      } else if (worker.queue.size() >= config_.queue_capacity ||
+                 CMARKOV_FAILPOINT("serve.admit_full")) {
         switch (config_.policy) {
           case BackpressurePolicy::kBlock:
             if (config_.manual_pump) {
@@ -308,33 +339,44 @@ SubmitResult SessionManager::submit(const std::string& id,
             if (session->evicted) stale = true;
             break;
           case BackpressurePolicy::kDropOldest: {
+            if (worker.queue.empty()) break;  // failpoint-forced full check
             Item& victim = worker.queue.front();
             victim.session->dropped.fetch_add(1, std::memory_order_relaxed);
             victim.session->pending.fetch_sub(1, std::memory_order_release);
             dropped_total_->add(1);
             worker.queue.pop_front();
+            queued_events_.fetch_sub(1, std::memory_order_relaxed);
             result = SubmitResult::kDroppedOldest;
             break;
           }
           case BackpressurePolicy::kReject:
             session->rejected.fetch_add(1, std::memory_order_relaxed);
             rejected_total_->add(1);
-            return SubmitResult::kRejected;
+            rejected = true;
+            break;
         }
       }
-      if (!stale) {
+      if (!stale && !rejected) {
         session->pending.fetch_add(1, std::memory_order_relaxed);
         worker.queue.push_back(Item{session, std::move(event),
                                     clock_.micros(), trace_id, traced, seq});
+        queued_events_.fetch_add(1, std::memory_order_relaxed);
       }
     }
     if (stale) continue;
+    if (rejected) {
+      // A refused submit is still a pressure observation — under a hard
+      // overload with the reject policy it may be the only one.
+      maybe_update_governor();
+      return SubmitResult::kRejected;
+    }
     worker.cv_nonempty.notify_one();
     session->last_active.store(
         activity_clock_.fetch_add(1, std::memory_order_relaxed),
         std::memory_order_relaxed);
     session->enqueued.fetch_add(1, std::memory_order_relaxed);
     enqueued_total_->add(1);
+    maybe_update_governor();
     return result;
   }
 }
@@ -422,6 +464,15 @@ std::size_t SessionManager::resident_sessions() const {
 ReloadReport SessionManager::reload_model(
     const std::string& name, std::shared_ptr<const core::Detector> detector) {
   const double start_micros = clock_.micros();
+  if (CMARKOV_FAILPOINT("serve.reload_fail")) {
+    // Simulated publish failure, before any registry mutation: the old
+    // version keeps serving and every session keeps its binding. Thrown as
+    // invalid_argument (a logic_error) so both protocols answer ERR — a
+    // failed reload is an operator problem, not a framing violation.
+    throw std::invalid_argument(
+        "SessionManager: reload of model '" + name +
+        "' failed (failpoint serve.reload_fail)");
+  }
   registry_.add_shared(name, std::move(detector));
   const VersionedModel versioned = registry_.require_versioned(name);
   // add_shared compiled a fresh kernel image for the new version; account
@@ -543,6 +594,83 @@ void SessionManager::refresh_gauges() {
     queue_depth_gauges_[i]->set(
         static_cast<double>(workers_[i]->queue.size()));
   }
+  // The METRICS refresh doubles as a governor heartbeat, so a service
+  // whose producers stopped submitting (overloaded clients backing off!)
+  // still walks the ladder back down.
+  update_governor();
+  overload_level_gauge_->set(
+      static_cast<double>(static_cast<int>(governor_.level())));
+  sync_failpoint_hits();
+}
+
+void SessionManager::maybe_update_governor() {
+  if (!governor_.enabled()) return;
+  const std::uint64_t tick =
+      governor_ticks_.fetch_add(1, std::memory_order_relaxed);
+  const bool elevated = governor_.level() != OverloadLevel::kNormal;
+  // Every 64th event in steady state (the update takes a mutex); every
+  // event while elevated, so shedding starts and stops promptly.
+  if (!elevated && (tick & 63u) != 0) return;
+  update_governor();
+}
+
+void SessionManager::update_governor() {
+  if (!governor_.enabled()) return;
+  const OverloadLevel before = governor_.level();
+  const OverloadGovernor::Update update = governor_.update(
+      clock_.micros(), queued_events_.load(std::memory_order_relaxed),
+      config_.num_workers * config_.queue_capacity, service_ema_micros());
+  if (update.transitions == 0) return;
+  overload_transitions_total_->add(
+      static_cast<std::uint64_t>(update.transitions));
+  log_info() << "overload: " << overload_level_name(before) << " -> "
+             << overload_level_name(update.level) << " (queued="
+             << queued_events_.load(std::memory_order_relaxed)
+             << ", ema=" << service_ema_micros() << "us)";
+  if (update.level == OverloadLevel::kShedIdle &&
+      before != OverloadLevel::kShedIdle) {
+    // Entering level 3: shrink the resident working set right away rather
+    // than waiting for the next open/restore to trigger enforcement.
+    const std::lock_guard lifecycle(lifecycle_mu_);
+    enforce_residency_locked(nullptr);
+  }
+}
+
+void SessionManager::note_service_time(double micros_per_event) {
+  // Approximate EMA over a lock-free double: racing writers may drop a
+  // sample, which only delays the estimate — never corrupts it.
+  const std::uint64_t raw = service_ema_bits_.load(std::memory_order_relaxed);
+  double ema = 0.0;
+  std::memcpy(&ema, &raw, sizeof(ema));
+  ema = ema <= 0.0 ? micros_per_event
+                   : 0.8 * ema + 0.2 * micros_per_event;
+  std::uint64_t out = 0;
+  std::memcpy(&out, &ema, sizeof(out));
+  service_ema_bits_.store(out, std::memory_order_relaxed);
+}
+
+double SessionManager::service_ema_micros() const {
+  const std::uint64_t raw = service_ema_bits_.load(std::memory_order_relaxed);
+  double ema = 0.0;
+  std::memcpy(&ema, &raw, sizeof(ema));
+  return ema;
+}
+
+void SessionManager::sync_failpoint_hits() {
+  // No armed-check shortcut here: hits accrued while a point was armed
+  // must still be mirrored by a METRICS refresh that runs after it was
+  // disarmed. The registry snapshot is cheap and METRICS is not hot.
+  const std::lock_guard lock(failpoint_sync_mu_);
+  for (const util::FailpointInfo& info :
+       util::FailpointRegistry::instance().snapshot()) {
+    std::uint64_t& seen = failpoint_hits_seen_[info.name];
+    if (info.hits <= seen) continue;
+    std::string metric = "cmarkov_failpoint_";
+    for (const char c : info.name) metric.push_back(c == '.' ? '_' : c);
+    metric += "_hits_total";
+    metrics_->counter(metric).add(info.hits - seen);
+    seen = info.hits;
+  }
 }
 
 const obs::MetricsRegistry& SessionManager::metrics_registry() {
@@ -641,6 +769,7 @@ void SessionManager::evict_locked(const std::shared_ptr<Session>& session) {
     session->pending.fetch_sub(purged, std::memory_order_release);
     session->evicted_dropped.fetch_add(purged, std::memory_order_relaxed);
     evicted_dropped_total_->add(purged);
+    queued_events_.fetch_sub(purged, std::memory_order_relaxed);
   }
   // Blocked producers of this session must re-resolve it (their wait
   // predicate checks the evicted flag), so wake them even if no queued
@@ -674,14 +803,28 @@ void SessionManager::evict_locked(const std::shared_ptr<Session>& session) {
 
 void SessionManager::enforce_residency_locked(const Session* keep) {
   if (config_.max_resident_sessions == 0) return;
+  // Ladder level 3: enforce against a reduced budget, evicting idle
+  // sessions EARLY to shrink the working set (they lose nothing — snapshot
+  // + transparent restore — they just pay a restore once pressure clears).
+  std::size_t limit = config_.max_resident_sessions;
+  if (governor_.enabled() && governor_.shed_idle_sessions()) {
+    const auto shed = static_cast<std::size_t>(
+        static_cast<double>(limit) *
+        governor_.options().shed_resident_fraction);
+    limit = std::max<std::size_t>(1, shed);
+  }
   // Bounded rounds: when every sampled candidate is busy (pending > 0) we
   // tolerate a temporary overshoot rather than spinning — the next open or
   // restore tries again.
   for (std::size_t round = 0; round < 4 * kEvictionProbes; ++round) {
     std::shared_ptr<Session> victim;
+    bool early = false;
     {
       const std::shared_lock lock(sessions_mu_);
-      if (session_list_.size() <= config_.max_resident_sessions) return;
+      if (session_list_.size() <= limit) return;
+      // Only evictions the normal budget would NOT have forced count as
+      // ladder-induced.
+      early = session_list_.size() <= config_.max_resident_sessions;
       std::uint64_t best_tick = std::numeric_limits<std::uint64_t>::max();
       const auto consider = [&](const std::shared_ptr<Session>& candidate) {
         if (candidate.get() == keep) return;
@@ -709,6 +852,7 @@ void SessionManager::enforce_residency_locked(const Session* keep) {
     }
     if (!victim) return;  // all sampled candidates busy
     evict_locked(victim);
+    if (early) overload_early_evicted_total_->add(1);
   }
 }
 
@@ -840,18 +984,26 @@ std::vector<obs::DecisionRecord> SessionManager::recent_decisions(
 
 void SessionManager::pump_worker(Worker& worker) {
   BatchCounters counters;
+  std::size_t pumped = 0;
+  const double start_micros = clock_.micros();
   for (;;) {
     Item item;
     {
       const std::lock_guard lock(worker.mu);
       if (worker.queue.empty()) {
         flush_batch(counters);
+        if (pumped > 0) {
+          note_service_time((clock_.micros() - start_micros) /
+                            static_cast<double>(pumped));
+        }
         return;
       }
       item = std::move(worker.queue.front());
       worker.queue.pop_front();
+      queued_events_.fetch_sub(1, std::memory_order_relaxed);
     }
     process_item(item, counters);
+    ++pumped;
   }
 }
 
@@ -870,11 +1022,15 @@ void SessionManager::worker_loop(Worker& worker) {
       }
       worker.in_flight = batch.size();
     }
+    queued_events_.fetch_sub(batch.size(), std::memory_order_relaxed);
     worker.cv_space.notify_all();
     worker.active_epoch.store(registry_.reload_epoch(),
                               std::memory_order_release);
     BatchCounters counters;
+    const double batch_start_micros = clock_.micros();
     for (Item& item : batch) process_item(item, counters);
+    note_service_time((clock_.micros() - batch_start_micros) /
+                      static_cast<double>(batch.size()));
     // Flushed before in_flight drops to zero, so drain() implies the
     // service-wide counters already cover everything processed.
     flush_batch(counters);

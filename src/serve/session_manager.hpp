@@ -41,6 +41,7 @@
 #include "src/obs/trace/decision_log.hpp"
 #include "src/obs/trace/tracer.hpp"
 #include "src/serve/model_registry.hpp"
+#include "src/serve/overload_governor.hpp"
 #include "src/serve/service_metrics.hpp"
 #include "src/serve/session_snapshot.hpp"
 #include "src/serve/state_pool.hpp"
@@ -88,6 +89,10 @@ struct ServiceConfig {
   /// Capacity of the service-wide JSONL decision log (appends beyond it
   /// are dropped and counted — flight-recorder semantics).
   std::size_t decision_log_capacity = 4096;
+  /// Overload degradation ladder (overload_governor.hpp): deadline budget,
+  /// water marks, hysteresis. `overload.enabled = false` turns the whole
+  /// ladder off (no admission checks, no level gauge movement).
+  OverloadOptions overload;
 };
 
 /// What happened to a submitted event.
@@ -137,7 +142,10 @@ class SessionManager {
   /// daemon run), the session is restored from it instead — `model` must
   /// then match the snapshot's model. Throws std::invalid_argument on
   /// duplicate id, unknown model, snapshot/model mismatch, or invalid
-  /// monitor options.
+  /// monitor options; throws OverloadedError when the degradation ladder
+  /// is at shed-hellos or above and `id` is genuinely new (restores of
+  /// evicted sessions are still admitted — submit() would restore them
+  /// transparently anyway).
   void open_session(const std::string& id, const std::string& model,
                     std::optional<core::MonitorOptions> options = std::nullopt);
 
@@ -238,6 +246,11 @@ class SessionManager {
   SnapshotStore& snapshot_store() { return snapshots_; }
   const SnapshotStore& snapshot_store() const { return snapshots_; }
 
+  /// The overload degradation ladder's admission governor (level reads,
+  /// options; tests drive transitions through submit pressure).
+  OverloadGovernor& overload_governor() { return governor_; }
+  const OverloadGovernor& overload_governor() const { return governor_; }
+
   const StatePool& state_pool() const { return pool_; }
 
   const ServiceConfig& config() const { return config_; }
@@ -279,6 +292,20 @@ class SessionManager {
   SessionStats snapshot(const Session& session) const;
   SessionSnapshot freeze(Session& session) const;
   void refresh_gauges();
+  /// Submit-path governor tick: cheap counter check, full pressure update
+  /// every 64th event (every event while the ladder is elevated, so
+  /// recovery is observed promptly).
+  void maybe_update_governor();
+  /// Feeds one pressure observation to the governor and reacts to any
+  /// transition (counter, log line, level-3 idle shed).
+  void update_governor();
+  /// Folds one per-event service-time sample into the EMA the governor's
+  /// deadline signal uses.
+  void note_service_time(double micros_per_event);
+  double service_ema_micros() const;
+  /// Mirrors failpoint lifetime hit counts onto the obs registry
+  /// (cmarkov_failpoint_<name>_hits_total), delta-adding since last sync.
+  void sync_failpoint_hits();
 
   ModelRegistry& registry_;
   ServiceConfig config_;
@@ -299,6 +326,18 @@ class SessionManager {
 
   SnapshotStore snapshots_;
   StatePool pool_;
+  OverloadGovernor governor_;
+  /// Aggregate queued-event count across all worker queues (the governor's
+  /// occupancy signal without taking every worker lock per update).
+  std::atomic<std::uint64_t> queued_events_{0};
+  /// Submit counter driving the every-64th governor update cadence.
+  std::atomic<std::uint64_t> governor_ticks_{0};
+  /// Bit pattern of the per-event service-time EMA (double); lock-free
+  /// load/store — a lost concurrent sample only delays the estimate.
+  std::atomic<std::uint64_t> service_ema_bits_{0};
+  /// Failpoint hit counts already mirrored onto the obs registry.
+  std::mutex failpoint_sync_mu_;
+  std::unordered_map<std::string, std::uint64_t> failpoint_hits_seen_;
   /// Monotonic activity tick; stamped per submit for LRU ordering.
   std::atomic<std::uint64_t> activity_clock_{1};
   /// Resident-session state bytes (sum) feeding the bytes/session gauge.
@@ -323,6 +362,10 @@ class SessionManager {
   obs::Counter* evicted_dropped_total_;
   obs::Counter* model_reloads_total_;
   obs::Counter* kernel_builds_total_;
+  obs::Counter* overload_transitions_total_;
+  obs::Counter* overload_shed_traces_total_;
+  obs::Counter* overload_shed_hellos_total_;
+  obs::Counter* overload_early_evicted_total_;
   obs::Histogram* reload_micros_;
   obs::Histogram* kernel_build_micros_;
   obs::Histogram* latency_micros_;
@@ -330,6 +373,7 @@ class SessionManager {
   obs::Gauge* sessions_gauge_;
   obs::Gauge* state_bytes_gauge_;
   obs::Gauge* kernel_image_bytes_gauge_;
+  obs::Gauge* overload_level_gauge_;
   std::vector<obs::Gauge*> queue_depth_gauges_;
 
   // Tracing sinks (always constructed; zero-capacity / disabled when off).

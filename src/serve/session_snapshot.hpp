@@ -9,6 +9,22 @@
 // "<id>.session" file in the `cmarkov-session v1` text format — sessions
 // then survive daemon restarts (load_directory at boot).
 //
+// Disk writes are crash-safe (ISSUE 8): each file is written to a ".tmp"
+// sibling, fsync'd, sealed with a CRC-32 footer line, and atomically
+// renamed into place (the parent directory is fsync'd after the rename).
+// A crash therefore leaves either the old file, the new file, or an
+// orphaned tmp — never a half-written "<id>.session". At boot,
+// load_directory verifies every file's CRC and QUARANTINES anything torn,
+// truncated, or bit-rotted into "<dir>/quarantine/" (visible for forensics,
+// counted on cmarkov_snapshot_quarantined_total) instead of silently
+// skipping it; healthy siblings always load.
+//
+// A failed disk write no longer degrades that snapshot to memory-only
+// forever: the id is marked dirty and re-attempted with capped exponential
+// backoff on subsequent eviction passes (every put() retries what is due;
+// retry_pending_writes() forces a pass). Failures and retries ride on the
+// cmarkov_snapshot_* counters once bind_instruments() is called.
+//
 // Model identity is two numbers: the in-process registry `model_version`
 // (cheap staleness check for evict/restore within one daemon) and the
 // content `model_fingerprint` (stable across restarts). A restore whose
@@ -23,6 +39,7 @@
 #include <string>
 
 #include "src/core/online_monitor.hpp"
+#include "src/obs/metrics_registry.hpp"
 
 namespace cmarkov::serve {
 
@@ -47,7 +64,8 @@ struct SessionSnapshot {
 
 /// Renders the `cmarkov-session v1` text form (exact integer fields; the
 /// id/model strings are length-prefixed, so any bytes the wire admits —
-/// spaces and newlines included — survive: decode(encode(s)) == s).
+/// spaces and newlines included — survive: decode(encode(s)) == s). The
+/// on-disk CRC footer is the store's concern, not the codec's.
 std::string encode_session_snapshot(const SessionSnapshot& snapshot);
 
 /// Parses the text form. Throws std::runtime_error naming the offending
@@ -63,9 +81,16 @@ class SnapshotStore {
   /// when the directory cannot be created.
   explicit SnapshotStore(std::string dir = "");
 
+  /// Registers the cmarkov_snapshot_* counters (writes, write_failures,
+  /// write_retries, quarantined) on `metrics`. Optional; without it the
+  /// store still tracks quarantined_count()/dirty_count() locally.
+  void bind_instruments(obs::MetricsRegistry& metrics);
+
   /// Stores (and, with a directory, mirrors to disk) one snapshot. A disk
-  /// write failure is logged and degrades that snapshot to memory-only —
-  /// eviction never throws I/O errors into the serving path.
+  /// write failure is logged and counted; the snapshot stays in memory and
+  /// its persistence is re-attempted with capped exponential backoff on
+  /// later puts (the eviction pass) — eviction never throws I/O errors
+  /// into the serving path.
   void put(SessionSnapshot snapshot);
 
   /// Removes and returns the snapshot, or nullopt when absent.
@@ -79,19 +104,64 @@ class SnapshotStore {
   std::size_t size() const;
 
   /// Loads every "*.session" file of the store directory into memory
-  /// (daemon boot). Malformed files are logged and skipped — one corrupt
-  /// file must not abort startup. Returns the number of snapshots loaded.
-  /// No-op without a dir.
+  /// (daemon boot). Files that fail CRC or decode are moved into
+  /// "<dir>/quarantine/" and counted — one corrupt file must not abort
+  /// startup, and must not disappear silently either. Orphaned ".tmp"
+  /// files (crash mid-write) are removed. Returns the number of snapshots
+  /// loaded. No-op without a dir.
   std::size_t load_directory();
+
+  /// Re-attempts persisting every dirty snapshot whose backoff window has
+  /// passed; returns how many flushed clean. Called implicitly by put().
+  std::size_t retry_pending_writes();
+
+  /// Snapshots currently degraded to memory-only awaiting a write retry.
+  std::size_t dirty_count() const;
+
+  /// Files quarantined by load_directory over this store's lifetime.
+  std::size_t quarantined_count() const;
+
+  /// Test hook: overrides the retry backoff (base doubles per attempt up
+  /// to cap). Defaults: 100 ms base, 10 s cap.
+  void set_retry_backoff(std::uint64_t base_micros, std::uint64_t cap_micros);
 
   const std::string& directory() const { return dir_; }
 
  private:
-  std::string file_path(const std::string& id) const;
+  struct RetryState {
+    std::uint64_t attempts = 0;
+    std::uint64_t next_retry_micros = 0;
+  };
 
+  std::string file_path(const std::string& id) const;
+  /// Writes one snapshot file crash-safely (tmp + fsync + CRC footer +
+  /// rename + dir fsync). Caller holds io_mu_. False on any I/O failure
+  /// (nothing half-written is left at the final path).
+  bool write_snapshot_file(const std::string& id, const std::string& encoded);
+  /// Flushes due dirty entries. Caller holds io_mu_.
+  std::size_t flush_dirty_locked(std::uint64_t now_micros);
+  void quarantine_file(const std::string& path, const std::string& reason);
+  std::uint64_t backoff_micros(std::uint64_t attempts) const;
+  static std::uint64_t now_micros();
+
+  /// Guards snapshots_ (memory map) only — stats readers never queue
+  /// behind file I/O.
   mutable std::mutex mu_;
+  /// Serializes disk I/O and the dirty-retry bookkeeping. Lock order:
+  /// io_mu_ before mu_ (take() nests them; put() takes them in sequence).
+  mutable std::mutex io_mu_;
   std::string dir_;
   std::map<std::string, SessionSnapshot> snapshots_;
+  /// Ids whose last disk write failed, keyed to their backoff state.
+  std::map<std::string, RetryState> dirty_;
+  std::uint64_t retry_base_micros_ = 100'000;
+  std::uint64_t retry_cap_micros_ = 10'000'000;
+  std::size_t quarantined_ = 0;
+
+  obs::Counter* writes_total_ = nullptr;
+  obs::Counter* write_failures_total_ = nullptr;
+  obs::Counter* write_retries_total_ = nullptr;
+  obs::Counter* quarantined_total_ = nullptr;
 };
 
 }  // namespace cmarkov::serve

@@ -1,0 +1,17 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum the
+// snapshot store's on-disk footer uses to tell a torn or bit-rotted file
+// from an intact one. Table-driven, byte-at-a-time; fast enough for
+// kilobyte session files and dependency-free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace cmarkov::util {
+
+/// CRC of `data`, optionally continuing from a previous crc32 return value
+/// (pass the prior result as `seed` to checksum in chunks).
+std::uint32_t crc32(std::string_view data, std::uint32_t seed = 0);
+
+}  // namespace cmarkov::util

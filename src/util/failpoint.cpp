@@ -1,0 +1,203 @@
+#include "src/util/failpoint.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/util/logging.hpp"
+#include "src/util/strings.hpp"
+
+namespace cmarkov::util {
+
+std::atomic<std::uint64_t> FailpointRegistry::armed_count_{0};
+
+std::optional<FailpointSpec> parse_failpoint_spec(std::string_view text) {
+  if (text == "off") return FailpointSpec{FailpointMode::kOff, 0};
+  if (text == "always") return FailpointSpec{FailpointMode::kAlways, 0};
+  if (text == "once") return FailpointSpec{FailpointMode::kOnce, 0};
+  const auto parse_n = [](std::string_view digits,
+                          std::uint64_t& out) -> bool {
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string_view::npos) {
+      return false;
+    }
+    out = 0;
+    for (const char c : digits) {
+      out = out * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return true;
+  };
+  std::uint64_t n = 0;
+  if (text.rfind("every:", 0) == 0 && parse_n(text.substr(6), n) && n > 0) {
+    return FailpointSpec{FailpointMode::kEveryNth, n};
+  }
+  if (text.rfind("after:", 0) == 0 && parse_n(text.substr(6), n)) {
+    return FailpointSpec{FailpointMode::kAfterN, n};
+  }
+  return std::nullopt;
+}
+
+std::string failpoint_spec_name(const FailpointSpec& spec) {
+  switch (spec.mode) {
+    case FailpointMode::kOff:
+      return "off";
+    case FailpointMode::kAlways:
+      return "always";
+    case FailpointMode::kOnce:
+      return "once";
+    case FailpointMode::kEveryNth:
+      return "every:" + std::to_string(spec.n);
+    case FailpointMode::kAfterN:
+      return "after:" + std::to_string(spec.n);
+  }
+  return "?";
+}
+
+bool Failpoint::should_fire() {
+  const FailpointMode mode = mode_.load(std::memory_order_relaxed);
+  if (mode == FailpointMode::kOff) return false;
+  // Every armed evaluation gets a deterministic ordinal (1-based); the
+  // policies below are pure functions of it, so concurrent sites agree on
+  // exactly which evaluations fire.
+  const std::uint64_t call =
+      calls_.fetch_add(1, std::memory_order_relaxed) + 1;
+  bool fire = false;
+  switch (mode) {
+    case FailpointMode::kOff:
+      break;
+    case FailpointMode::kAlways:
+      fire = true;
+      break;
+    case FailpointMode::kOnce:
+      fire = call == 1;
+      if (fire) disarm();
+      break;
+    case FailpointMode::kEveryNth: {
+      const std::uint64_t n = n_.load(std::memory_order_relaxed);
+      fire = n > 0 && call % n == 0;
+      break;
+    }
+    case FailpointMode::kAfterN:
+      fire = call > n_.load(std::memory_order_relaxed);
+      break;
+  }
+  if (fire) hits_.fetch_add(1, std::memory_order_relaxed);
+  return fire;
+}
+
+FailpointSpec Failpoint::spec() const {
+  const std::lock_guard lock(mu_);
+  return FailpointSpec{mode_.load(std::memory_order_relaxed),
+                       n_.load(std::memory_order_relaxed)};
+}
+
+void Failpoint::arm(FailpointSpec spec) {
+  const std::lock_guard lock(mu_);
+  if (spec.mode == FailpointMode::kOff) {
+    if (mode_.exchange(FailpointMode::kOff, std::memory_order_relaxed) !=
+        FailpointMode::kOff) {
+      FailpointRegistry::armed_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  n_.store(spec.n, std::memory_order_relaxed);
+  calls_.store(0, std::memory_order_relaxed);
+  if (mode_.exchange(spec.mode, std::memory_order_relaxed) ==
+      FailpointMode::kOff) {
+    FailpointRegistry::armed_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Failpoint::disarm() {
+  // Lock-free: should_fire (kOnce self-disarm) runs on hot paths while the
+  // registry may be arming concurrently; the exchange keeps armed_count_
+  // exact either way.
+  if (mode_.exchange(FailpointMode::kOff, std::memory_order_relaxed) !=
+      FailpointMode::kOff) {
+    FailpointRegistry::armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+FailpointRegistry& FailpointRegistry::instance() {
+  static FailpointRegistry registry;
+  return registry;
+}
+
+Failpoint& FailpointRegistry::point(std::string_view name) {
+  const std::lock_guard lock(mu_);
+  for (const auto& point : points_) {
+    if (point->name() == name) return *point;
+  }
+  points_.push_back(std::make_unique<Failpoint>(std::string(name)));
+  return *points_.back();
+}
+
+void FailpointRegistry::arm(std::string_view name, FailpointSpec spec) {
+  point(name).arm(spec);
+}
+
+bool FailpointRegistry::disarm(std::string_view name) {
+  const std::lock_guard lock(mu_);
+  for (const auto& point : points_) {
+    if (point->name() == name) {
+      point->disarm();
+      return true;
+    }
+  }
+  return false;
+}
+
+void FailpointRegistry::disarm_all() {
+  const std::lock_guard lock(mu_);
+  for (const auto& point : points_) point->disarm();
+}
+
+std::vector<FailpointInfo> FailpointRegistry::snapshot() const {
+  std::vector<FailpointInfo> out;
+  {
+    const std::lock_guard lock(mu_);
+    out.reserve(points_.size());
+    for (const auto& point : points_) {
+      out.push_back(FailpointInfo{point->name(), point->spec(), point->hits()});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FailpointInfo& a, const FailpointInfo& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::size_t arm_failpoints_from_env() {
+  const char* env = std::getenv("CMARKOV_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return 0;
+  std::size_t armed = 0;
+  std::string_view rest(env);
+  while (!rest.empty()) {
+    const std::size_t sep = rest.find_first_of(",;");
+    std::string_view entry = rest.substr(0, sep);
+    rest = sep == std::string_view::npos ? std::string_view()
+                                         : rest.substr(sep + 1);
+    entry = trim(entry);
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    const std::string_view name =
+        eq == std::string_view::npos ? entry : entry.substr(0, eq);
+    const std::string_view spec_text =
+        eq == std::string_view::npos ? std::string_view("always")
+                                     : entry.substr(eq + 1);
+    const auto spec = parse_failpoint_spec(spec_text);
+    if (name.empty() || !spec) {
+      log_error() << "failpoint: ignoring malformed CMARKOV_FAILPOINTS "
+                     "entry '"
+                  << entry << "' (want name=off|always|once|every:N|after:N)";
+      continue;
+    }
+    FailpointRegistry::instance().arm(name, *spec);
+    log_info() << "failpoint: armed '" << name << "' "
+               << failpoint_spec_name(*spec) << " (from env)";
+    ++armed;
+  }
+  return armed;
+}
+
+}  // namespace cmarkov::util

@@ -1,0 +1,191 @@
+// Deterministic fault injection for chaos testing: named failpoints that
+// production code plants at its risk surfaces (disk writes, accept loops,
+// queue admission, model reload) and tests arm at runtime to force the
+// failure path to execute.
+//
+//   if (CMARKOV_FAILPOINT("snapshot.write_fail")) {
+//     // behave exactly as if ::write had failed
+//   }
+//
+// The macro is an expression that evaluates to true when the failpoint
+// "fires". Disabled cost is one relaxed load of a process-wide armed
+// counter (nothing per point is touched until something, anywhere, is
+// armed) — measured at well under the 1% serve-throughput budget in
+// BENCH_serve.json. There is no compile-time stripping: the chaos suite
+// must exercise the exact binary that ships.
+//
+// Trigger policies (FailpointSpec), all deterministic:
+//   always    fire on every evaluation
+//   once      fire on the first evaluation, then disarm
+//   every:N   fire on every Nth evaluation (N, 2N, 3N, ...)
+//   after:N   skip the first N evaluations, then fire on every one
+//   off       disarm
+//
+// Activation paths:
+//   - env: CMARKOV_FAILPOINTS="name=spec,name=spec" read by
+//     arm_failpoints_from_env() at daemon startup;
+//   - protocol: the FAILPOINT admin verb (docs/SERVING.md);
+//   - tests: FailpointRegistry::instance().arm(...) directly, with a
+//     ScopedFailpoint guard so one test's arming never leaks into the next.
+//
+// Each name must be planted at exactly one source site, only under the
+// directories the chaos harness owns (tools/check_failpoints.sh, enforced
+// by the check_failpoints CTest). Hit counts are exported onto the obs
+// registry as cmarkov_failpoint_<name>_hits_total counters by the serve
+// layer's gauge refresh.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cmarkov::util {
+
+enum class FailpointMode : std::uint8_t {
+  kOff,
+  kAlways,
+  kOnce,
+  kEveryNth,
+  kAfterN,
+};
+
+struct FailpointSpec {
+  FailpointMode mode = FailpointMode::kOff;
+  /// The N of every:N / after:N; ignored otherwise.
+  std::uint64_t n = 0;
+};
+
+/// Parses "off" | "always" | "once" | "every:N" | "after:N" (N > 0 for
+/// every; N >= 0 for after). Returns nullopt on anything else.
+std::optional<FailpointSpec> parse_failpoint_spec(std::string_view text);
+
+/// Renders a spec back into its canonical string form.
+std::string failpoint_spec_name(const FailpointSpec& spec);
+
+/// One named injection site. Stable address for the lifetime of the
+/// process (sites cache a reference); all members are safe to poke from
+/// any thread.
+class Failpoint {
+ public:
+  explicit Failpoint(std::string name) : name_(std::move(name)) {}
+  Failpoint(const Failpoint&) = delete;
+  Failpoint& operator=(const Failpoint&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Evaluates the trigger policy. Called only while something is armed
+  /// process-wide (the macro's outer guard); off points return false after
+  /// one relaxed load.
+  bool should_fire();
+
+  /// Times this point has fired since process start (monotonic across
+  /// re-arms — it is an observability counter, not policy state).
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+
+  FailpointSpec spec() const;
+
+ private:
+  friend class FailpointRegistry;
+  void arm(FailpointSpec spec);      // registry-managed (armed accounting)
+  void disarm();                     // idempotent
+
+  const std::string name_;
+  mutable std::mutex mu_;            // guards spec transitions only
+  std::atomic<FailpointMode> mode_{FailpointMode::kOff};
+  std::atomic<std::uint64_t> n_{0};
+  /// Evaluations since the last arm (policy input; reset by arm()).
+  std::atomic<std::uint64_t> calls_{0};
+  std::atomic<std::uint64_t> hits_{0};
+};
+
+struct FailpointInfo {
+  std::string name;
+  FailpointSpec spec;
+  std::uint64_t hits = 0;
+};
+
+/// Process-wide name-keyed registry. Sites self-register on first
+/// execution (the macro's function-local static); arming an unseen name
+/// pre-creates the point so env/protocol activation works regardless of
+/// which code path runs first.
+class FailpointRegistry {
+ public:
+  static FailpointRegistry& instance();
+
+  /// True once any point is armed — the macro's one-load fast path.
+  static bool any_armed() {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Returns the point named `name`, creating it if needed. Sites call
+  /// this once (cached in a function-local static).
+  Failpoint& point(std::string_view name);
+
+  /// Arms `name` with `spec` (creating the point if unseen). A spec of
+  /// mode kOff disarms.
+  void arm(std::string_view name, FailpointSpec spec);
+
+  /// Disarms one point; false when the name was never seen nor armed.
+  bool disarm(std::string_view name);
+
+  /// Disarms everything (test teardown).
+  void disarm_all();
+
+  /// Every known point with its current spec and lifetime hit count,
+  /// sorted by name (deterministic FAILPOINT listings and metric export).
+  std::vector<FailpointInfo> snapshot() const;
+
+ private:
+  friend class Failpoint;
+  FailpointRegistry() = default;
+
+  /// Armed-point count backing any_armed(); maintained by Failpoint
+  /// arm/disarm transitions.
+  static std::atomic<std::uint64_t> armed_count_;
+
+  mutable std::mutex mu_;
+  /// unique_ptr for address stability across map growth.
+  std::vector<std::unique_ptr<Failpoint>> points_;
+};
+
+/// Arms every "name=spec" entry of the CMARKOV_FAILPOINTS environment
+/// variable (comma- or semicolon-separated). Returns the number armed;
+/// malformed entries are reported via log_error and skipped — a typo in
+/// the chaos config must not take the daemon down with it.
+std::size_t arm_failpoints_from_env();
+
+/// RAII arming for tests: arms on construction, disarms the same point on
+/// destruction (regardless of how many times it fired or re-armed).
+class ScopedFailpoint {
+ public:
+  ScopedFailpoint(std::string name, FailpointSpec spec) : name_(std::move(name)) {
+    FailpointRegistry::instance().arm(name_, spec);
+  }
+  ScopedFailpoint(std::string name, std::string_view spec)
+      : ScopedFailpoint(std::move(name), *parse_failpoint_spec(spec)) {}
+  ~ScopedFailpoint() { FailpointRegistry::instance().disarm(name_); }
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace cmarkov::util
+
+/// Plants the failpoint `name` here; evaluates to true when it fires.
+/// `name` must be a string literal, used at exactly one site
+/// (tools/check_failpoints.sh).
+#define CMARKOV_FAILPOINT(name)                                            \
+  (::cmarkov::util::FailpointRegistry::any_armed() &&                      \
+   ([]() -> ::cmarkov::util::Failpoint& {                                  \
+     static ::cmarkov::util::Failpoint& cmarkov_fp =                       \
+         ::cmarkov::util::FailpointRegistry::instance().point(name);       \
+     return cmarkov_fp;                                                    \
+   }())                                                                    \
+       .should_fire())

@@ -482,9 +482,10 @@ TEST(SessionSnapshotTest, WhitespaceIdAndModelSurviveTheRoundTrip) {
   EXPECT_EQ(empty_back.model, "m");
 }
 
-/// One corrupt .session file must not abort daemon startup: load skips it
-/// (logged) and every healthy snapshot — including one whose id carries
-/// whitespace straight off the wire — still comes back.
+/// One corrupt .session file must not abort daemon startup: load moves it
+/// into <dir>/quarantine/ (visible for forensics, never silently skipped)
+/// and every healthy snapshot — including one whose id carries whitespace
+/// straight off the wire — still comes back.
 TEST(SessionLifecycleTest, BootLoadSkipsMalformedSnapshotFiles) {
   const std::string dir = ::testing::TempDir() + "/cmarkov_net_snap_corrupt";
   std::filesystem::remove_all(dir);
@@ -512,6 +513,12 @@ TEST(SessionLifecycleTest, BootLoadSkipsMalformedSnapshotFiles) {
   SessionManager second(*registry, config);
   EXPECT_EQ(second.snapshot_store().load_directory(), 1u);
   EXPECT_TRUE(second.has_session(spaced_id));
+  // Both corrupt files were quarantined, not deleted and not left behind.
+  EXPECT_EQ(second.snapshot_store().quarantined_count(), 2u);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/quarantine/junk.session"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/quarantine/noise.session"));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/junk.session"));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/noise.session"));
   feed(second, spaced_id, events, 6, events.size());
   const SessionStats stats = second.session_stats(spaced_id);
   EXPECT_EQ(stats.processed, events.size());
@@ -519,12 +526,15 @@ TEST(SessionLifecycleTest, BootLoadSkipsMalformedSnapshotFiles) {
 }
 
 /// A disk-write failure during eviction degrades the snapshot to
-/// memory-only instead of throwing into the serving path.
+/// memory-only instead of throwing into the serving path — but not
+/// forever: the id goes on the dirty list and the write is re-attempted
+/// once the obstruction clears.
 TEST(SessionSnapshotTest, PutDegradesToMemoryOnlyWhenDiskWriteFails) {
   const std::string dir = ::testing::TempDir() + "/cmarkov_net_snap_degrade";
   std::filesystem::remove_all(dir);
   SnapshotStore store(dir);
-  // Occupy the target path with a directory so the ofstream open fails
+  store.set_retry_backoff(0, 0);
+  // Occupy the target path with a directory so the atomic rename fails
   // (permission tricks don't bite when the tests run as root).
   std::filesystem::create_directories(dir + "/blocked.session");
 
@@ -534,9 +544,23 @@ TEST(SessionSnapshotTest, PutDegradesToMemoryOnlyWhenDiskWriteFails) {
   snap.processed = 9;
   EXPECT_NO_THROW(store.put(std::move(snap)));
   EXPECT_TRUE(store.contains("blocked"));
+  EXPECT_EQ(store.dirty_count(), 1u);
+
+  // While blocked, retries keep failing (and keep the entry dirty)...
+  EXPECT_EQ(store.retry_pending_writes(), 0u);
+  EXPECT_EQ(store.dirty_count(), 1u);
+
+  // ...and once the obstruction clears, the pending write lands.
+  std::filesystem::remove_all(dir + "/blocked.session");
+  EXPECT_EQ(store.retry_pending_writes(), 1u);
+  EXPECT_EQ(store.dirty_count(), 0u);
+  EXPECT_TRUE(std::filesystem::is_regular_file(dir + "/blocked.session"));
+
   const auto taken = store.take("blocked");
   ASSERT_TRUE(taken.has_value());
   EXPECT_EQ(taken->processed, 9u);
+  // take() removes the on-disk mirror with the memory entry.
+  EXPECT_FALSE(std::filesystem::exists(dir + "/blocked.session"));
   std::filesystem::remove_all(dir);
 }
 
@@ -797,8 +821,11 @@ struct ServerHarness {
   std::unique_ptr<SessionManager> manager;
   std::unique_ptr<EpollServer> server;
 
+  /// `handshake_timeout_micros` == 0 keeps the NetOptions default (the
+  /// tests that want the reaper pass a short explicit window).
   explicit ServerHarness(std::size_t num_loops = 2,
-                         std::size_t outbuf_high_water = 4 * 1024 * 1024) {
+                         std::size_t outbuf_high_water = 4 * 1024 * 1024,
+                         std::uint64_t handshake_timeout_micros = 0) {
     ServiceConfig config;
     config.num_workers = 2;
     manager = std::make_unique<SessionManager>(*registry, config);
@@ -806,6 +833,9 @@ struct ServerHarness {
     net.port = 0;  // ephemeral
     net.num_loops = num_loops;
     net.outbuf_high_water = outbuf_high_water;
+    if (handshake_timeout_micros > 0) {
+      net.handshake_timeout_micros = handshake_timeout_micros;
+    }
     server = std::make_unique<EpollServer>(*manager, net);
     server->start();
   }
@@ -971,6 +1001,36 @@ TEST(EpollServerTest, DisconnectWithoutByeClosesTheSession) {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   EXPECT_FALSE(harness.manager->has_session("drop-out"));
+}
+
+/// A connection that never completes its first protocol unit is closed
+/// once the handshake window elapses — half-open scanners and silent
+/// clients cannot pin fds — while a handshaken connection on the same
+/// loop is untouched.
+TEST(EpollServerTest, SilentConnectionIsReapedAfterHandshakeTimeout) {
+  ServerHarness harness(/*num_loops=*/1,
+                        /*outbuf_high_water=*/4 * 1024 * 1024,
+                        /*handshake_timeout_micros=*/100'000);
+
+  // A healthy client handshakes immediately; the reaper must skip it.
+  TcpClient healthy(harness.server->port());
+  healthy.send_all("HELLO gzip keeper\n");
+  EXPECT_EQ(healthy.read_line(), "OK session=keeper model=gzip");
+
+  // The silent client sends nothing. at_eof() blocks in recv until the
+  // server's orderly close arrives (~100-150ms; the client's own 5s
+  // receive timeout is the failure backstop).
+  TcpClient silent(harness.server->port());
+  EXPECT_TRUE(silent.at_eof());
+  EXPECT_EQ(harness.manager->instruments()
+                .counter("cmarkov_net_handshake_timeouts_total")
+                .value(),
+            1u);
+
+  // The handshaken connection survived the sweeps and still serves.
+  healthy.send_all("STATS\n");
+  const std::string stats = healthy.read_line();
+  EXPECT_NE(stats.find("session=keeper"), std::string::npos) << stats;
 }
 
 TEST(EpollServerTest, ManyConcurrentConnectionsAcrossLoops) {

@@ -1,0 +1,64 @@
+#!/usr/bin/env sh
+# Lints the failpoint sites (src/util/failpoint.hpp) planted in the source
+# tree:
+#   - every CMARKOV_FAILPOINT("name") literal appears at EXACTLY one site
+#     (two sites sharing a name would double-count the trigger ordinal and
+#     make every:N / after:N policies fire at surprising places);
+#   - sites live only under src/serve/ — the chaos harness owns the serving
+#     path's risk surfaces; a failpoint sprouting in core scoring code is a
+#     design smell that needs a review, not a silent merge;
+#   - names are dot-separated lowercase tokens ("snapshot.write_fail"), so
+#     the exported cmarkov_failpoint_<name>_hits_total counters stay valid
+#     metric names after the dot-to-underscore mapping.
+#
+# src/util/failpoint.hpp itself is exempt: it defines the macro and quotes
+# an example in its documentation.
+#
+# Wired into CTest as `check_failpoints` (label: robust).
+set -eu
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+matches="$(grep -rnoE 'CMARKOV_FAILPOINT\("[^"]*"\)' \
+  "$repo_root/src" --include='*.cpp' --include='*.hpp' \
+  | grep -v '/src/util/failpoint\.hpp:' || true)"
+
+if [ -z "$matches" ]; then
+  echo "error: no failpoint sites found; the grep pattern has rotted" >&2
+  exit 1
+fi
+
+printf '%s\n' "$matches" | awk -v root="$repo_root/" '
+{
+  if (!match($0, /CMARKOV_FAILPOINT\("[^"]*"\)/)) next;
+  call = substr($0, RSTART, RLENGTH);
+  loc = substr($0, 1, RSTART - 1);
+  sub(/:$/, "", loc);
+  sub(root, "", loc);
+  q = index(call, "\"");
+  name = substr(call, q + 1, length(call) - q - 2);
+  total += 1;
+
+  if (name !~ /^[a-z0-9_]+(\.[a-z0-9_]+)+$/) {
+    print loc ": failpoint \"" name "\" must be dot-separated lowercase " \
+          "tokens (it becomes a cmarkov_failpoint_*_hits_total metric)";
+    bad += 1;
+  }
+  if (loc !~ /^src\/serve\//) {
+    print loc ": failpoint \"" name "\" planted outside src/serve/ " \
+          "(the chaos harness only owns the serving path)";
+    bad += 1;
+  }
+  if (name in sites) {
+    print loc ": failpoint \"" name "\" already planted at " sites[name] \
+          " (each name must have exactly one site)";
+    bad += 1;
+  } else {
+    sites[name] = loc;
+  }
+}
+END {
+  if (bad > 0) exit 1;
+  print "ok: " total " failpoint site(s), all unique, all under src/serve/";
+}
+'

@@ -47,6 +47,7 @@
 #include "src/serve/net/epoll_server.hpp"
 #include "src/serve/service.hpp"
 #include "src/trace/trace_io.hpp"
+#include "src/util/failpoint.hpp"
 #include "src/util/logging.hpp"
 #include "src/util/strings.hpp"
 
@@ -60,6 +61,7 @@ struct DaemonOptions {
   std::vector<std::pair<std::string, std::string>> replays;  // model -> trace
   int tcp_port = 0;
   std::size_t net_loops = 1;
+  std::uint64_t handshake_timeout_ms = 30'000;
   std::string decision_log_path;
   std::string chrome_trace_path;
   serve::ServiceConfig service;
@@ -76,9 +78,16 @@ int usage() {
          "                [--chrome-trace PATH]\n"
          "                [--replay <model>:<trace-file>]...\n"
          "                [--tcp PORT] [--net-loops N]\n"
+         "                [--handshake-timeout-ms N] (0 = never reap)\n"
+         "                [--overload on|off] [--deadline-ms N]\n"
          "With neither --replay nor --tcp, serves the line protocol on\n"
          "stdin/stdout: HELLO <model> [id] [tid=T] | EV <site> <callee>\n"
-         "[sys|lib] [tid=T] | STATS | METRICS | TRACE [n] | BYE\n";
+         "[sys|lib] [tid=T] | STATS | METRICS | TRACE [n] | FAILPOINT |\n"
+         "BYE\n"
+         "--deadline-ms sets the per-event latency budget the overload\n"
+         "degradation ladder defends (docs/SERVING.md). Failpoints can be\n"
+         "pre-armed via CMARKOV_FAILPOINTS=\"name=spec,...\" in the\n"
+         "environment.\n";
   return 1;
 }
 
@@ -112,6 +121,16 @@ DaemonOptions parse_options(int argc, char** argv) {
       options.tcp_port = std::stoi(value);
     } else if (flag == "--net-loops") {
       options.net_loops = std::stoul(value);
+    } else if (flag == "--handshake-timeout-ms") {
+      options.handshake_timeout_ms = std::stoull(value);
+    } else if (flag == "--overload") {
+      if (value != "on" && value != "off") {
+        throw std::runtime_error("--overload expects on|off");
+      }
+      options.service.overload.enabled = value == "on";
+    } else if (flag == "--deadline-ms") {
+      options.service.overload.event_deadline_micros =
+          static_cast<double>(std::stoull(value)) * 1000.0;
     } else if (flag == "--max-sessions") {
       options.service.max_resident_sessions = std::stoul(value);
     } else if (flag == "--snapshot-dir") {
@@ -185,6 +204,7 @@ int serve_tcp(serve::CmarkovService& service, const DaemonOptions& options) {
   serve::net::NetOptions net;
   net.port = static_cast<std::uint16_t>(options.tcp_port);
   net.num_loops = options.net_loops;
+  net.handshake_timeout_micros = options.handshake_timeout_ms * 1000;
   serve::net::EpollServer server(service.sessions(), net);
   server.start();
   while (g_stop == 0) {
@@ -234,6 +254,13 @@ void flush_trace_sinks(serve::CmarkovService& service,
 int main(int argc, char** argv) {
   try {
     const DaemonOptions options = parse_options(argc, argv);
+    // Chaos configs pre-arm fault-injection sites before anything can
+    // touch them (CMARKOV_FAILPOINTS="snapshot.write_fail=once,...").
+    const std::size_t armed = util::arm_failpoints_from_env();
+    if (armed > 0) {
+      log_info() << "cmarkovd: " << armed
+                 << " failpoint(s) armed from CMARKOV_FAILPOINTS";
+    }
     serve::CmarkovService service(options.service);
     for (const auto& [name, path] : options.models) {
       service.registry().load_file(name, path);

@@ -9,8 +9,10 @@
 # reload under live producer traffic), the parallel training engine
 # (worker pool, multi-threaded Baum-Welch/k-means/PCA), and the obs layer
 # (sharded counters/histograms under concurrent writers plus the threaded
-# pipeline-with-metrics smoke in obs_test). Any TSan report fails the run
-# (halt_on_error). Usage:
+# pipeline-with-metrics smoke in obs_test), and the chaos harness
+# (chaos_test exercises failpoint arming/firing, crash-restart snapshot
+# recovery, and the overload ladder's governor transitions against the
+# worker pool). Any TSan report fails the run (halt_on_error). Usage:
 #
 #   tools/run_tsan_smoke.sh            # build into build-tsan/ and run
 #   BUILD_DIR=/tmp/tsan tools/run_tsan_smoke.sh
@@ -18,13 +20,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build-tsan}"
-TESTS='^(serve_test|serve_net_test|logging_test|parallel_test|parallel_training_test|obs_test)$'
+TESTS='^(serve_test|serve_net_test|chaos_test|logging_test|parallel_test|parallel_training_test|obs_test)$'
 
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMARKOV_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target serve_test serve_net_test logging_test parallel_test \
+  --target serve_test serve_net_test chaos_test logging_test parallel_test \
   --target parallel_training_test obs_test
 
 (cd "$BUILD_DIR" && \
