@@ -7,7 +7,7 @@
 #include <string>
 
 #include "src/core/pipeline.hpp"
-#include "src/hmm/baum_welch.hpp"
+#include "src/hmm/trainer.hpp"
 #include "src/obs/metrics_registry.hpp"
 #include "src/obs/run_profile.hpp"
 #include "src/hmm/forward_backward.hpp"
@@ -59,9 +59,9 @@ void BM_BaumWelchIteration(benchmark::State& state) {
   options.max_iterations = 1;
   options.min_improvement = -1.0;
   for (auto _ : state) {
-    hmm::Hmm copy = model;
-    hmm::baum_welch_train(copy, data, {}, options);
-    benchmark::DoNotOptimize(copy);
+    hmm::Trainer trainer(model, options);
+    trainer.fit(data);
+    benchmark::DoNotOptimize(trainer.model());
   }
   state.SetLabel("50 segments x 1 iteration");
 }
@@ -78,9 +78,9 @@ void BM_BaumWelchIterationThreads(benchmark::State& state) {
   options.min_improvement = -1.0;
   options.exec.threads = static_cast<std::size_t>(state.range(1));
   for (auto _ : state) {
-    hmm::Hmm copy = model;
-    hmm::baum_welch_train(copy, data, {}, options);
-    benchmark::DoNotOptimize(copy);
+    hmm::Trainer trainer(model, options);
+    trainer.fit(data);
+    benchmark::DoNotOptimize(trainer.model());
   }
   state.SetLabel("50 segments x 1 iteration, " +
                  std::to_string(state.range(1)) + " threads");
@@ -112,9 +112,9 @@ void BM_BaumWelchIterationMetrics(benchmark::State& state) {
   options.exec.metrics = &registry;
   options.exec.profile = &profile;
   for (auto _ : state) {
-    hmm::Hmm copy = model;
-    hmm::baum_welch_train(copy, data, {}, options);
-    benchmark::DoNotOptimize(copy);
+    hmm::Trainer trainer(model, options);
+    trainer.fit(data);
+    benchmark::DoNotOptimize(trainer.model());
   }
   state.SetLabel("50 segments x 1 iteration, " +
                  std::to_string(state.range(1)) +

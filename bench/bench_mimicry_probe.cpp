@@ -11,7 +11,7 @@
 
 #include "src/attack/mimicry.hpp"
 #include "src/eval/comparison.hpp"
-#include "src/hmm/baum_welch.hpp"
+#include "src/hmm/trainer.hpp"
 #include "src/trace/segmenter.hpp"
 #include "src/util/strings.hpp"
 #include "src/util/table_printer.hpp"
@@ -41,7 +41,9 @@ TrainedModel train_model(eval::ModelKind kind,
   if (segments.size() > max_segments) segments.resize(max_segments);
   hmm::TrainingOptions training;
   training.max_iterations = 8;
-  hmm::baum_welch_train(out.model.hmm, segments, {}, training);
+  hmm::Trainer trainer(out.model.hmm, training);
+  trainer.fit(segments);
+  out.model.hmm = trainer.model();
 
   eval::ScoreSet calibration;
   for (const auto& segment : segments) {

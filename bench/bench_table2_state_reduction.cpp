@@ -8,7 +8,7 @@
 #include "src/core/pipeline.hpp"
 #include "src/eval/comparison.hpp"
 #include "src/workload/suite_synthetic.hpp"
-#include "src/hmm/baum_welch.hpp"
+#include "src/hmm/trainer.hpp"
 #include "src/trace/segmenter.hpp"
 #include "src/util/stopwatch.hpp"
 #include "src/util/strings.hpp"
@@ -22,12 +22,12 @@ namespace {
 /// Wall time of one Baum-Welch iteration over the segments.
 double one_iteration_seconds(const hmm::Hmm& model,
                              const std::vector<hmm::ObservationSeq>& data) {
-  hmm::Hmm copy = model;
   hmm::TrainingOptions options;
   options.max_iterations = 1;
   options.min_improvement = -1.0;
   Stopwatch watch;
-  hmm::baum_welch_train(copy, data, {}, options);
+  hmm::Trainer trainer(model, options);
+  trainer.fit(data);
   return watch.seconds();
 }
 

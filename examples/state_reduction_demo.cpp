@@ -5,7 +5,7 @@
 #include <iostream>
 
 #include "src/analysis/aggregation.hpp"
-#include "src/hmm/baum_welch.hpp"
+#include "src/hmm/trainer.hpp"
 #include "src/hmm/static_init.hpp"
 #include "src/reduction/cluster_calls.hpp"
 #include "src/reduction/reconstruct.hpp"
@@ -99,7 +99,8 @@ int main() {
   auto time_training = [&](hmm::Hmm model, hmm::Alphabet& alphabet) {
     const auto segments = segments_for(alphabet);
     Stopwatch watch;
-    hmm::baum_welch_train(model, segments, {}, train_options);
+    hmm::Trainer trainer(std::move(model), train_options);
+    trainer.fit(segments);
     return watch.seconds();
   };
   const double full_time = time_training(full_init.model, alphabet_full);

@@ -32,6 +32,21 @@ void extend_emission(hmm::Hmm& model, std::size_t new_symbols,
 
 }  // namespace
 
+double calibrate_threshold(const hmm::Hmm& model,
+                           const std::vector<hmm::ObservationSeq>& calibration,
+                           double target_fp) {
+  std::vector<double> scores;
+  scores.reserve(calibration.size());
+  for (const auto& segment : calibration) {
+    scores.push_back(hmm::sequence_log_likelihood(model, segment));
+  }
+  std::sort(scores.begin(), scores.end());
+  const auto budget = static_cast<std::size_t>(
+      std::floor(target_fp * static_cast<double>(scores.size())));
+  return budget >= scores.size() ? std::numeric_limits<double>::infinity()
+                                 : scores[budget];
+}
+
 Detector Detector::build(const ir::ProgramModule& program,
                          DetectorConfig config) {
   Detector detector;
@@ -113,26 +128,47 @@ hmm::TrainingReport Detector::train(
     if (train_set.empty()) train_set = segments;
   }
 
-  const hmm::TrainingReport report =
-      hmm::baum_welch_train(hmm_, train_set, holdout, config_.training);
+  hmm::Trainer trainer(hmm_, config_.training);
+  const hmm::TrainingReport report = trainer.fit(train_set, holdout);
+  hmm_ = trainer.model();
+  trainer_state_ = config_.keep_trainer_state
+                       ? std::make_shared<const hmm::TrainerState>(
+                             trainer.state())
+                       : nullptr;
 
   // Threshold calibration on the held-out normal segments (falls back to
   // the training set when the holdout is empty).
   const obs::ScopedTimer calibrate_span(profile, "calibrate");
   const auto& calibration = holdout.empty() ? train_set : holdout;
-  std::vector<double> scores;
-  scores.reserve(calibration.size());
-  for (const auto& segment : calibration) {
-    scores.push_back(hmm::sequence_log_likelihood(hmm_, segment));
-  }
-  std::sort(scores.begin(), scores.end());
-  const auto budget = static_cast<std::size_t>(std::floor(
-      config_.target_fp * static_cast<double>(scores.size())));
-  threshold_ = budget >= scores.size()
-                   ? std::numeric_limits<double>::infinity()
-                   : scores[budget];
+  threshold_ = calibrate_threshold(hmm_, calibration, config_.target_fp);
   trained_ = true;
   return report;
+}
+
+std::vector<hmm::ObservationSeq> Detector::encode_trace_segments(
+    const trace::Trace& trace) const {
+  trace::SegmentSet unique_segments(config_.segments);
+  unique_segments.add_trace(encode(trace));
+  return unique_segments.to_vector();
+}
+
+Detector Detector::rebuilt_with(
+    hmm::Hmm model,
+    const std::vector<hmm::ObservationSeq>& calibration) const {
+  model.validate();
+  if (model.num_symbols() < alphabet_.size()) {
+    throw std::invalid_argument(
+        "Detector::rebuilt_with: emission narrower than alphabet");
+  }
+  Detector refreshed;
+  refreshed.config_ = config_;
+  refreshed.hmm_ = std::move(model);
+  refreshed.alphabet_ = alphabet_;
+  refreshed.state_labels_ = state_labels_;
+  refreshed.threshold_ =
+      calibrate_threshold(refreshed.hmm_, calibration, config_.target_fp);
+  refreshed.trained_ = true;
+  return refreshed;
 }
 
 SegmentVerdict Detector::score_segment(

@@ -11,6 +11,7 @@
 // model has never seen in that calling context).
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "src/core/pipeline.hpp"
 #include "src/hmm/baum_welch.hpp"
 #include "src/hmm/forward_backward.hpp"
+#include "src/hmm/trainer.hpp"
 #include "src/obs/trace/decision_record.hpp"
 #include "src/trace/event.hpp"
 #include "src/trace/segmenter.hpp"
@@ -35,7 +37,21 @@ struct DetectorConfig {
   /// termination and threshold calibration.
   double holdout_fraction = 0.2;
   std::uint64_t seed = 1;
+  /// When set, train() retains the hmm::TrainerState (corpus + iteration-0
+  /// prefix accumulators) so callers can serialize it and later resume
+  /// incremental training (`cmarkov train --save-state`, drift refresh).
+  /// Off by default: the state holds a copy of the training corpus.
+  bool keep_trainer_state = false;
 };
+
+/// Threshold calibration at a target false-positive budget: scores the
+/// calibration segments under `model`, sorts, and picks the score at the
+/// target_fp quantile (+infinity when the budget covers every segment).
+/// Shared by Detector::train and the drift-refresh path — serve code must
+/// not run raw forward passes itself (tools/check_scoring_kernel.sh).
+double calibrate_threshold(const hmm::Hmm& model,
+                           const std::vector<hmm::ObservationSeq>& calibration,
+                           double target_fp);
 
 struct SegmentVerdict {
   double log_likelihood = 0.0;
@@ -66,8 +82,31 @@ class Detector {
                              bool trained);
 
   /// Phase 2: trains on symbolized normal traces and calibrates the
-  /// threshold. Throws if the traces yield no segments.
+  /// threshold (hmm::Trainer batch fit under the hood). Throws if the
+  /// traces yield no segments.
   hmm::TrainingReport train(const std::vector<trace::Trace>& normal_traces);
+
+  /// The resumable training state of the last train() call when
+  /// DetectorConfig::keep_trainer_state was set; null otherwise (and for
+  /// from_parts detectors). Serialize with core::save_trainer_state.
+  const std::shared_ptr<const hmm::TrainerState>& trainer_state() const {
+    return trainer_state_;
+  }
+
+  /// Frozen-alphabet segment encoding of one trace: the unique segments a
+  /// trained model would score, with out-of-vocabulary observations mapped
+  /// to the unknown sentinel. The incremental-absorption path (CLI
+  /// --incremental, drift refresh) feeds these to Trainer::partial_fit.
+  std::vector<hmm::ObservationSeq> encode_trace_segments(
+      const trace::Trace& trace) const;
+
+  /// A new trained detector with this detector's config/alphabet but a
+  /// refreshed model (e.g. from Trainer::partial_fit) and a threshold
+  /// recalibrated on `calibration` at config().target_fp. The model's
+  /// emission width must still cover the alphabet.
+  Detector rebuilt_with(hmm::Hmm model,
+                        const std::vector<hmm::ObservationSeq>& calibration)
+      const;
 
   /// Scores one segment (alphabet-frozen encoding).
   SegmentVerdict score_segment(const hmm::ObservationSeq& segment) const;
@@ -134,6 +173,7 @@ class Detector {
   bool trained_ = false;
   PhaseTimer build_timings_;
   std::vector<std::string> state_labels_;
+  std::shared_ptr<const hmm::TrainerState> trainer_state_;
 };
 
 }  // namespace cmarkov::core

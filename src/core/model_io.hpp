@@ -1,12 +1,20 @@
 // Plain-text persistence for trained detectors: HMM parameters, alphabet,
 // threshold and the config bits needed to re-encode traces. The format is a
 // line-oriented key/value + matrix dump, versioned for forward evolution.
+//
+// Also persists hmm::TrainerState (`cmarkov-trainer-state 1`) so
+// incremental training resumes across process restarts. Every double in
+// that format travels as its IEEE-754 bit pattern in hex: the whole point
+// of the state is to continue a floating-point fold bit-identically, and
+// decimal round trips are exact only with care — the bit pattern is exact
+// by construction.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
 #include "src/core/detector.hpp"
+#include "src/hmm/trainer.hpp"
 
 namespace cmarkov::core {
 
@@ -19,5 +27,19 @@ void save_detector_file(const std::string& path, const Detector& detector);
 /// value (a serving registry must reject bad model files loudly).
 Detector load_detector(std::istream& in);
 Detector load_detector_file(const std::string& path);
+
+/// Serializes a trainer's resumable state (corpus, batch records, and the
+/// iteration-0 prefix accumulators). A load + partial_fit continues
+/// bit-identically with the uninterrupted run (model_io_test,
+/// incremental_training_test).
+void save_trainer_state(std::ostream& out, const hmm::TrainerState& state);
+void save_trainer_state_file(const std::string& path,
+                             const hmm::TrainerState& state);
+
+/// Loads a trainer state. Throws std::runtime_error on malformed input
+/// and std::invalid_argument when the decoded state is structurally
+/// inconsistent (TrainerState::validate).
+hmm::TrainerState load_trainer_state(std::istream& in);
+hmm::TrainerState load_trainer_state_file(const std::string& path);
 
 }  // namespace cmarkov::core

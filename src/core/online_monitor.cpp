@@ -82,6 +82,7 @@ MonitorUpdate OnlineMonitor::on_event(trace::CallEvent event) {
   if (window_count_ < length) return update;
 
   update.window_complete = true;
+  update.window = &segment_;
   segment_.clear();
   std::size_t at = window_head_;
   for (std::size_t i = 0; i < length; ++i) {

@@ -128,6 +128,12 @@ struct MonitorUpdate {
   /// otherwise. Points into the monitor's ring — valid until the next
   /// on_event / reset_window call on the same monitor.
   const obs::DecisionRecord* decision = nullptr;
+  /// The completed window's encoded observation ids (oldest first); null
+  /// while the window is still filling. Points into the monitor's scoring
+  /// scratch — valid until the next on_event / rebind on the same
+  /// monitor. The serve tier's DriftMonitor copies clean windows from
+  /// here into its absorb buffer for incremental retraining.
+  const hmm::ObservationSeq* window = nullptr;
 };
 
 class OnlineMonitor {

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "src/hmm/trainer.hpp"
 #include "src/trace/segmenter.hpp"
 #include "src/util/stopwatch.hpp"
 #include "src/workload/testcase_generator.hpp"
@@ -89,17 +90,17 @@ SuiteComparison compare_models(const workload::ProgramSuite& suite,
     Rng fold_rng = model_rng.fork();
     const auto folds = k_fold_splits(segments, fold_rng, cv);
     for (const auto& fold : folds) {
-      hmm::Hmm trained = model.hmm;  // fresh copy of the initialization
       Stopwatch watch;
-      const hmm::TrainingReport report = hmm::baum_welch_train(
-          trained, fold.train, fold.termination, training);
+      hmm::Trainer trainer(model.hmm, training);  // fresh from the init
+      const hmm::TrainingReport report =
+          trainer.fit(fold.train, fold.termination);
       evaluation.train_seconds += watch.seconds();
       evaluation.train_iterations += report.iterations;
 
       // Score through a fold-local model so unknown-symbol handling in
       // BuiltModel::score applies.
       BuiltModel fold_model = model;
-      fold_model.hmm = std::move(trained);
+      fold_model.hmm = trainer.model();
       for (const auto& segment : fold.test) {
         evaluation.scores.normal.push_back(fold_model.score(segment));
       }

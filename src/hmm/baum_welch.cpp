@@ -1,42 +1,30 @@
 #include "src/hmm/baum_welch.hpp"
 
-#include <algorithm>
 #include <cmath>
-#include <limits>
-#include <stdexcept>
 
 #include "src/hmm/forward_backward.hpp"
-#include "src/obs/metrics_registry.hpp"
-#include "src/obs/run_profile.hpp"
-#include "src/util/logging.hpp"
+#include "src/hmm/trainer.hpp"
 #include "src/util/parallel.hpp"
-#include "src/util/stopwatch.hpp"
 
 namespace cmarkov::hmm {
 
 namespace {
 
-/// Merge slots of the parallel E-step. Fixed (never derived from the thread
-/// count) so the accumulator merge order — and therefore every
-/// floating-point sum — is the same no matter how many workers run.
-constexpr std::size_t kMergeSlots = 16;
-
 /// Sequences per work item of the parallel scoring pass.
 constexpr std::size_t kScoreChunk = 64;
 
-/// Per-sequence log-likelihoods with the impossible/empty penalty applied.
-/// Scoring fans out over the pool; the mean is reduced in sequence order on
-/// the calling thread, so the result is independent of the thread count.
-double pooled_mean_log_likelihood(const Hmm& model,
-                                  const HmmKernelCache& cache,
-                                  const std::vector<ObservationSeq>& sequences,
-                                  double impossible_penalty,
-                                  WorkerPool& pool) {
+}  // namespace
+
+double mean_log_likelihood(const Hmm& model,
+                           const std::vector<ObservationSeq>& sequences,
+                           double impossible_penalty,
+                           std::size_t num_threads) {
   if (sequences.empty()) return 0.0;
+  const HmmKernelCache cache(model);
+  WorkerPool pool(num_threads);
   std::vector<double> per_sequence(sequences.size());
   pool.run(chunk_count(sequences.size(), kScoreChunk), [&](std::size_t c) {
-    const ChunkRange range =
-        chunk_range(sequences.size(), kScoreChunk, c);
+    const ChunkRange range = chunk_range(sequences.size(), kScoreChunk, c);
     for (std::size_t s = range.begin; s < range.end; ++s) {
       if (sequences[s].empty()) {
         per_sequence[s] = impossible_penalty;
@@ -52,287 +40,15 @@ double pooled_mean_log_likelihood(const Hmm& model,
   return total / static_cast<double>(sequences.size());
 }
 
-struct Accumulators {
-  Matrix transition_num;               // N x N
-  std::vector<double> transition_den;  // N
-  Matrix emission_num;                 // N x M
-  std::vector<double> emission_den;    // N
-  std::vector<double> initial;         // N
-
-  Accumulators(std::size_t n, std::size_t m)
-      : transition_num(n, n),
-        transition_den(n, 0.0),
-        emission_num(n, m),
-        emission_den(n, 0.0),
-        initial(n, 0.0) {}
-
-  void reset() {
-    for (std::size_t r = 0; r < transition_num.rows(); ++r) {
-      auto row = transition_num.row(r);
-      std::fill(row.begin(), row.end(), 0.0);
-    }
-    for (std::size_t r = 0; r < emission_num.rows(); ++r) {
-      auto row = emission_num.row(r);
-      std::fill(row.begin(), row.end(), 0.0);
-    }
-    std::fill(transition_den.begin(), transition_den.end(), 0.0);
-    std::fill(emission_den.begin(), emission_den.end(), 0.0);
-    std::fill(initial.begin(), initial.end(), 0.0);
-  }
-
-  void merge(const Accumulators& other) {
-    const std::size_t n = transition_den.size();
-    for (std::size_t i = 0; i < n; ++i) {
-      auto dst = transition_num.row(i);
-      const auto src = other.transition_num.row(i);
-      for (std::size_t j = 0; j < dst.size(); ++j) dst[j] += src[j];
-      auto edst = emission_num.row(i);
-      const auto esrc = other.emission_num.row(i);
-      for (std::size_t k = 0; k < edst.size(); ++k) edst[k] += esrc[k];
-      transition_den[i] += other.transition_den[i];
-      emission_den[i] += other.emission_den[i];
-      initial[i] += other.initial[i];
-    }
-  }
-};
-
-/// Accumulates expected counts for one sequence; returns false if the
-/// sequence is empty or impossible under the current model. On success,
-/// `log_likelihood` receives the forward log-likelihood computed along the
-/// way (the quantity the trainer previously re-derived with a second full
-/// forward sweep).
-bool accumulate_sequence(const Hmm& model, const HmmKernelCache& cache,
-                         const ObservationSeq& seq, Accumulators& acc,
-                         double& log_likelihood) {
-  if (seq.empty()) return false;
-  const ForwardResult fwd = forward_scaled(model, seq, cache);
-  if (fwd.impossible) return false;
-  log_likelihood = fwd.log_likelihood;
-  const Matrix beta = backward_scaled(model, seq, fwd.scales, cache);
-
-  const std::size_t n = model.num_states();
-  const std::size_t t_len = seq.size();
-
-  // gamma(t, i) = alpha(t, i) * beta(t, i) * c_t (scaled quantities).
-  auto gamma = [&](std::size_t t, std::size_t i) {
-    return fwd.alpha(t, i) * beta(t, i) * fwd.scales[t];
-  };
-
-  for (std::size_t i = 0; i < n; ++i) acc.initial[i] += gamma(0, i);
-
-  for (std::size_t t = 0; t + 1 < t_len; ++t) {
-    const auto emission_col = cache.emission_t.row(seq[t + 1]);
-    const auto next_beta = beta.row(t + 1);
-    for (std::size_t i = 0; i < n; ++i) {
-      const double alpha_ti = fwd.alpha(t, i);
-      if (alpha_ti == 0.0) continue;
-      const auto out_of_i = model.transition.row(i);
-      auto num_row = acc.transition_num.row(i);
-      for (std::size_t j = 0; j < n; ++j) {
-        // xi(t, i, j): scaled alpha/beta make the normalizer 1.
-        const double xi =
-            alpha_ti * out_of_i[j] * emission_col[j] * next_beta[j];
-        num_row[j] += xi;
-      }
-    }
-  }
-  for (std::size_t t = 0; t < t_len; ++t) {
-    for (std::size_t i = 0; i < n; ++i) {
-      const double g = gamma(t, i);
-      acc.emission_num(i, seq[t]) += g;
-      acc.emission_den[i] += g;
-      if (t + 1 < t_len) acc.transition_den[i] += g;
-    }
-  }
-  return true;
-}
-
-void reestimate(Hmm& model, const Accumulators& acc, double pseudocount,
-                std::size_t observed_sequences) {
-  const std::size_t n = model.num_states();
-  const std::size_t m = model.num_symbols();
-
-  for (std::size_t i = 0; i < n; ++i) {
-    const double den =
-        acc.transition_den[i] + pseudocount * static_cast<double>(n);
-    for (std::size_t j = 0; j < n; ++j) {
-      model.transition(i, j) = (acc.transition_num(i, j) + pseudocount) / den;
-    }
-    const double eden =
-        acc.emission_den[i] + pseudocount * static_cast<double>(m);
-    for (std::size_t k = 0; k < m; ++k) {
-      model.emission(i, k) = (acc.emission_num(i, k) + pseudocount) / eden;
-    }
-  }
-  const double iden = static_cast<double>(observed_sequences) +
-                      pseudocount * static_cast<double>(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    model.initial[i] = (acc.initial[i] + pseudocount) / iden;
-  }
-}
-
-}  // namespace
-
-double mean_log_likelihood(const Hmm& model,
-                           const std::vector<ObservationSeq>& sequences,
-                           double impossible_penalty,
-                           std::size_t num_threads) {
-  if (sequences.empty()) return 0.0;
-  const HmmKernelCache cache(model);
-  WorkerPool pool(num_threads);
-  return pooled_mean_log_likelihood(model, cache, sequences,
-                                    impossible_penalty, pool);
-}
-
 TrainingReport baum_welch_train(Hmm& model,
                                 const std::vector<ObservationSeq>& sequences,
                                 const std::vector<ObservationSeq>& holdout,
                                 const TrainingOptions& options) {
-  model.validate();
-  TrainingReport report;
-  if (sequences.empty()) return report;
-
-  const std::size_t count = sequences.size();
-  const std::size_t n = model.num_states();
-  const std::size_t m = model.num_symbols();
-
-  WorkerPool pool(options.exec.threads);
-  HmmKernelCache cache(model);
-
-  // Resolve instruments once; hot-loop recording is pointer-guarded.
-  obs::MetricsRegistry* metrics = options.exec.metrics;
-  obs::RunProfile* profile = options.exec.profile;
-  obs::Counter* iterations_total = nullptr;
-  obs::Histogram* estep_seconds = nullptr;
-  obs::Histogram* mstep_seconds = nullptr;
-  obs::Gauge* ll_delta_gauge = nullptr;
-  obs::Gauge* pool_utilization = nullptr;
-  if (metrics != nullptr) {
-    iterations_total = &metrics->counter("cmarkov_train_iterations_total");
-    estep_seconds = &metrics->histogram("cmarkov_train_estep_seconds",
-                                        obs::seconds_bucket_bounds());
-    mstep_seconds = &metrics->histogram("cmarkov_train_mstep_seconds",
-                                        obs::seconds_bucket_bounds());
-    ll_delta_gauge = &metrics->gauge("cmarkov_train_ll_delta");
-    pool_utilization =
-        &metrics->gauge("cmarkov_train_pool_utilization_ratio");
-  }
-
-  // Train-set termination starts from -infinity: its score is the E-step's
-  // mean log-likelihood of the model *entering* the iteration (free — see
-  // below), and iteration 1's score already equals the initial model's
-  // likelihood. Holdout termination keeps its pre-training baseline.
-  double best_score =
-      holdout.empty()
-          ? -std::numeric_limits<double>::infinity()
-          : pooled_mean_log_likelihood(model, cache, holdout,
-                                       options.impossible_penalty, pool);
-  std::size_t stall = 0;
-
-  // Sequence s accumulates into slot s % slots; each slot is processed by
-  // exactly one worker in ascending-s order and slots merge in index order,
-  // making every accumulator sum independent of the thread count.
-  const std::size_t slots = std::min(count, kMergeSlots);
-  std::vector<Accumulators> partial(slots, Accumulators(n, m));
-  Accumulators total(n, m);
-  std::vector<double> per_sequence_ll(count);
-  std::vector<unsigned char> accepted(count);
-
-  double prev_train_mean = 0.0;
-  bool have_prev_train_mean = false;
-
-  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
-    // Closes on every exit path out of the iteration, breaks included.
-    const obs::ScopedTimer iteration_span(profile, "train-iteration");
-    Stopwatch stage_watch;
-    pool.run(slots, [&](std::size_t slot) {
-      Accumulators& acc = partial[slot];
-      acc.reset();
-      for (std::size_t s = slot; s < count; s += slots) {
-        double ll = options.impossible_penalty;
-        accepted[s] =
-            accumulate_sequence(model, cache, sequences[s], acc, ll) ? 1 : 0;
-        per_sequence_ll[s] = accepted[s] ? ll : options.impossible_penalty;
-      }
-    });
-    if (pool_utilization != nullptr) {
-      pool_utilization->set(pool.last_run_stats().utilization());
-    }
-
-    std::size_t observed = 0;
-    double ll_sum = 0.0;
-    for (std::size_t s = 0; s < count; ++s) {
-      observed += accepted[s];
-      ll_sum += per_sequence_ll[s];
-    }
-    report.skipped_sequences = count - observed;
-    if (observed == 0) {
-      // Model rejects everything; nothing to learn.
-      const double estep_s = stage_watch.seconds();
-      if (estep_seconds != nullptr) estep_seconds->record(estep_s);
-      if (profile != nullptr) profile->record("e-step", estep_s);
-      break;
-    }
-
-    total.reset();
-    for (const Accumulators& acc : partial) total.merge(acc);
-
-    // The E-step forward passes already produced every train-set
-    // log-likelihood; reuse them instead of a second full scoring sweep.
-    // (This is the likelihood of the model entering the iteration.)
-    const double train_mean = ll_sum / static_cast<double>(count);
-    {
-      const double estep_s = stage_watch.seconds();
-      if (estep_seconds != nullptr) estep_seconds->record(estep_s);
-      if (profile != nullptr) profile->record("e-step", estep_s);
-    }
-
-    stage_watch.reset();
-    reestimate(model, total, options.pseudocount, observed);
-    cache.rebuild(model);
-    {
-      const double mstep_s = stage_watch.seconds();
-      if (mstep_seconds != nullptr) mstep_seconds->record(mstep_s);
-      if (profile != nullptr) profile->record("m-step", mstep_s);
-    }
-    report.iterations = iter + 1;
-    report.train_log_likelihood.push_back(train_mean);
-    if (iterations_total != nullptr) iterations_total->add(1);
-    if (ll_delta_gauge != nullptr && have_prev_train_mean) {
-      ll_delta_gauge->set(train_mean - prev_train_mean);
-    }
-    prev_train_mean = train_mean;
-    have_prev_train_mean = true;
-
-    stage_watch.reset();
-    const double score =
-        holdout.empty()
-            ? train_mean
-            : pooled_mean_log_likelihood(model, cache, holdout,
-                                         options.impossible_penalty, pool);
-    if (!holdout.empty()) {
-      report.holdout_log_likelihood.push_back(score);
-      if (profile != nullptr) {
-        profile->record("holdout-score", stage_watch.seconds());
-      }
-    }
-
-    if (score - best_score < options.min_improvement) {
-      ++stall;
-      if (stall > options.patience) {
-        report.converged = true;
-        break;
-      }
-    } else {
-      stall = 0;
-    }
-    if (score > best_score) best_score = score;
-  }
-  if (options.exec.wants_log(LogLevel::kDebug)) {
-    log_debug() << "baum-welch: " << report.iterations << " iteration(s)"
-                << (report.converged ? ", converged" : "") << ", "
-                << report.skipped_sequences << " skipped";
-  }
+  // Deprecated shim (see header): one Trainer batch fit, bit-identical to
+  // the engine this free function used to hold.
+  Trainer trainer(model, options);
+  const TrainingReport report = trainer.fit(sequences, holdout);
+  model = trainer.model();
   return report;
 }
 

@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "src/serve/drift_monitor.hpp"
 #include "src/util/failpoint.hpp"
 #include "src/util/logging.hpp"
 
@@ -529,6 +530,12 @@ ReloadReport SessionManager::reload_model(
   return report;
 }
 
+void SessionManager::set_drift_monitor(DriftMonitor* monitor,
+                                       std::string model_name) {
+  drift_model_name_ = std::move(model_name);
+  drift_monitor_.store(monitor, std::memory_order_release);
+}
+
 void SessionManager::drain() {
   for (auto& worker : workers_) {
     if (config_.manual_pump) {
@@ -880,6 +887,17 @@ void SessionManager::process_item(Item& item, BatchCounters& batch) {
   {
     const std::lock_guard lock(item.session->monitor_mu);
     update = item.session->monitor.on_event(std::move(item.event));
+    if (update.window_complete && update.window != nullptr) {
+      // Must stay under monitor_mu: update.window points into the
+      // monitor's scoring scratch, which a concurrent reload_model ->
+      // rebind clears under this same mutex.
+      DriftMonitor* drift = drift_monitor_.load(std::memory_order_acquire);
+      if (drift != nullptr &&
+          item.session->model_name == drift_model_name_) {
+        drift->observe(update.log_likelihood, update.flagged,
+                       update.unknown_symbol, *update.window);
+      }
+    }
     if (update.decision != nullptr) {
       // Stamp ids into the monitor's ring copy (served by TRACE) and take
       // a copy for the service-wide JSONL log while still under the lock.

@@ -49,6 +49,8 @@
 
 namespace cmarkov::serve {
 
+class DriftMonitor;
+
 enum class BackpressurePolicy { kBlock, kDropOldest, kReject };
 
 const char* backpressure_policy_name(BackpressurePolicy policy);
@@ -251,6 +253,14 @@ class SessionManager {
   OverloadGovernor& overload_governor() { return governor_; }
   const OverloadGovernor& overload_governor() const { return governor_; }
 
+  /// Arms drift detection: every completed window of sessions serving
+  /// `model_name` is also fed to `monitor` (from the worker thread, under
+  /// the session's monitor_mu — the window span points into monitor
+  /// scratch that a concurrent reload would clear). The monitor must
+  /// outlive the manager or be detached first (pass null). Set before
+  /// traffic; not synchronized against in-flight events.
+  void set_drift_monitor(DriftMonitor* monitor, std::string model_name);
+
   const StatePool& state_pool() const { return pool_; }
 
   const ServiceConfig& config() const { return config_; }
@@ -327,6 +337,12 @@ class SessionManager {
   SnapshotStore snapshots_;
   StatePool pool_;
   OverloadGovernor governor_;
+
+  /// Drift feed target (null = drift disabled). The pointer is atomic so
+  /// workers can read it lock-free; the name is written once before
+  /// traffic (set_drift_monitor contract).
+  std::atomic<DriftMonitor*> drift_monitor_{nullptr};
+  std::string drift_model_name_;
   /// Aggregate queued-event count across all worker queues (the governor's
   /// occupancy signal without taking every worker lock per update).
   std::atomic<std::uint64_t> queued_events_{0};

@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "src/attack/mimicry.hpp"
-#include "src/hmm/baum_welch.hpp"
+#include "src/hmm/trainer.hpp"
 #include "src/trace/segmenter.hpp"
 #include "src/workload/testcase_generator.hpp"
 
@@ -30,7 +30,9 @@ struct Fixture {
     if (segments.size() > 250) segments.resize(250);
     hmm::TrainingOptions training;
     training.max_iterations = 6;
-    hmm::baum_welch_train(model.hmm, segments, {}, training);
+    hmm::Trainer trainer(model.hmm, training);
+    trainer.fit(segments);
+    model.hmm = trainer.model();
     return model;
   }
 };

@@ -2,9 +2,15 @@
 // rejection.
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
 #include <sstream>
 
 #include "src/core/model_io.hpp"
+#include "src/hmm/random_init.hpp"
+#include "src/util/rng.hpp"
 #include "src/workload/testcase_generator.hpp"
 
 namespace cmarkov::core {
@@ -173,6 +179,136 @@ TEST(ModelIoTest, TruncatedInitialVectorNamesIt) {
 TEST(ModelIoTest, MissingFileThrows) {
   EXPECT_THROW(load_detector_file("/nonexistent/path/model.txt"),
                std::runtime_error);
+}
+
+// ---- trainer-state persistence (`cmarkov-trainer-state 1`) ----
+
+/// A small trained Trainer whose state exercises every serialized field:
+/// absorbed corpus, holdout, two batch records, and a populated
+/// iteration-0 prefix cache.
+hmm::TrainerState trained_state() {
+  Rng rng(7);
+  std::vector<hmm::ObservationSeq> corpus;
+  for (std::size_t s = 0; s < 12; ++s) {
+    hmm::ObservationSeq seq;
+    for (std::size_t t = 0; t < 10; ++t) {
+      seq.push_back(rng.index(3));
+    }
+    corpus.push_back(std::move(seq));
+  }
+  hmm::TrainingOptions options;
+  options.max_iterations = 4;
+  hmm::Trainer trainer(hmm::randomly_initialized_hmm(2, 3, rng), options);
+  trainer.fit({corpus.begin(), corpus.begin() + 8},
+              {corpus.begin() + 8, corpus.begin() + 10});
+  trainer.partial_fit({corpus.begin() + 10, corpus.end()});
+  return trainer.state();
+}
+
+/// Serialized form of the shared trainer state, computed once.
+const std::string& saved_trainer_text() {
+  static const std::string text = [] {
+    std::stringstream buffer;
+    save_trainer_state(buffer, trained_state());
+    return buffer.str();
+  }();
+  return text;
+}
+
+// save → load → save must reproduce the byte-identical text: doubles
+// travel as IEEE-754 bit patterns, so nothing can drift in transit.
+TEST(ModelIoTest, TrainerStateRoundTripIsByteExact) {
+  std::stringstream first(saved_trainer_text());
+  const hmm::TrainerState loaded = load_trainer_state(first);
+  std::stringstream second;
+  save_trainer_state(second, loaded);
+  EXPECT_EQ(second.str(), saved_trainer_text());
+
+  const hmm::TrainerState original = trained_state();
+  EXPECT_EQ(loaded.train, original.train);
+  EXPECT_EQ(loaded.holdout, original.holdout);
+  EXPECT_EQ(loaded.batches.size(), original.batches.size());
+  EXPECT_EQ(loaded.cached_count, original.cached_count);
+  EXPECT_EQ(loaded.slot_prefix.size(), original.slot_prefix.size());
+  EXPECT_EQ(loaded.ll_sum_prefix, original.ll_sum_prefix);  // exact bits
+  EXPECT_EQ(loaded.holdout_ll_sum, original.holdout_ll_sum);
+}
+
+// The hex codec must preserve values decimal formatting mangles: signed
+// zero, subnormals, and values with no short decimal representation.
+TEST(ModelIoTest, TrainerStateHexDoublesPreserveSpecialValues) {
+  hmm::TrainerState state = trained_state();
+  state.min_improvement = -0.0;
+  state.impossible_penalty = -std::numeric_limits<double>::denorm_min();
+  state.ll_sum_prefix = std::nextafter(-123.456, -1000.0);
+  std::stringstream wire;
+  save_trainer_state(wire, state);
+  const hmm::TrainerState loaded = load_trainer_state(wire);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(loaded.min_improvement),
+            std::bit_cast<std::uint64_t>(-0.0));
+  EXPECT_EQ(loaded.impossible_penalty, state.impossible_penalty);
+  EXPECT_EQ(loaded.ll_sum_prefix, state.ll_sum_prefix);
+}
+
+TEST(ModelIoTest, TrainerStateFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/cmarkov_trainer_state.txt";
+  save_trainer_state_file(path, trained_state());
+  const hmm::TrainerState loaded = load_trainer_state_file(path);
+  EXPECT_EQ(loaded.train, trained_state().train);
+  EXPECT_THROW(load_trainer_state_file("/nonexistent/trainer.state"),
+               std::runtime_error);
+}
+
+TEST(ModelIoTest, TrainerStateRejectsWrongMagicAndVersion) {
+  std::stringstream not_trainer("cmarkov-detector 1\n");
+  EXPECT_THROW(load_trainer_state(not_trainer), std::runtime_error);
+  std::stringstream bad_version("cmarkov-trainer-state banana\n");
+  EXPECT_THROW(load_trainer_state(bad_version), std::runtime_error);
+  std::stringstream future("cmarkov-trainer-state 999\n");
+  EXPECT_THROW(load_trainer_state(future), std::runtime_error);
+}
+
+TEST(ModelIoTest, TrainerStateRejectsBadSlotCount) {
+  // The prefix cache is all 16 merge slots or nothing; a partial slot set
+  // could not continue the fold and must be refused at load time.
+  std::string text = saved_trainer_text();
+  const std::size_t pos = text.find("\nslots ");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, text.find('\n', pos + 1) - pos, "\nslots 3");
+  std::stringstream in(text);
+  try {
+    load_trainer_state(in);
+    FAIL() << "expected rejection of a 3-slot prefix cache";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("merge slots"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ModelIoTest, TrainerStateRejectsMalformedHexDouble) {
+  std::stringstream in(
+      with_key_value(saved_trainer_text(), "ll_sum_prefix", "zznothex"));
+  try {
+    load_trainer_state(in);
+    FAIL() << "expected rejection of a malformed hex double";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("ll_sum_prefix"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ModelIoTest, TrainerStateRejectsInconsistentPrefix) {
+  // Structurally well-formed but semantically impossible: the cached
+  // prefix claims more sequences than the corpus holds. validate() fires.
+  std::stringstream in(
+      with_key_value(saved_trainer_text(), "cached_count", "99999"));
+  EXPECT_THROW(load_trainer_state(in), std::invalid_argument);
+}
+
+TEST(ModelIoTest, TrainerStateRejectsTruncation) {
+  const std::string& full = saved_trainer_text();
+  std::stringstream truncated(full.substr(0, full.size() / 3));
+  EXPECT_THROW(load_trainer_state(truncated), std::runtime_error);
 }
 
 TEST(ModelIoTest, FromPartsValidatesShape) {

@@ -7,8 +7,9 @@
 #include <string>
 #include <vector>
 
-#include "src/hmm/baum_welch.hpp"
+#include "src/hmm/baum_welch.hpp"  // mean_log_likelihood
 #include "src/hmm/forward_backward.hpp"
+#include "src/hmm/trainer.hpp"
 #include "src/hmm/random_init.hpp"
 #include "src/linalg/kmeans.hpp"
 #include "src/linalg/pca.hpp"
@@ -40,12 +41,13 @@ TrainRun train_with_threads(const Hmm& initial,
                             const std::vector<ObservationSeq>& holdout,
                             std::size_t num_threads) {
   TrainRun run;
-  run.model = initial;
   TrainingOptions options;
   options.max_iterations = 6;
   options.min_improvement = -1.0;  // run every iteration
   options.exec.threads = num_threads;
-  run.report = baum_welch_train(run.model, data, holdout, options);
+  Trainer trainer(initial, options);
+  run.report = trainer.fit(data, holdout);
+  run.model = trainer.model();
   return run;
 }
 

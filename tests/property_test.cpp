@@ -7,7 +7,7 @@
 
 #include "src/analysis/aggregation.hpp"
 #include "src/cfg/cfg_builder.hpp"
-#include "src/hmm/baum_welch.hpp"
+#include "src/hmm/trainer.hpp"
 #include "src/hmm/forward_backward.hpp"
 #include "src/hmm/random_init.hpp"
 #include "src/hmm/viterbi.hpp"
@@ -193,12 +193,13 @@ TEST_P(RandomHmmProperty, BaumWelchNeverDecreasesDataLikelihood) {
   options.max_iterations = 6;
   options.min_improvement = -1.0;
   options.patience = 100;
-  const auto report = hmm::baum_welch_train(model, data, {}, options);
+  hmm::Trainer trainer(model, options);
+  const auto report = trainer.fit(data);
   for (std::size_t i = 1; i < report.train_log_likelihood.size(); ++i) {
     EXPECT_GE(report.train_log_likelihood[i],
               report.train_log_likelihood[i - 1] - 1e-6);
   }
-  EXPECT_NO_THROW(model.validate(1e-6));
+  EXPECT_NO_THROW(trainer.model().validate(1e-6));
 }
 
 TEST_P(RandomHmmProperty, ViterbiNeverBeatsForward) {

@@ -16,6 +16,7 @@
 #include <thread>
 
 #include "src/core/model_io.hpp"
+#include "src/serve/drift_monitor.hpp"
 #include "src/serve/service.hpp"
 #include "src/util/rng.hpp"
 #include "src/workload/testcase_generator.hpp"
@@ -704,6 +705,98 @@ TEST(MetricsGoldenTest, ScriptedSessionExposition) {
     metrics.replace(start, end - start, "X");
   }
   compare_golden("serve_metrics.kv", metrics + "\n");
+}
+
+// Drift-armed serving end-to-end (ROADMAP item 3): a detector trained
+// with keep_trainer_state serves traffic; a workload shift breaches the
+// windowed KS statistic over per-window log-likelihoods; poll() absorbs
+// the buffered clean windows via Trainer::partial_fit and hot-publishes a
+// new model version through the PR 6 reload path with zero accepted-event
+// loss.
+TEST(DriftRefreshTest, WorkloadShiftPublishesRefreshedModel) {
+  core::DetectorConfig detector_config;
+  detector_config.pipeline.filter = analysis::CallFilter::kSyscalls;
+  detector_config.training.max_iterations = 4;
+  detector_config.keep_trainer_state = true;
+  core::Detector detector =
+      core::Detector::build(fixture().gzip.module(), detector_config);
+  detector.train(workload::collect_traces(fixture().gzip, 20, 91).traces);
+  ASSERT_NE(detector.trainer_state(), nullptr);
+  hmm::Trainer trainer(*detector.trainer_state());
+
+  ModelRegistry registry;
+  registry.add("drift", std::move(detector));
+  const std::uint64_t v0 = registry.require_versioned("drift").version;
+
+  SessionManager manager(registry, protocol_config());
+
+  // Windows slide with stride 1, so consecutive windows are highly
+  // correlated: epochs must span enough events to wash out run-phase
+  // locality or benign traffic breaches spuriously.
+  DriftOptions drift;
+  drift.baseline_windows = 120;
+  drift.recent_windows = 60;
+  drift.buckets = 8;
+  drift.ks_threshold = 0.6;
+  drift.consecutive_epochs = 3;
+  drift.min_absorb_segments = 16;
+  drift.max_absorb_segments = 256;
+  DriftRefresher refresher(manager, registry, "drift", std::move(trainer),
+                           drift);
+  manager.set_drift_monitor(&refresher.monitor(), "drift");
+  manager.open_session("watched", "drift");
+  const std::size_t window =
+      registry.require("drift")->config().segments.length;
+
+  // Benign traffic freezes the baseline and stocks the absorb ring with
+  // clean windows (the future partial_fit batch).
+  for (std::uint64_t seed = 700; !refresher.monitor().baseline_ready();
+       ++seed) {
+    ASSERT_LT(seed, 750u) << "baseline never froze";
+    for (const auto& event : fixture().events_for(fixture().gzip, seed)) {
+      ASSERT_EQ(manager.submit("watched", event), SubmitResult::kAccepted);
+    }
+    manager.drain();
+    EXPECT_FALSE(refresher.poll());  // no drift confirmed yet
+  }
+  EXPECT_GE(refresher.monitor().absorb_depth(), drift.min_absorb_segments);
+
+  // Workload shift: unknown-context events score at the penalty floor, so
+  // the recent histogram's mass piles into the lowest bucket.
+  trace::CallEvent shifted;
+  shifted.caller = "bogus";
+  shifted.name = "read";
+  const std::size_t shift_events =
+      window * drift.recent_windows * (drift.consecutive_epochs + 1);
+  for (std::size_t i = 0; i < shift_events; ++i) {
+    ASSERT_EQ(manager.submit("watched", shifted), SubmitResult::kAccepted);
+  }
+  manager.drain();
+  EXPECT_GT(refresher.monitor().last_ks(), drift.ks_threshold);
+  ASSERT_TRUE(refresher.monitor().refresh_due());
+
+  ASSERT_TRUE(refresher.poll());
+  EXPECT_EQ(refresher.refreshes(), 1u);
+  const VersionedModel refreshed = registry.require_versioned("drift");
+  EXPECT_GT(refreshed.version, v0);
+  EXPECT_NE(refreshed.kernel, nullptr);
+  EXPECT_TRUE(registry.require("drift")->trained());
+  // The absorbed batch is on the trainer's persistent ledger.
+  EXPECT_GE(refresher.trainer().state().batches.size(), 2u);
+  // Old scores are meaningless under the new model: re-baselined.
+  EXPECT_FALSE(refresher.monitor().baseline_ready());
+  EXPECT_FALSE(refresher.poll());
+
+  // Zero accepted-event loss across the refresh (the PR 6 guarantee).
+  const ServiceMetrics metrics = manager.metrics();
+  EXPECT_EQ(metrics.events_processed, metrics.events_enqueued);
+  EXPECT_EQ(metrics.events_dropped, 0u);
+  const SessionStats stats = manager.session_stats("watched");
+  EXPECT_EQ(stats.processed, stats.enqueued);
+  EXPECT_EQ(stats.dropped, 0u);
+
+  // Detach before the refresher (declared later) is destroyed.
+  manager.set_drift_monitor(nullptr, {});
 }
 
 TEST(ServiceTest, ServeStreamEndToEnd) {

@@ -6,7 +6,8 @@
 #   - histograms end in a unit suffix (_seconds, _micros, _bytes);
 #   - gauges end in a unit suffix or one of the allowlisted dimensionless
 #     kinds (_ratio, _open, _calls, _states, _clusters, _components,
-#     _inertia, _delta, _level) or the per-worker "_w<i>" index suffix.
+#     _inertia, _delta, _level, _iterations) or the per-worker "_w<i>"
+#     index suffix.
 #
 # The check is a line-based grep over registration call sites, so the
 # instrument name literal must sit on the same line as its
@@ -45,7 +46,7 @@ printf '%s\n' "$matches" | awk '
   } else if (kind == "histogram" && name !~ /(_seconds|_micros|_bytes)$/) {
     print loc ": histogram \"" name "\" must end in a unit suffix (_seconds|_micros|_bytes)";
     bad += 1;
-  } else if (kind == "gauge" && name !~ /(_seconds|_micros|_bytes|_ratio|_open|_calls|_states|_clusters|_components|_inertia|_delta|_level|_w[0-9]*)$/) {
+  } else if (kind == "gauge" && name !~ /(_seconds|_micros|_bytes|_ratio|_open|_calls|_states|_clusters|_components|_inertia|_delta|_level|_iterations|_w[0-9]*)$/) {
     print loc ": gauge \"" name "\" must end in a unit or allowlisted kind suffix";
     bad += 1;
   }

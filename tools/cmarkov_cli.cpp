@@ -5,6 +5,10 @@
 //   cmarkov trace   <suite|file.minic> [--count N] [--seed S] --out <dir>
 //   cmarkov train   <suite|file.minic> [--filter sys|lib] [--traces N]
 //                   [--context 0|1] [--profile-json <path>] --out <model.txt>
+//                   [--save-state <trainer.state>]
+//   cmarkov train   <suite|file.minic> --incremental <base.detector>
+//                   --resume-state <trainer.state> [--traces N] [--seed S]
+//                   [--out <model.txt>] [--save-state <trainer.state>]
 //   cmarkov scan    <model.txt> <trace.txt>...
 //   cmarkov monitor <model.txt> <trace.txt>
 //   cmarkov explain --model <model.txt> --trace <trace.txt>
@@ -185,9 +189,63 @@ int cmd_trace(const Args& args) {
   return 0;
 }
 
+/// `train --incremental <base.detector> --resume-state <trainer-state>`:
+/// absorbs freshly collected traces into an existing model via
+/// hmm::Trainer::partial_fit instead of retraining from scratch. The
+/// refreshed detector is bit-identical to a full retrain on the combined
+/// corpus (trainer.hpp explains why) at a fraction of the cost.
+int cmd_train_incremental(const Args& args, const std::string& base_path) {
+  const std::string state_path = args.get("resume-state", "");
+  if (state_path.empty()) {
+    throw std::runtime_error(
+        "train: --incremental needs --resume-state <trainer-state> "
+        "(written by a previous train --save-state)");
+  }
+  const ir::ProgramModule program = load_program(args.positional[0]);
+  const core::Detector base = core::load_detector_file(base_path);
+  hmm::Trainer trainer(core::load_trainer_state_file(state_path));
+
+  const auto traces = collect_program_traces(
+      program,
+      static_cast<std::size_t>(std::stoul(args.get("traces", "60"))),
+      std::stoull(args.get("seed", "43")));
+  std::vector<hmm::ObservationSeq> segments;
+  for (const auto& trace : traces) {
+    auto encoded = base.encode_trace_segments(trace);
+    segments.insert(segments.end(),
+                    std::make_move_iterator(encoded.begin()),
+                    std::make_move_iterator(encoded.end()));
+  }
+  if (segments.empty()) {
+    throw std::runtime_error("train: collected traces yield no segments");
+  }
+  const hmm::TrainingReport report = trainer.partial_fit(segments);
+  const hmm::TrainerState& state = trainer.state();
+  const core::Detector refreshed = base.rebuilt_with(
+      trainer.model(), state.holdout.empty() ? state.train : state.holdout);
+
+  const std::string out = args.get("out", base_path);
+  core::save_detector_file(out, refreshed);
+  const std::string save_state = args.get("save-state", "");
+  if (!save_state.empty()) {
+    core::save_trainer_state_file(save_state, state);
+    std::cout << "trainer state saved to " << save_state << "\n";
+  }
+  std::cout << "absorbed " << segments.size() << " segments from "
+            << traces.size() << " traces (" << report.iterations
+            << " iterations), threshold "
+            << format_double(refreshed.threshold(), 3) << "\n";
+  std::cout << "saved to " << out << "\n";
+  return 0;
+}
+
 int cmd_train(const Args& args) {
   if (args.positional.empty()) {
     throw std::runtime_error("train: need a suite name or .minic file");
+  }
+  const std::string incremental_base = args.get("incremental", "");
+  if (!incremental_base.empty()) {
+    return cmd_train_incremental(args, incremental_base);
   }
   // --profile-json: instrument the whole run (stage spans + metrics) and
   // dump the machine-readable profile document on exit.
@@ -209,6 +267,11 @@ int cmd_train(const Args& args) {
   config.pipeline.filter = parse_filter(args.get("filter", "sys"));
   config.pipeline.context_sensitive = args.get("context", "1") != "0";
   config.target_fp = std::stod(args.get("target-fp", "0.001"));
+  // --save-state: persist the trainer's sufficient-statistics state next
+  // to the model so a later `train --incremental` (or cmarkovd --drift)
+  // can absorb new traces without retraining from scratch.
+  const std::string save_state = args.get("save-state", "");
+  config.keep_trainer_state = !save_state.empty();
   const auto threads =
       static_cast<std::size_t>(std::stoul(args.get("threads", "0")));
   config.pipeline.exec.threads = threads;
@@ -240,6 +303,10 @@ int cmd_train(const Args& args) {
   {
     const obs::ScopedTimer span(profile, "save-model");
     core::save_detector_file(out, *detector);
+  }
+  if (!save_state.empty()) {
+    core::save_trainer_state_file(save_state, *detector->trainer_state());
+    std::cout << "trainer state saved to " << save_state << "\n";
   }
 
   std::cout << "trained " << (config.pipeline.context_sensitive

@@ -38,12 +38,15 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/core/model_io.hpp"
 #include "src/obs/export.hpp"
 #include "src/obs/trace/chrome_trace.hpp"
+#include "src/serve/drift_monitor.hpp"
 #include "src/serve/net/epoll_server.hpp"
 #include "src/serve/service.hpp"
 #include "src/trace/trace_io.hpp"
@@ -64,6 +67,10 @@ struct DaemonOptions {
   std::uint64_t handshake_timeout_ms = 30'000;
   std::string decision_log_path;
   std::string chrome_trace_path;
+  /// --drift <model>=<trainer-state>: arm drift-triggered refresh.
+  std::string drift_model;
+  std::string drift_state_path;
+  serve::DriftOptions drift;
   serve::ServiceConfig service;
 };
 
@@ -80,6 +87,10 @@ int usage() {
          "                [--tcp PORT] [--net-loops N]\n"
          "                [--handshake-timeout-ms N] (0 = never reap)\n"
          "                [--overload on|off] [--deadline-ms N]\n"
+         "                [--drift <model>=<trainer-state>]\n"
+         "                [--drift-threshold KS] [--drift-baseline N]\n"
+         "                [--drift-recent N] [--drift-consecutive N]\n"
+         "                [--drift-min-absorb N]\n"
          "With neither --replay nor --tcp, serves the line protocol on\n"
          "stdin/stdout: HELLO <model> [id] [tid=T] | EV <site> <callee>\n"
          "[sys|lib] [tid=T] | STATS | METRICS | TRACE [n] | FAILPOINT |\n"
@@ -87,7 +98,11 @@ int usage() {
          "--deadline-ms sets the per-event latency budget the overload\n"
          "degradation ladder defends (docs/SERVING.md). Failpoints can be\n"
          "pre-armed via CMARKOV_FAILPOINTS=\"name=spec,...\" in the\n"
-         "environment.\n";
+         "environment. --drift watches the named model's score\n"
+         "distribution for shift and, when confirmed, absorbs recent\n"
+         "clean windows via incremental retraining and hot-reloads the\n"
+         "refreshed model (the trainer state comes from\n"
+         "`cmarkov train --save-state`; see docs/SERVING.md).\n";
   return 1;
 }
 
@@ -164,6 +179,23 @@ DaemonOptions parse_options(int argc, char** argv) {
     } else if (flag == "--chrome-trace") {
       options.chrome_trace_path = value;
       options.service.tracing.enabled = true;
+    } else if (flag == "--drift") {
+      const auto eq = value.find('=');
+      if (eq == std::string::npos) {
+        throw std::runtime_error("--drift expects <model>=<trainer-state>");
+      }
+      options.drift_model = value.substr(0, eq);
+      options.drift_state_path = value.substr(eq + 1);
+    } else if (flag == "--drift-threshold") {
+      options.drift.ks_threshold = std::stod(value);
+    } else if (flag == "--drift-baseline") {
+      options.drift.baseline_windows = std::stoul(value);
+    } else if (flag == "--drift-recent") {
+      options.drift.recent_windows = std::stoul(value);
+    } else if (flag == "--drift-consecutive") {
+      options.drift.consecutive_epochs = std::stoul(value);
+    } else if (flag == "--drift-min-absorb") {
+      options.drift.min_absorb_segments = std::stoul(value);
     } else {
       throw std::runtime_error("unknown flag '" + flag + "'");
     }
@@ -197,7 +229,8 @@ void replay_trace(serve::CmarkovService& service, const std::string& model,
 /// The epoll TCP front-end: edge-triggered event loops over both the CMKB
 /// binary frame protocol and the text line protocol (auto-detected per
 /// connection). Blocks until SIGINT/SIGTERM.
-int serve_tcp(serve::CmarkovService& service, const DaemonOptions& options) {
+int serve_tcp(serve::CmarkovService& service, const DaemonOptions& options,
+              serve::DriftRefresher* refresher) {
   static volatile std::sig_atomic_t g_stop = 0;
   std::signal(SIGINT, [](int) { g_stop = 1; });
   std::signal(SIGTERM, [](int) { g_stop = 1; });
@@ -209,6 +242,9 @@ int serve_tcp(serve::CmarkovService& service, const DaemonOptions& options) {
   server.start();
   while (g_stop == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    // Drift refresh runs on this idle thread: partial_fit + hot reload
+    // happen here while the workers keep scoring against the old version.
+    if (refresher != nullptr) refresher->poll();
   }
   log_info() << "cmarkovd: shutting down";
   server.stop();
@@ -280,23 +316,58 @@ int main(int argc, char** argv) {
       service.sessions().snapshot_store().load_directory();
     }
 
+    std::unique_ptr<serve::DriftRefresher> refresher;
+    if (!options.drift_model.empty()) {
+      service.registry().require(options.drift_model);  // fail fast
+      hmm::TrainerState state =
+          core::load_trainer_state_file(options.drift_state_path);
+      refresher = std::make_unique<serve::DriftRefresher>(
+          service.sessions(), service.registry(), options.drift_model,
+          hmm::Trainer(std::move(state)), options.drift);
+      service.sessions().set_drift_monitor(&refresher->monitor(),
+                                           options.drift_model);
+      log_info() << "cmarkovd: drift refresh armed for model '"
+                 << options.drift_model << "' (ks>"
+                 << options.drift.ks_threshold << " x"
+                 << options.drift.consecutive_epochs << " epochs)";
+    }
+    // Workers must stop feeding the monitor before the refresher dies
+    // (the service outlives it in this scope).
+    const auto detach_drift = [&] {
+      if (refresher != nullptr) {
+        service.sessions().set_drift_monitor(nullptr, {});
+        service.sessions().drain();
+      }
+    };
+
     if (!options.replays.empty()) {
       for (const auto& [model, path] : options.replays) {
         replay_trace(service, model, path);
       }
+      if (refresher != nullptr) {
+        service.sessions().drain();
+        refresher->poll();
+      }
       std::cout << "METRICS " << obs::to_kv_line(service.metrics_registry())
                 << "\n";
       flush_trace_sinks(service, options);
+      detach_drift();
       return 0;
     }
     if (options.tcp_port > 0) {
       ::signal(SIGPIPE, SIG_IGN);
-      const int status = serve_tcp(service, options);
+      const int status = serve_tcp(service, options, refresher.get());
       flush_trace_sinks(service, options);
+      detach_drift();
       return status;
     }
     service.serve_stream(std::cin, std::cout);
+    if (refresher != nullptr) {
+      service.sessions().drain();
+      refresher->poll();
+    }
     flush_trace_sinks(service, options);
+    detach_drift();
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "cmarkovd: " << e.what() << "\n";

@@ -7,7 +7,11 @@
 # scheme), the epoll TCP front-end (serve_net_test drives concurrent
 # connects across event loops, session eviction/restore, and hot model
 # reload under live producer traffic), the parallel training engine
-# (worker pool, multi-threaded Baum-Welch/k-means/PCA), and the obs layer
+# (worker pool, multi-threaded Baum-Welch/k-means/PCA — including the
+# incremental hmm::Trainer whose partial_fit must stay bit-identical at
+# every thread count, and the drift-armed refresh loop in serve_test's
+# DriftRefreshTest feeding DriftMonitor from shard workers), and the obs
+# layer
 # (sharded counters/histograms under concurrent writers plus the threaded
 # pipeline-with-metrics smoke in obs_test), and the chaos harness
 # (chaos_test exercises failpoint arming/firing, crash-restart snapshot
@@ -20,14 +24,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build-tsan}"
-TESTS='^(serve_test|serve_net_test|chaos_test|logging_test|parallel_test|parallel_training_test|obs_test)$'
+TESTS='^(serve_test|serve_net_test|chaos_test|logging_test|parallel_test|parallel_training_test|incremental_training_test|obs_test)$'
 
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMARKOV_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target serve_test serve_net_test chaos_test logging_test parallel_test \
-  --target parallel_training_test obs_test
+  --target parallel_training_test incremental_training_test obs_test
 
 (cd "$BUILD_DIR" && \
   TSAN_OPTIONS="halt_on_error=1 abort_on_error=1" \
