@@ -8,6 +8,7 @@
 //                          [--policy block|drop-oldest|reject]
 //                          [--trace off|sample|sample-periodic|always]
 //                          [--failpoints disabled|armed]
+//                          [--admin off|on] [--admin-scrape-ms MS]
 //                          [--full]
 //
 // Acceptance target (ISSUE 1): >= 100k events/sec aggregate across >= 8
@@ -27,12 +28,28 @@
 // fault actually firing. Interleave disabled/armed runs on the same host
 // to bound both costs; the disabled case must stay within 1% of the
 // pre-failpoint binary.
+//
+// --admin on measures the introspection-plane overhead (PR 10,
+// BENCH_obs.json): the full production admin stack runs alongside the
+// workload — an EpollServer hosting the HTTP admin plane on an ephemeral
+// port, a TimeSeriesCollector sampling every instrument once a second,
+// and one poller thread scraping /varz + /metrics + /statusz every
+// --admin-scrape-ms (default 1000 ms, the production shape: Prometheus
+// scrapes at 1 s or slower and `cmarkov top` defaults to 2 s; 100 ms is
+// the stress cadence). Interleave on/off runs on the same host; `on` must
+// stay within 3% of `off`.
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/obs/timeseries.hpp"
+#include "src/serve/net/admin.hpp"
+#include "src/serve/net/epoll_server.hpp"
 #include "src/serve/session_manager.hpp"
 #include "src/util/failpoint.hpp"
 #include "src/util/stopwatch.hpp"
@@ -135,6 +152,14 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  const std::string admin_mode = arg_value(argc, argv, "--admin", "off");
+  if (admin_mode != "on" && admin_mode != "off") {
+    std::cerr << "unknown --admin mode (off|on)\n";
+    return 1;
+  }
+  const auto admin_scrape_ms =
+      std::stoul(arg_value(argc, argv, "--admin-scrape-ms", "1000"));
+
   const std::string failpoints =
       arg_value(argc, argv, "--failpoints", "disabled");
   if (failpoints == "armed") {
@@ -155,7 +180,7 @@ int main(int argc, char** argv) {
             << " workers, queue=" << config.queue_capacity
             << ", policy=" << serve::backpressure_policy_name(config.policy)
             << ", trace=" << trace_mode << ", failpoints=" << failpoints
-            << "\n";
+            << ", admin=" << admin_mode << "\n";
 
   const workload::ProgramSuite gzip = workload::make_gzip_suite();
   const workload::ProgramSuite sed = workload::make_sed_suite();
@@ -177,6 +202,51 @@ int main(int argc, char** argv) {
     manager.open_session(ids[i], i % 2 == 0 ? "gzip" : "sed");
   }
 
+  // The production introspection stack, measured whole: admin HTTP plane
+  // on its own ephemeral listener, 1 Hz collector, one scraping poller.
+  std::unique_ptr<serve::net::AdminHandler> admin;
+  std::unique_ptr<obs::TimeSeriesCollector> collector;
+  std::unique_ptr<serve::net::EpollServer> admin_server;
+  std::atomic<bool> stop_poller{false};
+  std::atomic<std::uint64_t> scrapes{0};
+  std::thread poller;
+  if (admin_mode == "on") {
+    admin = std::make_unique<serve::net::AdminHandler>(manager);
+    obs::CollectorOptions copts;
+    copts.pre_sample = [&manager] { (void)manager.metrics_registry(); };
+    collector = std::make_unique<obs::TimeSeriesCollector>(
+        manager.instruments(), std::move(copts));
+    admin->set_collector(collector.get());
+    serve::net::NetOptions net;
+    net.port = 0;
+    net.num_loops = 1;
+    net.admin = admin.get();
+    net.admin_port = 0;
+    admin_server = std::make_unique<serve::net::EpollServer>(manager, net);
+    admin_server->start();
+    admin->set_loop_status_fn(
+        [srv = admin_server.get()] { return srv->loop_status(); });
+    collector->start();
+    const std::uint16_t admin_port = admin_server->admin_port();
+    poller = std::thread([&stop_poller, &scrapes, admin_port,
+                          admin_scrape_ms] {
+      while (!stop_poller.load(std::memory_order_relaxed)) {
+        try {
+          (void)serve::net::admin_http_get("127.0.0.1", admin_port, "/varz");
+          (void)serve::net::admin_http_get("127.0.0.1", admin_port,
+                                           "/metrics");
+          (void)serve::net::admin_http_get("127.0.0.1", admin_port,
+                                           "/statusz");
+          scrapes.fetch_add(1, std::memory_order_relaxed);
+        } catch (const std::exception&) {
+          // Scrape failures would show up as a suspiciously low count.
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(admin_scrape_ms));
+      }
+    });
+  }
+
   Stopwatch watch;
   std::vector<std::thread> producers;
   producers.reserve(sessions);
@@ -188,6 +258,13 @@ int main(int argc, char** argv) {
   for (auto& producer : producers) producer.join();
   manager.drain();
   const double elapsed = watch.seconds();
+
+  if (admin_mode == "on") {
+    stop_poller.store(true, std::memory_order_relaxed);
+    poller.join();
+    collector->stop();
+    admin_server->stop();
+  }
 
   TablePrinter table({"Session", "Model", "Enqueued", "Processed", "Dropped",
                       "Rejected", "Windows", "Alarms"});
@@ -214,6 +291,11 @@ int main(int argc, char** argv) {
   std::cout << "dropped=" << metrics.events_dropped
             << " rejected=" << metrics.events_rejected
             << " alarms=" << metrics.alarms << "\n";
+  if (admin_mode == "on") {
+    std::cout << "admin: " << scrapes.load()
+              << " scrape round(s) of /varz+/metrics+/statusz, "
+              << collector->samples_taken() << " collector sample(s)\n";
+  }
   if (trace_mode != "off") {
     std::cout << "tracing: spans=" << manager.tracer().recorded()
               << " (+" << manager.tracer().dropped() << " dropped)"

@@ -3,7 +3,6 @@
 #include <cmath>
 
 #include "src/hmm/forward_backward.hpp"
-#include "src/hmm/trainer.hpp"
 #include "src/util/parallel.hpp"
 
 namespace cmarkov::hmm {
@@ -38,18 +37,6 @@ double mean_log_likelihood(const Hmm& model,
   double total = 0.0;
   for (double ll : per_sequence) total += ll;
   return total / static_cast<double>(sequences.size());
-}
-
-TrainingReport baum_welch_train(Hmm& model,
-                                const std::vector<ObservationSeq>& sequences,
-                                const std::vector<ObservationSeq>& holdout,
-                                const TrainingOptions& options) {
-  // Deprecated shim (see header): one Trainer batch fit, bit-identical to
-  // the engine this free function used to hold.
-  Trainer trainer(model, options);
-  const TrainingReport report = trainer.fit(sequences, holdout);
-  model = trainer.model();
-  return report;
 }
 
 }  // namespace cmarkov::hmm

@@ -1,7 +1,7 @@
 // Baum-Welch training options/report types and the mean log-likelihood
 // scorer. The training engine itself lives in hmm::Trainer
-// (src/hmm/trainer.hpp) since the PR 9 API redesign; the free
-// `baum_welch_train` below survives as a deprecated one-PR shim.
+// (src/hmm/trainer.hpp); tools/check_trainer_api.sh keeps the old free
+// training entry point from coming back.
 //
 // Convergence follows the paper's protocol: 20% of the normal data is held
 // out as a termination set; after each iteration the model is evaluated on
@@ -71,17 +71,5 @@ double mean_log_likelihood(const Hmm& model,
                            const std::vector<ObservationSeq>& sequences,
                            double impossible_penalty = -1e4,
                            std::size_t num_threads = 1);
-
-/// DEPRECATED (PR 9, removed next PR — tools/check_trainer_api.sh keeps
-/// new call sites out): thin shim over hmm::Trainer. Trains `model` in
-/// place on `sequences`; `holdout` drives termination (may be empty: then
-/// training runs until max_iterations or train-set improvement stalls).
-/// Bit-identical to `Trainer(model, options).fit(sequences, holdout)`.
-/// Use the Trainer API instead: it keeps the resumable state that makes
-/// incremental `partial_fit` possible.
-TrainingReport baum_welch_train(Hmm& model,
-                                const std::vector<ObservationSeq>& sequences,
-                                const std::vector<ObservationSeq>& holdout,
-                                const TrainingOptions& options = {});
 
 }  // namespace cmarkov::hmm

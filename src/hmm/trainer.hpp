@@ -122,9 +122,9 @@ struct TrainerState {
   void validate() const;
 };
 
-/// Stateful training engine. Replaces the free `baum_welch_train` (which
-/// remains as a deprecated one-PR shim delegating here; see
-/// tools/check_trainer_api.sh).
+/// Stateful training engine — the only Baum-Welch entry point (the old
+/// free training function is gone; tools/check_trainer_api.sh keeps it
+/// from coming back).
 class Trainer {
  public:
   /// Fresh trainer starting from `initial_model` (θ₀). The options'

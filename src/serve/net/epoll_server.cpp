@@ -60,12 +60,16 @@ struct EpollServer::Conn {
   explicit Conn(int fd) : fd(fd) {}
 
   int fd;
-  enum class Mode { kUnknown, kText, kBinary } mode = Mode::kUnknown;
+  enum class Mode { kUnknown, kText, kBinary, kHttp } mode = Mode::kUnknown;
   /// Unknown mode: the sniff prefix. Text mode: the partial-line buffer.
+  /// Http mode: the partial-request buffer.
   std::string inbuf;
   FrameParser parser;
   std::unique_ptr<ProtocolSession> text;
   std::unique_ptr<BinarySession> binary;
+  /// Bound at adoption for connections accepted on the admin listener
+  /// (mode kHttp from the first byte — no sniffing).
+  std::unique_ptr<AdminConn> http;
   std::string outbuf;
   std::size_t outpos = 0;
   bool want_write = false;   // EPOLLOUT currently armed
@@ -82,11 +86,13 @@ struct EpollServer::Conn {
 };
 
 struct EpollServer::Loop {
+  std::size_t index = 0;
   int epoll_fd = -1;
   int wake_fd = -1;
   std::thread thread;
   std::mutex pending_mu;
-  std::vector<int> pending;  // accepted fds awaiting adoption
+  /// Accepted fds awaiting adoption; the flag marks admin-listener fds.
+  std::vector<std::pair<int, bool>> pending;
   std::unordered_map<int, std::unique_ptr<Conn>> conns;
   /// Next handshake-reaper sweep (service clock); rate-limits the scan.
   double next_sweep_micros = 0.0;
@@ -110,46 +116,78 @@ EpollServer::EpollServer(SessionManager& manager, NetOptions options)
   handshake_timeouts_total_ =
       &metrics.counter("cmarkov_net_handshake_timeouts_total");
   connections_open_ = &metrics.gauge("cmarkov_net_connections_open");
+  loop_instruments_.reserve(options_.num_loops);
+  for (std::size_t i = 0; i < options_.num_loops; ++i) {
+    LoopInstruments li;
+    li.bytes_read = &metrics.counter("cmarkov_net_loop_bytes_read_total_w" +
+                                     std::to_string(i));
+    li.bytes_written = &metrics.counter(
+        "cmarkov_net_loop_bytes_written_total_w" + std::to_string(i));
+    li.units =
+        &metrics.counter("cmarkov_net_loop_units_total_w" + std::to_string(i));
+    li.connections_open = &metrics.gauge(
+        "cmarkov_net_loop_connections_open_w" + std::to_string(i));
+    loop_instruments_.push_back(li);
+  }
 }
 
 EpollServer::~EpollServer() { stop(); }
 
-void EpollServer::start() {
-  if (running_.load(std::memory_order_acquire)) return;
-  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) throw_errno("socket");
+int EpollServer::open_listener(std::uint16_t port, std::uint16_t& bound_port) {
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket");
   const int enable = 1;
-  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
+  addr.sin_port = htons(port);
   if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
-    close(listen_fd_);
-    listen_fd_ = -1;
+    close(fd);
     throw std::runtime_error("EpollServer: bad bind address '" +
                              options_.bind_address + "'");
   }
-  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     const int saved = errno;
-    close(listen_fd_);
-    listen_fd_ = -1;
+    close(fd);
     errno = saved;
-    throw_errno("bind " + options_.bind_address + ":" +
-                std::to_string(options_.port));
+    throw_errno("bind " + options_.bind_address + ":" + std::to_string(port));
   }
-  if (listen(listen_fd_, SOMAXCONN) < 0) throw_errno("listen");
+  if (listen(fd, SOMAXCONN) < 0) {
+    const int saved = errno;
+    close(fd);
+    errno = saved;
+    throw_errno("listen");
+  }
   socklen_t len = sizeof(addr);
-  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    const int saved = errno;
+    close(fd);
+    errno = saved;
     throw_errno("getsockname");
   }
-  port_ = ntohs(addr.sin_port);
+  bound_port = ntohs(addr.sin_port);
+  return fd;
+}
+
+void EpollServer::start() {
+  if (running_.load(std::memory_order_acquire)) return;
+  listen_fd_ = open_listener(options_.port, port_);
+  if (options_.admin != nullptr) {
+    try {
+      admin_listen_fd_ = open_listener(options_.admin_port, admin_port_);
+    } catch (...) {
+      close(listen_fd_);
+      listen_fd_ = -1;
+      throw;
+    }
+  }
 
   stopping_.store(false, std::memory_order_release);
   acceptor_wake_fd_ = make_eventfd();
   loops_.clear();
   for (std::size_t i = 0; i < options_.num_loops; ++i) {
     auto loop = std::make_unique<Loop>();
+    loop->index = i;
     loop->epoll_fd = epoll_create1(EPOLL_CLOEXEC);
     if (loop->epoll_fd < 0) throw_errno("epoll_create1");
     loop->wake_fd = make_eventfd();
@@ -168,6 +206,10 @@ void EpollServer::start() {
   acceptor_ = std::thread([this] { acceptor_main(); });
   log_info() << "net: listening on " << options_.bind_address << ":" << port_
              << " (" << options_.num_loops << " event loop(s))";
+  if (admin_listen_fd_ >= 0) {
+    log_info() << "net: admin plane on " << options_.bind_address << ":"
+               << admin_port_;
+  }
 }
 
 void EpollServer::stop() {
@@ -185,12 +227,13 @@ void EpollServer::stop() {
     for (auto& [fd, conn] : loop->conns) {
       conn->text.reset();
       conn->binary.reset();
+      conn->http.reset();
       close(fd);
     }
     loop->conns.clear();
     {
       const std::lock_guard lock(loop->pending_mu);
-      for (const int fd : loop->pending) close(fd);
+      for (const auto& [fd, is_admin] : loop->pending) close(fd);
       loop->pending.clear();
     }
     close(loop->wake_fd);
@@ -201,7 +244,12 @@ void EpollServer::stop() {
   acceptor_wake_fd_ = -1;
   if (listen_fd_ >= 0) close(listen_fd_);
   listen_fd_ = -1;
+  if (admin_listen_fd_ >= 0) close(admin_listen_fd_);
+  admin_listen_fd_ = -1;
   connections_open_->set(0.0);
+  for (const LoopInstruments& li : loop_instruments_) {
+    li.connections_open->set(0.0);
+  }
 }
 
 void EpollServer::acceptor_main() {
@@ -214,28 +262,20 @@ void EpollServer::acceptor_main() {
   ev.events = EPOLLIN;
   ev.data.fd = listen_fd_;
   epoll_ctl(epoll_fd, EPOLL_CTL_ADD, listen_fd_, &ev);
+  if (admin_listen_fd_ >= 0) {
+    ev.data.fd = admin_listen_fd_;
+    epoll_ctl(epoll_fd, EPOLL_CTL_ADD, admin_listen_fd_, &ev);
+  }
   ev.data.fd = acceptor_wake_fd_;
   epoll_ctl(epoll_fd, EPOLL_CTL_ADD, acceptor_wake_fd_, &ev);
 
-  while (!stopping_.load(std::memory_order_acquire)) {
-    epoll_event events[16];
-    const int n = epoll_wait(epoll_fd, events, 16, -1);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    bool accept_ready = false;
-    for (int i = 0; i < n; ++i) {
-      if (events[i].data.fd == acceptor_wake_fd_) {
-        drain_eventfd(acceptor_wake_fd_);
-      } else {
-        accept_ready = true;
-      }
-    }
-    if (!accept_ready) continue;
+  // Drains one listener to EAGAIN, round-robining accepted fds onto the
+  // event loops. Admin connections ride the same loops, tagged so adoption
+  // binds an AdminConn instead of sniffing the protocol.
+  const auto drain_accepts = [&](int listen_fd, bool is_admin) {
     for (;;) {
-      const int fd = accept4(listen_fd_, nullptr, nullptr,
-                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+      const int fd =
+          accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
       if (fd < 0) {
         if (errno == EAGAIN || errno == EWOULDBLOCK) break;
         if (errno == EINTR) continue;
@@ -256,24 +296,50 @@ void EpollServer::acceptor_main() {
       next_loop_ = (next_loop_ + 1) % loops_.size();
       {
         const std::lock_guard lock(loop.pending_mu);
-        loop.pending.push_back(fd);
+        loop.pending.emplace_back(fd, is_admin);
       }
       ring_eventfd(loop.wake_fd);
       connections_total_->add(1);
     }
+  };
+
+  while (!stopping_.load(std::memory_order_acquire)) {
+    epoll_event events[16];
+    const int n = epoll_wait(epoll_fd, events, 16, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    bool accept_ready = false;
+    bool admin_ready = false;
+    for (int i = 0; i < n; ++i) {
+      if (events[i].data.fd == acceptor_wake_fd_) {
+        drain_eventfd(acceptor_wake_fd_);
+      } else if (events[i].data.fd == admin_listen_fd_) {
+        admin_ready = true;
+      } else {
+        accept_ready = true;
+      }
+    }
+    if (accept_ready) drain_accepts(listen_fd_, false);
+    if (admin_ready) drain_accepts(admin_listen_fd_, true);
   }
   close(epoll_fd);
 }
 
 void EpollServer::adopt_pending(Loop& loop) {
-  std::vector<int> fds;
+  std::vector<std::pair<int, bool>> fds;
   {
     const std::lock_guard lock(loop.pending_mu);
     fds.swap(loop.pending);
   }
-  for (const int fd : fds) {
+  for (const auto& [fd, is_admin] : fds) {
     auto conn = std::make_unique<Conn>(fd);
     conn->accepted_micros = manager_.now_micros();
+    if (is_admin) {
+      conn->mode = Conn::Mode::kHttp;
+      conn->http = std::make_unique<AdminConn>(*options_.admin);
+    }
     epoll_event ev{};
     ev.events = EPOLLIN | EPOLLRDHUP | EPOLLET;
     ev.data.fd = fd;
@@ -284,6 +350,7 @@ void EpollServer::adopt_pending(Loop& loop) {
     }
     loop.conns.emplace(fd, std::move(conn));
     connections_open_->add(1.0);
+    loop_instruments_[loop.index].connections_open->add(1.0);
   }
 }
 
@@ -358,7 +425,9 @@ void EpollServer::handle_readable(Loop& loop, Conn& conn) {
       const ssize_t n = read(conn.fd, buf, sizeof(buf));
       if (n > 0) {
         bytes_read_total_->add(static_cast<std::uint64_t>(n));
-        process_input(conn, buf, static_cast<std::size_t>(n));
+        loop_instruments_[loop.index].bytes_read->add(
+            static_cast<std::uint64_t>(n));
+        process_input(loop, conn, buf, static_cast<std::size_t>(n));
         continue;
       }
       if (n == 0) {  // peer closed
@@ -389,8 +458,15 @@ void EpollServer::resume_reads(Loop& loop, Conn& conn) {
   handle_readable(loop, conn);
 }
 
-void EpollServer::process_input(Conn& conn, const char* data,
+void EpollServer::process_input(Loop& loop, Conn& conn, const char* data,
                                 std::size_t size) {
+  if (conn.mode == Conn::Mode::kHttp) {
+    conn.inbuf.append(data, size);
+    const bool keep_open = conn.http->consume(conn.inbuf, conn.outbuf);
+    if (conn.http->requests_handled() > 0) conn.handshake_done = true;
+    if (!keep_open) conn.want_close = true;
+    return;
+  }
   if (conn.mode == Conn::Mode::kUnknown) {
     conn.inbuf.append(data, size);
     static const char kMagicBytes[4] = {'C', 'M', 'K', 'B'};
@@ -403,24 +479,24 @@ void EpollServer::process_input(Conn& conn, const char* data,
       conn.binary = std::make_unique<BinarySession>(manager_);
       conn.parser.feed(conn.inbuf.data(), conn.inbuf.size());
       conn.inbuf.clear();
-      process_frames(conn);
+      process_frames(loop, conn);
       return;
     } else {
       return;  // fewer than 4 bytes, all matching the magic prefix: wait
     }
-    process_text(conn);
+    process_text(loop, conn);
     return;
   }
   if (conn.mode == Conn::Mode::kText) {
     conn.inbuf.append(data, size);
-    process_text(conn);
+    process_text(loop, conn);
   } else {
     conn.parser.feed(data, size);
-    process_frames(conn);
+    process_frames(loop, conn);
   }
 }
 
-void EpollServer::process_text(Conn& conn) {
+void EpollServer::process_text(Loop& loop, Conn& conn) {
   std::size_t start = 0;
   for (;;) {
     const std::size_t nl = conn.inbuf.find('\n', start);
@@ -428,6 +504,7 @@ void EpollServer::process_text(Conn& conn) {
     std::string_view line(conn.inbuf.data() + start, nl - start);
     if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
     text_lines_total_->add(1);
+    loop_instruments_[loop.index].units->add(1);
     conn.handshake_done = true;
     const std::string response = conn.text->handle_line(line);
     if (!response.empty()) {
@@ -443,9 +520,10 @@ void EpollServer::process_text(Conn& conn) {
   conn.inbuf.erase(0, start);
 }
 
-void EpollServer::process_frames(Conn& conn) {
+void EpollServer::process_frames(Loop& loop, Conn& conn) {
   while (auto frame = conn.parser.next()) {
     frames_total_->add(1);
+    loop_instruments_[loop.index].units->add(1);
     conn.handshake_done = true;
     const BinarySession::Output out = conn.binary->handle_frame(*frame);
     conn.outbuf += out.bytes;
@@ -473,6 +551,8 @@ void EpollServer::flush_writes(Loop& loop, Conn& conn) {
     const ssize_t n = write(conn.fd, conn.outbuf.data() + conn.outpos, len);
     if (n > 0) {
       bytes_written_total_->add(static_cast<std::uint64_t>(n));
+      loop_instruments_[loop.index].bytes_written->add(
+          static_cast<std::uint64_t>(n));
       conn.outpos += static_cast<std::size_t>(n);
       if (shortened) {
         // Force update_interest to re-MOD the fd: with edge-triggered
@@ -550,6 +630,19 @@ void EpollServer::close_conn(Loop& loop, Conn& conn) {
   loop.conns.erase(fd);
   close(fd);
   connections_open_->add(-1.0);
+  loop_instruments_[loop.index].connections_open->add(-1.0);
+}
+
+std::vector<LoopStatus> EpollServer::loop_status() const {
+  std::vector<LoopStatus> out(loop_instruments_.size());
+  for (std::size_t i = 0; i < loop_instruments_.size(); ++i) {
+    out[i].loop = i;
+    out[i].connections_open = loop_instruments_[i].connections_open->value();
+    out[i].bytes_read = loop_instruments_[i].bytes_read->value();
+    out[i].bytes_written = loop_instruments_[i].bytes_written->value();
+    out[i].units = loop_instruments_[i].units->value();
+  }
+  return out;
 }
 
 }  // namespace cmarkov::serve::net

@@ -34,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/serve/net/admin.hpp"
 #include "src/serve/session_manager.hpp"
 
 namespace cmarkov::serve::net {
@@ -58,6 +59,14 @@ struct NetOptions {
   /// reaper (event loops then block indefinitely in epoll_wait, exactly
   /// the pre-timeout behavior).
   std::uint64_t handshake_timeout_micros = 30'000'000;
+  /// Admin-plane handler. Non-null enables a second listening socket on
+  /// `admin_port` whose connections speak HTTP/1.1 to this handler instead
+  /// of being protocol-sniffed; they share the event loops with traffic.
+  /// Non-owning; must outlive the server.
+  AdminHandler* admin = nullptr;
+  /// Admin listener port (0 = ephemeral, resolved via admin_port() after
+  /// start). Ignored unless `admin` is set.
+  std::uint16_t admin_port = 0;
 };
 
 class EpollServer {
@@ -76,6 +85,14 @@ class EpollServer {
   /// The bound TCP port (after start); resolves ephemeral binds.
   std::uint16_t port() const { return port_; }
 
+  /// The bound admin port (after start, with NetOptions::admin set).
+  std::uint16_t admin_port() const { return admin_port_; }
+
+  /// Per-event-loop counters for /statusz (wired into the AdminHandler via
+  /// set_loop_status_fn). Backed by registry instruments, so it is safe
+  /// from any thread and keeps its final values after stop().
+  std::vector<LoopStatus> loop_status() const;
+
   /// Stops accepting, closes every connection (open sessions are closed
   /// through their conversation objects), joins all threads. Idempotent.
   void stop();
@@ -86,6 +103,9 @@ class EpollServer {
   struct Conn;
   struct Loop;
 
+  /// Binds + listens one nonblocking socket on options_.bind_address;
+  /// returns the fd and stores the resolved port into `bound_port`.
+  int open_listener(std::uint16_t port, std::uint16_t& bound_port);
   void acceptor_main();
   void loop_main(Loop& loop);
   void adopt_pending(Loop& loop);
@@ -99,14 +119,17 @@ class EpollServer {
   /// Closes connections whose handshake deadline passed (rate-limited
   /// per-loop sweep off the periodic epoll_wait timeout).
   void reap_stalled_handshakes(Loop& loop);
-  void process_input(Conn& conn, const char* data, std::size_t size);
-  void process_text(Conn& conn);
-  void process_frames(Conn& conn);
+  void process_input(Loop& loop, Conn& conn, const char* data,
+                     std::size_t size);
+  void process_text(Loop& loop, Conn& conn);
+  void process_frames(Loop& loop, Conn& conn);
 
   SessionManager& manager_;
   NetOptions options_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
+  int admin_listen_fd_ = -1;
+  std::uint16_t admin_port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
   int acceptor_wake_fd_ = -1;
@@ -122,6 +145,15 @@ class EpollServer {
   obs::Counter* bytes_written_total_;
   obs::Counter* handshake_timeouts_total_;
   obs::Gauge* connections_open_;
+  /// Per-event-loop instruments behind loop_status() (indexed by loop).
+  /// Registered at construction, so the values survive stop().
+  struct LoopInstruments {
+    obs::Counter* bytes_read;
+    obs::Counter* bytes_written;
+    obs::Counter* units;
+    obs::Gauge* connections_open;
+  };
+  std::vector<LoopInstruments> loop_instruments_;
 };
 
 }  // namespace cmarkov::serve::net

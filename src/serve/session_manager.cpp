@@ -88,9 +88,46 @@ struct SessionManager::Session {
 
   /// Position in SessionManager::session_list_ (guarded by sessions_mu_).
   std::size_t list_index = 0;
-  /// monitor.state_bytes() as last accounted into state_bytes_sum_
-  /// (mutated under lifecycle_mu_ only).
-  std::size_t state_bytes = 0;
+  /// monitor.state_bytes() as last accounted into state_bytes_sum_.
+  /// Written on lifecycle transitions and reloads; atomic so the gauge
+  /// refresh and shard_status() can read it under only sessions_mu_.
+  std::atomic<std::size_t> state_bytes{0};
+
+  /// Relaxed mirror of monitor.stats(), refreshed by the owning worker
+  /// after every event. Stats snapshots try-lock monitor_mu and fall back
+  /// to this, so a scrape never waits on a scoring batch (at worst it
+  /// reports the state as of the previous event).
+  struct StatsCache {
+    std::atomic<std::size_t> events_seen{0};
+    std::atomic<std::size_t> events_observed{0};
+    std::atomic<std::size_t> windows_scored{0};
+    std::atomic<std::size_t> windows_flagged{0};
+    std::atomic<std::size_t> alarms{0};
+  };
+  StatsCache stats_cache;
+
+  void store_stats_cache(const core::MonitorStats& s) {
+    stats_cache.events_seen.store(s.events_seen, std::memory_order_relaxed);
+    stats_cache.events_observed.store(s.events_observed,
+                                      std::memory_order_relaxed);
+    stats_cache.windows_scored.store(s.windows_scored,
+                                     std::memory_order_relaxed);
+    stats_cache.windows_flagged.store(s.windows_flagged,
+                                      std::memory_order_relaxed);
+    stats_cache.alarms.store(s.alarms, std::memory_order_relaxed);
+  }
+  core::MonitorStats load_stats_cache() const {
+    core::MonitorStats s;
+    s.events_seen = stats_cache.events_seen.load(std::memory_order_relaxed);
+    s.events_observed =
+        stats_cache.events_observed.load(std::memory_order_relaxed);
+    s.windows_scored =
+        stats_cache.windows_scored.load(std::memory_order_relaxed);
+    s.windows_flagged =
+        stats_cache.windows_flagged.load(std::memory_order_relaxed);
+    s.alarms = stats_cache.alarms.load(std::memory_order_relaxed);
+    return s;
+  }
 
   /// Guards `monitor` and the model binding below: held by the owning
   /// worker while scoring, by stats readers while snapshotting, and by
@@ -119,6 +156,12 @@ struct SessionManager::Item {
 };
 
 struct SessionManager::Worker {
+  /// This worker's shard index (set once at construction).
+  std::size_t index = 0;
+  /// Mirror of queue.size(), updated alongside every queue mutation:
+  /// queue-depth reads (gauges, /statusz, ServiceMetrics) cost one relaxed
+  /// load instead of taking every worker's mutex.
+  std::atomic<std::size_t> depth{0};
   mutable std::mutex mu;
   std::condition_variable cv_nonempty;  // producer -> worker
   std::condition_variable cv_space;     // worker -> blocked producers
@@ -191,9 +234,21 @@ SessionManager::SessionManager(ModelRegistry& registry, ServiceConfig config)
   overload_level_gauge_ = &metrics_->gauge("cmarkov_serve_overload_level");
   snapshots_.bind_instruments(*metrics_);
   queue_depth_gauges_.reserve(config_.num_workers);
+  shard_sessions_gauges_.reserve(config_.num_workers);
+  shard_state_bytes_gauges_.reserve(config_.num_workers);
+  shard_processed_totals_.reserve(config_.num_workers);
+  shard_evicted_totals_.reserve(config_.num_workers);
   for (std::size_t i = 0; i < config_.num_workers; ++i) {
     queue_depth_gauges_.push_back(
         &metrics_->gauge("cmarkov_serve_queue_depth_w" + std::to_string(i)));
+    shard_sessions_gauges_.push_back(
+        &metrics_->gauge("cmarkov_serve_shard_sessions_w" + std::to_string(i)));
+    shard_state_bytes_gauges_.push_back(&metrics_->gauge(
+        "cmarkov_serve_shard_state_bytes_w" + std::to_string(i)));
+    shard_processed_totals_.push_back(&metrics_->counter(
+        "cmarkov_serve_shard_processed_total_w" + std::to_string(i)));
+    shard_evicted_totals_.push_back(&metrics_->counter(
+        "cmarkov_serve_shard_evicted_total_w" + std::to_string(i)));
   }
   tracer_ = std::make_unique<obs::Tracer>(config_.tracing);
   decision_log_ =
@@ -206,6 +261,7 @@ SessionManager::SessionManager(ModelRegistry& registry, ServiceConfig config)
   workers_.reserve(config_.num_workers);
   for (std::size_t i = 0; i < config_.num_workers; ++i) {
     workers_.push_back(std::make_unique<Worker>());
+    workers_.back()->index = i;
   }
   if (!config_.manual_pump) {
     for (auto& worker : workers_) {
@@ -346,6 +402,7 @@ SubmitResult SessionManager::submit(const std::string& id,
             victim.session->pending.fetch_sub(1, std::memory_order_release);
             dropped_total_->add(1);
             worker.queue.pop_front();
+            worker.depth.fetch_sub(1, std::memory_order_relaxed);
             queued_events_.fetch_sub(1, std::memory_order_relaxed);
             result = SubmitResult::kDroppedOldest;
             break;
@@ -361,6 +418,7 @@ SubmitResult SessionManager::submit(const std::string& id,
         session->pending.fetch_add(1, std::memory_order_relaxed);
         worker.queue.push_back(Item{session, std::move(event),
                                     clock_.micros(), trace_id, traced, seq});
+        worker.depth.fetch_add(1, std::memory_order_relaxed);
         queued_events_.fetch_add(1, std::memory_order_relaxed);
       }
     }
@@ -438,8 +496,9 @@ SessionStats SessionManager::close_session(const std::string& id) {
         }
         session_list_.pop_back();
       }
-      state_bytes_sum_.fetch_sub(session->state_bytes,
-                                 std::memory_order_relaxed);
+      state_bytes_sum_.fetch_sub(
+          session->state_bytes.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
       const std::lock_guard monitor_lock(session->monitor_mu);
       pool_.release(session->monitor.release_storage());
       return stats;
@@ -503,9 +562,9 @@ ReloadReport SessionManager::reload_model(
     session->model_fingerprint = versioned.fingerprint;
     session->monitor.rebind(*session->detector, versioned.kernel);
     const std::size_t bytes = session->monitor.state_bytes();
-    state_bytes_sum_.fetch_add(bytes - session->state_bytes,
-                               std::memory_order_relaxed);
-    session->state_bytes = bytes;
+    const std::size_t prev =
+        session->state_bytes.exchange(bytes, std::memory_order_relaxed);
+    state_bytes_sum_.fetch_add(bytes - prev, std::memory_order_relaxed);
     ++report.sessions_rebound;
   }
 
@@ -568,8 +627,7 @@ ServiceMetrics SessionManager::metrics() const {
   }
   m.queue_depths.reserve(workers_.size());
   for (const auto& worker : workers_) {
-    const std::lock_guard lock(worker->mu);
-    m.queue_depths.push_back(worker->queue.size());
+    m.queue_depths.push_back(worker->depth.load(std::memory_order_relaxed));
   }
   m.latency_samples = latency_micros_->count();
   m.p50_latency_micros = latency_micros_->quantile(0.50);
@@ -577,14 +635,42 @@ ServiceMetrics SessionManager::metrics() const {
   return m;
 }
 
+std::vector<ShardStatus> SessionManager::shard_status() const {
+  std::vector<ShardStatus> out(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    out[i].shard = i;
+    out[i].queue_depth = workers_[i]->depth.load(std::memory_order_relaxed);
+    out[i].processed = shard_processed_totals_[i]->value();
+    out[i].evicted_sessions = shard_evicted_totals_[i]->value();
+  }
+  const std::shared_lock lock(sessions_mu_);
+  for (const auto& session : session_list_) {
+    out[session->shard].sessions += 1;
+    out[session->shard].state_bytes +=
+        session->state_bytes.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
 void SessionManager::refresh_gauges() {
   uptime_gauge_->set(clock_.seconds());
   std::size_t resident = 0;
+  std::vector<std::size_t> shard_sessions(workers_.size(), 0);
+  std::vector<std::uint64_t> shard_bytes(workers_.size(), 0);
   {
     const std::shared_lock lock(sessions_mu_);
     resident = sessions_.size();
+    for (const auto& session : session_list_) {
+      shard_sessions[session->shard] += 1;
+      shard_bytes[session->shard] +=
+          session->state_bytes.load(std::memory_order_relaxed);
+    }
   }
   sessions_gauge_->set(static_cast<double>(resident));
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    shard_sessions_gauges_[i]->set(static_cast<double>(shard_sessions[i]));
+    shard_state_bytes_gauges_[i]->set(static_cast<double>(shard_bytes[i]));
+  }
   // Average per-resident-session scoring-state footprint — the number the
   // sessions-per-gigabyte budget in docs/SERVING.md is written against.
   const std::uint64_t bytes = state_bytes_sum_.load(std::memory_order_relaxed);
@@ -597,9 +683,8 @@ void SessionManager::refresh_gauges() {
   kernel_image_bytes_gauge_->set(
       static_cast<double>(registry_.kernel_image_bytes()));
   for (std::size_t i = 0; i < workers_.size(); ++i) {
-    const std::lock_guard lock(workers_[i]->mu);
-    queue_depth_gauges_[i]->set(
-        static_cast<double>(workers_[i]->queue.size()));
+    queue_depth_gauges_[i]->set(static_cast<double>(
+        workers_[i]->depth.load(std::memory_order_relaxed)));
   }
   // The METRICS refresh doubles as a governor heartbeat, so a service
   // whose producers stopped submitting (overloaded clients backing off!)
@@ -732,6 +817,7 @@ std::shared_ptr<SessionManager::Session> SessionManager::restore_locked(
     monitor.consecutive_flagged = 0;
   }
   session->monitor.restore(monitor);
+  session->store_stats_cache(session->monitor.stats());
   session->last_active.store(
       activity_clock_.fetch_add(1, std::memory_order_relaxed),
       std::memory_order_relaxed);
@@ -752,8 +838,9 @@ void SessionManager::insert_resident(std::shared_ptr<Session> session) {
     raw->list_index = session_list_.size();
     session_list_.push_back(std::move(session));
   }
-  raw->state_bytes = raw->monitor.state_bytes();
-  state_bytes_sum_.fetch_add(raw->state_bytes, std::memory_order_relaxed);
+  const std::size_t bytes = raw->monitor.state_bytes();
+  raw->state_bytes.store(bytes, std::memory_order_relaxed);
+  state_bytes_sum_.fetch_add(bytes, std::memory_order_relaxed);
 }
 
 void SessionManager::evict_locked(const std::shared_ptr<Session>& session) {
@@ -776,6 +863,7 @@ void SessionManager::evict_locked(const std::shared_ptr<Session>& session) {
     session->pending.fetch_sub(purged, std::memory_order_release);
     session->evicted_dropped.fetch_add(purged, std::memory_order_relaxed);
     evicted_dropped_total_->add(purged);
+    worker.depth.fetch_sub(purged, std::memory_order_relaxed);
     queued_events_.fetch_sub(purged, std::memory_order_relaxed);
   }
   // Blocked producers of this session must re-resolve it (their wait
@@ -797,7 +885,9 @@ void SessionManager::evict_locked(const std::shared_ptr<Session>& session) {
     }
     session_list_.pop_back();
   }
-  state_bytes_sum_.fetch_sub(session->state_bytes, std::memory_order_relaxed);
+  state_bytes_sum_.fetch_sub(
+      session->state_bytes.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
   SessionSnapshot snap;
   {
     const std::lock_guard lock(session->monitor_mu);
@@ -806,6 +896,7 @@ void SessionManager::evict_locked(const std::shared_ptr<Session>& session) {
   }
   snapshots_.put(std::move(snap));
   sessions_evicted_total_->add(1);
+  shard_evicted_totals_[session->shard]->add(1);
 }
 
 void SessionManager::enforce_residency_locked(const Session* keep) {
@@ -914,6 +1005,7 @@ void SessionManager::process_item(Item& item, BatchCounters& batch) {
         has_decision = true;
       }
     }
+    item.session->store_stats_cache(item.session->monitor.stats());
   }
   if (has_decision) {
     if (decision_log_->append(std::move(decision))) {
@@ -965,8 +1057,12 @@ void SessionManager::process_item(Item& item, BatchCounters& batch) {
   item.session.reset();
 }
 
-void SessionManager::flush_batch(const BatchCounters& batch) {
-  if (batch.processed > 0) processed_total_->add(batch.processed);
+void SessionManager::flush_batch(std::size_t shard,
+                                 const BatchCounters& batch) {
+  if (batch.processed > 0) {
+    processed_total_->add(batch.processed);
+    shard_processed_totals_[shard]->add(batch.processed);
+  }
   if (batch.windows > 0) windows_total_->add(batch.windows);
   if (batch.kernel_windows > 0) {
     kernel_windows_total_->add(batch.kernel_windows);
@@ -1009,7 +1105,7 @@ void SessionManager::pump_worker(Worker& worker) {
     {
       const std::lock_guard lock(worker.mu);
       if (worker.queue.empty()) {
-        flush_batch(counters);
+        flush_batch(worker.index, counters);
         if (pumped > 0) {
           note_service_time((clock_.micros() - start_micros) /
                             static_cast<double>(pumped));
@@ -1018,6 +1114,7 @@ void SessionManager::pump_worker(Worker& worker) {
       }
       item = std::move(worker.queue.front());
       worker.queue.pop_front();
+      worker.depth.fetch_sub(1, std::memory_order_relaxed);
       queued_events_.fetch_sub(1, std::memory_order_relaxed);
     }
     process_item(item, counters);
@@ -1040,6 +1137,7 @@ void SessionManager::worker_loop(Worker& worker) {
       }
       worker.in_flight = batch.size();
     }
+    worker.depth.fetch_sub(batch.size(), std::memory_order_relaxed);
     queued_events_.fetch_sub(batch.size(), std::memory_order_relaxed);
     worker.cv_space.notify_all();
     worker.active_epoch.store(registry_.reload_epoch(),
@@ -1051,7 +1149,7 @@ void SessionManager::worker_loop(Worker& worker) {
                       static_cast<double>(batch.size()));
     // Flushed before in_flight drops to zero, so drain() implies the
     // service-wide counters already cover everything processed.
-    flush_batch(counters);
+    flush_batch(worker.index, counters);
     worker.active_epoch.store(kEpochIdle, std::memory_order_release);
     batch.clear();
     {
@@ -1073,8 +1171,13 @@ SessionStats SessionManager::snapshot(const Session& session) const {
   stats.evicted_dropped =
       session.evicted_dropped.load(std::memory_order_relaxed);
   {
-    const std::lock_guard lock(session.monitor_mu);
-    stats.monitor = session.monitor.stats();
+    // Never wait on the owning worker: mid-batch the lock is held for the
+    // whole scoring step, and a blocking stats read here is exactly how a
+    // scrape used to stall admission. The cache is refreshed per event, so
+    // the fallback is at most one event behind.
+    const std::unique_lock lock(session.monitor_mu, std::try_to_lock);
+    stats.monitor = lock.owns_lock() ? session.monitor.stats()
+                                     : session.load_stats_cache();
   }
   return stats;
 }

@@ -121,6 +121,24 @@ struct SessionStats {
   core::MonitorStats monitor;
 };
 
+/// Point-in-time per-shard breakdown (the admin plane's /statusz). All
+/// fields come from relaxed atomics or counters plus one shared-lock sweep
+/// of the resident list — no worker queue or monitor lock is touched, so
+/// a scrape never stalls admission or scoring.
+struct ShardStatus {
+  std::size_t shard = 0;
+  /// Resident sessions hashed onto this shard.
+  std::size_t sessions = 0;
+  /// Events queued on the shard worker right now.
+  std::size_t queue_depth = 0;
+  /// Events this shard's worker has processed (lifetime).
+  std::uint64_t processed = 0;
+  /// Sessions evicted from this shard into the snapshot store (lifetime).
+  std::uint64_t evicted_sessions = 0;
+  /// Scoring-state bytes of this shard's resident sessions.
+  std::uint64_t state_bytes = 0;
+};
+
 /// Outcome of a hot model reload (reload_model).
 struct ReloadReport {
   std::uint64_t version = 0;
@@ -170,7 +188,9 @@ class SessionManager {
   bool has_session(const std::string& id) const;
 
   /// Live counters (no drain; may lag concurrent processing). Works for
-  /// resident and evicted sessions alike.
+  /// resident and evicted sessions alike. Never blocks on a scoring batch:
+  /// the monitor counters are read under a try-lock, falling back to a
+  /// per-event refreshed cache when the owning worker holds the lock.
   SessionStats session_stats(const std::string& id) const;
   std::vector<SessionStats> all_session_stats() const;
 
@@ -204,6 +224,10 @@ class SessionManager {
   void drain();
 
   ServiceMetrics metrics() const;
+
+  /// Per-shard breakdown for the admin plane's /statusz. Lock-cheap (see
+  /// ShardStatus); safe from any thread, any time.
+  std::vector<ShardStatus> shard_status() const;
 
   /// Refreshes the instantaneous gauges (uptime, sessions, queue depths,
   /// bytes/session) and returns the registry holding every cmarkov_serve_*
@@ -296,7 +320,7 @@ class SessionManager {
   void enforce_residency_locked(const Session* keep);
   SessionStats stats_from_snapshot(const SessionSnapshot& snapshot) const;
   void process_item(Item& item, BatchCounters& batch);
-  void flush_batch(const BatchCounters& batch);
+  void flush_batch(std::size_t shard, const BatchCounters& batch);
   void pump_worker(Worker& worker);
   void worker_loop(Worker& worker);
   SessionStats snapshot(const Session& session) const;
@@ -391,6 +415,11 @@ class SessionManager {
   obs::Gauge* kernel_image_bytes_gauge_;
   obs::Gauge* overload_level_gauge_;
   std::vector<obs::Gauge*> queue_depth_gauges_;
+  // Per-shard instruments behind /statusz (indexed by shard).
+  std::vector<obs::Gauge*> shard_sessions_gauges_;
+  std::vector<obs::Gauge*> shard_state_bytes_gauges_;
+  std::vector<obs::Counter*> shard_processed_totals_;
+  std::vector<obs::Counter*> shard_evicted_totals_;
 
   // Tracing sinks (always constructed; zero-capacity / disabled when off).
   std::unique_ptr<obs::Tracer> tracer_;

@@ -1,0 +1,49 @@
+// Minimal strict JSON parser for cmarkov's own machine-readable outputs
+// (/varz, /statusz, decision records). Recursive descent over the full
+// RFC 8259 grammar minus \uXXXX surrogate pairs (escapes decode to '?').
+//
+// This exists so tools like `cmarkov top` can consume the admin plane
+// without a third-party dependency; it is not a general-purpose or
+// performance-oriented parser. Objects preserve insertion order.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cmarkov::util {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+
+  /// First member named `key` (null when absent or not an object).
+  const JsonValue* find(std::string_view key) const;
+  /// Dotted-path lookup: find_path("histograms.latency.p99").
+  const JsonValue* find_path(std::string_view path) const;
+
+  double number_or(double fallback) const {
+    return kind == Kind::kNumber ? number : fallback;
+  }
+  std::string string_or(std::string fallback) const {
+    return kind == Kind::kString ? string : std::move(fallback);
+  }
+};
+
+/// Parses one JSON document (trailing whitespace allowed, trailing content
+/// is an error). Throws std::invalid_argument on malformed input.
+JsonValue parse_json(std::string_view text);
+
+}  // namespace cmarkov::util

@@ -54,14 +54,12 @@ TEST(BaumWelchTest, TrainingImprovesLikelihood) {
   const double before = mean_log_likelihood(model, data);
   TrainingOptions options;
   options.max_iterations = 20;
-  // Deliberately exercises the deprecated baum_welch_train shim (the one
-  // sanctioned call site; check_trainer_api.sh excludes this file) so the
-  // delegation to Trainer stays covered until the shim is removed.
-  const TrainingReport report = baum_welch_train(model, data, {}, options);
-  const double after = mean_log_likelihood(model, data);
+  Trainer trainer(model, options);
+  const TrainingReport report = trainer.fit(data);
+  const double after = mean_log_likelihood(trainer.model(), data);
   EXPECT_GT(after, before);
   EXPECT_GE(report.iterations, 1u);
-  EXPECT_NO_THROW(model.validate(1e-6));
+  EXPECT_NO_THROW(trainer.model().validate(1e-6));
 }
 
 TEST(BaumWelchTest, LikelihoodIsMonotoneNonDecreasing) {

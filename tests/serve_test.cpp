@@ -696,7 +696,8 @@ TEST(MetricsGoldenTest, ScriptedSessionExposition) {
                           "cmarkov_serve_kernel_build_micros_p50=",
                           "cmarkov_serve_kernel_build_micros_p99=",
                           "cmarkov_serve_kernel_image_bytes=",
-                          "cmarkov_serve_session_state_bytes="}) {
+                          "cmarkov_serve_session_state_bytes=",
+                          "cmarkov_serve_shard_state_bytes_w0="}) {
     const std::size_t pos = metrics.find(key);
     ASSERT_NE(pos, std::string::npos) << key;
     const std::size_t start = pos + std::strlen(key);

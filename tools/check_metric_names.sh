@@ -2,7 +2,8 @@
 # Lints every metric registered in src/ against the naming convention
 # documented in docs/OBSERVABILITY.md:
 #   - names start with "cmarkov_" and use only [a-zA-Z0-9_:];
-#   - counters end in "_total";
+#   - counters end in "_total", or "_total_w<i>" for per-worker/per-loop
+#     sharded counters (the admin plane's /statusz instruments);
 #   - histograms end in a unit suffix (_seconds, _micros, _bytes);
 #   - gauges end in a unit suffix or one of the allowlisted dimensionless
 #     kinds (_ratio, _open, _calls, _states, _clusters, _components,
@@ -40,8 +41,8 @@ printf '%s\n' "$matches" | awk '
   if (name !~ /^cmarkov_[a-zA-Z0-9_:]+$/) {
     print loc ": " kind " \"" name "\" must start with cmarkov_ and use only [a-zA-Z0-9_:]";
     bad += 1;
-  } else if (kind == "counter" && name !~ /_total$/) {
-    print loc ": counter \"" name "\" must end in _total";
+  } else if (kind == "counter" && name !~ /(_total|_total_w[0-9]*)$/) {
+    print loc ": counter \"" name "\" must end in _total (or _total_w<i> per shard/loop)";
     bad += 1;
   } else if (kind == "histogram" && name !~ /(_seconds|_micros|_bytes)$/) {
     print loc ": histogram \"" name "\" must end in a unit suffix (_seconds|_micros|_bytes)";

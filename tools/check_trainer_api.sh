@@ -1,28 +1,28 @@
 #!/usr/bin/env sh
 # Guards the PR-9 training API redesign: all training goes through the
 # stateful hmm::Trainer (fit / partial_fit / publish). The free function
-# baum_welch_train survives for exactly one PR as a deprecated thin shim
-# that delegates to Trainer — mirroring the PR-4 set_num_threads
-# precedent — so no NEW call sites may appear outside src/hmm. The one
-# sanctioned exception is tests/baum_welch_test.cpp, which deliberately
-# exercises the shim so its delegation stays covered until removal.
+# baum_welch_train lived on for exactly one PR as a deprecated delegating
+# shim and is now gone — the symbol may not appear anywhere (declaration,
+# definition, or call site), so it cannot quietly come back.
 #
 # Wired into CTest as `check_trainer_api` (label: train).
 set -eu
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 
-bad="$(grep -rnE 'baum_welch_train[[:space:]]*\(' \
+# The trailing guard keeps identifiers that merely share the prefix (the
+# "baum_welch_training" benchmark label) out of scope: only the exact
+# symbol is forbidden.
+bad="$(grep -rnE 'baum_welch_train([^A-Za-z0-9_]|$)' \
   "$repo_root/src" "$repo_root/tests" "$repo_root/tools" \
   "$repo_root/bench" "$repo_root/examples" \
   --include='*.hpp' --include='*.h' --include='*.cpp' \
-  | grep -v "^$repo_root/src/hmm/" \
-  | grep -v "^$repo_root/tests/baum_welch_test.cpp:" || true)"
+  | grep -v "^$repo_root/tools/check_trainer_api.sh:" || true)"
 
 if [ -n "$bad" ]; then
-  echo "error: train through hmm::Trainer (fit/partial_fit), not the" >&2
-  echo "deprecated baum_welch_train shim (removed next PR):" >&2
+  echo "error: train through hmm::Trainer (fit/partial_fit); the removed" >&2
+  echo "baum_welch_train entry point may not reappear:" >&2
   echo "$bad" >&2
   exit 1
 fi
-echo "ok: no baum_welch_train call sites outside src/hmm (+ the sanctioned shim test)"
+echo "ok: baum_welch_train is gone for good (hmm::Trainer everywhere)"

@@ -13,16 +13,23 @@
 //   cmarkov monitor <model.txt> <trace.txt>
 //   cmarkov explain --model <model.txt> --trace <trace.txt>
 //                   [--top N] [--json]
+//   cmarkov top     --port <admin-port> [--host H] [--interval-ms N]
+//                   [--iterations N] [--plain 1]
 //
 // `suite` is one of the built-in program analogues (gzip, bash, ...); a
-// path ending in .minic is parsed as MiniC source.
+// path ending in .minic is parsed as MiniC source. `top` polls a running
+// cmarkovd's admin plane (--admin-port) and renders a live console view
+// of throughput, latency quantiles, per-shard occupancy, and per-loop
+// network counters (docs/SERVING.md).
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
 #include <sstream>
+#include <thread>
 
 #include "src/cfg/cfg_builder.hpp"
 #include "src/core/detector.hpp"
@@ -34,8 +41,10 @@
 #include "src/obs/export.hpp"
 #include "src/obs/trace/chrome_trace.hpp"
 #include "src/obs/trace/decision_record.hpp"
+#include "src/serve/net/admin.hpp"
 #include "src/trace/interpreter.hpp"
 #include "src/trace/trace_io.hpp"
+#include "src/util/json.hpp"
 #include "src/util/strings.hpp"
 #include "src/util/table_printer.hpp"
 #include "src/workload/testcase_generator.hpp"
@@ -568,9 +577,157 @@ int cmd_explain(const Args& args) {
   return stats.windows_flagged > 0 ? 2 : 0;  // grep-style exit code
 }
 
+/// One dashboard frame: /varz (ring-derived rates and quantiles) plus
+/// /statusz (per-shard and per-loop ground truth). Returns the rendered
+/// text so the caller can clear-and-repaint atomically.
+std::string render_top_frame(const std::string& host, std::uint16_t port,
+                             const util::JsonValue& varz,
+                             const util::JsonValue& statusz) {
+  const auto num = [](const util::JsonValue& doc, const std::string& path,
+                      double fallback) {
+    const util::JsonValue* value = doc.find_path(path);
+    return value == nullptr ? fallback : value->number_or(fallback);
+  };
+  const auto str = [](const util::JsonValue& doc, const std::string& path,
+                      const std::string& fallback) {
+    const util::JsonValue* value = doc.find_path(path);
+    return value == nullptr ? fallback : value->string_or(fallback);
+  };
+  const auto count = [](double value) {
+    return std::to_string(static_cast<long long>(value));
+  };
+  const auto member = [](const util::JsonValue& obj, const char* key) {
+    const util::JsonValue* value = obj.find(key);
+    return value == nullptr ? 0.0 : value->number_or(0.0);
+  };
+
+  std::ostringstream out;
+  out << "cmarkovd @ " << host << ":" << port << "   up "
+      << count(num(statusz, "uptime_seconds", 0)) << "s   sessions "
+      << count(num(statusz, "sessions_open", 0)) << "   workers "
+      << count(num(statusz, "workers", 0)) << " (policy "
+      << str(statusz, "policy", "?") << ")\n";
+  out << "overload: " << str(statusz, "overload.name", "off") << " (L"
+      << count(num(statusz, "overload.level", 0)) << ")   drift: ";
+  const util::JsonValue* armed = statusz.find_path("drift.armed");
+  if (armed != nullptr && armed->kind == util::JsonValue::Kind::kBool &&
+      armed->boolean) {
+    out << "armed ks=" << format_double(num(statusz, "drift.last_ks", 0), 4)
+        << " streak=" << count(num(statusz, "drift.breach_streak", 0));
+  } else {
+    out << "off";
+  }
+  out << "\n\n";
+
+  const std::string kEv = "counters.cmarkov_serve_events_processed_total.";
+  const std::string kLat = "histograms.cmarkov_serve_latency_micros.";
+  out << "ev/s " << format_double(num(varz, kEv + "rate_per_second", 0), 1)
+      << "   windows/s "
+      << format_double(
+             num(varz,
+                 "counters.cmarkov_serve_windows_total.rate_per_second", 0),
+             1)
+      << "   lat p50 " << format_double(num(varz, kLat + "p50", 0), 0)
+      << "us p99 " << format_double(num(varz, kLat + "p99", 0), 0)
+      << "us   drop/s "
+      << format_double(
+             num(varz,
+                 "counters.cmarkov_serve_events_dropped_total"
+                 ".rate_per_second",
+                 0),
+             1)
+      << "   alarms +"
+      << count(num(varz, "counters.cmarkov_serve_alarms_total.delta", 0))
+      << " (" << count(num(varz, "counters.cmarkov_serve_alarms_total.value", 0))
+      << " total)\n";
+  out << "ring: " << count(num(varz, "samples", 0)) << " samples @ "
+      << format_double(num(varz, "period_seconds", 0), 1) << "s (cap "
+      << count(num(varz, "ring_capacity", 0)) << ")\n\n";
+
+  const util::JsonValue* shards = statusz.find_path("shards");
+  if (shards != nullptr && shards->is_array()) {
+    TablePrinter table({"Shard", "Sessions", "Queue", "Processed", "Evicted",
+                        "State KiB"});
+    for (const auto& shard : shards->array) {
+      table.add_row({count(member(shard, "shard")),
+                     count(member(shard, "sessions")),
+                     count(member(shard, "queue_depth")),
+                     count(member(shard, "processed")),
+                     count(member(shard, "evicted_sessions")),
+                     format_double(member(shard, "state_bytes") / 1024.0, 1)});
+    }
+    out << table.to_string();
+  }
+  const util::JsonValue* loops = statusz.find_path("loops");
+  if (loops != nullptr && loops->is_array() && !loops->array.empty()) {
+    TablePrinter table({"Loop", "Conns", "Read KiB", "Written KiB", "Units"});
+    for (const auto& loop : loops->array) {
+      table.add_row({count(member(loop, "loop")),
+                     count(member(loop, "connections_open")),
+                     format_double(member(loop, "bytes_read") / 1024.0, 1),
+                     format_double(member(loop, "bytes_written") / 1024.0, 1),
+                     count(member(loop, "units"))});
+    }
+    out << table.to_string();
+  }
+  return out.str();
+}
+
+/// `cmarkov top`: live dashboard over a running cmarkovd's admin plane.
+/// Repaints every --interval-ms from GET /varz + /statusz; --plain 1
+/// appends frames instead of clearing (pipe/CI friendly), --iterations N
+/// stops after N frames (0 = until interrupted).
+int cmd_top(const Args& args) {
+  const std::string port_text = args.get("port", "");
+  if (port_text.empty()) {
+    throw std::runtime_error(
+        "top: need --port <admin-port> (start cmarkovd with --tcp and "
+        "--admin-port)");
+  }
+  const auto port = static_cast<std::uint16_t>(std::stoul(port_text));
+  const std::string host = args.get("host", "127.0.0.1");
+  const auto interval_ms = std::stoull(args.get("interval-ms", "2000"));
+  const auto iterations = std::stoull(args.get("iterations", "0"));
+  const bool plain = args.get("plain", "0") == "1";
+
+  std::size_t failures = 0;
+  for (std::uint64_t frame = 0; iterations == 0 || frame < iterations;
+       ++frame) {
+    if (frame > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    try {
+      const auto varz_reply = serve::net::admin_http_get(host, port, "/varz");
+      const auto statusz_reply =
+          serve::net::admin_http_get(host, port, "/statusz");
+      if (varz_reply.status != 200 || statusz_reply.status != 200) {
+        throw std::runtime_error("admin plane returned HTTP " +
+                                 std::to_string(varz_reply.status != 200
+                                                    ? varz_reply.status
+                                                    : statusz_reply.status));
+      }
+      const util::JsonValue varz = util::parse_json(varz_reply.body);
+      const util::JsonValue statusz = util::parse_json(statusz_reply.body);
+      const std::string body = render_top_frame(host, port, varz, statusz);
+      if (!plain) std::cout << "\x1b[H\x1b[2J";  // home + clear
+      std::cout << body << std::flush;
+      failures = 0;
+    } catch (const std::exception& e) {
+      // Transient poll failures (daemon restarting, collector warming up)
+      // keep the dashboard alive; give up once they look permanent.
+      std::cerr << "top: " << e.what() << "\n";
+      if (++failures >= 5) {
+        throw std::runtime_error("5 consecutive poll failures, giving up");
+      }
+    }
+  }
+  return 0;
+}
+
 int usage() {
   std::cerr << "usage: cmarkov "
-               "<list|analyze|trace|train|scan|monitor|explain|compare> ...\n"
+               "<list|analyze|trace|train|scan|monitor|explain|compare|top> "
+               "...\n"
             << "  list                              built-in program suites\n"
             << "  analyze <prog> [--filter sys|lib] static-analysis summary\n"
             << "  trace <prog> [--count N] [--seed S] [--out DIR]\n"
@@ -583,6 +740,9 @@ int usage() {
             << "        ranked audit of the transitions behind each verdict\n"
             << "  compare <suite> [--filter sys|lib] 4-model accuracy table\n"
             << "  gadgets <suite>                   ROP gadget census\n"
+            << "  top --port N [--host H] [--interval-ms N] [--iterations N]\n"
+            << "        [--plain 1]               live cmarkovd dashboard\n"
+            << "        (polls the --admin-port plane; see docs/SERVING.md)\n"
             << "analyze/train/compare accept --threads N (0 = one worker per\n"
             << "hardware core, the default); results are identical at any N.\n";
   return 1;
@@ -604,6 +764,7 @@ int main(int argc, char** argv) {
     if (command == "explain") return cmd_explain(args);
     if (command == "compare") return cmd_compare(args);
     if (command == "gadgets") return cmd_gadgets(args);
+    if (command == "top") return cmd_top(args);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "cmarkov " << command << ": " << e.what() << "\n";

@@ -8,6 +8,7 @@
 //            [--trace-sample N] [--decision-log PATH] [--chrome-trace PATH]
 //            [--replay <model>:<trace-file>]...   replay mode (batch)
 //            [--tcp PORT] [--net-loops N]         epoll TCP front-end
+//            [--admin-port PORT] [--collector-period-ms N]   admin plane
 //
 // With no --replay/--tcp the daemon speaks the line protocol on
 // stdin/stdout (HELLO/EV/STATS/METRICS/TRACE/BYE — one response line per
@@ -45,6 +46,7 @@
 
 #include "src/core/model_io.hpp"
 #include "src/obs/export.hpp"
+#include "src/obs/timeseries.hpp"
 #include "src/obs/trace/chrome_trace.hpp"
 #include "src/serve/drift_monitor.hpp"
 #include "src/serve/net/epoll_server.hpp"
@@ -65,6 +67,12 @@ struct DaemonOptions {
   int tcp_port = 0;
   std::size_t net_loops = 1;
   std::uint64_t handshake_timeout_ms = 30'000;
+  /// --admin-port: HTTP admin plane (/metrics /healthz /varz /statusz) on
+  /// its own listener; 0 = disabled. Requires --tcp.
+  int admin_port = 0;
+  /// /varz collector sampling period (ring derivation window is
+  /// period * 120 samples).
+  std::uint64_t collector_period_ms = 1000;
   std::string decision_log_path;
   std::string chrome_trace_path;
   /// --drift <model>=<trainer-state>: arm drift-triggered refresh.
@@ -86,6 +94,8 @@ int usage() {
          "                [--replay <model>:<trace-file>]...\n"
          "                [--tcp PORT] [--net-loops N]\n"
          "                [--handshake-timeout-ms N] (0 = never reap)\n"
+         "                [--admin-port PORT] (0 = disabled; needs --tcp)\n"
+         "                [--collector-period-ms N]\n"
          "                [--overload on|off] [--deadline-ms N]\n"
          "                [--drift <model>=<trainer-state>]\n"
          "                [--drift-threshold KS] [--drift-baseline N]\n"
@@ -98,7 +108,11 @@ int usage() {
          "--deadline-ms sets the per-event latency budget the overload\n"
          "degradation ladder defends (docs/SERVING.md). Failpoints can be\n"
          "pre-armed via CMARKOV_FAILPOINTS=\"name=spec,...\" in the\n"
-         "environment. --drift watches the named model's score\n"
+         "environment. --admin-port (with --tcp) serves the HTTP admin\n"
+         "plane (GET /metrics /healthz /varz /statusz); /varz derives\n"
+         "rates from rings sampled every --collector-period-ms, and\n"
+         "`cmarkov top --port PORT` renders it live (docs/SERVING.md).\n"
+         "--drift watches the named model's score\n"
          "distribution for shift and, when confirmed, absorbs recent\n"
          "clean windows via incremental retraining and hot-reloads the\n"
          "refreshed model (the trainer state comes from\n"
@@ -138,6 +152,13 @@ DaemonOptions parse_options(int argc, char** argv) {
       options.net_loops = std::stoul(value);
     } else if (flag == "--handshake-timeout-ms") {
       options.handshake_timeout_ms = std::stoull(value);
+    } else if (flag == "--admin-port") {
+      options.admin_port = std::stoi(value);
+    } else if (flag == "--collector-period-ms") {
+      options.collector_period_ms = std::stoull(value);
+      if (options.collector_period_ms == 0) {
+        throw std::runtime_error("--collector-period-ms must be > 0");
+      }
     } else if (flag == "--overload") {
       if (value != "on" && value != "off") {
         throw std::runtime_error("--overload expects on|off");
@@ -238,8 +259,37 @@ int serve_tcp(serve::CmarkovService& service, const DaemonOptions& options,
   net.port = static_cast<std::uint16_t>(options.tcp_port);
   net.num_loops = options.net_loops;
   net.handshake_timeout_micros = options.handshake_timeout_ms * 1000;
+
+  // The admin plane (docs/OBSERVABILITY.md): a second listener speaking
+  // HTTP/1.1 on the shared event loops, backed by a collector thread that
+  // samples the registry into rolling rings so /varz can serve derived
+  // rates without touching the scoring hot path.
+  std::unique_ptr<serve::net::AdminHandler> admin;
+  std::unique_ptr<obs::TimeSeriesCollector> collector;
+  if (options.admin_port > 0) {
+    admin = std::make_unique<serve::net::AdminHandler>(service.sessions());
+    obs::CollectorOptions copts;
+    copts.period_seconds =
+        static_cast<double>(options.collector_period_ms) / 1000.0;
+    // Gauges (sessions, queue depths, per-shard occupancy) are refreshed
+    // by the scrape path; make the collector do the same before sampling.
+    copts.pre_sample = [&service] {
+      (void)service.sessions().metrics_registry();
+    };
+    collector = std::make_unique<obs::TimeSeriesCollector>(
+        service.sessions().instruments(), std::move(copts));
+    admin->set_collector(collector.get());
+    if (refresher != nullptr) admin->set_drift_monitor(&refresher->monitor());
+    net.admin = admin.get();
+    net.admin_port = static_cast<std::uint16_t>(options.admin_port);
+  }
+
   serve::net::EpollServer server(service.sessions(), net);
   server.start();
+  if (admin != nullptr) {
+    admin->set_loop_status_fn([&server] { return server.loop_status(); });
+    collector->start();
+  }
   while (g_stop == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
     // Drift refresh runs on this idle thread: partial_fit + hot reload
@@ -247,6 +297,8 @@ int serve_tcp(serve::CmarkovService& service, const DaemonOptions& options,
     if (refresher != nullptr) refresher->poll();
   }
   log_info() << "cmarkovd: shutting down";
+  // Stop sampling before the server (and its loop_status fn) goes away.
+  if (collector != nullptr) collector->stop();
   server.stop();
   return 0;
 }

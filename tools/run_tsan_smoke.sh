@@ -16,7 +16,10 @@
 # pipeline-with-metrics smoke in obs_test), and the chaos harness
 # (chaos_test exercises failpoint arming/firing, crash-restart snapshot
 # recovery, and the overload ladder's governor transitions against the
-# worker pool). Any TSan report fails the run (halt_on_error). Usage:
+# worker pool), and the admin plane (admin_test's scrape hammer runs
+# concurrent /metrics + /varz + /statusz pollers against the collector
+# thread and live traffic with eviction churn). Any TSan report fails the
+# run (halt_on_error). Usage:
 #
 #   tools/run_tsan_smoke.sh            # build into build-tsan/ and run
 #   BUILD_DIR=/tmp/tsan tools/run_tsan_smoke.sh
@@ -24,14 +27,15 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build-tsan}"
-TESTS='^(serve_test|serve_net_test|chaos_test|logging_test|parallel_test|parallel_training_test|incremental_training_test|obs_test)$'
+TESTS='^(serve_test|serve_net_test|admin_test|chaos_test|logging_test|parallel_test|parallel_training_test|incremental_training_test|obs_test)$'
 
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMARKOV_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target serve_test serve_net_test chaos_test logging_test parallel_test \
-  --target parallel_training_test incremental_training_test obs_test
+  --target serve_test serve_net_test admin_test chaos_test logging_test \
+  --target parallel_test parallel_training_test incremental_training_test \
+  --target obs_test
 
 (cd "$BUILD_DIR" && \
   TSAN_OPTIONS="halt_on_error=1 abort_on_error=1" \
